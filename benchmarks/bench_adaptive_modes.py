@@ -1,0 +1,64 @@
+"""Ablation: CSR-form vs CSC-form vs adaptive SpMSpV kernels.
+
+The paper's §3.2.3 defines both kernel forms; its related work (Li et
+al. [31]) selects between SpMV/SpMSpV by input sparsity.  This bench
+measures the crossover the adaptive mode arbitrates: the column form
+wins at extreme input sparsity (touches only active tile columns), the
+row form wins once the input is dense enough that the atomic merge
+dominates.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.core import TileSpMSpV
+from repro.gpusim import Device, RTX3090
+from repro.matrices import get_matrix
+from repro.vectors import random_sparse_vector
+
+SPARSITIES = (0.1, 0.01, 0.001, 0.0001, 0.00001)
+
+
+def test_mode_crossover_table(register, benchmark):
+    coo = get_matrix("ldoor")
+
+    def run():
+        ops = {mode: TileSpMSpV(coo, nt=16, mode=mode)
+               for mode in ("csr", "csc", "adaptive")}
+        ops["csc"].multiply(random_sparse_vector(coo.shape[1], 0.001))
+        rows = []
+        for s in SPARSITIES:
+            x = random_sparse_vector(coo.shape[1], s)
+            times = {}
+            for mode, op in ops.items():
+                dev = Device(RTX3090)
+                op.device = dev
+                op.multiply(x)
+                times[mode] = dev.elapsed_ms
+            rows.append([s, times["csr"], times["csc"],
+                         times["adaptive"]])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    register("ablation_modes",
+             format_table(["sparsity", "csr ms", "csc ms", "adaptive ms"],
+                          rows,
+                          title="Ablation - SpMSpV kernel form on ldoor "
+                                "(simulated ms)"))
+    # the column form must win at the sparsest point...
+    assert rows[-1][2] < rows[-1][1]
+    # ...and the row form at the densest
+    assert rows[0][1] < rows[0][2]
+    # adaptive tracks the winner within 30% at the extremes
+    assert rows[-1][3] < 1.3 * min(rows[-1][1], rows[-1][2])
+    assert rows[0][3] < 1.3 * min(rows[0][1], rows[0][2])
+
+
+@pytest.mark.parametrize("mode", ["csr", "csc", "adaptive"])
+def test_mode_multiply_wallclock(benchmark, mode):
+    coo = get_matrix("msdoor")
+    op = TileSpMSpV(coo, nt=16, mode=mode)
+    x = random_sparse_vector(coo.shape[1], 0.001)
+    op.multiply(x)   # warm the lazy transpose tiling outside the timer
+    y = benchmark(op.multiply, x)
+    assert y.nnz > 0

@@ -1,0 +1,47 @@
+"""Figure 10: per-iteration execution-time traces.
+
+Regenerates the iteration-time series of Gunrock, GSwitch and TileBFS
+on the paper's four trace matrices (cant, in-2004, msdoor, roadNet-TX).
+"""
+
+import pytest
+
+from repro.bench import run_fig10
+from repro.core import TileBFS
+from repro.gpusim import Device, RTX3090
+from repro.matrices import get_matrix
+
+TRACE_MATRICES = ("cant", "in-2004", "msdoor", "roadNet-TX")
+
+
+def test_fig10_traces(register, benchmark):
+    result = benchmark.pedantic(run_fig10,
+                                kwargs={"names": TRACE_MATRICES},
+                                rounds=1, iterations=1)
+    register("fig10", result.text)
+    assert len(result.rows) == len(TRACE_MATRICES) * 3
+    # every algorithm produces a non-trivial trace on every matrix
+    for row in result.rows:
+        assert row[2] >= 2       # iterations
+        assert row[3] > 0        # total ms
+
+
+def test_fig10_kernel_switching_visible(register, benchmark):
+    """§4.5: TileBFS switches kernels across a traversal — the trace on
+    in-2004 (power-law) must use more than one kernel."""
+    coo = get_matrix("in-2004")
+    bfs = TileBFS(coo, device=Device(RTX3090))
+    res = benchmark.pedantic(bfs.run, args=(0,), rounds=1, iterations=1)
+    kernels = {it.kernel for it in res.iterations}
+    register("fig10_kernels",
+             f"in-2004 kernels used across {len(res.iterations)} "
+             f"iterations: {sorted(kernels)}")
+    assert len(kernels) >= 2
+
+
+@pytest.mark.parametrize("name", TRACE_MATRICES)
+def test_single_trace(benchmark, name):
+    coo = get_matrix(name)
+    bfs = TileBFS(coo, device=Device(RTX3090))
+    res = benchmark.pedantic(bfs.run, args=(0,), rounds=2, iterations=1)
+    assert len(res.iterations) >= 2

@@ -1,0 +1,41 @@
+"""Figure 11: format-conversion overhead vs one BFS run.
+
+The paper: conversion "does not exceed a single BFS processing time in
+normal cases, and does not exceed 10x ... in most cases".
+"""
+
+import pytest
+
+from repro.bench import run_fig11
+from repro.formats import to_coo
+from repro.matrices import get_matrix
+from repro.tiles import BitTiledMatrix, TiledMatrix
+
+
+def test_fig11_conversion_table(register, benchmark):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    register("fig11", result.text)
+    ratios = [row[3] for row in result.rows]
+    # the paper's bound: <= 10x a single BFS on most matrices
+    within_10x = sum(1 for r in ratios if r <= 10.0)
+    assert within_10x >= len(ratios) - 1
+    # and <= 1 BFS "in normal cases" (the majority)
+    assert sum(1 for r in ratios if r <= 1.0) > len(ratios) / 2
+
+
+@pytest.mark.parametrize("name", ["cant", "msdoor"])
+def test_wallclock_tiled_conversion(benchmark, name):
+    """Wall-clock of the host-side tiled-format construction."""
+    coo = get_matrix(name)
+    tm = benchmark.pedantic(TiledMatrix.from_coo, args=(coo, 16),
+                            rounds=2, iterations=1)
+    assert tm.nnz == coo.nnz
+
+
+@pytest.mark.parametrize("orientation", ["csc", "csr"])
+def test_wallclock_bitmask_conversion(benchmark, orientation):
+    coo = get_matrix("cant")
+    bm = benchmark.pedantic(BitTiledMatrix.from_coo,
+                            args=(coo, 32, orientation),
+                            rounds=2, iterations=1)
+    assert bm.n_nonempty_tiles > 0

@@ -1,0 +1,29 @@
+"""Figure 8: BFS GTEPS of GSwitch / Gunrock / TileBFS on the 12
+representative matrices (RTX 3090)."""
+
+import pytest
+
+from repro.bench import geomean, run_fig8
+
+
+def test_fig8_gteps_table(register, benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    register("fig8", result.text)
+    assert len(result.rows) == 12
+    # paper: TileBFS leads on the FEM-dominated representative set
+    wins = sum(1 for r in result.rows if r[3] >= max(r[1], r[2]))
+    assert wins >= 6
+    # and on the dense-tile flagship 'ldoor' specifically (paper §4.3)
+    ldoor = next(r for r in result.rows if r[0] == "ldoor")
+    assert ldoor[3] >= max(ldoor[1], ldoor[2])
+
+
+def test_fig8_geomean_positive(register, benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    tile_over_gunrock = geomean([r[3] / r[2] for r in result.rows])
+    tile_over_gswitch = geomean([r[3] / r[1] for r in result.rows])
+    register("fig8_geomeans",
+             f"Fig 8 geomeans: TileBFS/Gunrock {tile_over_gunrock:.2f}x, "
+             f"TileBFS/GSwitch {tile_over_gswitch:.2f}x")
+    assert tile_over_gunrock > 0.8
+    assert tile_over_gswitch > 1.0

@@ -1,0 +1,37 @@
+"""Figure 9: stacking the directional-optimization kernels.
+
+K1 (Push-CSC only) → K1+K2 (+Push-CSR) → K1+K2+K3 (+Pull-CSC) on the
+representative matrices, reported in GTEPS like the paper's bars.
+"""
+
+import pytest
+
+from repro.bench import geomean, run_fig9
+from repro.core import KernelSelector, TileBFS
+from repro.gpusim import Device, RTX3090
+from repro.matrices import get_matrix
+
+
+def test_fig9_ablation_table(register, benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    register("fig9", result.text)
+    assert len(result.rows) == 12
+    # adding Push-CSR must help on the dense-frontier FEM matrices
+    gains = [r[2] / r[1] for r in result.rows]
+    assert geomean(gains) > 1.0
+    # the full rule must never regress catastrophically vs K1+K2
+    for r in result.rows:
+        assert r[3] > 0.7 * r[2], r[0]
+
+
+@pytest.mark.parametrize("selector,label", [
+    (KernelSelector.k1(), "K1"),
+    (KernelSelector.k1_k2(), "K1+K2"),
+    (KernelSelector.k1_k2_k3(), "K1+K2+K3"),
+], ids=["K1", "K1K2", "K1K2K3"])
+def test_ablation_point_run(benchmark, selector, label):
+    """Wall-clock of one traversal at each ablation point."""
+    coo = get_matrix("pdb1HYS")
+    bfs = TileBFS(coo, selector=selector, device=Device(RTX3090))
+    res = benchmark.pedantic(bfs.run, args=(0,), rounds=3, iterations=1)
+    assert res.n_reached > 1

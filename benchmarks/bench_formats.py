@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the substrate formats (wall-clock regression
+tracking for the vectorized NumPy implementations).
+
+Not a paper figure — these guard the building blocks every experiment
+rests on: conversions, matvec, tiled construction, bitmask packing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import to_bsr, to_csc, to_csr
+from repro.matrices import fem_like, rmat
+from repro.tiles import BitTiledMatrix, BitVector, TiledVector
+from repro.vectors import random_sparse_vector
+
+
+@pytest.fixture(scope="module")
+def fem():
+    return fem_like(16384, nnz_per_row=32, block=16, seed=1)
+
+
+@pytest.fixture(scope="module")
+def web():
+    return rmat(13, edge_factor=10, seed=2)
+
+
+class TestConversions:
+    def test_coo_to_csr(self, benchmark, fem):
+        csr = benchmark(to_csr, fem)
+        assert csr.nnz == fem.nnz
+
+    def test_coo_to_csc(self, benchmark, fem):
+        csc = benchmark(to_csc, fem)
+        assert csc.nnz == fem.nnz
+
+    def test_coo_to_bsr(self, benchmark, fem):
+        bsr = benchmark(to_bsr, fem, 16)
+        assert bsr.n_blocks > 0
+
+    def test_bitmask_csc(self, benchmark, web):
+        bm = benchmark(BitTiledMatrix.from_coo, web, 32, "csc")
+        assert bm.n_nonempty_tiles > 0
+
+
+class TestMatvec:
+    def test_csr_matvec(self, benchmark, fem):
+        csr = to_csr(fem)
+        x = np.random.default_rng(0).random(fem.shape[1])
+        y = benchmark(csr.matvec, x)
+        assert y.shape == (fem.shape[0],)
+
+    def test_csc_matvec(self, benchmark, fem):
+        csc = to_csc(fem)
+        x = np.random.default_rng(0).random(fem.shape[1])
+        y = benchmark(csc.matvec, x)
+        assert y.shape == (fem.shape[0],)
+
+    def test_bsr_matvec(self, benchmark, fem):
+        bsr = to_bsr(fem, 16)
+        x = np.random.default_rng(0).random(fem.shape[1])
+        y = benchmark(bsr.matvec, x)
+        assert y.shape == (fem.shape[0],)
+
+
+class TestVectorStructures:
+    def test_tiled_vector_from_sparse(self, benchmark, fem):
+        x = random_sparse_vector(fem.shape[1], 0.05)
+        tv = benchmark(TiledVector.from_sparse, x.indices, x.values,
+                       fem.shape[1], 16)
+        assert tv.nnz == x.nnz
+
+    def test_bitvector_roundtrip(self, benchmark):
+        idx = np.sort(np.random.default_rng(1).choice(
+            1 << 20, size=10_000, replace=False))
+
+        def roundtrip():
+            v = BitVector.from_indices(idx, 1 << 20, 64)
+            return v.to_indices()
+
+        out = benchmark(roundtrip)
+        assert np.array_equal(out, idx)

@@ -1,0 +1,51 @@
+"""Extension bench: bit-parallel multi-source BFS batching gain.
+
+Measures the simulated-time advantage of packing up to 64 sources into
+one word-parallel traversal versus running them one at a time — the
+batching that makes multi-pivot analytics affordable.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.core import MultiSourceBFS
+from repro.gpusim import Device, RTX3090
+from repro.matrices import get_matrix
+
+
+def test_msbfs_batching_table(register, benchmark):
+    coo = get_matrix("cant")
+
+    def run():
+        rows = []
+        for k in (1, 4, 16, 64):
+            srcs = list(range(k))
+            dev_b = Device(RTX3090)
+            MultiSourceBFS(coo, device=dev_b).run(srcs)
+            dev_s = Device(RTX3090)
+            ms = MultiSourceBFS(coo, device=dev_s)
+            for s in srcs:
+                ms.run([s])
+            rows.append([k, dev_b.elapsed_ms, dev_s.elapsed_ms,
+                         dev_s.elapsed_ms / dev_b.elapsed_ms])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    register("extension_msbfs",
+             format_table(["sources", "batched ms", "sequential ms",
+                           "batching gain"],
+                          rows,
+                          title="Extension - MS-BFS batching on 'cant' "
+                                "(simulated ms)"))
+    # batching must pay increasingly with k
+    gains = [r[3] for r in rows]
+    assert gains[-1] > gains[0]
+    assert gains[-1] > 4.0
+
+
+def test_msbfs_run_wallclock(benchmark):
+    coo = get_matrix("cavity23")
+    ms = MultiSourceBFS(coo, device=Device(RTX3090))
+    res = benchmark.pedantic(ms.run, args=(list(range(32)),),
+                             rounds=3, iterations=1)
+    assert res.levels.shape[0] == 32

@@ -1,0 +1,63 @@
+"""§1 claim bench: SpMSpV "via SpGEMM" and "via SpMV" vs the real thing.
+
+The paper's introduction motivates a dedicated SpMSpV with two
+strawmen: calling an SpMV (wastes space and computation on the zeros of
+the densified vector) or calling an SpGEMM (Gustavson row-row with a
+one-column multiplier — terrible locality).  This bench puts numbers on
+both against TileSpMSpV across the four sparsities.
+"""
+
+import pytest
+
+from repro.baselines import SpMSpVViaSpGEMM, TileSpMV
+from repro.bench.report import format_table
+from repro.core import TileSpMSpV
+from repro.gpusim import Device, RTX3090
+from repro.matrices import get_matrix
+from repro.vectors import PAPER_SPARSITIES, random_sparse_vector
+
+
+def test_section1_strawmen_table(register, benchmark):
+    coo = get_matrix("msdoor")
+
+    def run():
+        algs = {
+            "TileSpMSpV": TileSpMSpV(coo, nt=16),
+            "via SpMV": TileSpMV(coo, nt=16),
+            "via SpGEMM": SpMSpVViaSpGEMM(coo),
+        }
+        rows = []
+        for s in PAPER_SPARSITIES:
+            x = random_sparse_vector(coo.shape[1], s)
+            times = {}
+            for name, alg in algs.items():
+                dev = Device(RTX3090)
+                alg.device = dev
+                alg.multiply(x)
+                times[name] = dev.elapsed_ms
+            rows.append([s, times["TileSpMSpV"], times["via SpMV"],
+                         times["via SpGEMM"],
+                         times["via SpMV"] / times["TileSpMSpV"],
+                         times["via SpGEMM"] / times["TileSpMSpV"]])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    register("section1_strawmen", format_table(
+        ["sparsity", "TileSpMSpV ms", "via SpMV ms", "via SpGEMM ms",
+         "SpMV penalty", "SpGEMM penalty"],
+        rows,
+        title="§1 - computing SpMSpV by calling SpMV / SpGEMM "
+              "(msdoor stand-in, simulated ms)"))
+    for row in rows:
+        # both strawmen must lose at every sparsity (the §1 claim)
+        assert row[4] > 1.0 and row[5] > 1.0
+
+
+def test_spgemm_wallclock(benchmark):
+    from repro.formats import spgemm, to_csr
+
+    coo = get_matrix("cavity23")
+    csr = to_csr(coo)
+    C = benchmark.pedantic(spgemm, args=(csr, csr), rounds=2,
+                           iterations=1)
+    assert C.nnz > 0

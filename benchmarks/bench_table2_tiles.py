@@ -1,0 +1,41 @@
+"""Table 2: tile counts of the representative matrices.
+
+Regenerates the paper's Table 2 (size / nnz / #tiles at 16, 32, 64) on
+the synthetic stand-ins, and benchmarks the tile-counting pass and the
+tiled-format construction it is based on.
+"""
+
+import pytest
+
+from repro.bench import run_table2
+from repro.matrices import get_matrix
+from repro.tiles import TiledMatrix, count_nonempty_tiles
+
+
+@pytest.fixture(scope="module")
+def ldoor():
+    return get_matrix("ldoor")
+
+
+def test_table2_rows(register, benchmark):
+    """Produce the full Table 2 and register it for the summary."""
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    register("table2", result.text)
+    assert len(result.rows) == 12
+    for row in result.rows:
+        # tile counts must shrink monotonically with tile size
+        assert row[3] >= row[4] >= row[5] >= 1
+
+
+@pytest.mark.parametrize("nt", [16, 32, 64])
+def test_count_tiles(benchmark, ldoor, nt):
+    """Tile-occupancy counting pass at each paper tile size."""
+    count = benchmark(count_nonempty_tiles, ldoor, nt)
+    assert count > 0
+
+
+def test_tiled_construction(benchmark, ldoor):
+    """Full tiled-format construction (the Fig. 11 preprocessing)."""
+    tm = benchmark.pedantic(TiledMatrix.from_coo, args=(ldoor, 16),
+                            rounds=2, iterations=1)
+    assert tm.nnz == ldoor.nnz

@@ -1,0 +1,72 @@
+"""Ablation: tile-size choice (nt = 16 / 32 / 64).
+
+Table 2 lists tile counts at all three sizes and §3.4 fixes the BFS
+rule (order > 10,000 → 64, else 32); this bench measures what those
+choices actually trade: smaller tiles skip more precisely (less wasted
+payload) but carry more metadata per nonzero.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.core import TileBFS, TileSpMSpV
+from repro.gpusim import Device, RTX3090
+from repro.matrices import get_matrix
+from repro.vectors import random_sparse_vector
+
+TILE_SIZES = (16, 32, 64)
+MATRICES = ("cant", "ldoor", "roadNet-TX", "in-2004")
+
+
+def test_tile_size_ablation_table(register, benchmark):
+    def run():
+        rows = []
+        for name in MATRICES:
+            coo = get_matrix(name)
+            x = random_sparse_vector(coo.shape[1], 0.01)
+            spmspv_ms = {}
+            bfs_ms = {}
+            for nt in TILE_SIZES:
+                dev = Device(RTX3090)
+                TileSpMSpV(coo, nt=nt, device=dev).multiply(x)
+                spmspv_ms[nt] = dev.elapsed_ms
+                dev = Device(RTX3090)
+                bfs_ms[nt] = TileBFS(coo, nt=nt,
+                                     device=dev).run(0).simulated_ms
+            rows.append([name] + [spmspv_ms[nt] for nt in TILE_SIZES]
+                        + [bfs_ms[nt] for nt in TILE_SIZES])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = (["Matrix"]
+               + [f"SpMSpV ms nt={nt}" for nt in TILE_SIZES]
+               + [f"BFS ms nt={nt}" for nt in TILE_SIZES])
+    register("ablation_tile_size",
+             format_table(headers, rows,
+                          title="Ablation - tile size (simulated ms, "
+                                "sparsity 0.01 / BFS from vertex 0)"))
+    for row in rows:
+        assert all(v > 0 for v in row[1:])
+
+
+def test_paper_nt_rule_is_reasonable(register, benchmark):
+    """§3.4's rule (order > 10,000 → 64): on the large FEM matrix the
+    64-tile BFS should be within ~2x of the best choice."""
+    coo = get_matrix("ldoor")
+
+    def run_all():
+        out = {}
+        for nt in TILE_SIZES:
+            dev = Device(RTX3090)
+            out[nt] = TileBFS(coo, nt=nt,
+                              device=dev).run(0).simulated_ms
+        return out
+
+    times = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    best = min(times.values())
+    register("ablation_nt_rule",
+             f"ldoor BFS ms by nt: " +
+             ", ".join(f"{nt}: {t:.3f}" for nt, t in times.items()) +
+             f" (paper's rule picks 64; best/64 ratio "
+             f"{times[64] / best:.2f})")
+    assert times[64] <= 2.5 * best

@@ -1,0 +1,58 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module times its kernels with pytest-benchmark *and*
+registers the paper-style table produced by the corresponding
+:mod:`repro.bench` runner.  The tables are printed in the terminal
+summary and written to ``benchmarks/results/<experiment>.txt`` so the
+numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_TABLES: Dict[str, str] = {}
+
+
+def register_table(experiment: str, text: str) -> None:
+    """Record one experiment's printable table for the summary."""
+    _TABLES[experiment] = text
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n",
+                                                   encoding="utf-8")
+
+
+def save_csv(experiment: str, headers, rows) -> None:
+    """Write an experiment's per-matrix detail rows as CSV (plot-ready;
+    not shown in the terminal summary)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{experiment}.csv", "w",
+              encoding="utf-8") as fh:
+        fh.write(",".join(str(h) for h in headers) + "\n")
+        for row in rows:
+            fh.write(",".join(str(c) for c in row) + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for name in sorted(_TABLES):
+        terminalreporter.write_line("")
+        for line in _TABLES[name].splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def register():
+    return register_table
+
+
+@pytest.fixture(scope="session")
+def register_csv():
+    return save_csv

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Graph analytics on top of SpMSpV: betweenness centrality and RCM.
+
+The paper's introduction motivates fast SpMSpV with exactly these
+applications (§1: BFS, betweenness centrality, reverse Cuthill-McKee
+ordering).  This example runs both on a small social-network-style
+graph, with every matrix-vector product going through TileSpMSpV and
+every level structure through TileBFS.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import numpy as np
+
+from repro import Device, RTX3090
+from repro.formats import COOMatrix
+from repro.graphs import bandwidth, betweenness_centrality, rcm_ordering
+from repro.matrices import banded, rmat
+
+
+def centrality_demo() -> None:
+    print("=== betweenness centrality (Brandes via SpMSpV) ===")
+    A = rmat(9, edge_factor=6, seed=3)
+    device = Device(RTX3090)
+    # exact BC routes one forward+backward sweep per vertex through
+    # the TileSpMSpV operator; use pivots for speed on bigger graphs
+    pivots = list(range(0, A.shape[0], 8))
+    bc = betweenness_centrality(A, sources=pivots, nt=16, device=device)
+    top = np.argsort(bc)[::-1][:5]
+    print(f"graph: n={A.shape[0]}, nnz={A.nnz}, "
+          f"{len(pivots)} Brandes pivots")
+    print("top-5 central vertices:")
+    degrees = np.bincount(A.row, minlength=A.shape[0])
+    for v in top:
+        print(f"  vertex {v:>4}: bc={bc[v]:.5f}  degree={degrees[v]}")
+    print(f"simulated GPU time across all sweeps: "
+          f"{device.elapsed_ms:.3f} ms\n")
+
+
+def rcm_demo() -> None:
+    print("=== reverse Cuthill-McKee ordering (via TileBFS levels) ===")
+    # a banded matrix scrambled by a random permutation: RCM should
+    # recover a narrow band
+    A = banded(3000, bandwidth=3, extra_bands=0, seed=4)
+    rng = np.random.default_rng(5)
+    shuffle = rng.permutation(A.shape[0])
+    scrambled = COOMatrix(A.shape, shuffle[A.row], shuffle[A.col], A.val)
+
+    before = bandwidth(scrambled)
+    perm = rcm_ordering(scrambled, nt=16)
+    after = bandwidth(scrambled, perm)
+    print(f"matrix: n={A.shape[0]}, nnz={A.nnz}")
+    print(f"bandwidth scrambled: {before}")
+    print(f"bandwidth after RCM: {after}  "
+          f"({before / after:.1f}x narrower)")
+
+
+def main() -> None:
+    centrality_demo()
+    rcm_demo()
+
+
+if __name__ == "__main__":
+    main()

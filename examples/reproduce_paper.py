@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation tables from the command line.
+
+Thin demonstration wrapper over :mod:`repro.bench`: picks three of the
+lighter experiments so the script finishes in about a minute.  For the
+full set (including the Figure 6/7 sweeps) run::
+
+    python -m repro.bench            # everything
+    python -m repro.bench fig6       # one experiment
+    pytest benchmarks/ --benchmark-only
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.bench import run_extraction, run_fig9, run_fig12, run_table2
+
+
+def main() -> None:
+    for runner in (run_table2, run_fig9, run_fig12, run_extraction):
+        result = runner()
+        print(result.text)
+        print()
+    print("Full per-experiment index: DESIGN.md; paper-vs-measured "
+          "comparison: EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a complete Python reproduction of *TileSpMSpV: A Tiled
+Algorithm for Sparse Matrix-Sparse Vector Multiplication on GPUs*
+(Ji, Song, Lu, Jin, Tan, Liu — ICPP '22).
+
+Quick start::
+
+    import numpy as np
+    from repro import TileSpMSpV, TileBFS, random_sparse_vector
+    from repro.matrices import fem_like
+
+    A = fem_like(4096, nnz_per_row=40)      # a FEM-style sparse matrix
+    op = TileSpMSpV(A, nt=16)               # preprocess once
+    x = random_sparse_vector(4096, 0.01)    # sparse input vector
+    y = op.multiply(x)                      # sparse y = A @ x
+
+    bfs = TileBFS(A)                        # bitmask-tiled BFS
+    levels = bfs.run(source=0).levels
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.formats` — COO/CSR/CSC/BSR + Matrix Market I/O;
+* :mod:`repro.tiles` — the paper's tiled storage structures (§3.2);
+* :mod:`repro.core` — TileSpMSpV (§3.3) and TileBFS (§3.4);
+* :mod:`repro.baselines` — TileSpMV, cuSPARSE-BSR, CombBLAS-bucket,
+  Gunrock, GSwitch, Enterprise;
+* :mod:`repro.gpusim` — the simulated RTX 3060/3090 execution model;
+* :mod:`repro.matrices` — SuiteSparse-stand-in generators/collection;
+* :mod:`repro.vectors` — sparse vectors and the paper's seed-1 inputs;
+* :mod:`repro.graphs` — BC and RCM built on the primitives;
+* :mod:`repro.bench` — one runner per paper table/figure.
+"""
+
+from .core import (BFSResult, KernelSelector, TileBFS, TileSpMSpV,
+                   select_tile_size, tile_bfs, tile_spmspv)
+from .errors import (ConversionError, DeviceError, FormatError,
+                     IOFormatError, ReproError, ShapeError, TileError)
+from .gpusim import RTX3060, RTX3090, Device, GPUSpec
+from .semiring import MAX_TIMES, MIN_PLUS, OR_AND, PLUS_TIMES, Semiring
+from .vectors import (PAPER_SPARSITIES, SparseVector, frontier_vector,
+                      random_sparse_vector)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TileSpMSpV", "tile_spmspv", "TileBFS", "tile_bfs", "BFSResult",
+    "KernelSelector", "select_tile_size",
+    "SparseVector", "random_sparse_vector", "frontier_vector",
+    "PAPER_SPARSITIES",
+    "Device", "GPUSpec", "RTX3060", "RTX3090",
+    "Semiring", "PLUS_TIMES", "OR_AND", "MIN_PLUS", "MAX_TIMES",
+    "ReproError", "FormatError", "ShapeError", "TileError",
+    "ConversionError", "DeviceError", "IOFormatError",
+    "__version__",
+]

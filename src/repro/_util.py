@@ -1,0 +1,84 @@
+"""Small vectorized building blocks shared across kernels.
+
+These are the NumPy idioms that stand in for the per-thread loops a
+CUDA kernel would use: range concatenation (a warp iterating a CSR
+segment), segment reduction (a warp-level shuffle reduction), and
+stable grouping (a bucket sort).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "concat_ranges",
+    "segment_sum",
+    "segment_reduce",
+    "group_starts",
+    "ceil_div",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    return -(-a // b)
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate integer ranges ``[starts[i], starts[i]+lengths[i])``.
+
+    Vectorized equivalent of
+    ``np.concatenate([np.arange(s, s+l) for s, l in zip(starts, lengths)])``
+    — the gather pattern of a warp walking several CSR segments.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    seg = np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+    seg_start = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    within = np.arange(total, dtype=np.int64) - seg_start[seg]
+    return np.asarray(starts, dtype=np.int64)[seg] + within
+
+
+def segment_sum(values: np.ndarray, segment_ids: np.ndarray,
+                n_segments: int) -> np.ndarray:
+    """Sum ``values`` into ``n_segments`` bins keyed by ``segment_ids``.
+
+    ``segment_ids`` need not be sorted.  This is the scatter-add a GPU
+    kernel realises with ``atomicAdd`` into global memory.
+    """
+    out = np.zeros(n_segments, dtype=values.dtype)
+    if len(values):
+        np.add.at(out, segment_ids, values)
+    return out
+
+
+def segment_reduce(ufunc: np.ufunc, values: np.ndarray,
+                   sorted_segment_ids: np.ndarray,
+                   n_segments: int, identity) -> np.ndarray:
+    """Reduce values grouped by a *sorted* segment-id array with ``ufunc``.
+
+    Faster than ``ufunc.at`` when the ids are presorted (the merge step
+    of column-major SpMSpV after a bucket sort).
+    """
+    out = np.full(n_segments, identity,
+                  dtype=np.result_type(values.dtype, type(identity)))
+    if len(values) == 0:
+        return out
+    starts = group_starts(sorted_segment_ids)
+    reduced = ufunc.reduceat(values, starts)
+    out[sorted_segment_ids[starts]] = reduced
+    return out
+
+
+def group_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Indices where each run of equal keys begins in a sorted array."""
+    if len(sorted_keys) == 0:
+        return np.zeros(0, dtype=np.int64)
+    boundary = np.empty(len(sorted_keys), dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    return np.flatnonzero(boundary)

@@ -1,0 +1,34 @@
+"""Every baseline the paper compares against, implemented from scratch.
+
+SpMSpV / SpMV (Figure 6):
+
+* :func:`spmspv_rowwise`, :func:`spmspv_colwise` — paper Algorithms 1-2;
+* :class:`TileSpMV` — tiled SpMV with dense input vector (IPDPS '21);
+* :class:`CuSparseBSRMV` — cuSPARSE ``bsrmv`` stand-in (dense blocks);
+* :class:`CombBLASSpMSpV` — SpMSpV-bucket (IPDPS '17).
+
+BFS (Figures 7, 8, 12):
+
+* :class:`GunrockBFS` — advance/filter frontier queues (PPoPP '16);
+* :class:`GSwitchBFS` — pattern-based adaptive autotuner (PPoPP '19);
+* :class:`EnterpriseBFS` — degree-classified frontiers (SC '15).
+
+See DESIGN.md §1 for how each substitution preserves the cost profile
+of the system it stands in for.
+"""
+
+from .combblas import CombBLASSpMSpV
+from .cusparse_bsr import CuSparseBSRMV
+from .enterprise import EnterpriseBFS
+from .gswitch import GSwitchBFS
+from .gunrock import GunrockBFS
+from .spmspv_naive import spmspv_colwise, spmspv_rowwise
+from .spmspv_via_spgemm import SpMSpVViaSpGEMM
+from .tilespmv import TileSpMV
+
+__all__ = [
+    "spmspv_rowwise", "spmspv_colwise",
+    "TileSpMV", "CuSparseBSRMV", "CombBLASSpMSpV",
+    "SpMSpVViaSpGEMM",
+    "GunrockBFS", "GSwitchBFS", "EnterpriseBFS",
+]

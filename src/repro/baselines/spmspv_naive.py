@@ -1,0 +1,110 @@
+"""Reference SpMSpV: the paper's Algorithms 1 and 2.
+
+These are the textbook row-wise (matrix-driven) and column-wise
+(vector-driven) formulations from §2.1.  They serve two roles: an
+independent correctness oracle for every other SpMSpV in the repo, and
+the "no tiling, no bucketing" baseline the smarter algorithms are
+measured against in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..formats.csc import CSCMatrix
+from ..formats.csr import CSRMatrix
+from ..gpusim import Device, KernelCounters
+from ..semiring import PLUS_TIMES, Semiring
+from ..vectors.sparse_vector import SparseVector
+
+__all__ = ["spmspv_rowwise", "spmspv_colwise"]
+
+
+def spmspv_rowwise(A: CSRMatrix, x: SparseVector,
+                   semiring: Semiring = PLUS_TIMES,
+                   device: Optional[Device] = None) -> SparseVector:
+    """Algorithm 1 — row-wise (matrix-driven) SpMSpV.
+
+    Every matrix row computes a dot product with ``x``, testing each
+    column index against the sparse vector (line 4's ``if x_j != 0``).
+    Work is proportional to *all* of ``nnz(A)`` regardless of how
+    sparse ``x`` is — the inefficiency the vector-driven methods fix.
+    """
+    if x.n != A.shape[1]:
+        raise ShapeError(
+            f"SpMSpV shape mismatch: A is {A.shape}, x has length {x.n}"
+        )
+    x_dense = np.full(A.shape[1], semiring.add_identity,
+                      dtype=semiring.dtype)
+    x_dense[x.indices] = x.values
+    x_present = np.zeros(A.shape[1], dtype=bool)
+    x_present[x.indices] = True
+
+    hit = x_present[A.indices]
+    products = semiring.mul(A.data[hit], x_dense[A.indices[hit]])
+    rows = A.row_of_entry()[hit]
+    y_dense = np.full(A.shape[0], semiring.add_identity,
+                      dtype=semiring.dtype)
+    if len(rows):
+        semiring.add.at(y_dense, rows, products)
+
+    if device is not None:
+        c = KernelCounters(launches=1)
+        c.coalesced_read_bytes += A.nnz * 16.0        # indices + values
+        c.random_read_count += A.nnz                  # x probes (line 4)
+        c.flops += 2.0 * len(rows)
+        c.coalesced_write_bytes += A.shape[0] * 8.0   # y row results
+        c.warps = max(1.0, A.shape[0] / 32.0)
+        device.submit("spmspv_rowwise", c)
+
+    idx = np.flatnonzero(~semiring.is_identity(y_dense))
+    return SparseVector(A.shape[0], idx, y_dense[idx])
+
+
+def spmspv_colwise(A: CSCMatrix, x: SparseVector,
+                   semiring: Semiring = PLUS_TIMES,
+                   device: Optional[Device] = None) -> SparseVector:
+    """Algorithm 2 — column-wise (vector-driven) SpMSpV.
+
+    Each nonzero ``x_j`` scales column ``a_{*j}`` and merges into ``y``.
+    Work is proportional to the touched columns only, but the merge is
+    a global scatter with atomics and no locality — the weakness the
+    tiled and bucketed methods address.
+    """
+    if x.n != A.shape[1]:
+        raise ShapeError(
+            f"SpMSpV shape mismatch: A is {A.shape}, x has length {x.n}"
+        )
+    rows, vals, src = A.gather_columns(x.indices)
+    products = semiring.mul(vals, x.values[src])
+    y_dense = np.full(A.shape[0], semiring.add_identity,
+                      dtype=semiring.dtype)
+    if len(rows):
+        semiring.add.at(y_dense, rows, products)
+
+    if device is not None:
+        c = KernelCounters(launches=1)
+        c.l2_read_bytes += x.nnz * 16.0               # column pointers
+        c.coalesced_read_bytes += len(rows) * 16.0    # column payloads
+        c.flops += 2.0 * len(rows)
+        c.atomic_ops += float(len(rows))              # global merge
+        c.random_write_count += float(len(rows))
+        c.warps = max(1.0, x.nnz)
+        c.divergence = _column_divergence(A, x)
+        device.submit("spmspv_colwise", c)
+
+    idx = np.flatnonzero(~semiring.is_identity(y_dense))
+    return SparseVector(A.shape[0], idx, y_dense[idx])
+
+
+def _column_divergence(A: CSCMatrix, x: SparseVector) -> float:
+    """Lane utilisation when a warp strides one column: short columns
+    leave lanes idle."""
+    if x.nnz == 0:
+        return 1.0
+    lens = A.col_degrees()[x.indices]
+    util = np.minimum(1.0, lens / 32.0).mean()
+    return float(max(util, 1.0 / 32.0))

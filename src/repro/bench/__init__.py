@@ -1,0 +1,19 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+``python -m repro.bench`` prints them all; ``python -m repro.bench fig6``
+prints one.  The pytest-benchmark targets under ``benchmarks/`` wrap
+the same runners.
+"""
+
+from .harness import (ALL_EXPERIMENTS, ExperimentResult,
+                      conversion_counters, run_extraction, run_fig6,
+                      run_fig7, run_fig8, run_fig9, run_fig10, run_fig11,
+                      run_fig12, run_table2)
+from .report import Summary, format_series, format_table, geomean
+
+__all__ = [
+    "ALL_EXPERIMENTS", "ExperimentResult", "conversion_counters",
+    "run_table2", "run_fig6", "run_fig7", "run_fig8", "run_fig9",
+    "run_fig10", "run_fig11", "run_fig12", "run_extraction",
+    "Summary", "format_series", "format_table", "geomean",
+]

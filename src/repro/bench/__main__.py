@@ -1,0 +1,30 @@
+"""CLI entry point: ``python -m repro.bench [experiment ...]``.
+
+With no arguments, runs every experiment (Table 2 and Figures 6-12 plus
+the extraction ablation) and prints the paper-style tables.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .harness import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    for name in names:
+        result = ALL_EXPERIMENTS[name]()
+        print(result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,432 @@
+"""Experiment runners: one function per paper table / figure.
+
+Each ``run_*`` function regenerates the rows or series of one piece of
+the paper's evaluation (§4) on the synthetic collection, using the
+simulated GPU for timing, and returns a structured result whose
+``text`` field is the printable paper-style table.  The benchmark
+modules under ``benchmarks/`` call these inside pytest-benchmark
+fixtures; ``python -m repro.bench`` runs them all from the CLI.
+
+Experiment index (see DESIGN.md §2 for the full mapping):
+
+=========  =====================================================
+Table 2    ``run_table2``     tile counts of the representative set
+Figure 6   ``run_fig6``       SpMSpV GFlops + speedups, 4 sparsities
+Figure 7   ``run_fig7``       BFS vs Gunrock/GSwitch, both GPUs
+Figure 8   ``run_fig8``       BFS GTEPS on the representative set
+Figure 9   ``run_fig9``       K1 / K1+K2 / K1+K2+K3 ablation
+Figure 10  ``run_fig10``      per-iteration time traces
+Figure 11  ``run_fig11``      format-conversion overhead vs one BFS
+Figure 12  ``run_fig12``      TileBFS vs Enterprise GTEPS
+§4.2 text  ``run_extraction`` COO-extraction ablation
+=========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import (CombBLASSpMSpV, CuSparseBSRMV, EnterpriseBFS,
+                         GSwitchBFS, GunrockBFS, TileSpMV)
+from ..core import KernelSelector, TileBFS, TileSpMSpV
+from ..formats.coo import COOMatrix
+from ..gpusim import Device, GPUSpec, KernelCounters, RTX3060, RTX3090
+from ..matrices import (ENTERPRISE_6, REPRESENTATIVE_12, CollectionEntry,
+                        get_matrix, sweep_entries)
+from ..tiles import tile_stats
+from ..vectors import PAPER_SPARSITIES, random_sparse_vector
+from .report import Summary, format_series, format_table, geomean
+
+__all__ = [
+    "ExperimentResult", "run_table2", "run_fig6", "run_fig7", "run_fig8",
+    "run_fig9", "run_fig10", "run_fig11", "run_fig12", "run_extraction",
+    "conversion_counters", "ALL_EXPERIMENTS",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment runner."""
+
+    experiment: str
+    headers: List[str]
+    rows: List[List]
+    text: str
+    extra: Dict = field(default_factory=dict)
+
+
+def _useful_flops(coo: COOMatrix, x) -> float:
+    """2 x (column nonzeros matched by x) — the paper's GFlops
+    numerator and the x-axis quantity of Figure 6."""
+    degs = np.bincount(coo.col, minlength=coo.shape[1])
+    return float(2 * degs[x.indices].sum())
+
+
+# ----------------------------------------------------------------------
+# Table 2
+# ----------------------------------------------------------------------
+def run_table2(entries: Optional[Sequence[CollectionEntry]] = None
+               ) -> ExperimentResult:
+    """Table 2: size, nnz and non-empty tile counts at nt = 16/32/64."""
+    entries = list(entries or REPRESENTATIVE_12)
+    headers = ["Matrix", "Size", "#nonzeros", "#tiles (16)", "#tiles (32)",
+               "#tiles (64)"]
+    rows = []
+    for e in entries:
+        m = get_matrix(e.name) if e.paper_shape or e in REPRESENTATIVE_12 \
+            else e.build()
+        counts = {nt: tile_stats(m, nt).n_nonempty_tiles
+                  for nt in (16, 32, 64)}
+        rows.append([e.name, f"{m.shape[0]}x{m.shape[1]}", m.nnz,
+                     counts[16], counts[32], counts[64]])
+    text = format_table(headers, rows,
+                        title="Table 2 - representative matrices "
+                              "(synthetic stand-ins)")
+    return ExperimentResult("table2", headers, rows, text)
+
+
+# ----------------------------------------------------------------------
+# Figure 6
+# ----------------------------------------------------------------------
+def run_fig6(entries: Optional[Sequence[CollectionEntry]] = None,
+             sparsities: Sequence[float] = PAPER_SPARSITIES,
+             spec: GPUSpec = RTX3090, nt: int = 16) -> ExperimentResult:
+    """Figure 6: SpMSpV GFlops of TileSpMSpV vs TileSpMV / cuSPARSE-BSR
+    / CombBLAS at four vector sparsities, plus geomean/max speedups."""
+    entries = list(entries if entries is not None
+                   else sweep_entries(max_n=20_000))
+    summaries = {s: Summary() for s in sparsities}
+    detail_rows = []
+    for e in entries:
+        coo = get_matrix(e.name) if e.name in _named() else e.build()
+        n = coo.shape[1]
+        devices = {name: Device(spec) for name in
+                   ("TileSpMSpV", "TileSpMV", "cuSPARSE", "CombBLAS")}
+        algs = {
+            "TileSpMSpV": TileSpMSpV(coo, nt=nt,
+                                     device=devices["TileSpMSpV"]),
+            "TileSpMV": TileSpMV(coo, nt=nt, device=devices["TileSpMV"]),
+            "cuSPARSE": CuSparseBSRMV(coo, nt, device=devices["cuSPARSE"]),
+            "CombBLAS": CombBLASSpMSpV(coo, device=devices["CombBLAS"]),
+        }
+        for s in sparsities:
+            x = random_sparse_vector(n, s)
+            flops = _useful_flops(coo, x)
+            times = {}
+            for name, alg in algs.items():
+                devices[name].reset()
+                alg.multiply(x)
+                times[name] = devices[name].elapsed_ms
+            gf = {name: flops / (t * 1e-3) / 1e9 if t > 0 else float("inf")
+                  for name, t in times.items()}
+            for rival in ("TileSpMV", "cuSPARSE", "CombBLAS"):
+                summaries[s].add(rival,
+                                 times[rival] / times["TileSpMSpV"])
+            detail_rows.append([e.name, s, round(flops),
+                                gf["TileSpMSpV"], gf["TileSpMV"],
+                                gf["cuSPARSE"], gf["CombBLAS"]])
+
+    headers = ["Sparsity", "vs", "geomean speedup", "max speedup"]
+    rows = []
+    for s in sparsities:
+        for rival in ("TileSpMV", "cuSPARSE", "CombBLAS"):
+            rows.append([s, rival, summaries[s].geomean(rival),
+                         summaries[s].max(rival)])
+    text = format_table(
+        headers, rows,
+        title=f"Figure 6 - TileSpMSpV speedups on {spec.name} "
+              f"({len(entries)} matrices)")
+    detail_headers = ["Matrix", "Sparsity", "useful flops",
+                      "GFlops Tile", "GFlops TileSpMV", "GFlops cuSPARSE",
+                      "GFlops CombBLAS"]
+    return ExperimentResult("fig6", headers, rows, text,
+                            extra={"detail_headers": detail_headers,
+                                   "detail_rows": detail_rows})
+
+
+# ----------------------------------------------------------------------
+# Figure 7
+# ----------------------------------------------------------------------
+def run_fig7(entries: Optional[Sequence[CollectionEntry]] = None,
+             specs: Sequence[GPUSpec] = (RTX3060, RTX3090),
+             source: int = 0) -> ExperimentResult:
+    """Figure 7: BFS time of TileBFS vs Gunrock / GSwitch on both GPUs,
+    with geomean/max speedups and %-of-matrices-won."""
+    entries = list(entries if entries is not None
+                   else sweep_entries(max_n=20_000))
+    rows = []
+    per_spec_summary: Dict[str, Summary] = {}
+    for spec in specs:
+        summary = Summary()
+        per_spec_summary[spec.name] = summary
+        for e in entries:
+            coo = get_matrix(e.name) if e.name in _named() else e.build()
+            if coo.shape[0] != coo.shape[1]:
+                continue
+            times = {}
+            for name, make in (
+                    ("TileBFS", lambda d: TileBFS(coo, device=d)),
+                    ("Gunrock", lambda d: GunrockBFS(coo, device=d)),
+                    ("GSwitch", lambda d: GSwitchBFS(coo, device=d))):
+                dev = Device(spec)
+                times[name] = make(dev).run(source).simulated_ms
+            summary.add("Gunrock", times["Gunrock"] / times["TileBFS"])
+            summary.add("GSwitch", times["GSwitch"] / times["TileBFS"])
+            rows.append([spec.name, e.name, coo.nnz, times["TileBFS"],
+                         times["Gunrock"], times["GSwitch"]])
+
+    headers = ["GPU", "vs", "geomean speedup", "max speedup", "% won"]
+    agg_rows = []
+    for spec in specs:
+        s = per_spec_summary[spec.name]
+        for rival in ("Gunrock", "GSwitch"):
+            agg_rows.append([spec.name, rival, s.geomean(rival),
+                             s.max(rival), 100.0 * s.fraction_won(rival)])
+    text = format_table(headers, agg_rows,
+                        title=f"Figure 7 - TileBFS speedups "
+                              f"({len(entries)} matrices)")
+    detail_headers = ["GPU", "Matrix", "nnz", "TileBFS ms", "Gunrock ms",
+                      "GSwitch ms"]
+    return ExperimentResult("fig7", headers, agg_rows, text,
+                            extra={"detail_headers": detail_headers,
+                                   "detail_rows": rows})
+
+
+# ----------------------------------------------------------------------
+# Figure 8
+# ----------------------------------------------------------------------
+def run_fig8(entries: Optional[Sequence[CollectionEntry]] = None,
+             spec: GPUSpec = RTX3090, source: int = 0) -> ExperimentResult:
+    """Figure 8: BFS GTEPS of GSwitch / Gunrock / TileBFS on the
+    representative matrices (RTX 3090)."""
+    entries = list(entries or REPRESENTATIVE_12)
+    headers = ["Matrix", "GSwitch GTEPS", "Gunrock GTEPS", "TileBFS GTEPS"]
+    rows = []
+    for e in entries:
+        coo = get_matrix(e.name) if e.name in _named() else e.build()
+        gteps = {}
+        for name, make in (
+                ("GSwitch", lambda d: GSwitchBFS(coo, device=d)),
+                ("Gunrock", lambda d: GunrockBFS(coo, device=d)),
+                ("TileBFS", lambda d: TileBFS(coo, device=d))):
+            dev = Device(spec)
+            res = make(dev).run(source)
+            gteps[name] = res.gteps(coo.nnz)
+        rows.append([e.name, gteps["GSwitch"], gteps["Gunrock"],
+                     gteps["TileBFS"]])
+    text = format_table(headers, rows,
+                        title=f"Figure 8 - BFS GTEPS on {spec.name}")
+    return ExperimentResult("fig8", headers, rows, text)
+
+
+# ----------------------------------------------------------------------
+# Figure 9
+# ----------------------------------------------------------------------
+def run_fig9(entries: Optional[Sequence[CollectionEntry]] = None,
+             spec: GPUSpec = RTX3090, source: int = 0) -> ExperimentResult:
+    """Figure 9: stacking the directional-optimization kernels — K1,
+    K1+K2, K1+K2+K3 — on the representative matrices."""
+    entries = list(entries or REPRESENTATIVE_12)
+    selectors = [("K1", KernelSelector.k1()),
+                 ("K1+K2", KernelSelector.k1_k2()),
+                 ("K1+K2+K3", KernelSelector.k1_k2_k3())]
+    headers = ["Matrix"] + [f"{name} GTEPS" for name, _ in selectors]
+    rows = []
+    for e in entries:
+        coo = get_matrix(e.name) if e.name in _named() else e.build()
+        row = [e.name]
+        for _, sel in selectors:
+            dev = Device(spec)
+            res = TileBFS(coo, selector=sel, device=dev).run(source)
+            row.append(res.gteps(coo.nnz))
+        rows.append(row)
+    text = format_table(headers, rows,
+                        title="Figure 9 - directional optimization "
+                              "ablation (GTEPS)")
+    return ExperimentResult("fig9", headers, rows, text)
+
+
+# ----------------------------------------------------------------------
+# Figure 10
+# ----------------------------------------------------------------------
+def run_fig10(names: Sequence[str] = ("cant", "in-2004", "msdoor",
+                                      "roadNet-TX"),
+              spec: GPUSpec = RTX3090, source: int = 0) -> ExperimentResult:
+    """Figure 10: per-iteration execution-time traces of Gunrock,
+    GSwitch and TileBFS on four representative matrices."""
+    rows = []
+    series_text = []
+    for name in names:
+        coo = get_matrix(name)
+        for alg, make in (("Gunrock", lambda d: GunrockBFS(coo, device=d)),
+                          ("GSwitch", lambda d: GSwitchBFS(coo, device=d)),
+                          ("TileBFS", lambda d: TileBFS(coo, device=d))):
+            dev = Device(spec)
+            res = make(dev).run(source)
+            xs = [it.depth for it in res.iterations]
+            ys = [it.simulated_ms for it in res.iterations]
+            rows.append([name, alg, len(xs), sum(ys)])
+            series_text.append(format_series(f"{name}/{alg}", xs, ys))
+    headers = ["Matrix", "Algorithm", "iterations", "total ms"]
+    text = (format_table(headers, rows,
+                         title="Figure 10 - iteration time traces")
+            + "\n" + "\n".join(series_text))
+    return ExperimentResult("fig10", headers, rows, text)
+
+
+# ----------------------------------------------------------------------
+# Figure 11
+# ----------------------------------------------------------------------
+def conversion_counters(coo: COOMatrix, nt: int) -> KernelCounters:
+    """Cost of converting CSR to the tiled format on the GPU.
+
+    Modelled as the standard pipeline: compute per-entry tile keys
+    (stream the CSR arrays), radix-sort the (key, entry) pairs, then
+    write tile metadata and reordered payloads — all bandwidth-bound.
+    """
+    stats = tile_stats(coo, nt)
+    c = KernelCounters(launches=4)
+    nnz = coo.nnz
+    c.coalesced_read_bytes += nnz * 12.0            # CSR indices+values
+    c.coalesced_write_bytes += nnz * 8.0            # tile keys
+    radix_passes = 4
+    c.coalesced_read_bytes += nnz * 16.0 * radix_passes
+    c.coalesced_write_bytes += nnz * 16.0 * radix_passes
+    c.coalesced_read_bytes += nnz * 8.0             # boundary scan
+    c.coalesced_write_bytes += (stats.n_nonempty_tiles * 24.0
+                                + nnz * 10.0)       # metadata + payload
+    c.word_ops += 6.0 * nnz
+    c.warps = max(1.0, nnz / 32.0)
+    return c
+
+
+def run_fig11(entries: Optional[Sequence[CollectionEntry]] = None,
+              spec: GPUSpec = RTX3090, source: int = 0) -> ExperimentResult:
+    """Figure 11: format-conversion time vs a single BFS run.
+
+    The paper reports the conversion "does not exceed a single BFS
+    processing time in normal cases, and does not exceed 10x ... in
+    most cases"."""
+    entries = list(entries or REPRESENTATIVE_12)
+    headers = ["Matrix", "conversion ms", "one BFS ms", "ratio"]
+    rows = []
+    for e in entries:
+        coo = get_matrix(e.name) if e.name in _named() else e.build()
+        dev = Device(spec)
+        bfs = TileBFS(coo, device=dev)
+        conv_ms = dev.model.time_ms(conversion_counters(coo, bfs.nt))
+        bfs_ms = bfs.run(source).simulated_ms
+        rows.append([e.name, conv_ms, bfs_ms,
+                     conv_ms / bfs_ms if bfs_ms else float("nan")])
+    text = format_table(headers, rows,
+                        title="Figure 11 - conversion overhead vs one BFS")
+    return ExperimentResult("fig11", headers, rows, text)
+
+
+# ----------------------------------------------------------------------
+# Figure 12
+# ----------------------------------------------------------------------
+def run_fig12(entries: Optional[Sequence[CollectionEntry]] = None,
+              spec: GPUSpec = RTX3090, source: int = 0) -> ExperimentResult:
+    """Figure 12: TileBFS vs Enterprise GTEPS on the six matrices of the
+    Enterprise paper."""
+    entries = list(entries or ENTERPRISE_6)
+    headers = ["Matrix", "Enterprise GTEPS", "TileBFS GTEPS", "speedup"]
+    rows = []
+    for e in entries:
+        coo = get_matrix(e.name) if e.name in _named() else e.build()
+        gteps = {}
+        for name, make in (
+                ("Enterprise", lambda d: EnterpriseBFS(coo, device=d)),
+                ("TileBFS", lambda d: TileBFS(coo, device=d))):
+            dev = Device(spec)
+            gteps[name] = make(dev).run(source).gteps(coo.nnz)
+        rows.append([e.name, gteps["Enterprise"], gteps["TileBFS"],
+                     gteps["TileBFS"] / gteps["Enterprise"]])
+    speedups = [r[3] for r in rows]
+    text = format_table(
+        headers, rows,
+        title=f"Figure 12 - TileBFS vs Enterprise on {spec.name} "
+              f"(geomean speedup {geomean(speedups):.2f})")
+    return ExperimentResult("fig12", headers, rows, text,
+                            extra={"geomean_speedup": geomean(speedups)})
+
+
+# ----------------------------------------------------------------------
+# §4.2 extraction ablation
+# ----------------------------------------------------------------------
+def run_extraction(spec: GPUSpec = RTX3090,
+                   sparsity: float = 0.01) -> ExperimentResult:
+    """§4.2 text: the COO-extraction gain on matrices with many
+    very-sparse tiles ('cryg10000' gains 1.6x in the paper)."""
+    from ..matrices import generators as g
+
+    cases = [
+        ("cryg-like (bands+dust)", lambda: _mix_scatter(seed=5)),
+        ("road_k300", lambda: g.road_network(300, seed=6)),
+        ("rmat_s15", lambda: g.rmat(15, edge_factor=10, seed=7)),
+    ]
+    headers = ["Matrix", "no-extract ms", "extract ms", "speedup",
+               "extracted %"]
+    rows = []
+    for name, build in cases:
+        coo = build()
+        x = random_sparse_vector(coo.shape[1], sparsity)
+        times = {}
+        for mode, threshold in (("off", 0), ("on", 2)):
+            dev = Device(spec)
+            op = TileSpMSpV(coo, nt=16, extract_threshold=threshold,
+                            device=dev)
+            op.multiply(x)
+            times[mode] = dev.elapsed_ms
+            if mode == "on":
+                extracted = 100.0 * op.hybrid.extracted_fraction
+        rows.append([name, times["off"], times["on"],
+                     times["off"] / times["on"], extracted])
+    text = format_table(headers, rows,
+                        title="§4.2 - very-sparse-tile COO extraction "
+                              "ablation")
+    return ExperimentResult("extraction", headers, rows, text)
+
+
+def _mix_scatter(seed: int, n: int = 150_000) -> COOMatrix:
+    """A matrix that is mostly dense bands plus a heavy dust of isolated
+    entries — the 'cryg10000' profile of §4.2: about half the non-empty
+    tiles hold only a nonzero or two, so extraction halves the tile
+    metadata the row-tile kernel must scan."""
+    from ..matrices import generators as g
+
+    rng = np.random.default_rng(seed)
+    base = g.banded(n, bandwidth=4, seed=seed)
+    n_dust = base.nnz
+    rows = rng.integers(0, n, size=n_dust)
+    cols = rng.integers(0, n, size=n_dust)
+    vals = 1.0 - rng.random(n_dust)
+    return COOMatrix(
+        (n, n),
+        np.concatenate([base.row, rows]),
+        np.concatenate([base.col, cols]),
+        np.concatenate([base.val, vals])).sum_duplicates()
+
+
+def _named() -> set:
+    from ..matrices.collection import _BY_NAME
+
+    return set(_BY_NAME)
+
+
+#: name → runner, for the CLI and the benchmark suite.
+ALL_EXPERIMENTS = {
+    "table2": run_table2,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "extraction": run_extraction,
+}

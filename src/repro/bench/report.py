@@ -1,0 +1,100 @@
+"""Table / series formatting for the benchmark harness.
+
+The harness prints the same rows and series the paper reports; these
+helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["geomean", "format_table", "format_series", "Summary"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's averaging convention for speedups),
+    ignoring non-positive and non-finite entries."""
+    arr = np.asarray([v for v in values
+                      if np.isfinite(v) and v > 0], dtype=np.float64)
+    if len(arr) == 0:
+        return float("nan")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) if _numericish(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float],
+                  y_fmt: str = "{:.4f}") -> str:
+    """One labelled (x, y) series, e.g. a Figure-10 iteration trace."""
+    pairs = ", ".join(f"{x}:{y_fmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 1000 or (abs(cell) < 0.01 and cell != 0):
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _numericish(s: str) -> bool:
+    try:
+        float(s.replace(",", ""))
+        return True
+    except ValueError:
+        return s == "-"
+
+
+class Summary:
+    """Accumulates per-matrix speedups and reports paper-style
+    aggregates: geomean, max, and the fraction of matrices won."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, List[float]] = {}
+
+    def add(self, key: str, speedup: float) -> None:
+        self._data.setdefault(key, []).append(float(speedup))
+
+    def geomean(self, key: str) -> float:
+        return geomean(self._data.get(key, []))
+
+    def max(self, key: str) -> float:
+        vals = [v for v in self._data.get(key, []) if np.isfinite(v)]
+        return max(vals) if vals else float("nan")
+
+    def fraction_won(self, key: str) -> float:
+        """Fraction of entries where the speedup exceeds 1 (the paper's
+        "faster on X% of matrices")."""
+        vals = self._data.get(key, [])
+        if not vals:
+            return float("nan")
+        return sum(v > 1.0 for v in vals) / len(vals)
+
+    def keys(self) -> List[str]:
+        return sorted(self._data)
+
+    def rows(self) -> List[List]:
+        return [[k, self.geomean(k), self.max(k),
+                 100.0 * self.fraction_won(k)] for k in self.keys()]

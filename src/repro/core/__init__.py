@@ -1,0 +1,29 @@
+"""The paper's algorithms: TileSpMSpV (§3.3) and TileBFS (§3.4).
+
+Public entry points:
+
+* :class:`TileSpMSpV` / :func:`tile_spmspv` — numeric sparse
+  matrix-sparse vector multiply over tiled storage;
+* :class:`TileBFS` / :func:`tile_bfs` — directional-optimization BFS
+  over bitmask tiles;
+* :class:`KernelSelector` — the K1/K2/K3 switching policy (ablation
+  hooks for Figure 9).
+"""
+
+from .bfs_kernels import pull_csc_kernel, push_csc_kernel, push_csr_kernel
+from .selection import (PULL_CSC, PUSH_CSC, PUSH_CSR, KernelSelector,
+                        select_tile_size)
+from .spmspv import TileSpMSpV, tile_spmspv
+from .spmspv_kernels import coo_side_kernel, csc_tiled_kernel, tiled_kernel
+from .msbfs import MSBFSResult, MultiSourceBFS
+from .tilebfs import BFSResult, IterationRecord, TileBFS, tile_bfs
+
+__all__ = [
+    "TileSpMSpV", "tile_spmspv", "tiled_kernel", "csc_tiled_kernel",
+    "coo_side_kernel",
+    "TileBFS", "tile_bfs", "BFSResult", "IterationRecord",
+    "MultiSourceBFS", "MSBFSResult",
+    "KernelSelector", "select_tile_size",
+    "PUSH_CSC", "PUSH_CSR", "PULL_CSC",
+    "push_csc_kernel", "push_csr_kernel", "pull_csc_kernel",
+]

@@ -1,0 +1,397 @@
+"""TileSpMSpV — the paper's primary contribution (§3.3).
+
+Usage mirrors the paper's pipeline: *preprocess once* (tile the matrix,
+optionally extracting very sparse tiles into a COO side matrix), then
+*multiply many times* against sparse vectors of any sparsity::
+
+    op = TileSpMSpV(matrix, nt=16)        # preprocessing (Fig. 11 cost)
+    y  = op.multiply(x)                   # y = A @ x, sparse in sparse out
+
+Every multiply runs the row-tile warp kernel of Algorithm 4 over the
+tiled part and the per-entry kernel over the extracted COO part, and —
+when a :class:`~repro.gpusim.Device` is attached — submits priced
+launch records so benchmarks can read simulated GPU time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import ShapeError, TileError
+from ..formats.base import SparseMatrix
+from ..formats.coo import COOMatrix
+from ..gpusim import Device
+from ..semiring import PLUS_TIMES, Semiring
+from ..tiles.extraction import (HybridTiledMatrix, IndexedSideMatrix,
+                                 split_very_sparse_tiles)
+from ..tiles.tiled_matrix import TiledMatrix
+from ..tiles.tiled_vector import SUPPORTED_TILE_SIZES, TiledVector
+from ..vectors.sparse_vector import SparseVector
+from .spmspv_kernels import coo_side_kernel, csc_tiled_kernel, tiled_kernel
+
+__all__ = ["TileSpMSpV", "tile_spmspv"]
+
+VectorLike = Union[SparseVector, TiledVector, np.ndarray]
+
+
+class TileSpMSpV:
+    """Prepared TileSpMSpV operator for one sparse matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Any library sparse matrix (or an already-built
+        :class:`~repro.tiles.extraction.HybridTiledMatrix` /
+        :class:`~repro.tiles.tiled_matrix.TiledMatrix`).
+    nt:
+        Tile size (16/32/64 per the paper; small powers of two are also
+        accepted for testing).  Default 16, the paper's SpMSpV choice.
+    extract_threshold:
+        Tiles with at most this many nonzeros are extracted into the
+        COO side matrix (0 disables extraction).  Paper §3.2.1.
+    semiring:
+        The ``(add, mul)`` algebra; default ordinary ``(+, *)``.
+    device:
+        Optional simulated GPU receiving priced launch records.
+    mode:
+        Which tiled kernel executes a multiply (paper §3.2.3 defines
+        both forms):
+
+        * ``"csr"`` (default) — the row-tile kernel of Alg. 4
+          (matrix-driven, scans tile metadata, no atomics);
+        * ``"csc"`` — the vector-driven column form (touches only
+          active tile columns, merges with atomics);
+        * ``"adaptive"`` — pick per multiply by the input's non-empty
+          tile fraction (below ``adaptive_threshold`` → csc), the
+          strategy of Li et al. the paper's related work discusses.
+    adaptive_threshold:
+        Active-tile-column fraction below which adaptive mode selects
+        the CSC form.
+    """
+
+    def __init__(self, matrix, nt: int = 16, extract_threshold: int = 2,
+                 semiring: Semiring = PLUS_TIMES,
+                 device: Optional[Device] = None,
+                 mode: str = "csr",
+                 adaptive_threshold: float = 0.02):
+        if nt not in SUPPORTED_TILE_SIZES:
+            raise TileError(
+                f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
+            )
+        self.semiring = semiring
+        self.device = device
+        if isinstance(matrix, HybridTiledMatrix):
+            self.hybrid = matrix
+        elif isinstance(matrix, TiledMatrix):
+            self.hybrid = HybridTiledMatrix(
+                tiled=matrix,
+                side=COOMatrix.empty(matrix.shape),
+                threshold=0,
+            )
+        else:
+            if isinstance(matrix, SparseMatrix):
+                coo = matrix.to_coo()
+            else:
+                coo = COOMatrix.from_dense(np.asarray(matrix))
+            self.hybrid = split_very_sparse_tiles(
+                coo, nt, threshold=extract_threshold)
+        if self.hybrid.nt != nt and not isinstance(
+                matrix, (HybridTiledMatrix, TiledMatrix)):
+            raise TileError("internal: tile size mismatch")  # pragma: no cover
+        # index the side triplets by column tile once, so every multiply
+        # skips inactive side columns just like the tiled kernel does
+        self._side_index = (
+            IndexedSideMatrix.from_coo(self.hybrid.side, self.hybrid.nt)
+            if self.hybrid.side.nnz else None)
+        if mode not in ("csr", "csc", "adaptive"):
+            raise TileError(f"unknown SpMSpV mode {mode!r}; "
+                            "expected csr / csc / adaptive")
+        self.mode = mode
+        if not (0.0 <= adaptive_threshold <= 1.0):
+            raise TileError("adaptive_threshold must be in [0, 1]")
+        self.adaptive_threshold = float(adaptive_threshold)
+        self._transposed_tiled: Optional[TiledMatrix] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.hybrid.shape
+
+    @property
+    def nt(self) -> int:
+        return self.hybrid.nt
+
+    @property
+    def nnz(self) -> int:
+        return self.hybrid.nnz
+
+    # ------------------------------------------------------------------
+    def _as_tiled_vector(self, x: VectorLike) -> TiledVector:
+        fill = float(self.semiring.add_identity)
+        if isinstance(x, TiledVector):
+            if x.nt != self.nt:
+                raise ShapeError(
+                    f"vector tile size {x.nt} != matrix tile size {self.nt}"
+                )
+            return x
+        if isinstance(x, SparseVector):
+            return TiledVector.from_sparse(x.indices, x.values, x.n,
+                                           self.nt, fill=fill)
+        x = np.asarray(x)
+        return TiledVector.from_dense(x, self.nt, fill=fill)
+
+    def _transposed(self) -> TiledMatrix:
+        """The CSC-of-tiles view: the tiling of A^T (built lazily,
+        cached — a second preprocessing pass, like the paper's A1/A2
+        pair for BFS)."""
+        if self._transposed_tiled is None:
+            self._transposed_tiled = TiledMatrix.from_coo(
+                self.hybrid.tiled.to_coo().transpose(), self.nt)
+        return self._transposed_tiled
+
+    def _pick_kernel(self, xt: TiledVector) -> str:
+        if self.mode != "adaptive":
+            return self.mode
+        active_fraction = (xt.n_nonempty_tiles / max(1, xt.n_tiles))
+        return "csc" if active_fraction < self.adaptive_threshold \
+            else "csr"
+
+    def multiply(self, x: VectorLike,
+                 output: str = "sparse",
+                 mask: Optional[VectorLike] = None,
+                 mask_complement: bool = False,
+                 ) -> Union[SparseVector, TiledVector, np.ndarray]:
+        """Compute ``y = A x`` (optionally masked).
+
+        Parameters
+        ----------
+        x:
+            Sparse, tiled, or dense input vector of length
+            ``A.shape[1]``.
+        output:
+            ``"sparse"`` (default) → :class:`SparseVector`;
+            ``"tiled"`` → :class:`TiledVector`;
+            ``"dense"`` → dense ndarray with the semiring's additive
+            identity in empty positions.
+        mask:
+            Optional GraphBLAS-style output mask (any vector form of
+            length ``A.shape[0]``): positions where the mask holds no
+            entry are forced to the additive identity.  With
+            ``mask_complement=True`` the kept positions are inverted —
+            exactly the ``y & ~visited`` filter of the paper's BFS.
+        mask_complement:
+            Invert the mask's keep-set.
+        """
+        if output not in ("sparse", "tiled", "dense"):
+            raise ShapeError(f"unknown output mode {output!r}")
+        xt = self._as_tiled_vector(x)
+        if xt.n != self.shape[1]:
+            raise ShapeError(
+                f"SpMSpV shape mismatch: A is {self.shape}, "
+                f"x has length {xt.n}"
+            )
+
+        kernel = self._pick_kernel(xt)
+        if kernel == "csc":
+            y_dense, counters = csc_tiled_kernel(self._transposed(), xt,
+                                                 semiring=self.semiring)
+        else:
+            y_dense, counters = tiled_kernel(self.hybrid.tiled, xt,
+                                             semiring=self.semiring)
+        if self.device is not None:
+            self.device.submit(f"tile_spmspv_{kernel}", counters)
+        if self.hybrid.side.nnz:
+            y_dense, side_counters = coo_side_kernel(
+                self._side_index, xt, semiring=self.semiring,
+                y_dense=y_dense)
+            if self.device is not None:
+                self.device.submit("tile_spmspv_coo_side", side_counters)
+
+        if mask is not None:
+            y_dense = self._apply_mask(y_dense, mask, mask_complement)
+
+        if output == "dense":
+            return y_dense
+        occupied = ~self.semiring.is_identity(y_dense)
+        idx = np.flatnonzero(occupied)
+        sv = SparseVector(self.shape[0], idx, y_dense[idx])
+        if output == "sparse":
+            return sv
+        return TiledVector.from_sparse(
+            sv.indices, sv.values, sv.n, self.nt,
+            fill=float(self.semiring.add_identity))
+
+    def multiply_transpose(self, x: VectorLike,
+                           output: str = "sparse"
+                           ) -> Union[SparseVector, TiledVector,
+                                      np.ndarray]:
+        """Compute ``y = A^T x`` without building a second operator.
+
+        Reuses the lazily built transposed tiling (the same structure
+        the CSC-form kernel works on) with the row-tile kernel.  Note
+        the extraction side matrix is folded into the transposed tiling
+        here, so the whole matrix participates.  Needed by directed
+        Brandes sweeps and adjoint iterations.
+        """
+        if output not in ("sparse", "tiled", "dense"):
+            raise ShapeError(f"unknown output mode {output!r}")
+        At = self._transposed_full()
+        fill = float(self.semiring.add_identity)
+        if isinstance(x, TiledVector):
+            xt = x
+            if xt.nt != self.nt:
+                raise ShapeError(
+                    f"vector tile size {xt.nt} != matrix tile size "
+                    f"{self.nt}"
+                )
+        elif isinstance(x, SparseVector):
+            xt = TiledVector.from_sparse(x.indices, x.values, x.n,
+                                         self.nt, fill=fill)
+        else:
+            xt = TiledVector.from_dense(np.asarray(x), self.nt,
+                                        fill=fill)
+        if xt.n != self.shape[0]:
+            raise ShapeError(
+                f"transpose SpMSpV shape mismatch: A^T is "
+                f"{(self.shape[1], self.shape[0])}, x has length {xt.n}"
+            )
+        y_dense, counters = tiled_kernel(At, xt, semiring=self.semiring)
+        if self.device is not None:
+            self.device.submit("tile_spmspv_transpose", counters)
+        if output == "dense":
+            return y_dense
+        occupied = ~self.semiring.is_identity(y_dense)
+        idx = np.flatnonzero(occupied)
+        sv = SparseVector(self.shape[1], idx, y_dense[idx])
+        if output == "sparse":
+            return sv
+        return TiledVector.from_sparse(sv.indices, sv.values, sv.n,
+                                       self.nt, fill=fill)
+
+    def _transposed_full(self) -> TiledMatrix:
+        """Tiling of the full A^T (tiled part + side matrix), cached."""
+        cached = getattr(self, "_transposed_full_tiled", None)
+        if cached is None:
+            cached = TiledMatrix.from_coo(
+                self.hybrid.to_coo().transpose(), self.nt)
+            self._transposed_full_tiled = cached
+        return cached
+
+    def multiply_batch(self, xs, output: str = "sparse"):
+        """Multiply against a batch of vectors in one logical launch.
+
+        The tile-metadata scan is amortised over the batch (see
+        :func:`~repro.core.spmspv_kernels.batched_tiled_kernel`) — the
+        multi-source pattern of batched BFS / Brandes BC.
+
+        Parameters
+        ----------
+        xs:
+            Sequence of vectors (any form :meth:`multiply` accepts).
+        output:
+            ``"sparse"`` → list of :class:`SparseVector`;
+            ``"dense"`` → one ``(k, m)`` ndarray.
+        """
+        from .spmspv_kernels import batched_tiled_kernel
+
+        if output not in ("sparse", "dense"):
+            raise ShapeError(f"unknown output mode {output!r}")
+        xts = [self._as_tiled_vector(x) for x in xs]
+        Y, counters = batched_tiled_kernel(self.hybrid.tiled, xts,
+                                           semiring=self.semiring)
+        if self.device is not None:
+            self.device.submit("tile_spmspv_batch", counters)
+        if self.hybrid.side.nnz:
+            for b, xt in enumerate(xts):
+                _, side_counters = coo_side_kernel(
+                    self._side_index, xt, semiring=self.semiring,
+                    y_dense=Y[b])
+                if self.device is not None:
+                    self.device.submit("tile_spmspv_coo_side",
+                                       side_counters)
+        if output == "dense":
+            return Y
+        out = []
+        for b in range(Y.shape[0]):
+            occupied = ~self.semiring.is_identity(Y[b])
+            idx = np.flatnonzero(occupied)
+            out.append(SparseVector(self.shape[0], idx, Y[b][idx]))
+        return out
+
+    def _apply_mask(self, y_dense: np.ndarray, mask: VectorLike,
+                    complement: bool) -> np.ndarray:
+        """Force non-kept positions of ``y`` to the additive identity."""
+        if isinstance(mask, SparseVector):
+            if mask.n != self.shape[0]:
+                raise ShapeError(
+                    f"mask length {mask.n} != output length "
+                    f"{self.shape[0]}"
+                )
+            keep = np.zeros(self.shape[0], dtype=bool)
+            keep[mask.indices] = True
+        elif isinstance(mask, TiledVector):
+            if mask.n != self.shape[0]:
+                raise ShapeError(
+                    f"mask length {mask.n} != output length "
+                    f"{self.shape[0]}"
+                )
+            dense = mask.to_dense()
+            if np.isnan(mask.fill):  # pragma: no cover - defensive
+                keep = ~np.isnan(dense)
+            else:
+                keep = dense != mask.fill
+        else:
+            m = np.asarray(mask)
+            if m.shape != (self.shape[0],):
+                raise ShapeError(
+                    f"mask shape {m.shape} != ({self.shape[0]},)"
+                )
+            keep = m.astype(bool)
+        if complement:
+            keep = ~keep
+        y_dense = y_dense.copy()
+        y_dense[~keep] = self.semiring.add_identity
+        if self.device is not None:
+            from ..gpusim import KernelCounters
+
+            c = KernelCounters(launches=1)
+            c.coalesced_read_bytes += self.shape[0] / 8.0   # mask bits
+            c.coalesced_write_bytes += self.shape[0] * 8.0
+            c.warps = max(1.0, self.shape[0] / (32.0 * 32.0))
+            self.device.submit("tile_spmspv_mask", c)
+        return y_dense
+
+    def flops_useful(self, x: VectorLike) -> int:
+        """Number of useful multiply-adds for this input (2 * matched
+        nonzeros) — the numerator of the paper's GFlops metric."""
+        xt = self._as_tiled_vector(x)
+        dense_x = xt.to_dense()
+        if np.isinf(self.semiring.add_identity):
+            mask = ~np.isinf(dense_x)
+        else:
+            mask = dense_x != self.semiring.add_identity
+        coo = self.hybrid.to_coo()
+        return int(2 * np.count_nonzero(mask[coo.col]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<TileSpMSpV {self.shape} nt={self.nt} "
+                f"tiles={self.hybrid.tiled.n_nonempty_tiles} "
+                f"side_nnz={self.hybrid.side.nnz}>")
+
+
+def tile_spmspv(matrix, x: VectorLike, nt: int = 16,
+                extract_threshold: int = 2,
+                semiring: Semiring = PLUS_TIMES,
+                device: Optional[Device] = None,
+                output: str = "sparse"):
+    """One-shot convenience wrapper: prepare + multiply.
+
+    For repeated multiplies against the same matrix, build a
+    :class:`TileSpMSpV` once instead (preprocessing is the expensive
+    part; see the Figure-11 benchmark).
+    """
+    op = TileSpMSpV(matrix, nt=nt, extract_threshold=extract_threshold,
+                    semiring=semiring, device=device)
+    return op.multiply(x, output=output)

@@ -1,0 +1,405 @@
+"""The numeric TileSpMSpV kernels (paper §3.3, Algorithm 4).
+
+Two kernels implement one SpMSpV over the hybrid storage:
+
+* :func:`tiled_kernel` — the row-tile warp kernel of Algorithm 4.  One
+  warp owns one row tile; for every stored tile it reads the tile's
+  column index, looks up ``x_ptr`` in O(1), and *skips the tile
+  entirely* when the corresponding vector tile is empty (lines 3-5 of
+  Alg. 4).  Active tiles stage the x tile in shared memory and each
+  pair of lanes reduces one tile row; the warp-level shuffle reduction
+  of lines 12-13 becomes a register-level sum, so no global atomics are
+  needed.
+* :func:`coo_side_kernel` — the per-entry kernel for the extracted
+  very-sparse COO matrix (§3.2.1): each entry checks its column's
+  vector tile, multiplies, and merges with a global ``atomicAdd``.
+
+Both kernels execute functionally in vectorized NumPy and return the
+:class:`~repro.gpusim.counters.KernelCounters` a CUDA realisation would
+incur (accounting rules in DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..formats.coo import COOMatrix
+from ..gpusim import KernelCounters
+from ..semiring import PLUS_TIMES, Semiring
+from ..tiles.tiled_matrix import TiledMatrix
+from ..tiles.tiled_vector import TiledVector
+
+__all__ = ["tiled_kernel", "csc_tiled_kernel", "batched_tiled_kernel",
+           "coo_side_kernel"]
+
+
+def _lane_utilization(nnz_per_active_tile: np.ndarray, warp: int = 32) -> float:
+    """Average fraction of useful lanes while a warp processes a tile.
+
+    A warp of 32 lanes co-processes one tile; a tile with few nonzeros
+    leaves lanes idle (divergence).  Bounded below by one active lane.
+    """
+    if len(nnz_per_active_tile) == 0:
+        return 1.0
+    util = np.minimum(1.0, nnz_per_active_tile / warp).mean()
+    return float(max(util, 1.0 / warp))
+
+
+def tiled_kernel(A: TiledMatrix, x: TiledVector,
+                 semiring: Semiring = PLUS_TIMES,
+                 y_dense: Optional[np.ndarray] = None,
+                 ) -> Tuple[np.ndarray, KernelCounters]:
+    """Algorithm 4: row-tile warp kernel with x-tile skipping.
+
+    Parameters
+    ----------
+    A:
+        The tiled matrix (CSR-of-tiles).
+    x:
+        The tiled input vector; ``x.n`` must equal ``A.shape[1]`` and
+        the tile sizes must match.
+    semiring:
+        ``(add, mul)`` pair; default ordinary ``(+, *)``.
+    y_dense:
+        Optional preallocated dense accumulator of length ``A.shape[0]``
+        initialised to the additive identity (reused across BFS
+        iterations); a fresh one is allocated when omitted.
+
+    Returns
+    -------
+    (y_dense, counters):
+        The dense accumulator holding the result and the hardware
+        counters of the launch.
+    """
+    if x.n != A.shape[1]:
+        raise ShapeError(
+            f"SpMSpV shape mismatch: A is {A.shape}, x has length {x.n}"
+        )
+    if x.nt != A.nt:
+        raise ShapeError(
+            f"tile size mismatch: matrix nt={A.nt}, vector nt={x.nt}"
+        )
+    nt = A.nt
+    m = A.shape[0]
+    if y_dense is None:
+        y_dense = np.full(m, semiring.add_identity, dtype=semiring.dtype)
+
+    # --- tile activity: O(1) x_ptr lookup per stored tile (Alg.4 l.2-5)
+    x_off = x.x_ptr[A.tile_colidx]              # random-ish, L2 resident
+    active = x_off >= 0
+    n_active = int(active.sum())
+
+    counters = KernelCounters(launches=1)
+    # every stored tile's metadata is read once (coalesced stream):
+    # tile_colidx (8B) + its x_ptr entry + nnz offsets (8B)
+    counters.coalesced_read_bytes += A.n_nonempty_tiles * 16.0
+    counters.l2_read_bytes += A.n_nonempty_tiles * 8.0  # x_ptr lookups
+
+    if n_active == 0:
+        # warps still launch to discover there is nothing to do
+        counters.warps = max(1.0, A.n_tile_rows)
+        return y_dense, counters
+
+    # --- gather the entries of active tiles
+    tile_of_entry = A.tile_of_entry()
+    entry_active = active[tile_of_entry]
+    t_act = tile_of_entry[entry_active]
+    vals = A.values[entry_active]
+    lrow = A.local_row[entry_active].astype(np.int64)
+    lcol = A.local_col[entry_active].astype(np.int64)
+
+    xv = x.x_tile[x_off[t_act] * nt + lcol]
+    products = semiring.mul(vals, xv)
+    grow = A.tile_rowidx()[t_act] * nt + lrow
+    semiring.add.at(y_dense, grow, products)
+
+    # --- accounting
+    nnz_active = len(vals)
+    idx_bytes = A.index_bytes_per_entry()
+    # tile payload streams in (values + packed indices), coalesced
+    counters.coalesced_read_bytes += nnz_active * (8.0 + idx_bytes)
+    # the x tile of each active tile is staged into shared memory; the
+    # same x tile is reused by every tile in its tile column, so repeats
+    # hit L2.
+    counters.l2_read_bytes += n_active * nt * 8.0
+    counters.shared_bytes += n_active * nt * 8.0
+    counters.flops += 2.0 * nnz_active
+    # warp shuffle reduction: ~log2(32) word ops per lane pair
+    counters.word_ops += n_active * 5.0
+    # each row tile with work writes its nt-row result once, coalesced
+    row_tiles_active = np.unique(A.tile_rowidx()[active])
+    counters.coalesced_write_bytes += len(row_tiles_active) * nt * 8.0
+    # one warp per row tile that has stored tiles — inactive ones still
+    # launch and scan their metadata (Alg. 4 lines 2-5)
+    counters.warps = float(max(1, int((np.diff(A.tile_ptr) > 0).sum())))
+    counters.divergence = _lane_utilization(
+        np.diff(A.tile_nnz_ptr)[active])
+    counters.check()
+    return y_dense, counters
+
+
+def batched_tiled_kernel(A: TiledMatrix, xs, semiring: Semiring = PLUS_TIMES
+                         ) -> Tuple[np.ndarray, KernelCounters]:
+    """Batched Algorithm 4: one launch multiplies ``A`` against a batch
+    of tiled vectors.
+
+    The row-tile metadata scan — the fixed cost of the CSR form — is
+    paid **once** for the whole batch: a warp reads a tile's column
+    index and then tests all ``k`` ``x_ptr`` entries, doing payload
+    work only for the vectors whose tile is active.  This is the
+    multi-source pattern of batched BFS / Brandes betweenness (one
+    column of the frontier matrix per source).
+
+    Parameters
+    ----------
+    A:
+        The tiled matrix.
+    xs:
+        Sequence of :class:`TiledVector`, all of length ``A.shape[1]``
+        and tile size ``A.nt``.
+
+    Returns
+    -------
+    (Y, counters):
+        ``Y`` is a dense ``(k, m)`` accumulator (one row per input
+        vector) and ``counters`` the single merged launch record.
+    """
+    k = len(xs)
+    if k == 0:
+        raise ShapeError("batched SpMSpV needs at least one vector")
+    nt = A.nt
+    m = A.shape[0]
+    for x in xs:
+        if x.n != A.shape[1]:
+            raise ShapeError(
+                f"SpMSpV shape mismatch: A is {A.shape}, "
+                f"x has length {x.n}"
+            )
+        if x.nt != nt:
+            raise ShapeError(
+                f"tile size mismatch: matrix nt={nt}, vector nt={x.nt}"
+            )
+
+    Y = np.full((k, m), semiring.add_identity, dtype=semiring.dtype)
+    counters = KernelCounters(launches=1)
+    # the metadata scan happens once for the batch
+    counters.coalesced_read_bytes += A.n_nonempty_tiles * 16.0
+    counters.l2_read_bytes += A.n_nonempty_tiles * 8.0 * k  # k x_ptr tests
+
+    tile_of_entry = A.tile_of_entry()
+    rowidx = A.tile_rowidx()
+    nnz_per_tile = np.diff(A.tile_nnz_ptr)
+    total_active_rows = 0.0
+    utilizations = []
+    for b, x in enumerate(xs):
+        x_off = x.x_ptr[A.tile_colidx]
+        active = x_off >= 0
+        if not active.any():
+            continue
+        entry_active = active[tile_of_entry]
+        t_act = tile_of_entry[entry_active]
+        vals = A.values[entry_active]
+        lrow = A.local_row[entry_active].astype(np.int64)
+        lcol = A.local_col[entry_active].astype(np.int64)
+        xv = x.x_tile[x_off[t_act] * nt + lcol]
+        products = semiring.mul(vals, xv)
+        grow = rowidx[t_act] * nt + lrow
+        semiring.add.at(Y[b], grow, products)
+
+        n_active = int(active.sum())
+        idx_bytes = A.index_bytes_per_entry()
+        counters.coalesced_read_bytes += len(vals) * (8.0 + idx_bytes)
+        counters.l2_read_bytes += n_active * nt * 8.0
+        counters.shared_bytes += n_active * nt * 8.0
+        counters.flops += 2.0 * len(vals)
+        row_tiles_active = len(np.unique(rowidx[active]))
+        counters.coalesced_write_bytes += row_tiles_active * nt * 8.0
+        total_active_rows += row_tiles_active
+        utilizations.append(_lane_utilization(nnz_per_tile[active]))
+
+    counters.warps = max(
+        1.0, float(max(total_active_rows,
+                       int((np.diff(A.tile_ptr) > 0).sum()))))
+    if utilizations:
+        counters.divergence = float(np.mean(utilizations))
+    counters.check()
+    return Y, counters
+
+
+def csc_tiled_kernel(At: TiledMatrix, x: TiledVector,
+                     semiring: Semiring = PLUS_TIMES,
+                     y_dense: Optional[np.ndarray] = None,
+                     ) -> Tuple[np.ndarray, KernelCounters]:
+    """The CSC-form TileSpMSpV kernel (vector-driven; paper §3.2.3).
+
+    Works on the *transposed* tiling ``At = tiled(A^T)``: A^T's tile
+    rows are A's tile columns, so walking one of ``At``'s tile rows is
+    exactly walking one tile *column* of ``A`` — the CSC-of-tiles view
+    without a second storage format.  Within a stored tile, A^T's
+    ``local_row`` is A's local column (the x index) and vice versa.
+
+    Each non-empty x tile drives a warp over the stored tiles of its
+    tile column and merges the scaled entries into ``y`` with global
+    atomics.  Work is proportional to the *touched* tile columns only —
+    no metadata scan of the whole matrix — which beats the CSR form for
+    very sparse ``x`` but pays per-entry atomics when ``x`` is dense
+    (the trade-off the adaptive mode arbitrates; cf. Li et al. [31] in
+    the paper's related work).
+
+    Returns ``(y_dense, counters)`` like :func:`tiled_kernel`.
+    """
+    # At is tiled(A^T): its shape is (n, m) for A of shape (m, n)
+    n, m = At.shape
+    if x.n != n:
+        raise ShapeError(
+            f"SpMSpV shape mismatch: A is {(m, n)}, x has length {x.n}"
+        )
+    if x.nt != At.nt:
+        raise ShapeError(
+            f"tile size mismatch: matrix nt={At.nt}, vector nt={x.nt}"
+        )
+    nt = At.nt
+    if y_dense is None:
+        y_dense = np.full(m, semiring.add_identity, dtype=semiring.dtype)
+
+    counters = KernelCounters(launches=1)
+    active_cols = np.flatnonzero(x.x_ptr >= 0)          # A's tile columns
+    # the compact tiled vector carries its non-empty tile list, so the
+    # kernel reads exactly that (no scan over all tile slots)
+    counters.coalesced_read_bytes += len(active_cols) * 8.0
+    if len(active_cols) == 0:
+        counters.warps = 1.0
+        return y_dense, counters
+
+    from .._util import concat_ranges
+
+    lengths = At.tile_ptr[active_cols + 1] - At.tile_ptr[active_cols]
+    tiles = concat_ranges(At.tile_ptr[active_cols], lengths)
+    if len(tiles) == 0:
+        counters.warps = max(1.0, len(active_cols) / 32.0)
+        counters.l2_read_bytes += len(active_cols) * 16.0
+        return y_dense, counters
+
+    # gather the entries of the touched tiles
+    tile_of_entry = At.tile_of_entry()
+    tile_active = np.zeros(At.n_nonempty_tiles, dtype=bool)
+    tile_active[tiles] = True
+    entry_sel = tile_active[tile_of_entry]
+    t_sel = tile_of_entry[entry_sel]
+    vals = At.values[entry_sel]
+    x_local = At.local_row[entry_sel].astype(np.int64)   # A's local col
+    y_local = At.local_col[entry_sel].astype(np.int64)   # A's local row
+
+    col_tile = At.tile_rowidx()[t_sel]                  # A's tile column
+    xv = x.x_tile[x.x_ptr[col_tile] * nt + x_local]
+    occupied = ~semiring.is_identity(xv)
+    products = semiring.mul(vals[occupied], xv[occupied])
+    grow = (At.tile_colidx[t_sel][occupied] * nt
+            + y_local[occupied])
+    if len(grow):
+        semiring.add.at(y_dense, grow, products)
+
+    # accounting: only the touched tile columns are read; the merge
+    # into y is a global atomic scatter (the CSC form's cost).
+    n_tiles = float(len(tiles))
+    nnz_touched = float(len(vals))
+    idx_bytes = At.index_bytes_per_entry()
+    counters.l2_read_bytes += len(active_cols) * 16.0    # tile_ptr probes
+    counters.coalesced_read_bytes += n_tiles * 16.0      # tile metadata
+    counters.coalesced_read_bytes += nnz_touched * (8.0 + idx_bytes)
+    counters.l2_read_bytes += n_tiles * nt * 8.0         # x tiles (shared)
+    counters.shared_bytes += n_tiles * nt * 8.0
+    counters.flops += 2.0 * float(occupied.sum())
+    counters.atomic_ops += float(occupied.sum())
+    counters.random_write_count += float(occupied.sum())
+    counters.warps = max(1.0, n_tiles)
+    nnz_per_tile = np.diff(At.tile_nnz_ptr)[tiles]
+    counters.divergence = _lane_utilization(nnz_per_tile)
+    counters.check()
+    return y_dense, counters
+
+
+def coo_side_kernel(side, x: TiledVector,
+                    semiring: Semiring = PLUS_TIMES,
+                    y_dense: Optional[np.ndarray] = None,
+                    ) -> Tuple[np.ndarray, KernelCounters]:
+    """Kernel for the extracted very-sparse COO side matrix.
+
+    Accepts either an :class:`~repro.tiles.extraction.IndexedSideMatrix`
+    (preferred: the triplets are grouped by column tile, so only the
+    entries of *active* column tiles are touched — the same skipping
+    the tiled kernel gets from ``x_ptr``) or a plain
+    :class:`~repro.formats.coo.COOMatrix` (every entry is scanned; the
+    counters charge the full stream).
+
+    Each touched entry ``(i, j, v)`` reads ``x[j]`` via the O(1) tile
+    formula and merges into ``y[i]`` with an atomic add — the side
+    matrix has no row locality to exploit, which is exactly why these
+    entries were evicted from the tiled structure.
+    """
+    from ..tiles.extraction import IndexedSideMatrix
+
+    if x.n != side.shape[1]:
+        raise ShapeError(
+            f"SpMSpV shape mismatch: side matrix is {side.shape}, "
+            f"x has length {x.n}"
+        )
+    nt = x.nt
+    if isinstance(side, IndexedSideMatrix) and side.nt != nt:
+        raise ShapeError(
+            f"side index tile size {side.nt} != vector tile size {nt}"
+        )
+    if y_dense is None:
+        y_dense = np.full(side.shape[0], semiring.add_identity,
+                          dtype=semiring.dtype)
+    counters = KernelCounters(launches=1)
+    if side.nnz == 0:
+        return y_dense, counters
+
+    if isinstance(side, IndexedSideMatrix):
+        active_tiles = np.flatnonzero(
+            (x.x_ptr >= 0) & (np.diff(side.coltile_ptr) > 0))
+        lengths = (side.coltile_ptr[active_tiles + 1]
+                   - side.coltile_ptr[active_tiles])
+        from .._util import concat_ranges
+
+        sel = concat_ranges(side.coltile_ptr[active_tiles], lengths)
+        rows_all, cols_all, vals_all = (side.row[sel], side.col[sel],
+                                        side.val[sel])
+        # index lookups are driven from the sparser operand: either the
+        # vector's non-empty tiles probe the side index, or the side's
+        # non-empty column tiles probe x_ptr — a kernel picks the
+        # cheaper direction.
+        n_index_tiles = int((np.diff(side.coltile_ptr) > 0).sum())
+        counters.l2_read_bytes += min(
+            n_index_tiles, x.n_nonempty_tiles) * 16.0
+        scanned = len(sel)
+    else:
+        rows_all, cols_all, vals_all = side.row, side.col, side.val
+        scanned = side.nnz
+
+    x_off = x.x_ptr[cols_all // nt]
+    hit = x_off >= 0
+    if int(hit.sum()):
+        xv = x.x_tile[x_off[hit] * nt + cols_all[hit] % nt]
+    else:
+        xv = np.zeros(0, dtype=np.float64)
+    occupied = ~semiring.is_identity(xv)
+    rows = rows_all[hit][occupied]
+    products = semiring.mul(vals_all[hit][occupied], xv[occupied])
+    if len(rows):
+        semiring.add.at(y_dense, rows, products)
+
+    # accounting: touched triplets stream in coalesced; x lookups and y
+    # updates are data-dependent scatters.
+    counters.coalesced_read_bytes += scanned * 24.0   # (row, col, val)
+    counters.random_read_count += float(scanned)      # x value reads
+    counters.flops += 2.0 * len(rows)
+    counters.atomic_ops += float(len(rows))
+    counters.random_write_count += float(len(rows))
+    counters.warps = max(1.0, scanned / 32.0)
+    counters.check()
+    return y_dense, counters

@@ -1,0 +1,316 @@
+"""TileBFS — directional-optimization BFS over bitmask tiles (§3.4).
+
+The driver follows the paper's structure exactly:
+
+1. Preprocess: pick ``nt`` from the matrix order (>10,000 → 64, else
+   32), compress the adjacency pattern into the column-wise (A1) and
+   row-wise (A2) bitmask tile forms, and — when very-sparse-tile
+   extraction is on — keep the evicted entries in a COO edge list that
+   a simple per-edge kernel traverses alongside every iteration (the
+   paper delegates this part to GSwitch; the substitution is our own
+   edge-list kernel with the same cost profile).
+2. Iterate: each layer picks Push-CSC / Push-CSR / Pull-CSC with the
+   §3.4 rule via :class:`~repro.core.selection.KernelSelector`, ORs the
+   newly found vertices into the visited mask and promotes them to the
+   next frontier, until no new vertex appears.
+
+The run records a per-iteration trace (kernel used, frontier size,
+simulated ms) — the raw series behind the paper's Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..formats.base import SparseMatrix
+from ..formats.coo import COOMatrix
+from ..gpusim import Device, KernelCounters
+from ..tiles.bitmask import (BitTiledMatrix, BitVector,
+                             pattern_is_symmetric)
+from ..tiles.extraction import split_very_sparse_tiles
+from ..tiles.tiled_vector import SUPPORTED_TILE_SIZES
+from .bfs_kernels import pull_csc_kernel, push_csc_kernel, push_csr_kernel
+from .selection import (PULL_CSC, PUSH_CSC, PUSH_CSR, KernelSelector,
+                        select_tile_size)
+
+__all__ = ["TileBFS", "BFSResult", "IterationRecord", "tile_bfs"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Trace of one BFS layer (one point of a Figure-10 series)."""
+
+    depth: int
+    kernel: str
+    frontier_size: int
+    new_vertices: int
+    simulated_ms: float
+
+
+@dataclass
+class BFSResult:
+    """Output of one TileBFS run.
+
+    Attributes
+    ----------
+    levels:
+        ``int64[n]`` BFS depth per vertex; ``-1`` for unreachable.
+    iterations:
+        Per-layer trace records.
+    simulated_ms:
+        Total simulated GPU time of the traversal (kernels only, no
+        preprocessing).
+    """
+
+    levels: np.ndarray
+    iterations: List[IterationRecord] = field(default_factory=list)
+    simulated_ms: float = 0.0
+
+    #: Optional BFS tree: ``parents[v]`` is a predecessor of ``v`` on a
+    #: shortest path (``-1`` for sources and unreached vertices).
+    #: Filled by :meth:`TileBFS.compute_parents`.
+    parents: Optional[np.ndarray] = None
+
+    @property
+    def n_reached(self) -> int:
+        return int((self.levels >= 0).sum())
+
+    @property
+    def depth(self) -> int:
+        """Eccentricity of the source (max finite level)."""
+        reached = self.levels[self.levels >= 0]
+        return int(reached.max()) if len(reached) else -1
+
+    def edges_traversed(self, nnz: int) -> int:
+        """Edges the traversal logically covers, for GTEPS accounting
+        (the standard convention: all edges incident to reached
+        vertices; for a connected graph, simply nnz)."""
+        return nnz
+
+    def gteps(self, nnz: int) -> float:
+        """Giga traversed edges per second at the simulated time."""
+        if self.simulated_ms <= 0:
+            return float("inf")
+        return nnz / (self.simulated_ms * 1e-3) / 1e9
+
+
+class TileBFS:
+    """Prepared TileBFS operator for one (square) adjacency matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Square sparse matrix; values are ignored, only the pattern
+        matters.  Self-loops are harmless.
+    nt:
+        Tile size; ``None`` applies the paper's order rule.
+    selector:
+        Kernel-selection policy (default: the full K1+K2+K3 rule).
+    extract_threshold:
+        Very-sparse-tile extraction cutoff for the hybrid side edge
+        list (paper §3.2.1 / §3.4: the extracted part is traversed
+        separately each iteration); 0 disables.  Default 2: bitmask
+        tiles pay ``nt`` words of traffic regardless of how few edges
+        they hold, so near-empty tiles are cheaper as raw edges.
+    device:
+        Optional simulated GPU receiving launch records.
+    """
+
+    def __init__(self, matrix, nt: Optional[int] = None,
+                 selector: Optional[KernelSelector] = None,
+                 extract_threshold: int = 2,
+                 device: Optional[Device] = None):
+        if isinstance(matrix, SparseMatrix):
+            coo = matrix.to_coo()
+        else:
+            coo = COOMatrix.from_dense(np.asarray(matrix))
+        if coo.shape[0] != coo.shape[1]:
+            raise ShapeError(f"BFS requires a square matrix, got {coo.shape}")
+        self.n = coo.shape[0]
+        self.nnz = coo.nnz
+        if nt is None:
+            nt = select_tile_size(self.n)
+        if nt not in SUPPORTED_TILE_SIZES:
+            raise ShapeError(
+                f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
+            )
+        self.nt = nt
+        self.selector = selector or KernelSelector()
+        self.device = device
+
+        if extract_threshold > 0:
+            hybrid = split_very_sparse_tiles(coo, nt, extract_threshold)
+            dense_part = hybrid.tiled.to_coo()
+            #: COO edge list of the extracted very-sparse tiles,
+            #: traversed by a per-edge kernel each iteration.
+            self.side = hybrid.side
+        else:
+            dense_part = coo
+            self.side = COOMatrix.empty(coo.shape)
+        #: Column-compressed bitmask tiles (the A1 of Fig. 5).
+        self.A1 = BitTiledMatrix.from_coo(dense_part, nt, "csc")
+        #: Row-compressed bitmask tiles (the A2 of Fig. 5).  For an
+        #: undirected graph A1 and A2 hold identical arrays (§3.2.3),
+        #: so the storage is shared — "about half" the footprint.
+        if pattern_is_symmetric(dense_part):
+            self.A2 = self.A1.as_reinterpreted("csr")
+        else:
+            self.A2 = BitTiledMatrix.from_coo(dense_part, nt, "csr")
+
+    # ------------------------------------------------------------------
+    def run(self, source: int, max_depth: Optional[int] = None) -> BFSResult:
+        """Traverse from ``source``; returns levels and the iteration
+        trace."""
+        return self.run_multi([source], max_depth=max_depth)
+
+    def run_multi(self, sources: Sequence[int],
+                  max_depth: Optional[int] = None) -> BFSResult:
+        """Multi-source BFS (all sources at depth 0)."""
+        sources = np.unique(np.asarray(sources, dtype=np.int64))
+        if len(sources) == 0:
+            raise ShapeError("BFS needs at least one source vertex")
+        if sources.min() < 0 or sources.max() >= self.n:
+            raise ShapeError(
+                f"source vertex out of range for n={self.n}"
+            )
+        levels = np.full(self.n, -1, dtype=np.int64)
+        levels[sources] = 0
+
+        x = BitVector.from_indices(sources, self.n, self.nt)
+        m = x.copy()          # visited mask
+        result = BFSResult(levels=levels)
+        depth = 0
+        frontier_size = len(sources)
+
+        while frontier_size > 0:
+            if max_depth is not None and depth >= max_depth:
+                break
+            depth += 1
+            kernel_name = self.selector.choose(
+                frontier_sparsity=frontier_size / self.n,
+                unvisited_fraction=(self.n - m.count()) / self.n,
+            )
+            y, counters = self._launch(kernel_name, x, m)
+            if self.side.nnz:
+                y, side_counters = self._side_kernel(x, m, y)
+                counters = counters.merged(side_counters)
+            ms = 0.0
+            if self.device is not None:
+                ms = self.device.submit(f"tilebfs_{kernel_name}",
+                                        counters).total_ms
+
+            new = y.to_indices()
+            result.iterations.append(IterationRecord(
+                depth=depth, kernel=kernel_name,
+                frontier_size=frontier_size,
+                new_vertices=len(new), simulated_ms=ms,
+            ))
+            result.simulated_ms += ms
+            if len(new) == 0:
+                break
+            levels[new] = depth
+            m = m | y
+            x = y
+            frontier_size = len(new)
+        return result
+
+    # ------------------------------------------------------------------
+    def _launch(self, kernel_name: str, x: BitVector, m: BitVector
+                ) -> Tuple[BitVector, KernelCounters]:
+        if kernel_name == PUSH_CSC:
+            return push_csc_kernel(self.A1, x, m)
+        if kernel_name == PUSH_CSR:
+            return push_csr_kernel(self.A2, x, m)
+        if kernel_name == PULL_CSC:
+            return pull_csc_kernel(self.A1, x, m)
+        raise ShapeError(f"unknown kernel {kernel_name!r}")  # pragma: no cover
+
+    def _side_kernel(self, x: BitVector, m: BitVector, y: BitVector
+                     ) -> Tuple[BitVector, KernelCounters]:
+        """Per-edge traversal of the extracted very-sparse COO part.
+
+        For each stored edge ``(i, j)``: if ``j`` is in the frontier
+        and ``i`` unvisited, claim ``i``.  The paper offloads this part
+        to GSwitch; a flat edge-list kernel has the same per-edge cost
+        profile (DESIGN.md §1).
+        """
+        counters = KernelCounters(launches=1)
+        src_active = np.zeros(self.side.nnz, dtype=bool)
+        frontier = x.to_indices()
+        if len(frontier):
+            in_frontier = np.zeros(self.n, dtype=bool)
+            in_frontier[frontier] = True
+            src_active = in_frontier[self.side.col]
+        rows = self.side.row[src_active]
+        if len(rows):
+            visited = np.zeros(self.n, dtype=bool)
+            visited[m.to_indices()] = True
+            rows = rows[~visited[rows]]
+            y = y.copy()
+            y.set_indices(rows)
+        counters.coalesced_read_bytes += self.side.nnz * 16.0  # edge list
+        counters.random_read_count += float(src_active.sum())  # mask checks
+        counters.atomic_ops += float(len(rows))
+        counters.random_write_count += float(len(rows))
+        counters.warps = max(1.0, self.side.nnz / 32.0)
+        return y, counters
+
+    def compute_parents(self, result: BFSResult) -> np.ndarray:
+        """Derive a BFS parent tree from a finished traversal.
+
+        The bitmask kernels lose edge provenance (an OR of column words
+        says *that* a vertex was reached, not *through which* edge), so
+        parents are reconstructed in one vectorized pass over the
+        stored edges: for every edge ``u -> v`` with
+        ``level[u] == level[v] - 1``, ``u`` is a valid parent of ``v``;
+        the smallest such ``u`` is chosen deterministically.  Sources
+        and unreached vertices get ``-1``.  The array is also stored on
+        ``result.parents``.
+        """
+        levels = result.levels
+        parents = np.full(self.n, -1, dtype=np.int64)
+        coo_parts = [self.A1.to_coo()]
+        if self.side.nnz:
+            coo_parts.append(self.side)
+        sentinel = np.iinfo(np.int64).max
+        best = np.full(self.n, sentinel, dtype=np.int64)
+        for coo in coo_parts:
+            dst, src = coo.row, coo.col        # A[i, j] is edge j -> i
+            lu, lv = levels[src], levels[dst]
+            tree_edge = (lu >= 0) & (lv == lu + 1)
+            if tree_edge.any():
+                np.minimum.at(best, dst[tree_edge], src[tree_edge])
+        found = best < sentinel
+        parents[found] = best[found]
+        result.parents = parents
+        return parents
+
+    def format_nbytes(self) -> int:
+        """Footprint of the BFS storage (A1 + A2 + side COO); shared
+        A1/A2 storage (symmetric patterns) is counted once."""
+        side = (self.side.row.nbytes + self.side.col.nbytes)
+        a2 = 0 if self.A2.shares_storage_with(self.A1) \
+            else self.A2.nbytes()
+        return self.A1.nbytes() + a2 + side
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<TileBFS n={self.n} nnz={self.nnz} nt={self.nt} "
+                f"tiles={self.A1.n_nonempty_tiles}>")
+
+
+def tile_bfs(matrix, source: int, nt: Optional[int] = None,
+             selector: Optional[KernelSelector] = None,
+             device: Optional[Device] = None,
+             max_depth: Optional[int] = None) -> BFSResult:
+    """One-shot convenience wrapper: preprocess + traverse.
+
+    For repeated traversals from different sources, build a
+    :class:`TileBFS` once — that is the amortisation argument of the
+    paper's §4.6.
+    """
+    return TileBFS(matrix, nt=nt, selector=selector,
+                   device=device).run(source, max_depth=max_depth)

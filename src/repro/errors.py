@@ -1,0 +1,41 @@
+"""Typed exceptions used across the library.
+
+Every invalid-input path in the public API raises one of these rather
+than a bare ``ValueError`` so callers can distinguish library-contract
+violations from their own bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class FormatError(ReproError):
+    """A sparse-format invariant is violated (bad ptr array, unsorted
+    indices where sorted ones are required, out-of-range index, ...)."""
+
+
+class ShapeError(ReproError):
+    """Operand shapes are incompatible (e.g. ``A @ x`` with
+    ``A.shape[1] != len(x)``)."""
+
+
+class TileError(ReproError):
+    """A tiled-structure invariant is violated (unsupported tile size,
+    inconsistent tile pointers, ...)."""
+
+
+class ConversionError(ReproError):
+    """A format conversion cannot be performed (e.g. BSR with a block
+    size that does not divide the padded dimension)."""
+
+
+class DeviceError(ReproError):
+    """The GPU execution model was used inconsistently (unknown spec,
+    negative counter, ...)."""
+
+
+class IOFormatError(ReproError):
+    """A Matrix Market (or other on-disk) file is malformed."""

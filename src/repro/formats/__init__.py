@@ -1,0 +1,27 @@
+"""Sparse matrix formats built from scratch: COO, CSR, CSC, BSR + MM I/O.
+
+These are the substrate formats the tiled structures (:mod:`repro.tiles`)
+and the baselines are layered on.  See DESIGN.md §2 for the inventory.
+"""
+
+from .base import SparseMatrix
+from .bsr import BSRMatrix
+from .convert import (as_sparse, from_scipy, to_bsr, to_coo, to_csc, to_csr,
+                      to_scipy_csr)
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .io_mm import read_matrix_market, write_matrix_market
+from .ops import (col_degrees, diagonal, matrix_add, row_degrees,
+                  scale_columns, scale_rows, with_diagonal)
+from .spgemm import spgemm, spgemm_flops
+
+__all__ = [
+    "SparseMatrix", "COOMatrix", "CSRMatrix", "CSCMatrix", "BSRMatrix",
+    "as_sparse", "to_coo", "to_csr", "to_csc", "to_bsr",
+    "from_scipy", "to_scipy_csr",
+    "read_matrix_market", "write_matrix_market",
+    "diagonal", "with_diagonal", "scale_rows", "scale_columns",
+    "matrix_add", "row_degrees", "col_degrees",
+    "spgemm", "spgemm_flops",
+]

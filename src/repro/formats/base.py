@@ -1,0 +1,124 @@
+"""Abstract base class shared by all sparse-matrix formats.
+
+The formats in this package are deliberately self-contained: the tiled
+structures, kernels and baselines in the rest of the library are built
+on these classes, not on :mod:`scipy.sparse` (scipy appears only in the
+test suite, as an independent oracle).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .coo import COOMatrix
+    from .csc import CSCMatrix
+    from .csr import CSRMatrix
+
+
+class SparseMatrix(abc.ABC):
+    """Common interface for COO/CSR/CSC/BSR matrices.
+
+    Subclasses store their arrays as attributes and must keep them
+    consistent with :attr:`shape`; :meth:`validate` re-checks every
+    structural invariant and raises :class:`repro.errors.FormatError`
+    on violation.
+    """
+
+    shape: Tuple[int, int]
+
+    # ------------------------------------------------------------------
+    # Abstract structural API
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored entries (explicit zeros count)."""
+
+    @property
+    @abc.abstractmethod
+    def dtype(self) -> np.dtype:
+        """Dtype of the stored values."""
+
+    @abc.abstractmethod
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.FormatError` if any invariant of
+        the format is violated; return ``None`` otherwise."""
+
+    @abc.abstractmethod
+    def to_coo(self) -> "COOMatrix":
+        """Convert to COO (may share arrays when already COO)."""
+
+    @abc.abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense 2-D array (small matrices only)."""
+
+    # ------------------------------------------------------------------
+    # Conversions with default routes through COO
+    # ------------------------------------------------------------------
+    def to_csr(self) -> "CSRMatrix":
+        """Convert to CSR (default route: via COO)."""
+        from .csr import CSRMatrix
+
+        return CSRMatrix.from_coo(self.to_coo())
+
+    def to_csc(self) -> "CSCMatrix":
+        """Convert to CSC (default route: via COO)."""
+        from .csc import CSCMatrix
+
+        return CSCMatrix.from_coo(self.to_coo())
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        """``nnz / (nrows * ncols)``; 0.0 for degenerate shapes."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def _check_matvec_shape(self, x: np.ndarray) -> None:
+        if x.ndim != 1 or x.shape[0] != self.shape[1]:
+            raise ShapeError(
+                f"matvec shape mismatch: matrix is {self.shape}, "
+                f"vector has shape {x.shape}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.shape[0]}x{self.shape[1]} "
+            f"nnz={self.nnz} dtype={self.dtype}>"
+        )
+
+
+def check_index_arrays(rows: np.ndarray, cols: np.ndarray,
+                       shape: Tuple[int, int], what: str) -> None:
+    """Shared bounds check for coordinate-style index arrays."""
+    from ..errors import FormatError
+
+    m, n = shape
+    if len(rows) != len(cols):
+        raise FormatError(
+            f"{what}: row/col index arrays differ in length "
+            f"({len(rows)} vs {len(cols)})"
+        )
+    if len(rows):
+        if rows.min(initial=0) < 0 or (m and rows.max(initial=0) >= m):
+            raise FormatError(f"{what}: row index out of range for {shape}")
+        if cols.min(initial=0) < 0 or (n and cols.max(initial=0) >= n):
+            raise FormatError(f"{what}: col index out of range for {shape}")

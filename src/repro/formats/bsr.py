@@ -1,0 +1,187 @@
+"""Block Sparse Row (BSR) format with dense blocks.
+
+This is the storage behind the paper's cuSPARSE baseline
+(``cusparse?bsrmv()``): the matrix is cut into ``b``-by-``b`` blocks and
+every non-empty block is stored *densely*, explicit zeros included.
+The contrast with the paper's sparse tiles — which store only the
+nonzeros inside each tile — is exactly what the Figure 6 comparison
+measures, so the fill ratio of the blocks (:meth:`BSRMatrix.fill_ratio`)
+is exposed for the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._util import ceil_div
+from ..errors import ConversionError, FormatError, ShapeError
+from .base import SparseMatrix
+from .coo import COOMatrix
+from .csr import compress_indptr, expand_indptr
+
+__all__ = ["BSRMatrix"]
+
+
+class BSRMatrix(SparseMatrix):
+    """Sparse matrix of dense ``b``-by-``b`` blocks in CSR-of-blocks layout.
+
+    Rows/columns are implicitly zero-padded to multiples of ``b`` (the
+    logical :attr:`shape` keeps the original dimensions).
+
+    Attributes
+    ----------
+    blocksize:
+        Edge length ``b`` of the square blocks.
+    indptr:
+        ``int64[n_block_rows + 1]`` block-row pointers.
+    indices:
+        ``int64[n_blocks]`` block-column indices.
+    blocks:
+        ``float64[n_blocks, b, b]`` dense block values.
+    """
+
+    def __init__(self, shape: Tuple[int, int], blocksize: int,
+                 indptr: np.ndarray, indices: np.ndarray,
+                 blocks: np.ndarray):
+        m, n = int(shape[0]), int(shape[1])
+        if m < 0 or n < 0:
+            raise ShapeError(f"negative matrix dimension in shape {shape}")
+        if blocksize <= 0:
+            raise ConversionError(f"blocksize must be positive, got {blocksize}")
+        self.shape = (m, n)
+        self.blocksize = int(blocksize)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.blocks = np.ascontiguousarray(blocks)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_block_rows(self) -> int:
+        """Number of block rows (padded)."""
+        return ceil_div(self.shape[0], self.blocksize)
+
+    @property
+    def n_block_cols(self) -> int:
+        """Number of block columns (padded)."""
+        return ceil_div(self.shape[1], self.blocksize)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of stored (non-empty) blocks."""
+        return len(self.indices)
+
+    @property
+    def nnz(self) -> int:
+        """Number of *stored values* — zeros inside blocks included.
+
+        This is deliberate: it is the quantity cuSPARSE BSR actually
+        reads from memory, and what makes BSR lose on scattered
+        matrices.
+        """
+        return int(self.blocks.size)
+
+    @property
+    def true_nnz(self) -> int:
+        """Number of structurally nonzero values inside the blocks."""
+        return int(np.count_nonzero(self.blocks))
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.blocks.dtype
+
+    def fill_ratio(self) -> float:
+        """Fraction of stored block cells that are actually nonzero."""
+        return self.true_nnz / self.blocks.size if self.blocks.size else 0.0
+
+    def validate(self) -> None:
+        b = self.blocksize
+        if len(self.indptr) != self.n_block_rows + 1:
+            raise FormatError(
+                f"BSR indptr length {len(self.indptr)} != n_block_rows+1"
+            )
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise FormatError("BSR indptr must start at 0 and be sorted")
+        if self.indptr[-1] != len(self.indices):
+            raise FormatError("BSR indptr[-1] != number of blocks")
+        if self.blocks.shape != (len(self.indices), b, b):
+            raise FormatError(
+                f"BSR blocks shape {self.blocks.shape} != "
+                f"({len(self.indices)}, {b}, {b})"
+            )
+        if len(self.indices):
+            if self.indices.min() < 0 or self.indices.max() >= self.n_block_cols:
+                raise FormatError("BSR block-column index out of range")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, blocksize: int) -> "BSRMatrix":
+        """Build from COO, padding the matrix to block multiples."""
+        if blocksize <= 0:
+            raise ConversionError(f"blocksize must be positive, got {blocksize}")
+        coo = coo.canonicalize()
+        b = blocksize
+        brow = coo.row // b
+        bcol = coo.col // b
+        nbc = ceil_div(coo.shape[1], b)
+        key = brow * nbc + bcol
+        order = np.argsort(key, kind="stable")
+        key_s = key[order]
+        unique_keys, block_of_entry = np.unique(key_s, return_inverse=True)
+        n_blocks = len(unique_keys)
+        blocks = np.zeros((n_blocks, b, b), dtype=coo.val.dtype)
+        lr = (coo.row[order] % b).astype(np.int64)
+        lc = (coo.col[order] % b).astype(np.int64)
+        blocks[block_of_entry, lr, lc] = coo.val[order]
+        block_rows = (unique_keys // nbc).astype(np.int64)
+        block_cols = (unique_keys % nbc).astype(np.int64)
+        nbr = ceil_div(coo.shape[0], b)
+        indptr = compress_indptr(block_rows, nbr)
+        return cls(coo.shape, b, indptr, block_cols, blocks)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, blocksize: int) -> "BSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense), blocksize)
+
+    # ------------------------------------------------------------------
+    # Conversions / ops
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        """Convert back to COO, dropping the zeros stored inside blocks."""
+        b = self.blocksize
+        block_row = expand_indptr(self.indptr)
+        bi, lr, lc = np.nonzero(self.blocks)
+        rows = block_row[bi] * b + lr
+        cols = self.indices[bi] * b + lc
+        vals = self.blocks[bi, lr, lc]
+        keep = (rows < self.shape[0]) & (cols < self.shape[1])
+        return COOMatrix(self.shape, rows[keep], cols[keep], vals[keep])
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Dense ``y = A @ x`` block-by-block (``bsrmv`` semantics).
+
+        Every stored block performs a full ``b*b`` multiply-add against
+        a dense slice of ``x`` — including the padded/zero cells.  This
+        is the work profile the cost model charges the cuSPARSE baseline
+        for.
+        """
+        self._check_matvec_shape(x)
+        b = self.blocksize
+        m_pad = self.n_block_rows * b
+        n_pad = self.n_block_cols * b
+        x_pad = np.zeros(n_pad, dtype=np.result_type(self.dtype, x.dtype))
+        x_pad[: self.shape[1]] = x
+        y_pad = np.zeros(m_pad, dtype=x_pad.dtype)
+        if self.n_blocks:
+            xs = x_pad.reshape(self.n_block_cols, b)[self.indices]  # (nb, b)
+            partial = np.einsum("kij,kj->ki", self.blocks, xs)
+            block_row = expand_indptr(self.indptr)
+            np.add.at(y_pad.reshape(self.n_block_rows, b), block_row, partial)
+        return y_pad[: self.shape[0]]

@@ -1,0 +1,164 @@
+"""Compressed Sparse Column (CSC) format.
+
+CSC is the storage of the vector-driven SpMSpV methods (paper Alg. 2 and
+the CombBLAS bucket baseline) — each nonzero of the sparse input vector
+selects one stored column of the matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._util import concat_ranges
+from ..errors import FormatError, ShapeError
+from .base import SparseMatrix
+from .coo import COOMatrix
+from .csr import compress_indptr, expand_indptr
+
+__all__ = ["CSCMatrix"]
+
+
+class CSCMatrix(SparseMatrix):
+    """Sparse matrix in compressed sparse column layout.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64[ncols + 1]`` column pointers.
+    indices:
+        ``int64[nnz]`` row indices, sorted within each column.
+    data:
+        values, parallel to ``indices``.
+    """
+
+    def __init__(self, shape: Tuple[int, int], indptr: np.ndarray,
+                 indices: np.ndarray, data: Optional[np.ndarray] = None):
+        m, n = int(shape[0]), int(shape[1])
+        if m < 0 or n < 0:
+            raise ShapeError(f"negative matrix dimension in shape {shape}")
+        self.shape = (m, n)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if data is None:
+            data = np.ones(len(self.indices), dtype=np.float64)
+        self.data = np.ascontiguousarray(data)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def validate(self) -> None:
+        m, n = self.shape
+        if len(self.indptr) != n + 1:
+            raise FormatError(
+                f"CSC indptr length {len(self.indptr)} != ncols+1 ({n + 1})"
+            )
+        if self.indptr[0] != 0:
+            raise FormatError("CSC indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("CSC indptr must be non-decreasing")
+        if self.indptr[-1] != len(self.indices):
+            raise FormatError(
+                f"CSC indptr[-1]={self.indptr[-1]} != nnz={len(self.indices)}"
+            )
+        if len(self.data) != len(self.indices):
+            raise FormatError("CSC data/indices length mismatch")
+        if len(self.indices):
+            if self.indices.min() < 0 or (m and self.indices.max() >= m):
+                raise FormatError(
+                    f"CSC row index out of range for shape {self.shape}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSCMatrix":
+        """Build from COO (duplicates summed, columns sorted)."""
+        coo = coo.sum_duplicates()
+        order = np.lexsort((coo.row, coo.col))
+        col = coo.col[order]
+        indptr = compress_indptr(col, coo.shape[1])
+        return cls(coo.shape, indptr, coo.row[order], coo.val[order])
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int],
+              dtype: np.dtype = np.float64) -> "CSCMatrix":
+        return cls(shape, np.zeros(shape[1] + 1, dtype=np.int64),
+                   np.zeros(0, dtype=np.int64), np.zeros(0, dtype=dtype))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def col_slice(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(row indices, values)`` of column ``j`` (views, no copy)."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def col_degrees(self) -> np.ndarray:
+        """Number of stored entries per column."""
+        return np.diff(self.indptr)
+
+    def col_of_entry(self) -> np.ndarray:
+        """Per-nonzero column index (the expansion of ``indptr``)."""
+        return expand_indptr(self.indptr)
+
+    def gather_columns(self, cols: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenate the given columns.
+
+        Returns ``(rows, vals, source_col_of_entry)`` — the gather step
+        shared by every vector-driven SpMSpV (the nonzero structure of
+        all touched columns, annotated with which selected column each
+        entry came from, as an index into ``cols``).
+        """
+        cols = np.asarray(cols, dtype=np.int64)
+        if len(cols) and (cols.min() < 0 or cols.max() >= self.shape[1]):
+            raise ShapeError("column selection index out of range")
+        lengths = self.indptr[cols + 1] - self.indptr[cols]
+        gather = concat_ranges(self.indptr[cols], lengths)
+        src = np.repeat(np.arange(len(cols), dtype=np.int64), lengths)
+        return self.indices[gather], self.data[gather], src
+
+    # ------------------------------------------------------------------
+    # Conversions / ops
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        return COOMatrix(self.shape, self.indices.copy(),
+                         self.col_of_entry(), self.data.copy())
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def to_csc(self) -> "CSCMatrix":
+        return self
+
+    def transpose(self):
+        """Transpose; returns the CSR view of the same arrays."""
+        from .csr import CSRMatrix
+
+        return CSRMatrix((self.shape[1], self.shape[0]),
+                         self.indptr.copy(), self.indices.copy(),
+                         self.data.copy())
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Dense ``y = A @ x`` via column scaling + scatter-add."""
+        self._check_matvec_shape(x)
+        y = np.zeros(self.shape[0],
+                     dtype=np.result_type(self.data.dtype, x.dtype))
+        if self.nnz:
+            xs = np.repeat(x, np.diff(self.indptr))
+            np.add.at(y, self.indices, self.data * xs)
+        return y

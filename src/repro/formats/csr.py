@@ -1,0 +1,176 @@
+"""Compressed Sparse Row (CSR) format.
+
+CSR is the input format of the paper's preprocessing step ("we show a
+comparison of the time converted a CSR matrix to tiled format", §4.6)
+and the storage the row-wise reference SpMSpV (paper Alg. 1) works on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._util import concat_ranges as _ranges
+from ..errors import FormatError, ShapeError
+from .base import SparseMatrix
+from .coo import COOMatrix
+
+__all__ = ["CSRMatrix", "compress_indptr", "expand_indptr"]
+
+
+def compress_indptr(sorted_major: np.ndarray, n_major: int) -> np.ndarray:
+    """Build an indptr array from a *sorted* major-axis index array."""
+    counts = np.bincount(sorted_major, minlength=n_major)
+    indptr = np.zeros(n_major + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
+
+def expand_indptr(indptr: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`compress_indptr`: per-entry major index."""
+    n_major = len(indptr) - 1
+    return np.repeat(np.arange(n_major, dtype=np.int64),
+                     np.diff(indptr))
+
+
+class CSRMatrix(SparseMatrix):
+    """Sparse matrix in compressed sparse row layout.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64[nrows + 1]`` row pointers.
+    indices:
+        ``int64[nnz]`` column indices, sorted within each row.
+    data:
+        values, parallel to ``indices``.
+    """
+
+    def __init__(self, shape: Tuple[int, int], indptr: np.ndarray,
+                 indices: np.ndarray, data: Optional[np.ndarray] = None):
+        m, n = int(shape[0]), int(shape[1])
+        if m < 0 or n < 0:
+            raise ShapeError(f"negative matrix dimension in shape {shape}")
+        self.shape = (m, n)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if data is None:
+            data = np.ones(len(self.indices), dtype=np.float64)
+        self.data = np.ascontiguousarray(data)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def validate(self) -> None:
+        m, n = self.shape
+        if len(self.indptr) != m + 1:
+            raise FormatError(
+                f"CSR indptr length {len(self.indptr)} != nrows+1 ({m + 1})"
+            )
+        if self.indptr[0] != 0:
+            raise FormatError("CSR indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("CSR indptr must be non-decreasing")
+        if self.indptr[-1] != len(self.indices):
+            raise FormatError(
+                f"CSR indptr[-1]={self.indptr[-1]} != nnz={len(self.indices)}"
+            )
+        if len(self.data) != len(self.indices):
+            raise FormatError("CSR data/indices length mismatch")
+        if len(self.indices):
+            if self.indices.min() < 0 or (n and self.indices.max() >= n):
+                raise FormatError(
+                    f"CSR column index out of range for shape {self.shape}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Build from COO (duplicates summed, rows sorted)."""
+        coo = coo.canonicalize()
+        indptr = compress_indptr(coo.row, coo.shape[0])
+        return cls(coo.shape, indptr, coo.col, coo.val)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int],
+              dtype: np.dtype = np.float64) -> "CSRMatrix":
+        return cls(shape, np.zeros(shape[0] + 1, dtype=np.int64),
+                   np.zeros(0, dtype=np.int64), np.zeros(0, dtype=dtype))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def row_slice(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(column indices, values)`` of row ``i`` (views, no copy)."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of stored entries per row."""
+        return np.diff(self.indptr)
+
+    def row_of_entry(self) -> np.ndarray:
+        """Per-nonzero row index (the expansion of ``indptr``)."""
+        return expand_indptr(self.indptr)
+
+    # ------------------------------------------------------------------
+    # Conversions / ops
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        return COOMatrix(self.shape, self.row_of_entry(),
+                         self.indices.copy(), self.data.copy())
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def to_csr(self) -> "CSRMatrix":
+        return self
+
+    def transpose(self):
+        """Transpose; returns the CSC view of the same arrays."""
+        from .csc import CSCMatrix
+
+        return CSCMatrix((self.shape[1], self.shape[0]),
+                         self.indptr.copy(), self.indices.copy(),
+                         self.data.copy())
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Dense ``y = A @ x`` (vectorized segment reduction)."""
+        self._check_matvec_shape(x)
+        y = np.zeros(self.shape[0],
+                     dtype=np.result_type(self.data.dtype, x.dtype))
+        if self.nnz == 0:
+            return y
+        products = self.data * x[self.indices]
+        nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+        if len(nonempty):
+            starts = self.indptr[nonempty]
+            y[nonempty] = np.add.reduceat(products, starts)
+        return y
+
+    def select_rows(self, rows: np.ndarray) -> "CSRMatrix":
+        """Extract a submatrix of the given rows (column space kept)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise ShapeError("row selection index out of range")
+        lengths = self.indptr[rows + 1] - self.indptr[rows]
+        new_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=new_indptr[1:])
+        gather = _ranges(self.indptr[rows], lengths)
+        return CSRMatrix((len(rows), self.shape[1]), new_indptr,
+                         self.indices[gather], self.data[gather])
+
+

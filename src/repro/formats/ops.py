@@ -1,0 +1,102 @@
+"""Matrix arithmetic helpers shared by the algorithms.
+
+Small, allocation-conscious operations the graph algorithms and
+benchmarks kept re-deriving by hand: diagonal access, row/column
+scaling (PageRank's ``A D^{-1}``), matrix addition, and degree
+vectors.  All operate on and return library formats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .base import SparseMatrix
+from .coo import COOMatrix
+from .convert import as_sparse, to_coo
+
+__all__ = ["diagonal", "with_diagonal", "scale_rows", "scale_columns",
+           "matrix_add", "row_degrees", "col_degrees"]
+
+
+def diagonal(matrix) -> np.ndarray:
+    """The main diagonal as a dense vector (length ``min(m, n)``)."""
+    coo = to_coo(matrix)
+    k = min(coo.shape)
+    out = np.zeros(k, dtype=coo.val.dtype)
+    on_diag = (coo.row == coo.col) & (coo.row < k)
+    # duplicates were not necessarily summed; accumulate to be safe
+    np.add.at(out, coo.row[on_diag], coo.val[on_diag])
+    return out
+
+
+def with_diagonal(matrix, values: np.ndarray) -> COOMatrix:
+    """Return a copy whose main diagonal is replaced by ``values``.
+
+    Zeros in ``values`` remove the corresponding diagonal entry.
+    """
+    coo = to_coo(matrix).sum_duplicates()
+    k = min(coo.shape)
+    values = np.asarray(values)
+    if values.shape != (k,):
+        raise ShapeError(
+            f"diagonal length {values.shape} != ({k},) for {coo.shape}"
+        )
+    off = coo.row != coo.col
+    keep_idx = np.flatnonzero(values != 0)
+    rows = np.concatenate([coo.row[off], keep_idx])
+    cols = np.concatenate([coo.col[off], keep_idx])
+    vals = np.concatenate([coo.val[off], values[keep_idx]])
+    return COOMatrix(coo.shape, rows, cols, vals).sort_rowmajor()
+
+
+def scale_rows(matrix, scale: np.ndarray) -> COOMatrix:
+    """``diag(scale) @ A`` — multiply row ``i`` by ``scale[i]``."""
+    coo = to_coo(matrix)
+    scale = np.asarray(scale)
+    if scale.shape != (coo.shape[0],):
+        raise ShapeError(
+            f"row scale shape {scale.shape} != ({coo.shape[0]},)"
+        )
+    return COOMatrix(coo.shape, coo.row.copy(), coo.col.copy(),
+                     coo.val * scale[coo.row])
+
+
+def scale_columns(matrix, scale: np.ndarray) -> COOMatrix:
+    """``A @ diag(scale)`` — multiply column ``j`` by ``scale[j]``
+    (PageRank's out-degree normalisation)."""
+    coo = to_coo(matrix)
+    scale = np.asarray(scale)
+    if scale.shape != (coo.shape[1],):
+        raise ShapeError(
+            f"column scale shape {scale.shape} != ({coo.shape[1]},)"
+        )
+    return COOMatrix(coo.shape, coo.row.copy(), coo.col.copy(),
+                     coo.val * scale[coo.col])
+
+
+def matrix_add(a, b, alpha: float = 1.0, beta: float = 1.0) -> COOMatrix:
+    """``alpha * A + beta * B`` with matching shapes; exact zeros in the
+    result are dropped."""
+    ca, cb = to_coo(a), to_coo(b)
+    if ca.shape != cb.shape:
+        raise ShapeError(
+            f"matrix_add shape mismatch: {ca.shape} vs {cb.shape}"
+        )
+    rows = np.concatenate([ca.row, cb.row])
+    cols = np.concatenate([ca.col, cb.col])
+    vals = np.concatenate([alpha * ca.val, beta * cb.val])
+    return COOMatrix(ca.shape, rows, cols,
+                     vals).sum_duplicates().drop_zeros().sort_rowmajor()
+
+
+def row_degrees(matrix) -> np.ndarray:
+    """Stored entries per row."""
+    coo = to_coo(matrix)
+    return np.bincount(coo.row, minlength=coo.shape[0]).astype(np.int64)
+
+
+def col_degrees(matrix) -> np.ndarray:
+    """Stored entries per column."""
+    coo = to_coo(matrix)
+    return np.bincount(coo.col, minlength=coo.shape[1]).astype(np.int64)

@@ -1,0 +1,82 @@
+"""Sparse general matrix-matrix multiplication (Gustavson's algorithm).
+
+The paper's introduction frames SpMSpV as a special case of SpGEMM and
+argues calling a general SpGEMM for it "encounters very bad data
+locality since each non-empty row of the multiplier has only one
+element" (§1, citing Gustavson [19]).  This module provides the general
+``C = A @ B`` so that claim can be measured — see
+:mod:`repro.baselines.spmspv_via_spgemm` and the
+``bench_spgemm_baseline`` benchmark — and because a reproduction of a
+sparse-kernels paper should simply have one.
+
+The implementation is the two-phase expand/sort/compress form of
+Gustavson's row-row algorithm: expand every product
+``A[i, k] * B[k, j]`` (the multiset of partial products), then combine
+duplicates per output coordinate.  Fully vectorized; memory is
+proportional to the number of partial products (``flops / 2``), which
+is the honest cost of the expansion approach.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._util import concat_ranges, group_starts
+from ..errors import ShapeError
+from .csr import CSRMatrix
+
+__all__ = ["spgemm", "spgemm_flops"]
+
+
+def spgemm_flops(A: CSRMatrix, B: CSRMatrix) -> int:
+    """Number of multiply-adds ``C = A @ B`` performs (2 per partial
+    product) — the standard SpGEMM work metric."""
+    _check_shapes(A, B)
+    b_row_nnz = B.row_degrees()
+    return int(2 * b_row_nnz[A.indices].sum())
+
+
+def spgemm(A: CSRMatrix, B: CSRMatrix) -> CSRMatrix:
+    """Compute ``C = A @ B`` for CSR operands (Gustavson row-row).
+
+    Returns a canonical CSR matrix; exact-zero results of cancellation
+    are kept (structural semantics, like scipy).
+    """
+    _check_shapes(A, B)
+    m, n = A.shape[0], B.shape[1]
+    if A.nnz == 0 or B.nnz == 0:
+        return CSRMatrix.empty((m, n), dtype=A.dtype)
+
+    # expand: for every entry A[i, k], the whole row B[k, :]
+    k_of_entry = A.indices
+    lengths = B.row_degrees()[k_of_entry]
+    gather = concat_ranges(B.indptr[k_of_entry], lengths)
+    out_cols = B.indices[gather]
+    a_vals = np.repeat(A.data, lengths)
+    out_vals = a_vals * B.data[gather]
+    out_rows = np.repeat(A.row_of_entry(), lengths)
+
+    # combine: sort by (row, col) and reduce duplicates
+    key = out_rows * n + out_cols
+    order = np.argsort(key, kind="stable")
+    key_s = key[order]
+    vals_s = out_vals[order]
+    starts = group_starts(key_s)
+    reduced = np.add.reduceat(vals_s, starts) if len(starts) else vals_s
+    unique_keys = key_s[starts]
+
+    from .csr import compress_indptr
+
+    rows = (unique_keys // n).astype(np.int64)
+    cols = (unique_keys % n).astype(np.int64)
+    indptr = compress_indptr(rows, m)
+    return CSRMatrix((m, n), indptr, cols, reduced)
+
+
+def _check_shapes(A: CSRMatrix, B: CSRMatrix) -> None:
+    if A.shape[1] != B.shape[0]:
+        raise ShapeError(
+            f"SpGEMM shape mismatch: A is {A.shape}, B is {B.shape}"
+        )

@@ -1,0 +1,23 @@
+"""GPU execution model: specs, counters, roofline cost, device timeline.
+
+This package is the stand-in for the paper's RTX 3060 / RTX 3090
+testbed (see DESIGN.md §1 for why the substitution preserves the
+relative results).  Kernels execute functionally in NumPy and submit
+:class:`KernelCounters` records to a :class:`Device`, which prices them
+with a :class:`CostModel` that is identical for every algorithm.
+"""
+
+from .cost import CostModel, KernelTime
+from .counters import SECTOR_BYTES, KernelCounters
+from .device import Device, LaunchRecord
+from .profile import (KernelProfile, format_profile, profile_device,
+                      timeline_csv)
+from .spec import RTX3060, RTX3090, GPUSpec, get_spec
+
+__all__ = [
+    "GPUSpec", "RTX3060", "RTX3090", "get_spec",
+    "KernelCounters", "SECTOR_BYTES",
+    "CostModel", "KernelTime",
+    "Device", "LaunchRecord",
+    "KernelProfile", "profile_device", "format_profile", "timeline_csv",
+]

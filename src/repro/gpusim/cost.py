@@ -1,0 +1,134 @@
+"""Roofline cost model: counters + spec → estimated kernel time.
+
+The model is intentionally simple and *identical for every algorithm*
+(DESIGN.md §3): it cannot be tuned per-kernel, so the relative numbers
+in the benchmark tables fall out of the counters alone.
+
+``time = launches * t_launch + max(t_compute, t_memory, t_atomic)``
+
+with *achievable* throughputs in each term: the card's peak capped by
+what the launched warps can keep in flight —
+
+* ``BW_achieved``    = min(peak BW, warps x warp_gbps)
+* ``FLOPS_achieved`` = min(peak flops, warps x warp_gflops)
+* ``t_memory``  = DRAM bytes / BW_achieved + L2 bytes / (4 x BW_achieved)
+* ``t_compute`` = (flops + word_ops at their achieved rates) / divergence
+* ``t_atomic``  = atomics x contention / atomic throughput
+
+The per-warp constants are architectural (bytes-in-flight over DRAM
+latency), not per-card: a kernel too small to saturate either card runs
+at the same speed on both, and a bigger card can never price slower
+than a smaller one for the same counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+from .counters import KernelCounters
+from .spec import GPUSpec
+
+__all__ = ["CostModel", "KernelTime"]
+
+
+@dataclass(frozen=True)
+class KernelTime:
+    """Breakdown of one kernel-launch estimate (all in milliseconds)."""
+
+    total_ms: float
+    launch_ms: float
+    compute_ms: float
+    memory_ms: float
+    atomic_ms: float
+    efficiency: float
+
+    @property
+    def bound(self) -> str:
+        """Which term dominates: 'compute' | 'memory' | 'atomic' | 'launch'."""
+        parts = {
+            "compute": self.compute_ms,
+            "memory": self.memory_ms,
+            "atomic": self.atomic_ms,
+        }
+        if self.launch_ms > max(parts.values()):
+            return "launch"
+        return max(parts, key=parts.__getitem__)
+
+
+class CostModel:
+    """Evaluate :class:`KernelCounters` against a :class:`GPUSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The simulated GPU.
+    atomic_contention:
+        Extra cost factor applied per atomic when collisions are likely;
+        kernels cannot influence it — it is part of the model.
+    """
+
+    def __init__(self, spec: GPUSpec, atomic_contention: float = 1.0,
+                 warp_gbps: float = 1.0, warp_gflops: float = 25.0):
+        if atomic_contention <= 0:
+            raise DeviceError("atomic_contention must be positive")
+        if warp_gbps <= 0 or warp_gflops <= 0:
+            raise DeviceError("per-warp throughputs must be positive")
+        self.spec = spec
+        self.atomic_contention = float(atomic_contention)
+        #: Memory bandwidth one resident warp can sustain (GB/s) —
+        #: bytes-in-flight over DRAM latency, an architectural constant
+        #: rather than a per-card one, which is what keeps a bigger GPU
+        #: from ever pricing *slower* than a smaller one at equal work.
+        self.warp_gbps = float(warp_gbps)
+        #: FP32 rate one warp can sustain (GFLOP/s).
+        self.warp_gflops = float(warp_gflops)
+
+    def evaluate(self, counters: KernelCounters) -> KernelTime:
+        """Estimate the run time of one kernel launch record."""
+        counters.check()
+        spec = self.spec
+
+        launch_ms = counters.launches * spec.launch_overhead_us * 1e-3
+
+        # Achievable throughputs are the min of the card's peak and what
+        # the launched warps can keep in flight (memory-level
+        # parallelism): a warp sustains ~warp_gbps of DRAM traffic and
+        # ~warp_gflops of FP32 regardless of which card it runs on, so a
+        # low-occupancy kernel runs identically on both cards while a
+        # saturating one gets the card's full peak.
+        warps = max(counters.warps, 1.0)
+        bw_gbps = min(spec.mem_bandwidth_gbps, warps * self.warp_gbps)
+        dram_bytes = counters.global_bytes
+        mem_s = dram_bytes / (bw_gbps * 1e9)
+        mem_s += counters.l2_read_bytes / (
+            bw_gbps * spec.l2_speedup * 1e9)
+        # shared memory is ~10x DRAM bandwidth on Ampere; near-free but
+        # not exactly free.
+        mem_s += counters.shared_bytes / (bw_gbps * 10e9)
+
+        flops_gs = min(spec.peak_gflops, warps * self.warp_gflops)
+        flop_s = counters.flops / (flops_gs * 1e9)
+        # integer/bitwise ALU throughput ~= FP32 lanes x clock (1 op/cycle)
+        iops_gs = min(spec.cuda_cores * spec.clock_ghz,
+                      warps * self.warp_gflops)
+        iop_s = counters.word_ops / (iops_gs * 1e9)
+        compute_s = (flop_s + iop_s) / counters.divergence
+
+        atomic_s = (counters.atomic_ops * self.atomic_contention
+                    / (spec.atomic_gops * 1e9))
+
+        efficiency = bw_gbps / spec.mem_bandwidth_gbps
+        body_ms = max(compute_s, mem_s, atomic_s) * 1e3
+        return KernelTime(
+            total_ms=launch_ms + body_ms,
+            launch_ms=launch_ms,
+            compute_ms=compute_s * 1e3,
+            memory_ms=mem_s * 1e3,
+            atomic_ms=atomic_s * 1e3,
+            efficiency=efficiency,
+        )
+
+    def time_ms(self, counters: KernelCounters) -> float:
+        """Shorthand: total estimated milliseconds."""
+        return self.evaluate(counters).total_ms

@@ -1,0 +1,131 @@
+"""Hardware counters tallied by every kernel in the library.
+
+Each kernel in :mod:`repro.core` and :mod:`repro.baselines` executes
+functionally (vectorized NumPy) *and* fills in a
+:class:`KernelCounters` record describing the memory traffic and work a
+CUDA realisation of the same algorithm would incur.  The cost model
+(:mod:`repro.gpusim.cost`) turns counters into estimated kernel time.
+
+The accounting rules are uniform across all algorithms (DESIGN.md §3):
+
+* sequential/contiguous accesses are *coalesced*: charged by bytes;
+* data-dependent scattered accesses are *random*: charged one 32-byte
+  memory sector per access, regardless of the element size — this is
+  what penalises unbucketed column merging and dense-vector gathers;
+* atomics are counted individually, with contention left to the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from ..errors import DeviceError
+
+__all__ = ["KernelCounters", "SECTOR_BYTES"]
+
+#: Size of a GDDR memory sector / minimum transaction granule.
+SECTOR_BYTES = 32
+
+
+@dataclass
+class KernelCounters:
+    """Work and traffic of one (logical) kernel launch.
+
+    All fields are totals over the whole grid.
+
+    Attributes
+    ----------
+    coalesced_read_bytes / coalesced_write_bytes:
+        Streamed global-memory traffic (format arrays walked in order).
+    random_read_count / random_write_count:
+        Number of data-dependent scattered accesses; each is charged a
+        full :data:`SECTOR_BYTES` transaction.
+    l2_read_bytes:
+        Reads expected to hit in L2 (e.g. the x tile re-read by every
+        warp of a tile column); charged at ``spec.l2_speedup`` x BW.
+    shared_bytes:
+        Bytes staged through shared memory (cheap, but bounds tile
+        sizes; tracked for reporting, charged lightly).
+    flops:
+        Floating-point operations (multiply-add counts as 2).
+    word_ops:
+        Bitwise word operations (the AND/OR semiring of TileBFS).
+    atomic_ops:
+        Global atomic operations (atomicAdd / atomicOr).
+    warps:
+        Warps launched (for the occupancy term).
+    launches:
+        Kernel launches (fixed overhead each).
+    divergence:
+        Average fraction of useful lanes per warp, in (0, 1]; the model
+        divides compute throughput by it.
+    """
+
+    coalesced_read_bytes: float = 0.0
+    coalesced_write_bytes: float = 0.0
+    random_read_count: float = 0.0
+    random_write_count: float = 0.0
+    l2_read_bytes: float = 0.0
+    shared_bytes: float = 0.0
+    flops: float = 0.0
+    word_ops: float = 0.0
+    atomic_ops: float = 0.0
+    warps: float = 0.0
+    launches: int = 1
+    divergence: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.check()
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.DeviceError` on nonsensical values."""
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if f.name == "divergence":
+                if not (0.0 < v <= 1.0):
+                    raise DeviceError(
+                        f"divergence must be in (0, 1], got {v}"
+                    )
+            elif v < 0:
+                raise DeviceError(f"counter {f.name} negative: {v}")
+
+    # ------------------------------------------------------------------
+    @property
+    def global_bytes(self) -> float:
+        """Total DRAM traffic in bytes (coalesced + sectored random)."""
+        return (self.coalesced_read_bytes + self.coalesced_write_bytes
+                + (self.random_read_count + self.random_write_count)
+                * SECTOR_BYTES)
+
+    def merged(self, other: "KernelCounters") -> "KernelCounters":
+        """Combine two launches into one record (times add; the
+        divergence is the warp-weighted mean)."""
+        total_warps = self.warps + other.warps
+        if total_warps > 0:
+            div = ((self.divergence * self.warps
+                    + other.divergence * other.warps) / total_warps)
+        else:
+            div = min(self.divergence, other.divergence)
+        return KernelCounters(
+            coalesced_read_bytes=self.coalesced_read_bytes + other.coalesced_read_bytes,
+            coalesced_write_bytes=self.coalesced_write_bytes + other.coalesced_write_bytes,
+            random_read_count=self.random_read_count + other.random_read_count,
+            random_write_count=self.random_write_count + other.random_write_count,
+            l2_read_bytes=self.l2_read_bytes + other.l2_read_bytes,
+            shared_bytes=self.shared_bytes + other.shared_bytes,
+            flops=self.flops + other.flops,
+            word_ops=self.word_ops + other.word_ops,
+            atomic_ops=self.atomic_ops + other.atomic_ops,
+            warps=total_warps,
+            launches=self.launches + other.launches,
+            divergence=div,
+        )
+
+    @classmethod
+    def sum(cls, records) -> "KernelCounters":
+        """Merge an iterable of counters (empty iterable → zero record
+        with 0 launches)."""
+        total = cls(launches=0)
+        for rec in records:
+            total = total.merged(rec)
+        return total

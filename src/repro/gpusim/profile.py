@@ -1,0 +1,111 @@
+"""Timeline profiling: turn a :class:`Device`'s launch records into the
+reports a CUDA profiler would give you.
+
+Used by the benchmark harness (per-kernel breakdown tables) and handy
+for users tuning their own workloads: which kernels dominate, what each
+is bound by, how much DRAM traffic moved, and per-kernel efficiency.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import DeviceError
+from .device import Device
+
+__all__ = ["KernelProfile", "profile_device", "format_profile",
+           "timeline_csv"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Aggregated statistics of one kernel name across a timeline."""
+
+    name: str
+    launches: int
+    calls: int
+    total_ms: float
+    mean_ms: float
+    dram_bytes: float
+    flops: float
+    word_ops: float
+    atomics: float
+    dominant_bound: str
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        """Achieved DRAM bandwidth of this kernel (GB/s)."""
+        if self.total_ms <= 0:
+            return 0.0
+        return self.dram_bytes / (self.total_ms * 1e-3) / 1e9
+
+    @property
+    def effective_gflops(self) -> float:
+        """Achieved floating-point rate (GFLOP/s)."""
+        if self.total_ms <= 0:
+            return 0.0
+        return self.flops / (self.total_ms * 1e-3) / 1e9
+
+
+def profile_device(device: Device) -> List[KernelProfile]:
+    """Aggregate a device timeline into per-kernel profiles, sorted by
+    total time descending."""
+    groups: Dict[str, list] = {}
+    for rec in device.timeline:
+        groups.setdefault(rec.name, []).append(rec)
+    out = []
+    for name, recs in groups.items():
+        total = sum(r.ms for r in recs)
+        bounds: Dict[str, float] = {}
+        for r in recs:
+            bounds[r.time.bound] = bounds.get(r.time.bound, 0.0) + r.ms
+        out.append(KernelProfile(
+            name=name,
+            launches=sum(r.counters.launches for r in recs),
+            calls=len(recs),
+            total_ms=total,
+            mean_ms=total / len(recs),
+            dram_bytes=sum(r.counters.global_bytes for r in recs),
+            flops=sum(r.counters.flops for r in recs),
+            word_ops=sum(r.counters.word_ops for r in recs),
+            atomics=sum(r.counters.atomic_ops for r in recs),
+            dominant_bound=max(bounds, key=bounds.__getitem__),
+        ))
+    return sorted(out, key=lambda p: p.total_ms, reverse=True)
+
+
+def format_profile(device: Device, title: str = "") -> str:
+    """Human-readable per-kernel breakdown (profiler-style table)."""
+    from ..bench.report import format_table
+
+    profiles = profile_device(device)
+    rows = [[p.name, p.calls, p.launches, p.total_ms, p.mean_ms,
+             p.dram_bytes / 1e6, p.effective_bandwidth_gbps,
+             p.dominant_bound] for p in profiles]
+    table = format_table(
+        ["kernel", "calls", "launches", "total ms", "mean ms",
+         "DRAM MB", "eff GB/s", "bound"],
+        rows, title=title or f"timeline on {device.spec.name}")
+    return (table + f"\ntotal simulated: {device.elapsed_ms:.4f} ms "
+            f"across {len(device.timeline)} records")
+
+
+def timeline_csv(device: Device) -> str:
+    """The raw launch records as CSV (for external analysis/plotting)."""
+    if device is None:
+        raise DeviceError("timeline_csv needs a device")
+    buf = io.StringIO()
+    buf.write("index,name,tag,total_ms,launch_ms,compute_ms,memory_ms,"
+              "atomic_ms,efficiency,bound,dram_bytes,flops,word_ops,"
+              "atomics,warps\n")
+    for i, rec in enumerate(device.timeline):
+        t, c = rec.time, rec.counters
+        buf.write(f"{i},{rec.name},{rec.tag or ''},{t.total_ms:.9f},"
+                  f"{t.launch_ms:.9f},{t.compute_ms:.9f},"
+                  f"{t.memory_ms:.9f},{t.atomic_ms:.9f},"
+                  f"{t.efficiency:.6f},{t.bound},{c.global_bytes:.1f},"
+                  f"{c.flops:.1f},{c.word_ops:.1f},{c.atomic_ops:.1f},"
+                  f"{c.warps:.1f}\n")
+    return buf.getvalue()

@@ -1,0 +1,119 @@
+"""GPU hardware specifications for the execution model.
+
+The paper's testbed (Table 1) has two Ampere cards; their published
+specifications are encoded here.  Only parameters that feed the roofline
+cost model are kept: compute throughput, memory bandwidth, SM/warp
+geometry, and fixed kernel-launch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+
+__all__ = ["GPUSpec", "RTX3060", "RTX3090", "get_spec"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Parameters of one simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, used in reports.
+    sm_count:
+        Number of streaming multiprocessors.
+    cuda_cores:
+        Total FP32 lanes (``sm_count`` x cores/SM).
+    clock_ghz:
+        Boost clock in GHz.
+    mem_bandwidth_gbps:
+        Peak global-memory bandwidth in GB/s.
+    l2_bytes:
+        L2 cache size (bytes); reads that fit in L2 are charged at
+        ``l2_speedup`` x bandwidth.
+    shared_mem_per_sm:
+        Shared memory per SM (bytes) — bounds how many tiles a block can
+        stage, which the tiled kernels use.
+    warp_size:
+        Threads per warp (32 on all NVIDIA parts).
+    max_warps_per_sm:
+        Resident warps per SM at full occupancy.
+    launch_overhead_us:
+        Fixed host-side cost per kernel launch.  This term dominates
+        BFS iterations with tiny frontiers and is why fewer/cheaper
+        kernels win there (paper §4.5).
+    atomic_gops:
+        Global-atomic throughput in billions of operations/s.
+    l2_speedup:
+        Bandwidth multiplier for L2-resident traffic.
+    """
+
+    name: str
+    sm_count: int
+    cuda_cores: int
+    clock_ghz: float
+    mem_bandwidth_gbps: float
+    l2_bytes: int
+    shared_mem_per_sm: int
+    warp_size: int = 32
+    max_warps_per_sm: int = 48
+    launch_overhead_us: float = 4.0
+    atomic_gops: float = 20.0
+    l2_speedup: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.cuda_cores <= 0:
+            raise DeviceError(f"invalid core counts in spec {self.name!r}")
+        if self.clock_ghz <= 0 or self.mem_bandwidth_gbps <= 0:
+            raise DeviceError(f"invalid clocks/bandwidth in spec {self.name!r}")
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak FP32 GFLOP/s (2 flops per FMA lane-cycle)."""
+        return self.cuda_cores * self.clock_ghz * 2.0
+
+    @property
+    def resident_warps(self) -> int:
+        """Warps needed to fully occupy the device."""
+        return self.sm_count * self.max_warps_per_sm
+
+
+#: NVIDIA GeForce RTX 3060 (Ampere GA106): 3584 cores @ 1.78 GHz,
+#: 12 GB GDDR6 at 360 GB/s, 28 SMs, 3 MB L2 (paper Table 1).
+RTX3060 = GPUSpec(
+    name="RTX 3060",
+    sm_count=28,
+    cuda_cores=3584,
+    clock_ghz=1.78,
+    mem_bandwidth_gbps=360.0,
+    l2_bytes=3 * 1024 * 1024,
+    shared_mem_per_sm=100 * 1024,
+)
+
+#: NVIDIA GeForce RTX 3090 (Ampere GA102): 10496 cores @ 1.70 GHz,
+#: 24 GB GDDR6X at 936.2 GB/s, 82 SMs, 6 MB L2 (paper Table 1).
+RTX3090 = GPUSpec(
+    name="RTX 3090",
+    sm_count=82,
+    cuda_cores=10496,
+    clock_ghz=1.70,
+    mem_bandwidth_gbps=936.2,
+    l2_bytes=6 * 1024 * 1024,
+    shared_mem_per_sm=100 * 1024,
+)
+
+_REGISTRY = {"rtx3060": RTX3060, "rtx3090": RTX3090}
+
+
+def get_spec(name: str) -> GPUSpec:
+    """Look up a preset spec by a forgiving name ("RTX 3090", "rtx3090")."""
+    key = name.lower().replace(" ", "").replace("geforce", "")
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise DeviceError(
+            f"unknown GPU spec {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,21 @@
+"""Graph algorithms built on the SpMSpV/BFS primitives.
+
+The paper's §1 motivates SpMSpV with BFS (the paper's own TileBFS, in
+:mod:`repro.core`), betweenness centrality and reverse Cuthill-McKee
+ordering; those two live here, plus the further SpMSpV-shaped
+algorithms the GraphBLAS literature it cites builds on the same
+primitive — connected components, shortest paths, PageRank — and the
+plain CPU BFS oracle used by the tests.
+"""
+
+from .bc import betweenness_centrality
+from .bfs_reference import bfs_levels
+from .components import connected_components
+from .pagerank import pagerank
+from .rcm import bandwidth, rcm_ordering
+from .sssp import sssp
+from .triangles import triangle_count, triangles_per_vertex
+
+__all__ = ["bfs_levels", "betweenness_centrality", "rcm_ordering",
+           "bandwidth", "connected_components", "pagerank", "sssp",
+           "triangle_count", "triangles_per_vertex"]

@@ -1,0 +1,19 @@
+"""Synthetic matrix generators and the curated collection.
+
+Stand-in for the SuiteSparse Matrix Collection the paper evaluates on
+(DESIGN.md §1).  Real Matrix Market files can be mixed in via
+:func:`repro.formats.read_matrix_market`.
+"""
+
+from .collection import (ENTERPRISE_6, REPRESENTATIVE_12, CollectionEntry,
+                         all_entries, entry, get_matrix, sweep_entries)
+from .generators import (banded, block_diagonal, erdos_renyi, fem_like,
+                         mesh2d, mesh3d, random_rectangular, rmat,
+                         road_network)
+
+__all__ = [
+    "banded", "mesh2d", "mesh3d", "fem_like", "block_diagonal",
+    "rmat", "erdos_renyi", "road_network", "random_rectangular",
+    "CollectionEntry", "REPRESENTATIVE_12", "ENTERPRISE_6",
+    "entry", "get_matrix", "sweep_entries", "all_entries",
+]

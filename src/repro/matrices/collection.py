@@ -1,0 +1,192 @@
+"""The curated matrix collection: stand-ins for the paper's datasets.
+
+SuiteSparse is not shippable (nor downloadable offline), so each named
+matrix the paper analyses gets a synthetic stand-in from the same
+structural class, scaled down ~15-30x linearly to stay laptop-sized
+(DESIGN.md §1 documents the substitution).  Three groups:
+
+* :data:`REPRESENTATIVE_12` — Table 2's in-depth analysis set;
+* :data:`ENTERPRISE_6` — Figure 12's Enterprise comparison set;
+* :func:`sweep_entries` — a ~60-matrix sweep across classes and sizes
+  standing in for the 2757-matrix distribution of Figures 6-7.
+
+Matrices are built lazily and memoised per process (the sweep re-uses
+them across benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ShapeError
+from ..formats.coo import COOMatrix
+from . import generators as g
+
+__all__ = ["CollectionEntry", "REPRESENTATIVE_12", "ENTERPRISE_6",
+           "get_matrix", "entry", "sweep_entries", "all_entries"]
+
+
+@dataclass(frozen=True)
+class CollectionEntry:
+    """One named matrix of the collection.
+
+    Attributes
+    ----------
+    name:
+        The SuiteSparse name it stands in for (or a synthetic name for
+        sweep fillers).
+    kind:
+        Structural class: fem / mesh / web / road / block / random.
+    paper_shape, paper_nnz:
+        The original matrix's size, for the documentation tables
+        (``None`` for sweep fillers).
+    build:
+        Zero-argument constructor of the scaled stand-in.
+    """
+
+    name: str
+    kind: str
+    build: Callable[[], COOMatrix]
+    paper_shape: Optional[Tuple[int, int]] = None
+    paper_nnz: Optional[int] = None
+
+
+def _e(name: str, kind: str, build: Callable[[], COOMatrix],
+       paper_shape: Optional[Tuple[int, int]] = None,
+       paper_nnz: Optional[int] = None) -> CollectionEntry:
+    return CollectionEntry(name=name, kind=kind, build=build,
+                           paper_shape=paper_shape, paper_nnz=paper_nnz)
+
+
+#: Stand-ins for Table 2's 12 representative matrices.  Size / nnz are
+#: scaled so per-row density and the structural class (hence the tile
+#: occupancy profile of Table 2) are preserved.
+REPRESENTATIVE_12: List[CollectionEntry] = [
+    _e("af_5_k101", "fem",
+       lambda: g.fem_like(31488, nnz_per_row=34, block=8, spread=0.004,
+                          seed=101),
+       paper_shape=(503_000, 503_000), paper_nnz=17_000_000),
+    _e("cant", "fem",
+       lambda: g.fem_like(7936, nnz_per_row=64, block=16, spread=0.01,
+                          seed=102),
+       paper_shape=(62_000, 62_000), paper_nnz=4_000_000),
+    _e("cavity23", "fem",
+       lambda: g.fem_like(4096, nnz_per_row=35, block=8, spread=0.02,
+                          seed=103),
+       paper_shape=(4_000, 4_000), paper_nnz=144_000),
+    _e("pdb1HYS", "fem",
+       lambda: g.fem_like(4608, nnz_per_row=110, block=16, spread=0.015,
+                          seed=104),
+       paper_shape=(36_000, 36_000), paper_nnz=4_000_000),
+    _e("fullb", "fem",
+       lambda: g.fem_like(12544, nnz_per_row=55, block=16, spread=0.006,
+                          seed=105),
+       paper_shape=(199_000, 199_000), paper_nnz=11_000_000),
+    _e("ldoor", "fem",
+       lambda: g.fem_like(59520, nnz_per_row=48, block=16, spread=0.003,
+                          seed=106),
+       paper_shape=(952_000, 952_000), paper_nnz=46_000_000),
+    _e("in-2004", "web",
+       lambda: g.rmat(15, edge_factor=14, seed=107),
+       paper_shape=(1_000_000, 1_000_000), paper_nnz=27_000_000),
+    _e("msdoor", "fem",
+       lambda: g.fem_like(25984, nnz_per_row=48, block=16, spread=0.004,
+                          seed=108),
+       paper_shape=(415_000, 415_000), paper_nnz=20_000_000),
+    _e("roadNet-TX", "road",
+       lambda: g.road_network(178, seed=109),
+       paper_shape=(1_000_000, 1_000_000), paper_nnz=3_000_000),
+    _e("ML_Geer", "fem",
+       lambda: g.fem_like(32768, nnz_per_row=110, block=16, spread=0.002,
+                          seed=110),
+       paper_shape=(1_000_000, 1_000_000), paper_nnz=110_000_000),
+    _e("333SP", "mesh",
+       lambda: g.mesh2d(306, stencil=5, seed=111),
+       paper_shape=(3_000_000, 3_000_000), paper_nnz=22_000_000),
+    _e("dielFilterV2clx", "fem",
+       lambda: g.fem_like(18944, nnz_per_row=41, block=16, spread=0.005,
+                          seed=112),
+       paper_shape=(607_000, 607_000), paper_nnz=25_000_000),
+]
+
+#: Stand-ins for Figure 12's six Enterprise-comparison matrices.
+ENTERPRISE_6: List[CollectionEntry] = [
+    _e("FB", "web", lambda: g.rmat(15, edge_factor=20, seed=201)),
+    _e("KR-21-128", "web",
+       lambda: g.rmat(14, edge_factor=32, seed=202)),
+    _e("TW", "web", lambda: g.rmat(15, edge_factor=24, a=0.50, b=0.22,
+                                   c=0.22, seed=203)),
+    _e("audikw_1", "fem",
+       lambda: g.fem_like(29696, nnz_per_row=82, block=16, spread=0.003,
+                          seed=204)),
+    _e("roadCA", "road", lambda: g.road_network(160, seed=205)),
+    _e("europe.osm", "road", lambda: g.road_network(224, drop=0.08,
+                                                    seed=206)),
+]
+
+_BY_NAME: Dict[str, CollectionEntry] = {
+    e.name: e for e in REPRESENTATIVE_12 + ENTERPRISE_6
+}
+
+_CACHE: Dict[str, COOMatrix] = {}
+
+
+def entry(name: str) -> CollectionEntry:
+    """Look up a named collection entry."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ShapeError(
+            f"unknown collection matrix {name!r}; known: "
+            f"{sorted(_BY_NAME)}"
+        ) from None
+
+
+def get_matrix(name: str) -> COOMatrix:
+    """Build (and memoise) a named collection matrix."""
+    if name not in _CACHE:
+        _CACHE[name] = entry(name).build()
+    return _CACHE[name]
+
+
+def sweep_entries(max_n: int = 40_000) -> List[CollectionEntry]:
+    """The distribution-sweep set standing in for the 2757 matrices.
+
+    ~5 size points per structural class, capped at ``max_n`` rows; the
+    class mix (majority FEM/structured, some graphs, some road
+    networks) mirrors SuiteSparse's composition, which is what the
+    geomean speedups of Figures 6-7 average over.
+    """
+    entries: List[CollectionEntry] = []
+    sizes = [1 << s for s in range(10, 17)]   # 1k .. 64k
+    sizes = [s for s in sizes if s <= max_n]
+    for i, n in enumerate(sizes):
+        entries.append(_e(f"fem_n{n}", "fem",
+                          lambda n=n, i=i: g.fem_like(
+                              n, nnz_per_row=40, block=16, seed=300 + i)))
+        entries.append(_e(f"banded_n{n}", "fem",
+                          lambda n=n, i=i: g.banded(n, bandwidth=4,
+                                                    seed=320 + i)))
+        k2 = int(n ** 0.5)
+        entries.append(_e(f"mesh2d_k{k2}", "mesh",
+                          lambda k2=k2, i=i: g.mesh2d(k2, 9, seed=340 + i)))
+        scale = n.bit_length() - 1
+        entries.append(_e(f"rmat_s{scale}", "web",
+                          lambda scale=scale, i=i: g.rmat(
+                              scale, edge_factor=12, seed=360 + i)))
+        entries.append(_e(f"road_k{k2}", "road",
+                          lambda k2=k2, i=i: g.road_network(
+                              k2, seed=380 + i)))
+        entries.append(_e(f"er_n{n}", "random",
+                          lambda n=n, i=i: g.erdos_renyi(
+                              n, avg_degree=10, seed=400 + i)))
+    entries.append(_e("blockdiag_dense", "block",
+                      lambda: g.block_diagonal(512, 24, 0.95, seed=420)))
+    entries.append(_e("mesh3d_k24", "mesh", lambda: g.mesh3d(24, seed=421)))
+    return entries
+
+
+def all_entries() -> List[CollectionEntry]:
+    """Every named entry (representatives + enterprise set)."""
+    return list(REPRESENTATIVE_12) + list(ENTERPRISE_6)

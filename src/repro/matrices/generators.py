@@ -1,0 +1,247 @@
+"""Synthetic sparse matrix / graph generators.
+
+The paper evaluates on all 2757 SuiteSparse matrices; this module
+provides generators for the structural classes that collection spans
+(DESIGN.md §1), so the benchmark sweep exercises the same regimes:
+
+* **FEM / structured** (``fem_like``, ``banded``, ``mesh2d``,
+  ``mesh3d``, ``block_diagonal``) — clustered nonzeros, dense tiles;
+  the regime where tiling shines ('ldoor', 'af_5_k101', ...).
+* **Power-law graphs** (``rmat``) — web/social networks ('in-2004');
+  skewed degrees, moderate tile density.
+* **Road networks** (``road_network``) — huge diameter, degree ~2.5,
+  hypersparse tiles; the regime where the paper itself loses to
+  GSwitch ('roadNet-TX').
+* **Uniform random** (``erdos_renyi``, ``random_rectangular``) —
+  unstructured fillers.
+
+All generators return :class:`~repro.formats.coo.COOMatrix` and are
+deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..formats.coo import COOMatrix
+
+__all__ = [
+    "banded", "mesh2d", "mesh3d", "fem_like", "block_diagonal",
+    "rmat", "erdos_renyi", "road_network", "random_rectangular",
+]
+
+
+def _finish(shape, rows, cols, rng, symmetric: bool) -> COOMatrix:
+    """Dedupe coordinates, optionally symmetrize, then attach random
+    values in (0,1] (assigned after dedup so duplicate edges cannot sum
+    past 1)."""
+    coo = COOMatrix(shape, rows, cols, None).sum_duplicates()
+    if symmetric:
+        coo = coo.symmetrize()
+    coo = coo.sort_rowmajor()
+    vals = 1.0 - rng.random(coo.nnz)
+    if symmetric and coo.nnz:
+        # mirrored entries share one value so the matrix stays
+        # numerically symmetric: group by the unordered coordinate pair
+        # and broadcast the first value of each group
+        from .._util import group_starts
+
+        ck = (np.minimum(coo.row, coo.col) * shape[1]
+              + np.maximum(coo.row, coo.col))
+        order = np.argsort(ck, kind="stable")
+        starts = group_starts(ck[order])
+        counts = np.diff(np.concatenate([starts, [coo.nnz]]))
+        rep = np.repeat(vals[order][starts], counts)
+        vals[order] = rep
+    coo.val = vals
+    return coo
+
+
+def banded(n: int, bandwidth: int = 3, extra_bands: int = 1,
+           seed: int = 0, symmetric: bool = True) -> COOMatrix:
+    """Banded matrix: a dense diagonal band plus ``extra_bands`` far
+    off-diagonal bands (the coupling bands of a discretised PDE)."""
+    if n <= 0 or bandwidth < 0:
+        raise ShapeError(f"invalid banded parameters n={n}, bw={bandwidth}")
+    rng = np.random.default_rng(seed)
+    i = np.arange(n, dtype=np.int64)
+    offsets = list(range(-bandwidth, bandwidth + 1))
+    stride = max(2, int(np.sqrt(n)))
+    for k in range(1, extra_bands + 1):
+        offsets += [-k * stride, k * stride]
+    rows, cols = [], []
+    for off in offsets:
+        j = i + off
+        ok = (j >= 0) & (j < n)
+        rows.append(i[ok])
+        cols.append(j[ok])
+    return _finish((n, n), np.concatenate(rows), np.concatenate(cols),
+                   rng, symmetric)
+
+
+def mesh2d(k: int, stencil: int = 5, seed: int = 0) -> COOMatrix:
+    """2-D ``k`` x ``k`` grid Laplacian pattern (5- or 9-point stencil).
+
+    Long-diameter, moderately dense tiles — the '333SP'-style regime.
+    """
+    if stencil not in (5, 9):
+        raise ShapeError(f"stencil must be 5 or 9, got {stencil}")
+    n = k * k
+    ii, jj = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+    v = (ii * k + jj).ravel().astype(np.int64)
+    deltas = [(0, 0), (0, 1), (1, 0), (0, -1), (-1, 0)]
+    if stencil == 9:
+        deltas += [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+    rows, cols = [], []
+    for di, dj in deltas:
+        ni, nj = ii + di, jj + dj
+        ok = ((ni >= 0) & (ni < k) & (nj >= 0) & (nj < k)).ravel()
+        rows.append(v[ok])
+        cols.append((ni * k + nj).ravel()[ok].astype(np.int64))
+    rng = np.random.default_rng(seed)
+    return _finish((n, n), np.concatenate(rows), np.concatenate(cols),
+                   rng, symmetric=False)
+
+
+def mesh3d(k: int, seed: int = 0) -> COOMatrix:
+    """3-D ``k^3`` grid with the 7-point stencil."""
+    n = k ** 3
+    idx = np.arange(n, dtype=np.int64)
+    zi = idx // (k * k)
+    yi = (idx // k) % k
+    xi = idx % k
+    rows, cols = [idx], [idx]
+    for axis, coord in (("x", xi), ("y", yi), ("z", zi)):
+        stride = {"x": 1, "y": k, "z": k * k}[axis]
+        for sgn in (-1, 1):
+            ok = (coord + sgn >= 0) & (coord + sgn < k)
+            rows.append(idx[ok])
+            cols.append(idx[ok] + sgn * stride)
+    rng = np.random.default_rng(seed)
+    return _finish((n, n), np.concatenate(rows), np.concatenate(cols),
+                   rng, symmetric=False)
+
+
+def fem_like(n: int, nnz_per_row: int = 40, block: int = 8,
+             spread: float = 0.02, seed: int = 0) -> COOMatrix:
+    """FEM-style matrix: nonzeros cluster in dense blocks near the
+    diagonal (nodal blocks of a stiffness matrix).
+
+    Produces the high in-tile density of 'cant' / 'ldoor' /
+    'pdb1HYS': entries land on a ``block``-quantised lattice around the
+    diagonal with Gaussian spread ``spread * n``, so 16x16 tiles fill
+    up instead of scattering.
+    """
+    if n <= 0 or nnz_per_row <= 0 or block <= 0:
+        raise ShapeError("fem_like parameters must be positive")
+    rng = np.random.default_rng(seed)
+    n_blocks_per_row = max(1, nnz_per_row // block)
+    n_row_blocks = max(1, n // block)
+    # each row block couples with a few neighbouring row blocks
+    rb = np.repeat(np.arange(n_row_blocks, dtype=np.int64),
+                   n_blocks_per_row)
+    offs = np.rint(rng.normal(0.0, max(1.0, spread * n_row_blocks),
+                              size=len(rb))).astype(np.int64)
+    cb = np.clip(rb + offs, 0, n_row_blocks - 1)
+    # jitter each dense block off the block lattice so tiles are
+    # realistically partially filled rather than perfectly aligned
+    jr = rng.integers(0, max(1, block // 2), size=len(rb))
+    jc = rng.integers(0, max(1, block // 2), size=len(rb))
+    # expand each (row block, col block) pair into a dense block
+    li = np.arange(block, dtype=np.int64)
+    rows = ((rb * block + jr)[:, None] + li[None, :]).repeat(block, axis=1)
+    cols = np.tile((cb * block + jc)[:, None] + li[None, :], (1, block))
+    rows = rows.ravel()
+    cols = cols.ravel()
+    ok = (rows < n) & (cols < n)
+    return _finish((n, n), rows[ok], cols[ok], rng, symmetric=True)
+
+
+def block_diagonal(n_blocks: int, block_size: int, density: float = 0.9,
+                   seed: int = 0) -> COOMatrix:
+    """Block-diagonal matrix of dense blocks — the 'trans5' regime
+    (§4.2: "the nonzeros of the calculated matrix are relatively
+    concentrated", with a vanishing non-empty tile fraction)."""
+    if not (0.0 < density <= 1.0):
+        raise ShapeError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    n = n_blocks * block_size
+    b = np.repeat(np.arange(n_blocks, dtype=np.int64),
+                  block_size * block_size)
+    li = np.tile(np.repeat(np.arange(block_size, dtype=np.int64),
+                           block_size), n_blocks)
+    lj = np.tile(np.tile(np.arange(block_size, dtype=np.int64),
+                         block_size), n_blocks)
+    keep = rng.random(len(b)) < density
+    rows = (b * block_size + li)[keep]
+    cols = (b * block_size + lj)[keep]
+    return _finish((n, n), rows, cols, rng, symmetric=False)
+
+
+def rmat(scale: int, edge_factor: int = 16,
+         a: float = 0.57, b: float = 0.19, c: float = 0.19,
+         seed: int = 0, symmetric: bool = True) -> COOMatrix:
+    """R-MAT / Kronecker power-law graph (Graph500 parameters by
+    default) — the 'in-2004' / social-network regime, and the 'KR'
+    matrices of Figure 12."""
+    if scale <= 0 or scale > 24:
+        raise ShapeError(f"rmat scale out of supported range: {scale}")
+    if not (0 < a and 0 <= b and 0 <= c and a + b + c < 1.0):
+        raise ShapeError("rmat probabilities must satisfy a+b+c < 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    n_edges = n * edge_factor
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(n_edges)
+        # quadrant probabilities: a | b / c | d
+        go_down = r >= a + b                  # row bit set
+        go_right = (r >= a) & (r < a + b) | (r >= a + b + c)
+        rows |= go_down.astype(np.int64) << bit
+        cols |= go_right.astype(np.int64) << bit
+    return _finish((n, n), rows, cols, rng, symmetric)
+
+
+def erdos_renyi(n: int, avg_degree: float = 8.0, seed: int = 0,
+                symmetric: bool = True) -> COOMatrix:
+    """Uniform random graph with the given expected degree."""
+    if n <= 0 or avg_degree < 0:
+        raise ShapeError("erdos_renyi parameters out of range")
+    rng = np.random.default_rng(seed)
+    n_edges = int(n * avg_degree)
+    rows = rng.integers(0, n, size=n_edges, dtype=np.int64)
+    cols = rng.integers(0, n, size=n_edges, dtype=np.int64)
+    return _finish((n, n), rows, cols, rng, symmetric)
+
+
+def road_network(k: int, rewire: float = 0.02, drop: float = 0.05,
+                 seed: int = 0) -> COOMatrix:
+    """Road-network-like graph: a 2-D grid with a few dropped and a few
+    rewired edges — degree ~2-4, enormous diameter, hypersparse tiles
+    (the 'roadNet-TX' / 'europe.osm' regime)."""
+    if not (0 <= rewire <= 1 and 0 <= drop <= 1):
+        raise ShapeError("rewire/drop must be fractions")
+    rng = np.random.default_rng(seed)
+    n = k * k
+    base = mesh2d(k, stencil=5, seed=seed).without_diagonal()
+    keep = rng.random(base.nnz) >= drop
+    rows, cols = base.row[keep].copy(), base.col[keep].copy()
+    n_rewire = int(rewire * len(rows))
+    if n_rewire:
+        pick = rng.choice(len(rows), size=n_rewire, replace=False)
+        cols[pick] = rng.integers(0, n, size=n_rewire)
+    return _finish((n, n), rows, cols, rng, symmetric=True)
+
+
+def random_rectangular(m: int, n: int, density: float,
+                       seed: int = 0) -> COOMatrix:
+    """Uniform rectangular sparse matrix (SpMSpV on non-square inputs)."""
+    if m <= 0 or n <= 0 or not (0.0 < density <= 1.0):
+        raise ShapeError("random_rectangular parameters out of range")
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(m * n * density))
+    rows = rng.integers(0, m, size=nnz, dtype=np.int64)
+    cols = rng.integers(0, n, size=nnz, dtype=np.int64)
+    return _finish((m, n), rows, cols, rng, symmetric=False)

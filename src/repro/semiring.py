@@ -1,0 +1,117 @@
+"""Semirings for generalized sparse matrix-vector products.
+
+The GraphBLAS view of graph algorithms (which the paper builds on — see
+its §1 and §3.4) replaces the ``(+, ×)`` of ordinary linear algebra with
+an arbitrary semiring ``(⊕, ⊗)``.  TileSpMSpV uses two of them:
+
+* ``PLUS_TIMES`` — ordinary numeric SpMSpV (paper §3.3);
+* ``OR_AND`` — the boolean semiring over bitmasks used by TileBFS
+  (paper §3.4: "the AND operation represents multiplication, and the OR
+  operation represents addition").
+
+A :class:`Semiring` bundles the two NumPy ufunc-compatible operations,
+their identities, and the dtype family they operate on.  Kernels in
+:mod:`repro.core` accept any semiring whose operations are vectorized
+callables, so MIN_PLUS (shortest paths) and MAX_TIMES work out of the
+box and are exercised in tests and the graph-analytics example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Semiring",
+    "PLUS_TIMES",
+    "OR_AND",
+    "MIN_PLUS",
+    "MAX_TIMES",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An algebraic semiring ``(add, add_identity, mul, mul_identity)``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"plus_times"``.
+    add:
+        Binary, associative, commutative reduction ufunc (``np.add``,
+        ``np.minimum``, ``np.bitwise_or``, ...).  Must support
+        ``add.reduceat`` / ``add.at`` (i.e. be a true NumPy ufunc) for
+        the vectorized kernels.
+    add_identity:
+        Identity element of ``add`` (0 for +, +inf for min, ...).
+    mul:
+        Binary combine ufunc (``np.multiply``, ``np.add`` for min-plus,
+        ``np.bitwise_and``, ...).
+    mul_identity:
+        Identity element of ``mul``.
+    dtype:
+        Default dtype kernels should promote operands to.
+    """
+
+    name: str
+    add: Callable = field(repr=False, default=np.add)
+    add_identity: float = 0.0
+    mul: Callable = field(repr=False, default=np.multiply)
+    mul_identity: float = 1.0
+    dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
+
+    def reduce_segments(self, values: np.ndarray, segment_ids: np.ndarray,
+                        n_segments: int) -> np.ndarray:
+        """Reduce ``values`` grouped by ``segment_ids`` with ``add``.
+
+        ``segment_ids`` need not be sorted.  Returns an array of length
+        ``n_segments`` initialised to ``add_identity``.  This is the
+        scatter-reduce primitive every merge-style SpMSpV kernel needs.
+        """
+        out = np.full(n_segments, self.add_identity, dtype=values.dtype)
+        if len(values):
+            self.add.at(out, segment_ids, values)
+        return out
+
+    def is_identity(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of entries equal to the additive identity.
+
+        NaN-safe for float semirings whose identity is NaN-free; used to
+        drop explicit zeros from sparse results.
+        """
+        ident = self.add_identity
+        if isinstance(ident, float) and np.isinf(ident):
+            return np.isinf(values) & (np.sign(values) == np.sign(ident))
+        return values == ident
+
+
+PLUS_TIMES = Semiring(
+    name="plus_times",
+    add=np.add, add_identity=0.0,
+    mul=np.multiply, mul_identity=1.0,
+    dtype=np.dtype(np.float64),
+)
+
+OR_AND = Semiring(
+    name="or_and",
+    add=np.bitwise_or, add_identity=0,
+    mul=np.bitwise_and, mul_identity=np.uint64(0xFFFFFFFFFFFFFFFF),
+    dtype=np.dtype(np.uint64),
+)
+
+MIN_PLUS = Semiring(
+    name="min_plus",
+    add=np.minimum, add_identity=np.inf,
+    mul=np.add, mul_identity=0.0,
+    dtype=np.dtype(np.float64),
+)
+
+MAX_TIMES = Semiring(
+    name="max_times",
+    add=np.maximum, add_identity=0.0,
+    mul=np.multiply, mul_identity=1.0,
+    dtype=np.dtype(np.float64),
+)

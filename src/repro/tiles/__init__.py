@@ -1,0 +1,30 @@
+"""Tiled sparse storage structures — the paper's §3.2.
+
+* :class:`TiledMatrix` — sparse nt x nt tiles, CSR-of-tiles (§3.2.1);
+* :class:`TiledVector` — the ``x_ptr`` / ``x_tile`` vector (§3.2.2);
+* :class:`BitTiledMatrix`, :class:`BitVector` — bitmask compression for
+  BFS (§3.2.3);
+* :func:`split_very_sparse_tiles` — COO extraction of very sparse tiles;
+* :func:`tile_stats` — the occupancy statistics of Table 2.
+"""
+
+from .bitmask import (BitTiledMatrix, BitVector, bit_positions, pack_bits,
+                      pattern_is_symmetric, unpack_words)
+from .extraction import (HybridTiledMatrix, split_very_sparse_tiles,
+                         suggest_extract_threshold)
+from .io import load_tiled, save_tiled
+from .stats import (TileStats, count_nonempty_tiles, tile_nnz_histogram,
+                    tile_stats, tile_stats_sweep)
+from .tiled_matrix import TiledMatrix
+from .tiled_vector import SUPPORTED_TILE_SIZES, TiledVector
+
+__all__ = [
+    "TiledMatrix", "TiledVector", "SUPPORTED_TILE_SIZES",
+    "BitTiledMatrix", "BitVector", "bit_positions", "pack_bits",
+    "unpack_words", "pattern_is_symmetric",
+    "HybridTiledMatrix", "split_very_sparse_tiles",
+    "suggest_extract_threshold",
+    "save_tiled", "load_tiled",
+    "TileStats", "count_nonempty_tiles", "tile_nnz_histogram",
+    "tile_stats", "tile_stats_sweep",
+]

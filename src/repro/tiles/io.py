@@ -1,0 +1,109 @@
+"""Serialization of the tiled structures (``.npz`` on disk).
+
+Preprocessing is the expensive step of the pipeline (Figure 11), so a
+downstream user tiling a large matrix once wants to keep the result.
+These functions round-trip :class:`TiledMatrix`, :class:`TiledVector`,
+:class:`BitTiledMatrix` and :class:`HybridTiledMatrix` through NumPy's
+``.npz`` container with a format tag and version check.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import IOFormatError
+from ..formats.coo import COOMatrix
+from .bitmask import BitTiledMatrix
+from .extraction import HybridTiledMatrix
+from .tiled_matrix import TiledMatrix
+from .tiled_vector import TiledVector
+
+__all__ = ["save_tiled", "load_tiled"]
+
+_VERSION = 1
+PathLike = Union[str, Path]
+
+
+def save_tiled(obj, path: PathLike) -> None:
+    """Write a tiled structure to ``path`` (``.npz``)."""
+    if isinstance(obj, TiledMatrix):
+        np.savez_compressed(
+            path, kind="tiled_matrix", version=_VERSION,
+            shape=np.array(obj.shape), nt=obj.nt,
+            tile_ptr=obj.tile_ptr, tile_colidx=obj.tile_colidx,
+            tile_nnz_ptr=obj.tile_nnz_ptr, local_row=obj.local_row,
+            local_col=obj.local_col, values=obj.values)
+    elif isinstance(obj, TiledVector):
+        np.savez_compressed(
+            path, kind="tiled_vector", version=_VERSION,
+            n=obj.n, nt=obj.nt, fill=obj.fill,
+            x_ptr=obj.x_ptr, x_tile=obj.x_tile)
+    elif isinstance(obj, BitTiledMatrix):
+        np.savez_compressed(
+            path, kind="bit_tiled_matrix", version=_VERSION,
+            shape=np.array(obj.shape), nt=obj.nt,
+            orientation=obj.orientation, tile_ptr=obj.tile_ptr,
+            tile_otheridx=obj.tile_otheridx, words=obj.words)
+    elif isinstance(obj, HybridTiledMatrix):
+        np.savez_compressed(
+            path, kind="hybrid_tiled_matrix", version=_VERSION,
+            shape=np.array(obj.tiled.shape), nt=obj.tiled.nt,
+            threshold=obj.threshold,
+            tile_ptr=obj.tiled.tile_ptr,
+            tile_colidx=obj.tiled.tile_colidx,
+            tile_nnz_ptr=obj.tiled.tile_nnz_ptr,
+            local_row=obj.tiled.local_row,
+            local_col=obj.tiled.local_col,
+            values=obj.tiled.values,
+            side_row=obj.side.row, side_col=obj.side.col,
+            side_val=obj.side.val)
+    else:
+        raise IOFormatError(
+            f"save_tiled does not support {type(obj).__name__}"
+        )
+
+
+def load_tiled(path: PathLike):
+    """Load a structure written by :func:`save_tiled`."""
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise IOFormatError(f"cannot read tiled file {path}: {exc}") \
+            from exc
+    if "kind" not in data or "version" not in data:
+        raise IOFormatError(f"{path} is not a repro tiled file")
+    version = int(data["version"])
+    if version > _VERSION:
+        raise IOFormatError(
+            f"{path} has version {version}; this library reads up to "
+            f"{_VERSION}"
+        )
+    kind = str(data["kind"])
+    if kind == "tiled_matrix":
+        return TiledMatrix(tuple(data["shape"]), int(data["nt"]),
+                           data["tile_ptr"], data["tile_colidx"],
+                           data["tile_nnz_ptr"], data["local_row"],
+                           data["local_col"], data["values"])
+    if kind == "tiled_vector":
+        return TiledVector(int(data["n"]), int(data["nt"]),
+                           data["x_ptr"], data["x_tile"],
+                           fill=float(data["fill"]))
+    if kind == "bit_tiled_matrix":
+        return BitTiledMatrix(tuple(data["shape"]), int(data["nt"]),
+                              str(data["orientation"]),
+                              data["tile_ptr"], data["tile_otheridx"],
+                              data["words"])
+    if kind == "hybrid_tiled_matrix":
+        shape = tuple(data["shape"])
+        tiled = TiledMatrix(shape, int(data["nt"]), data["tile_ptr"],
+                            data["tile_colidx"], data["tile_nnz_ptr"],
+                            data["local_row"], data["local_col"],
+                            data["values"])
+        side = COOMatrix(shape, data["side_row"], data["side_col"],
+                         data["side_val"])
+        return HybridTiledMatrix(tiled=tiled, side=side,
+                                 threshold=int(data["threshold"]))
+    raise IOFormatError(f"unknown tiled kind {kind!r} in {path}")

@@ -1,0 +1,238 @@
+"""Tiled sparse matrix storage (paper §3.2.1, Figure 4).
+
+The matrix is cut into ``nt``-by-``nt`` sparse tiles; non-empty tiles
+are treated as the nonzero elements of a coarse matrix stored in CSR
+("CSR-of-tiles"), and inside each tile only the actual nonzeros are
+kept, sorted row-major (the per-tile CSR of paper Alg. 4).  Local
+coordinates fit in a byte (``nt <= 64``); for ``nt == 16`` they pack
+into a *single* byte — high nibble row, low nibble column — the storage
+trick of §3.2.1, exposed via :meth:`TiledMatrix.packed_index`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._util import ceil_div
+from ..errors import TileError
+from ..formats.coo import COOMatrix
+from ..formats.csr import compress_indptr, expand_indptr
+from .tiled_vector import SUPPORTED_TILE_SIZES
+
+__all__ = ["TiledMatrix"]
+
+
+class TiledMatrix:
+    """Sparse matrix of sparse ``nt``-by-``nt`` tiles, CSR-of-tiles layout.
+
+    Attributes
+    ----------
+    shape:
+        Logical ``(m, n)`` of the matrix (not padded).
+    nt:
+        Tile edge length, from :data:`SUPPORTED_TILE_SIZES`.
+    tile_ptr:
+        ``int64[n_tile_rows + 1]`` — CSR pointers over tile rows.
+    tile_colidx:
+        ``int64[n_nonempty_tiles]`` — tile-column index of each stored
+        tile, sorted within each tile row.
+    tile_nnz_ptr:
+        ``int64[n_nonempty_tiles + 1]`` — offsets of each tile's
+        nonzeros in the entry arrays.
+    local_row, local_col:
+        ``uint8[nnz]`` — within-tile coordinates, row-major sorted per
+        tile.
+    values:
+        ``float64[nnz]`` — the nonzero values.
+    """
+
+    def __init__(self, shape: Tuple[int, int], nt: int,
+                 tile_ptr: np.ndarray, tile_colidx: np.ndarray,
+                 tile_nnz_ptr: np.ndarray, local_row: np.ndarray,
+                 local_col: np.ndarray, values: np.ndarray):
+        if nt not in SUPPORTED_TILE_SIZES:
+            raise TileError(
+                f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
+            )
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.nt = int(nt)
+        self.tile_ptr = np.ascontiguousarray(tile_ptr, dtype=np.int64)
+        self.tile_colidx = np.ascontiguousarray(tile_colidx, dtype=np.int64)
+        self.tile_nnz_ptr = np.ascontiguousarray(tile_nnz_ptr, dtype=np.int64)
+        self.local_row = np.ascontiguousarray(local_row, dtype=np.uint8)
+        self.local_col = np.ascontiguousarray(local_col, dtype=np.uint8)
+        self.values = np.ascontiguousarray(values)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every structural invariant of the tiled layout."""
+        mt, nc = self.n_tile_rows, self.n_tile_cols
+        if len(self.tile_ptr) != mt + 1:
+            raise TileError(
+                f"tile_ptr length {len(self.tile_ptr)} != n_tile_rows+1"
+            )
+        if self.tile_ptr[0] != 0 or np.any(np.diff(self.tile_ptr) < 0):
+            raise TileError("tile_ptr must start at 0 and be non-decreasing")
+        if self.tile_ptr[-1] != len(self.tile_colidx):
+            raise TileError("tile_ptr[-1] != number of stored tiles")
+        if len(self.tile_colidx) and (
+                self.tile_colidx.min() < 0 or self.tile_colidx.max() >= nc):
+            raise TileError("tile column index out of range")
+        if len(self.tile_nnz_ptr) != len(self.tile_colidx) + 1:
+            raise TileError("tile_nnz_ptr length != n_tiles + 1")
+        if (self.tile_nnz_ptr[0] != 0
+                or np.any(np.diff(self.tile_nnz_ptr) < 0)
+                or self.tile_nnz_ptr[-1] != len(self.values)):
+            raise TileError("tile_nnz_ptr inconsistent with entry arrays")
+        if np.any(np.diff(self.tile_nnz_ptr) == 0):
+            raise TileError("stored tiles must be non-empty")
+        if not (len(self.local_row) == len(self.local_col)
+                == len(self.values)):
+            raise TileError("entry arrays have inconsistent lengths")
+        if len(self.local_row) and (int(self.local_row.max()) >= self.nt or
+                                    int(self.local_col.max()) >= self.nt):
+            raise TileError(f"local index out of tile range (nt={self.nt})")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, nt: int) -> "TiledMatrix":
+        """Tile a COO matrix (duplicates summed).
+
+        Entries are bucketed by ``(tile_row, tile_col)`` and sorted
+        row-major inside each tile, all with vectorized sorts — the
+        format-conversion step whose cost Figure 11 measures.
+        """
+        if nt not in SUPPORTED_TILE_SIZES:
+            raise TileError(
+                f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
+            )
+        coo = coo.sum_duplicates()
+        m, n = coo.shape
+        trow = coo.row // nt
+        tcol = coo.col // nt
+        lrow = (coo.row % nt).astype(np.uint8)
+        lcol = (coo.col % nt).astype(np.uint8)
+        order = np.lexsort((lcol, lrow, tcol, trow))
+        trow, tcol = trow[order], tcol[order]
+        lrow, lcol = lrow[order], lcol[order]
+        vals = coo.val[order]
+
+        nc = ceil_div(n, nt)
+        tile_key = trow * nc + tcol
+        from .._util import group_starts
+
+        starts = group_starts(tile_key)
+        n_tiles = len(starts)
+        tile_nnz_ptr = np.concatenate(
+            [starts, [len(tile_key)]]).astype(np.int64)
+        tile_trow = trow[starts] if n_tiles else np.zeros(0, dtype=np.int64)
+        tile_colidx = tcol[starts] if n_tiles else np.zeros(0, dtype=np.int64)
+        tile_ptr = compress_indptr(tile_trow, ceil_div(m, nt))
+        return cls((m, n), nt, tile_ptr, tile_colidx, tile_nnz_ptr,
+                   lrow, lcol, vals)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, nt: int) -> "TiledMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense), nt)
+
+    # ------------------------------------------------------------------
+    # Geometry / accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_tile_rows(self) -> int:
+        """Number of tile rows (``ceil(m / nt)``)."""
+        return ceil_div(self.shape[0], self.nt)
+
+    @property
+    def n_tile_cols(self) -> int:
+        """Number of tile columns (``ceil(n / nt)``)."""
+        return ceil_div(self.shape[1], self.nt)
+
+    @property
+    def n_nonempty_tiles(self) -> int:
+        """Number of stored tiles."""
+        return len(self.tile_colidx)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return len(self.values)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    def tile_rowidx(self) -> np.ndarray:
+        """Tile-row index of each stored tile (expansion of tile_ptr).
+
+        Cached: the kernels need it on every multiply and it only
+        depends on immutable structure.
+        """
+        cached = getattr(self, "_tile_rowidx", None)
+        if cached is None:
+            cached = expand_indptr(self.tile_ptr)
+            self._tile_rowidx = cached
+        return cached
+
+    def tile_nnz(self) -> np.ndarray:
+        """Nonzero count of each stored tile."""
+        return np.diff(self.tile_nnz_ptr)
+
+    def tile_of_entry(self) -> np.ndarray:
+        """Stored-tile index of each nonzero entry (cached)."""
+        cached = getattr(self, "_tile_of_entry", None)
+        if cached is None:
+            cached = expand_indptr(self.tile_nnz_ptr)
+            self._tile_of_entry = cached
+        return cached
+
+    def tile_slice(self, t: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(local_row, local_col, values)`` views of stored tile ``t``."""
+        lo, hi = self.tile_nnz_ptr[t], self.tile_nnz_ptr[t + 1]
+        return (self.local_row[lo:hi], self.local_col[lo:hi],
+                self.values[lo:hi])
+
+    def packed_index(self) -> np.ndarray:
+        """Nibble-packed per-entry index (§3.2.1): high 4 bits local row,
+        low 4 bits local column.  Only defined for ``nt == 16``."""
+        if self.nt != 16:
+            raise TileError(
+                f"packed single-byte indices require nt=16, have nt={self.nt}"
+            )
+        return ((self.local_row << 4) | self.local_col).astype(np.uint8)
+
+    def index_bytes_per_entry(self) -> int:
+        """Bytes of local-index storage per nonzero (1 for nt=16 thanks
+        to nibble packing, else 2)."""
+        return 1 if self.nt == 16 else 2
+
+    def nbytes(self) -> int:
+        """Storage footprint of the tiled structure in bytes."""
+        entry_idx = self.nnz * self.index_bytes_per_entry()
+        return int(self.tile_ptr.nbytes + self.tile_colidx.nbytes
+                   + self.tile_nnz_ptr.nbytes + entry_idx
+                   + self.values.nbytes)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        """Expand back to a COO matrix with global coordinates."""
+        tile = self.tile_of_entry()
+        trow = self.tile_rowidx()[tile]
+        tcol = self.tile_colidx[tile]
+        rows = trow * self.nt + self.local_row.astype(np.int64)
+        cols = tcol * self.nt + self.local_col.astype(np.int64)
+        return COOMatrix(self.shape, rows, cols, self.values.copy())
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<TiledMatrix {self.shape[0]}x{self.shape[1]} nt={self.nt} "
+                f"tiles={self.n_nonempty_tiles} nnz={self.nnz}>")

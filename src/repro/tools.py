@@ -1,0 +1,144 @@
+"""Command-line utilities: ``python -m repro.tools <command>``.
+
+Commands
+--------
+
+``info <matrix.mtx> [--nt 16]``
+    Print shape, nnz, density, and the tile-occupancy statistics the
+    paper's Table 2 reports (non-empty tiles at 16/32/64 by default).
+
+``bfs <matrix.mtx> <source> [--gpu rtx3090]``
+    Run TileBFS from a source vertex and print levels summary, the
+    kernel mix, and simulated GPU time.
+
+``spmspv <matrix.mtx> <sparsity> [--nt 16] [--gpu rtx3090]``
+    One TileSpMSpV multiply against a random (seed-1) sparse vector;
+    prints result nnz and the simulated time of each launch.
+
+``generate <kind> <out.mtx> [--n 4096] [--seed 0]``
+    Write a synthetic matrix (kinds: fem, banded, mesh2d, rmat, road,
+    er) as a Matrix Market file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+import numpy as np
+
+from .core import TileBFS, TileSpMSpV
+from .formats import read_matrix_market, write_matrix_market
+from .gpusim import Device, get_spec
+from .matrices import (banded, erdos_renyi, fem_like, mesh2d, rmat,
+                       road_network)
+from .tiles import tile_stats_sweep
+from .vectors import random_sparse_vector
+
+__all__ = ["main"]
+
+_GENERATORS = {
+    "fem": lambda n, seed: fem_like(n, seed=seed),
+    "banded": lambda n, seed: banded(n, seed=seed),
+    "mesh2d": lambda n, seed: mesh2d(max(2, int(n ** 0.5)), seed=seed),
+    "rmat": lambda n, seed: rmat(max(2, (n - 1).bit_length()), seed=seed),
+    "road": lambda n, seed: road_network(max(2, int(n ** 0.5)),
+                                         seed=seed),
+    "er": lambda n, seed: erdos_renyi(n, seed=seed),
+}
+
+
+def _cmd_info(args) -> int:
+    m = read_matrix_market(args.matrix)
+    print(f"{args.matrix}: {m.shape[0]} x {m.shape[1]}, nnz={m.nnz}, "
+          f"density={m.density:.2e}")
+    for nt, st in tile_stats_sweep(m).items():
+        print(f"  nt={nt:>2}: {st.n_nonempty_tiles:>10} non-empty tiles "
+              f"({100 * st.nonempty_tile_fraction:.3f}% of grid, "
+              f"avg {st.avg_nnz_per_tile:.1f} nnz/tile, "
+              f"in-tile density {st.in_tile_density:.3f})")
+    return 0
+
+
+def _cmd_bfs(args) -> int:
+    m = read_matrix_market(args.matrix)
+    dev = Device(get_spec(args.gpu))
+    bfs = TileBFS(m, device=dev)
+    res = bfs.run(args.source)
+    print(f"TileBFS from {args.source} on {dev.spec.name} "
+          f"(nt={bfs.nt}):")
+    print(f"  reached {res.n_reached}/{m.shape[0]} vertices, "
+          f"depth {res.depth}")
+    print(f"  simulated {res.simulated_ms:.4f} ms "
+          f"({res.gteps(m.nnz):.3f} GTEPS)")
+    mix = Counter(it.kernel for it in res.iterations)
+    print(f"  kernel mix: {dict(mix)}")
+    return 0
+
+
+def _cmd_spmspv(args) -> int:
+    m = read_matrix_market(args.matrix)
+    dev = Device(get_spec(args.gpu))
+    op = TileSpMSpV(m, nt=args.nt, device=dev)
+    x = random_sparse_vector(m.shape[1], args.sparsity)
+    y = op.multiply(x)
+    print(f"TileSpMSpV on {dev.spec.name} (nt={args.nt}): "
+          f"x nnz={x.nnz} -> y nnz={y.nnz}")
+    for rec in dev.timeline:
+        print(f"  {rec.name:<24} {1000 * rec.ms:>10.2f} us  "
+              f"[{rec.time.bound}-bound]")
+    print(f"  total {1000 * dev.elapsed_ms:.2f} us")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.kind not in _GENERATORS:
+        print(f"unknown kind {args.kind!r}; known: "
+              f"{sorted(_GENERATORS)}", file=sys.stderr)
+        return 2
+    m = _GENERATORS[args.kind](args.n, args.seed)
+    write_matrix_market(m, args.out)
+    print(f"wrote {args.out}: {m.shape[0]} x {m.shape[1]}, nnz={m.nnz}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="TileSpMSpV reproduction utilities")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("info", help="matrix + tile statistics")
+    q.add_argument("matrix")
+    q.set_defaults(func=_cmd_info)
+
+    q = sub.add_parser("bfs", help="run TileBFS")
+    q.add_argument("matrix")
+    q.add_argument("source", type=int)
+    q.add_argument("--gpu", default="rtx3090")
+    q.set_defaults(func=_cmd_bfs)
+
+    q = sub.add_parser("spmspv", help="run one TileSpMSpV multiply")
+    q.add_argument("matrix")
+    q.add_argument("sparsity", type=float)
+    q.add_argument("--nt", type=int, default=16)
+    q.add_argument("--gpu", default="rtx3090")
+    q.set_defaults(func=_cmd_spmspv)
+
+    q = sub.add_parser("generate", help="write a synthetic matrix")
+    q.add_argument("kind")
+    q.add_argument("out")
+    q.add_argument("--n", type=int, default=4096)
+    q.add_argument("--seed", type=int, default=0)
+    q.set_defaults(func=_cmd_generate)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Sparse input-vector generators used by the evaluation.
+
+The paper (§4.2) benchmarks SpMSpV at vector sparsities 0.1, 0.01,
+0.001 and 0.0001, with "vectors with different sparsity generated
+randomly with random seed 1" so the experiment is reproducible; these
+helpers implement exactly that protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+from .sparse_vector import SparseVector
+
+__all__ = ["random_sparse_vector", "PAPER_SPARSITIES", "PAPER_SEED",
+           "frontier_vector"]
+
+#: The four vector sparsities of Figure 6.
+PAPER_SPARSITIES: Sequence[float] = (0.1, 0.01, 0.001, 0.0001)
+
+#: "generated randomly with random seeds 1" (paper §4.2).
+PAPER_SEED = 1
+
+
+def random_sparse_vector(n: int, sparsity: float,
+                         seed: int = PAPER_SEED) -> SparseVector:
+    """A random sparse vector with ``round(n * sparsity)`` nonzeros.
+
+    At least one nonzero is kept for any positive sparsity so every
+    benchmark actually exercises the kernels (a matrix times an empty
+    vector is trivially empty).  Values are uniform in (0, 1].
+
+    Parameters
+    ----------
+    n:
+        Vector length (matrix column count).
+    sparsity:
+        Target nnz / n in [0, 1].
+    seed:
+        RNG seed; the paper's experiments use 1.
+    """
+    if not (0.0 <= sparsity <= 1.0):
+        raise ShapeError(f"sparsity must be in [0, 1], got {sparsity}")
+    if n < 0:
+        raise ShapeError(f"negative vector length {n}")
+    k = int(round(n * sparsity))
+    if sparsity > 0.0 and k == 0 and n > 0:
+        k = 1
+    if k == 0:
+        return SparseVector.empty(n)
+    rng = np.random.default_rng(seed)
+    indices = np.sort(rng.choice(n, size=k, replace=False))
+    values = 1.0 - rng.random(k)  # in (0, 1], never an explicit zero
+    return SparseVector(n, indices, values)
+
+
+def frontier_vector(n: int, sources: Sequence[int]) -> SparseVector:
+    """A unit frontier vector (the BFS seed ``x`` with ones at the
+    source vertices)."""
+    idx = np.unique(np.asarray(sources, dtype=np.int64))
+    if len(idx) and (idx.min() < 0 or idx.max() >= n):
+        raise ShapeError(f"source vertex out of range for n={n}")
+    return SparseVector(n, idx, np.ones(len(idx), dtype=np.float64))

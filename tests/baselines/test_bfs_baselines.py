@@ -1,0 +1,158 @@
+"""Correctness + structural tests for the three BFS baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EnterpriseBFS, GSwitchBFS, GunrockBFS
+from repro.baselines.enterprise import CLASS_BOUNDS
+from repro.core import TileBFS
+from repro.errors import ShapeError
+from repro.formats import COOMatrix
+from repro.gpusim import Device, RTX3090
+from repro.matrices import fem_like, mesh2d, rmat
+
+from ..conftest import nx_levels, random_graph_coo
+
+ALL_BASELINES = [GunrockBFS, GSwitchBFS, EnterpriseBFS]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("cls", ALL_BASELINES,
+                             ids=lambda c: c.__name__)
+    def test_matches_networkx(self, cls):
+        coo = random_graph_coo(180, 4.0, seed=1)
+        res = cls(coo).run(0)
+        assert np.array_equal(res.levels, nx_levels(coo, 0))
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES,
+                             ids=lambda c: c.__name__)
+    def test_matches_tilebfs(self, cls):
+        coo = rmat(9, edge_factor=6, seed=2)
+        ours = TileBFS(coo, nt=16).run(0).levels
+        theirs = cls(coo).run(0).levels
+        assert np.array_equal(ours, theirs)
+
+    @given(st.integers(2, 100), st.integers(0, 10**5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_all_agree(self, n, seed):
+        coo = random_graph_coo(n, 4.0, seed)
+        src = seed % n
+        ref = nx_levels(coo, src)
+        for cls in ALL_BASELINES:
+            assert np.array_equal(cls(coo).run(src).levels, ref), \
+                cls.__name__
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES,
+                             ids=lambda c: c.__name__)
+    def test_disconnected(self, cls):
+        coo = COOMatrix((6, 6), np.array([0, 1]), np.array([1, 0]))
+        res = cls(coo).run(0)
+        assert res.levels.tolist() == [0, 1, -1, -1, -1, -1]
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES,
+                             ids=lambda c: c.__name__)
+    def test_source_out_of_range(self, cls):
+        bfs = cls(COOMatrix.empty((4, 4)))
+        with pytest.raises(ShapeError):
+            bfs.run(9)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES,
+                             ids=lambda c: c.__name__)
+    def test_nonsquare_rejected(self, cls):
+        with pytest.raises(ShapeError):
+            cls(COOMatrix.empty((4, 5)))
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES,
+                             ids=lambda c: c.__name__)
+    def test_max_depth(self, cls):
+        coo = random_graph_coo(100, 4.0, seed=3)
+        res = cls(coo).run(0, max_depth=2)
+        assert res.levels.max() <= 2
+
+
+class TestGunrockStructure:
+    def test_direction_switching_happens(self):
+        """On a low-diameter graph the frontier explodes and Gunrock
+        should go bottom-up at least once."""
+        coo = rmat(10, edge_factor=12, seed=4)
+        dev = Device(RTX3090)
+        res = GunrockBFS(coo, device=dev).run(0)
+        kernels = {it.kernel for it in res.iterations}
+        assert "gunrock_pull" in kernels
+
+    def test_push_only_when_disabled(self):
+        coo = rmat(9, edge_factor=10, seed=5)
+        res = GunrockBFS(coo, direction_optimized=False).run(0)
+        assert {it.kernel for it in res.iterations} == {"gunrock_push"}
+
+    def test_two_launches_per_push_iteration(self):
+        coo = random_graph_coo(100, 3.0, seed=6)
+        dev = Device(RTX3090)
+        res = GunrockBFS(coo, direction_optimized=False,
+                         device=dev).run(0)
+        assert len(dev.timeline) == 2 * len(res.iterations)
+
+
+class TestGSwitchStructure:
+    def test_sampling_kernel_every_iteration(self):
+        coo = random_graph_coo(100, 3.0, seed=7)
+        dev = Device(RTX3090)
+        res = GSwitchBFS(coo, device=dev).run(0)
+        samples = [r for r in dev.timeline if r.name == "gswitch_sample"]
+        assert len(samples) == len(res.iterations)
+
+    def test_warmup_probes_first_iterations(self):
+        from repro.baselines.gswitch import WARMUP_ITERATIONS
+
+        coo = mesh2d(15, seed=8)
+        dev = Device(RTX3090)
+        res = GSwitchBFS(coo, device=dev).run(0)
+        probes = [r for r in dev.timeline if r.name == "gswitch_probe"]
+        assert len(probes) == min(WARMUP_ITERATIONS, len(res.iterations))
+
+
+class TestEnterpriseStructure:
+    def test_class_bounds_from_paper(self):
+        assert CLASS_BOUNDS == (32, 256, 65536)
+
+    def test_classify_kernel_every_iteration(self):
+        coo = random_graph_coo(100, 3.0, seed=9)
+        dev = Device(RTX3090)
+        res = EnterpriseBFS(coo, device=dev).run(0)
+        classifies = [r for r in dev.timeline
+                      if r.name == "enterprise_classify"]
+        assert len(classifies) == len(res.iterations)
+
+    def test_no_atomics_in_expand(self):
+        """Enterprise's status-array push exploits benign races."""
+        coo = random_graph_coo(100, 3.0, seed=10)
+        dev = Device(RTX3090)
+        EnterpriseBFS(coo, device=dev).run(0)
+        for rec in dev.timeline:
+            if rec.name == "enterprise_expand":
+                assert rec.counters.atomic_ops == 0
+
+    def test_perfect_divergence(self):
+        coo = random_graph_coo(100, 3.0, seed=11)
+        dev = Device(RTX3090)
+        EnterpriseBFS(coo, device=dev).run(0)
+        for rec in dev.timeline:
+            if rec.name == "enterprise_expand":
+                assert rec.counters.divergence == 1.0
+
+
+class TestPaperShape:
+    def test_tilebfs_beats_baselines_on_fem(self):
+        """Fig. 8 shape: on dense-tile FEM matrices TileBFS leads."""
+        coo = fem_like(12_000, nnz_per_row=50, block=16, spread=0.004,
+                       seed=12)
+        times = {}
+        for name, make in (("tile", lambda d: TileBFS(coo, device=d)),
+                           ("gunrock", lambda d: GunrockBFS(coo, device=d)),
+                           ("gswitch", lambda d: GSwitchBFS(coo, device=d))):
+            dev = Device(RTX3090)
+            times[name] = make(dev).run(0).simulated_ms
+        assert times["tile"] < times["gunrock"]
+        assert times["tile"] < times["gswitch"]

@@ -1,0 +1,212 @@
+"""Correctness + cost-profile tests for the SpMSpV baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (CombBLASSpMSpV, CuSparseBSRMV, TileSpMV,
+                             spmspv_colwise, spmspv_rowwise)
+from repro.core import TileSpMSpV
+from repro.errors import ShapeError
+from repro.formats import COOMatrix, to_csc, to_csr
+from repro.gpusim import Device, RTX3090
+from repro.vectors import SparseVector, random_sparse_vector
+
+from ..conftest import random_dense
+
+
+def cases():
+    return st.tuples(st.integers(1, 60), st.integers(1, 60),
+                     st.integers(0, 10**6), st.floats(0.0, 0.6))
+
+
+class TestAllAgree:
+    @given(cases())
+    @settings(max_examples=40, deadline=None)
+    def test_every_algorithm_matches_dense(self, params):
+        m, n, seed, xdens = params
+        d = random_dense(m, n, 0.2, seed=seed)
+        coo = COOMatrix.from_dense(d)
+        x = random_sparse_vector(n, xdens, seed=seed + 1)
+        ref = d @ x.to_dense()
+        results = {
+            "rowwise": spmspv_rowwise(to_csr(coo), x),
+            "colwise": spmspv_colwise(to_csc(coo), x),
+            "tilespmv": TileSpMV(coo, nt=4).multiply(x),
+            "bsr": CuSparseBSRMV(coo, 4).multiply(x),
+            "combblas": CombBLASSpMSpV(coo).multiply(x),
+            "tile": TileSpMSpV(coo, nt=4).multiply(x),
+        }
+        for name, y in results.items():
+            assert np.allclose(y.to_dense(), ref), name
+
+
+class TestNaive:
+    def test_rowwise_shape_error(self):
+        with pytest.raises(ShapeError):
+            spmspv_rowwise(to_csr(COOMatrix.empty((3, 4))),
+                           SparseVector.empty(5))
+
+    def test_colwise_shape_error(self):
+        with pytest.raises(ShapeError):
+            spmspv_colwise(to_csc(COOMatrix.empty((3, 4))),
+                           SparseVector.empty(5))
+
+    def test_rowwise_work_independent_of_x_sparsity(self):
+        """Algorithm 1 probes every stored entry no matter how sparse
+        x is — the inefficiency §2.1 describes."""
+        d = random_dense(50, 50, 0.2, seed=1)
+        csr = to_csr(COOMatrix.from_dense(d))
+        reads = {}
+        for s in (0.5, 0.01):
+            dev = Device(RTX3090)
+            spmspv_rowwise(csr, random_sparse_vector(50, s), device=dev)
+            reads[s] = dev.timeline[0].counters.random_read_count
+        assert reads[0.5] == reads[0.01] == csr.nnz
+
+    def test_colwise_work_scales_with_x(self):
+        d = random_dense(50, 50, 0.2, seed=2)
+        csc = to_csc(COOMatrix.from_dense(d))
+        flops = {}
+        for s in (0.5, 0.02):
+            dev = Device(RTX3090)
+            spmspv_colwise(csc, random_sparse_vector(50, s), device=dev)
+            flops[s] = dev.timeline[0].counters.flops
+        assert flops[0.02] < flops[0.5]
+
+
+class TestTileSpMV:
+    def test_dense_vector_input(self):
+        d = random_dense(20, 20, 0.3, seed=3)
+        x = np.random.default_rng(4).random(20)
+        y = TileSpMV(d, nt=4).multiply(x)
+        assert np.allclose(y.to_dense(), d @ x)
+
+    def test_dense_vector_shape_error(self):
+        with pytest.raises(ShapeError):
+            TileSpMV(np.eye(4), nt=4).multiply(np.zeros(5))
+
+    def test_sparse_vector_shape_error(self):
+        with pytest.raises(ShapeError):
+            TileSpMV(np.eye(4), nt=4).multiply(SparseVector.empty(5))
+
+    def test_densify_cost_charged_for_sparse_input(self):
+        dev = Device(RTX3090)
+        d = random_dense(40, 40, 0.2, seed=5)
+        TileSpMV(d, nt=4, device=dev).multiply(
+            random_sparse_vector(40, 0.1))
+        assert [r.name for r in dev.timeline][:1] == ["tilespmv_densify_x"]
+
+    def test_processes_all_tiles_regardless_of_x(self):
+        """No x_ptr skipping: flops == 2*nnz always."""
+        d = random_dense(60, 60, 0.15, seed=6)
+        op = TileSpMV(d, nt=4)
+        for s in (0.3, 0.01):
+            dev = Device(RTX3090)
+            op.device = dev
+            op.multiply(random_sparse_vector(60, s))
+            spmv_rec = [r for r in dev.timeline if r.name == "tilespmv"][0]
+            assert spmv_rec.counters.flops == 2.0 * op.tiled.nnz
+
+
+class TestCuSparseBSR:
+    def test_work_counts_block_zeros(self):
+        d = np.zeros((32, 32))
+        d[0, 0] = 1.0
+        dev = Device(RTX3090)
+        op = CuSparseBSRMV(d, blocksize=16, device=dev)
+        op.multiply(SparseVector(32, np.array([0]), np.array([1.0])))
+        rec = [r for r in dev.timeline if r.name == "bsrmv"][0]
+        # one 16x16 dense block => 512 flops for a single true nonzero
+        assert rec.counters.flops == 2.0 * 16 * 16
+
+    def test_dense_vector_input(self):
+        d = random_dense(20, 20, 0.3, seed=7)
+        x = np.random.default_rng(8).random(20)
+        assert np.allclose(CuSparseBSRMV(d, 4).multiply(x).to_dense(),
+                           d @ x)
+
+    def test_shape_errors(self):
+        op = CuSparseBSRMV(np.eye(8), 4)
+        with pytest.raises(ShapeError):
+            op.multiply(SparseVector.empty(9))
+        with pytest.raises(ShapeError):
+            op.multiply(np.zeros(9))
+
+
+class TestCombBLAS:
+    def test_bucket_rows_validation(self):
+        with pytest.raises(ShapeError):
+            CombBLASSpMSpV(np.eye(4), bucket_rows=0)
+
+    def test_shape_error(self):
+        with pytest.raises(ShapeError):
+            CombBLASSpMSpV(np.eye(4)).multiply(SparseVector.empty(5))
+
+    def test_phases_submitted(self):
+        dev = Device(RTX3090)
+        d = random_dense(30, 30, 0.3, seed=9)
+        CombBLASSpMSpV(d, device=dev).multiply(
+            random_sparse_vector(30, 0.2))
+        names = [r.name for r in dev.timeline]
+        assert names == ["combblas_setup", "combblas_bucket_count",
+                         "combblas_gather_bucket", "combblas_sort",
+                         "combblas_merge", "combblas_compact"]
+
+    def test_small_buckets_still_correct(self):
+        d = random_dense(40, 40, 0.25, seed=10)
+        x = random_sparse_vector(40, 0.3, seed=11)
+        y = CombBLASSpMSpV(d, bucket_rows=8).multiply(x)
+        assert np.allclose(y.to_dense(), d @ x.to_dense())
+
+    def test_work_scales_with_x(self):
+        d = random_dense(60, 60, 0.2, seed=12)
+        op = CombBLASSpMSpV(d)
+        t = {}
+        for s in (0.5, 0.02):
+            dev = Device(RTX3090)
+            op.device = dev
+            op.multiply(random_sparse_vector(60, s))
+            t[s] = dev.elapsed_ms
+        assert t[0.02] < t[0.5]
+
+
+class TestPaperShape:
+    """The qualitative claims of Figure 6 on a structured matrix."""
+
+    @pytest.fixture(scope="class")
+    def ops(self):
+        from repro.matrices import banded
+
+        coo = banded(30_000, bandwidth=4, seed=1)
+        return coo, {
+            "tile": TileSpMSpV(coo, nt=16),
+            "tilespmv": TileSpMV(coo, nt=16),
+            "bsr": CuSparseBSRMV(coo, 16),
+            "combblas": CombBLASSpMSpV(coo),
+        }
+
+    def times(self, ops, sparsity):
+        coo, algs = ops
+        out = {}
+        for name, alg in algs.items():
+            dev = Device(RTX3090)
+            alg.device = dev
+            alg.multiply(random_sparse_vector(coo.shape[1], sparsity))
+            out[name] = dev.elapsed_ms
+        return out
+
+    @pytest.mark.parametrize("sparsity", [0.1, 0.01, 0.001])
+    def test_tilespmspv_wins(self, ops, sparsity):
+        t = self.times(ops, sparsity)
+        assert t["tile"] < t["tilespmv"]
+        assert t["tile"] < t["bsr"]
+        assert t["tile"] < t["combblas"]
+
+    def test_gap_to_spmv_widens_with_sparsity(self, ops):
+        """Fig. 6 trend: the TileSpMV gap grows as x gets sparser."""
+        t_dense = self.times(ops, 0.1)
+        t_sparse = self.times(ops, 0.001)
+        assert (t_sparse["tilespmv"] / t_sparse["tile"]
+                > t_dense["tilespmv"] / t_dense["tile"])

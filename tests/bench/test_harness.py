@@ -1,0 +1,102 @@
+"""Smoke tests for the experiment runners on tiny entry sets.
+
+The full-size runs live under ``benchmarks/``; here every runner is
+exercised end to end on miniature inputs to pin its structure: headers,
+row counts, and the qualitative relations the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (ALL_EXPERIMENTS, conversion_counters,
+                         run_extraction, run_fig6, run_fig7, run_fig8,
+                         run_fig9, run_fig10, run_fig11, run_fig12,
+                         run_table2)
+from repro.formats import COOMatrix
+from repro.gpusim import RTX3090
+from repro.matrices import CollectionEntry, fem_like, road_network
+from repro.matrices.collection import _e
+
+
+def tiny_entries():
+    return [
+        _e("tiny_fem", "fem", lambda: fem_like(512, nnz_per_row=24,
+                                               block=8, seed=1)),
+        _e("tiny_road", "road", lambda: road_network(12, seed=2)),
+    ]
+
+
+class TestRunners:
+    def test_table2_structure(self):
+        res = run_table2(tiny_entries())
+        assert len(res.rows) == 2
+        assert res.headers[0] == "Matrix"
+        assert "#tiles (16)" in res.headers
+        # tile counts decrease with tile size
+        for row in res.rows:
+            assert row[3] >= row[4] >= row[5] >= 1
+        assert "tiny_fem" in res.text
+
+    def test_fig6_structure(self):
+        res = run_fig6(tiny_entries(), sparsities=(0.1, 0.001))
+        # 2 sparsities x 3 rivals
+        assert len(res.rows) == 6
+        assert all(np.isfinite(r[2]) for r in res.rows)
+        assert len(res.extra["detail_rows"]) == 4
+
+    def test_fig7_structure(self):
+        res = run_fig7(tiny_entries(), specs=(RTX3090,))
+        assert len(res.rows) == 2   # one spec x 2 rivals
+        assert res.rows[0][0] == "RTX 3090"
+        assert all(np.isfinite(r[2]) for r in res.rows)
+
+    def test_fig8_structure(self):
+        res = run_fig8(tiny_entries())
+        assert len(res.rows) == 2
+        for row in res.rows:
+            assert all(v > 0 for v in row[1:])
+
+    def test_fig9_monotone_improvement(self):
+        res = run_fig9(tiny_entries())
+        for row in res.rows:
+            # adding kernels never hurts badly: K1+K2 >= ~K1
+            assert row[2] >= row[1] * 0.8
+
+    def test_fig10_series(self):
+        res = run_fig10(names=["cavity23"])
+        assert len(res.rows) == 3   # 3 algorithms
+        assert "cavity23/TileBFS" in res.text
+
+    def test_fig11_ratios_finite(self):
+        res = run_fig11(tiny_entries())
+        for row in res.rows:
+            assert row[3] > 0 and np.isfinite(row[3])
+
+    def test_fig12_structure(self):
+        res = run_fig12(tiny_entries())
+        assert len(res.rows) == 2
+        assert "geomean_speedup" in res.extra
+
+    def test_extraction_runs(self):
+        res = run_extraction()
+        assert len(res.rows) == 3
+        # the cryg-like dusty case must benefit from extraction
+        assert res.rows[0][3] > 1.2
+
+    def test_all_experiments_registry(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "extraction"}
+
+
+class TestConversionCounters:
+    def test_scales_with_nnz(self):
+        small = fem_like(256, nnz_per_row=16, seed=3)
+        big = fem_like(2048, nnz_per_row=16, seed=3)
+        c_small = conversion_counters(small, 16)
+        c_big = conversion_counters(big, 16)
+        assert c_big.coalesced_read_bytes > c_small.coalesced_read_bytes
+
+    def test_empty_matrix(self):
+        c = conversion_counters(COOMatrix.empty((64, 64)), 16)
+        c.check()

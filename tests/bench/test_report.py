@@ -1,0 +1,71 @@
+"""Tests for the report formatting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Summary, format_series, format_table, geomean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive_and_nan(self):
+        assert geomean([2.0, 0.0, -1.0, float("nan"), 8.0]) == \
+            pytest.approx(4.0)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(geomean([]))
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["A", "B"], [["x", 1.5], ["y", 2.0]],
+                            title="T")
+        assert "T" in text and "A" in text and "x" in text
+        assert "1.500" in text
+
+    def test_nan_renders_dash(self):
+        text = format_table(["A"], [[float("nan")]])
+        assert "-" in text
+
+    def test_large_numbers_compact(self):
+        text = format_table(["A"], [[123456.789]])
+        assert "1.23e+05" in text or "123457" in text or "1.23e5" in text
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert "A" in text
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        s = format_series("m/alg", [1, 2], [0.5, 0.25])
+        assert s.startswith("m/alg:")
+        assert "1:0.5000" in s and "2:0.2500" in s
+
+
+class TestSummary:
+    def test_aggregates(self):
+        s = Summary()
+        s.add("gunrock", 2.0)
+        s.add("gunrock", 8.0)
+        s.add("gunrock", 0.5)
+        assert s.geomean("gunrock") == pytest.approx(2.0)
+        assert s.max("gunrock") == 8.0
+        assert s.fraction_won("gunrock") == pytest.approx(2 / 3)
+
+    def test_empty_key(self):
+        s = Summary()
+        assert np.isnan(s.geomean("missing"))
+        assert np.isnan(s.fraction_won("missing"))
+
+    def test_rows(self):
+        s = Summary()
+        s.add("a", 2.0)
+        rows = s.rows()
+        assert rows[0][0] == "a"
+        assert rows[0][1] == pytest.approx(2.0)

@@ -1,0 +1,72 @@
+"""Shared fixtures: deterministic random matrices, graphs, and oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_dense(m, n, density=0.1, seed=0):
+    """Dense array with the given fraction of nonzeros (exact values)."""
+    r = np.random.default_rng(seed)
+    d = (r.random((m, n)) < density) * r.random((m, n))
+    return d
+
+
+def random_coo(m, n, density=0.1, seed=0) -> COOMatrix:
+    return COOMatrix.from_dense(random_dense(m, n, density, seed))
+
+
+def random_graph_coo(n, avg_degree=4.0, seed=0) -> COOMatrix:
+    """Symmetric unit-weight graph adjacency."""
+    r = np.random.default_rng(seed)
+    n_edges = int(n * avg_degree / 2)
+    rows = r.integers(0, n, n_edges)
+    cols = r.integers(0, n, n_edges)
+    keep = rows != cols
+    return COOMatrix((n, n), rows[keep], cols[keep],
+                     np.ones(keep.sum())).symmetrize()
+
+
+def nx_graph_of(coo: COOMatrix):
+    """networkx graph from a symmetric adjacency COO."""
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(coo.shape[0]))
+    G.add_edges_from(zip(coo.row.tolist(), coo.col.tolist()))
+    return G
+
+
+def nx_levels(coo: COOMatrix, source: int) -> np.ndarray:
+    """BFS level oracle via networkx."""
+    import networkx as nx
+
+    G = nx_graph_of(coo)
+    lengths = nx.single_source_shortest_path_length(G, source)
+    out = np.full(coo.shape[0], -1, dtype=np.int64)
+    for v, l in lengths.items():
+        out[v] = l
+    return out
+
+
+@pytest.fixture
+def small_coo():
+    return random_coo(37, 53, density=0.12, seed=7)
+
+
+@pytest.fixture
+def square_coo():
+    return random_coo(64, 64, density=0.1, seed=8)
+
+
+@pytest.fixture
+def graph_coo():
+    return random_graph_coo(120, avg_degree=5.0, seed=9)

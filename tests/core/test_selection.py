@@ -1,0 +1,93 @@
+"""Tests for the kernel-selection policy (paper §3.4 rule + Fig. 9
+ablation hooks)."""
+
+import pytest
+
+from repro.core import (PULL_CSC, PUSH_CSC, PUSH_CSR, KernelSelector,
+                        select_tile_size)
+from repro.errors import TileError
+
+
+class TestTileSizeRule:
+    def test_paper_boundary(self):
+        """§3.4: order > 10,000 -> 64x64 tiles, otherwise 32x32."""
+        assert select_tile_size(10_000) == 32
+        assert select_tile_size(10_001) == 64
+
+    def test_small(self):
+        assert select_tile_size(100) == 32
+
+    def test_large(self):
+        assert select_tile_size(1_000_000) == 64
+
+
+class TestPaperRule:
+    def test_rule1_sparse_frontier_pushes_csc(self):
+        sel = KernelSelector()
+        assert sel.choose(frontier_sparsity=0.005,
+                          unvisited_fraction=0.9) == PUSH_CSC
+
+    def test_rule2_dense_frontier_pushes_csr(self):
+        sel = KernelSelector()
+        assert sel.choose(frontier_sparsity=0.05,
+                          unvisited_fraction=0.9) == PUSH_CSR
+
+    def test_rule2_boundary_inclusive(self):
+        """Paper: 'greater than or equal to 0.01' -> Push-CSR."""
+        sel = KernelSelector()
+        assert sel.choose(frontier_sparsity=0.01,
+                          unvisited_fraction=0.9) == PUSH_CSR
+
+    def test_rule3_few_unvisited_pulls(self):
+        sel = KernelSelector()
+        assert sel.choose(frontier_sparsity=0.2,
+                          unvisited_fraction=0.01) == PULL_CSC
+
+    def test_pull_guard_thin_tail_frontier_stays_push(self):
+        """A tiny frontier never pulls even when unvisited is small
+        (the push/pull guard for long-diameter matrices)."""
+        sel = KernelSelector()
+        assert sel.choose(frontier_sparsity=0.001,
+                          unvisited_fraction=0.01) == PUSH_CSC
+
+
+class TestAblationPoints:
+    def test_k1_always_push_csc(self):
+        sel = KernelSelector.k1()
+        for fs, uv in ((0.5, 0.01), (0.001, 0.9), (0.9, 0.001)):
+            assert sel.choose(fs, uv) == PUSH_CSC
+
+    def test_k1_k2_never_pulls(self):
+        sel = KernelSelector.k1_k2()
+        assert sel.choose(0.5, 0.001) == PUSH_CSR
+        assert sel.choose(0.001, 0.001) == PUSH_CSC
+
+    def test_full_set(self):
+        sel = KernelSelector.k1_k2_k3()
+        assert sel.enabled == frozenset({PUSH_CSC, PUSH_CSR, PULL_CSC})
+
+
+class TestValidation:
+    def test_k1_required(self):
+        with pytest.raises(TileError):
+            KernelSelector(enabled=frozenset({PUSH_CSR}))
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(TileError):
+            KernelSelector(enabled=frozenset({PUSH_CSC, "magic"}))
+
+    def test_bad_sparsity_threshold(self):
+        with pytest.raises(TileError):
+            KernelSelector(sparsity_threshold=0.0)
+        with pytest.raises(TileError):
+            KernelSelector(sparsity_threshold=1.0)
+
+    def test_bad_pull_threshold(self):
+        with pytest.raises(TileError):
+            KernelSelector(pull_threshold=1.5)
+
+    def test_custom_thresholds(self):
+        sel = KernelSelector(sparsity_threshold=0.5, pull_threshold=0.5)
+        assert sel.choose(0.4, 0.9) == PUSH_CSC
+        assert sel.choose(0.6, 0.9) == PUSH_CSR
+        assert sel.choose(0.6, 0.4) == PULL_CSC

@@ -1,0 +1,233 @@
+"""Correctness tests for TileSpMSpV against independent oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TileSpMSpV, tile_spmspv
+from repro.errors import ShapeError, TileError
+from repro.formats import COOMatrix, to_csr
+from repro.gpusim import Device, RTX3090
+from repro.semiring import MAX_TIMES, MIN_PLUS, PLUS_TIMES
+from repro.tiles import TiledMatrix, TiledVector, split_very_sparse_tiles
+from repro.vectors import SparseVector, random_sparse_vector
+
+from ..conftest import random_dense
+
+
+def spmspv_cases():
+    return st.tuples(st.integers(1, 80), st.integers(1, 80),
+                     st.sampled_from([2, 4, 16, 32]),
+                     st.integers(0, 10**6), st.floats(0.0, 0.5))
+
+
+class TestAgainstDenseOracle:
+    @given(spmspv_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dense_product(self, params):
+        m, n, nt, seed, xdens = params
+        d = random_dense(m, n, 0.15, seed=seed)
+        x = random_sparse_vector(n, xdens, seed=seed + 1)
+        y = tile_spmspv(COOMatrix.from_dense(d), x, nt=nt)
+        assert np.allclose(y.to_dense(), d @ x.to_dense())
+
+    @given(spmspv_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_scipy(self, params):
+        import scipy.sparse as sp
+
+        m, n, nt, seed, xdens = params
+        d = random_dense(m, n, 0.15, seed=seed)
+        x = random_sparse_vector(n, xdens, seed=seed + 2)
+        y = tile_spmspv(COOMatrix.from_dense(d), x, nt=nt)
+        ref = sp.csr_matrix(d) @ x.to_dense()
+        assert np.allclose(y.to_dense(), ref)
+
+    @pytest.mark.parametrize("threshold", [0, 1, 2, 8, 10_000])
+    def test_extraction_threshold_invariant(self, threshold):
+        """Result is independent of how tiles are split."""
+        d = random_dense(60, 60, 0.08, seed=5)
+        x = random_sparse_vector(60, 0.2, seed=6)
+        y = tile_spmspv(COOMatrix.from_dense(d), x, nt=16,
+                        extract_threshold=threshold)
+        assert np.allclose(y.to_dense(), d @ x.to_dense())
+
+
+class TestInputForms:
+    def test_accepts_dense_matrix(self):
+        d = random_dense(10, 10, 0.4, seed=1)
+        x = random_sparse_vector(10, 0.5, seed=2)
+        assert np.allclose(tile_spmspv(d, x, nt=4).to_dense(),
+                           d @ x.to_dense())
+
+    def test_accepts_tiled_matrix(self):
+        d = random_dense(12, 12, 0.3, seed=3)
+        tm = TiledMatrix.from_dense(d, 4)
+        x = random_sparse_vector(12, 0.4, seed=4)
+        assert np.allclose(tile_spmspv(tm, x, nt=4).to_dense(),
+                           d @ x.to_dense())
+
+    def test_accepts_hybrid_matrix(self):
+        d = random_dense(12, 12, 0.3, seed=5)
+        hy = split_very_sparse_tiles(COOMatrix.from_dense(d), 4, 1)
+        x = random_sparse_vector(12, 0.4, seed=6)
+        assert np.allclose(tile_spmspv(hy, x, nt=4).to_dense(),
+                           d @ x.to_dense())
+
+    def test_accepts_csr_matrix(self):
+        d = random_dense(12, 9, 0.3, seed=7)
+        x = random_sparse_vector(9, 0.5, seed=8)
+        assert np.allclose(
+            tile_spmspv(to_csr(COOMatrix.from_dense(d)), x, nt=4).to_dense(),
+            d @ x.to_dense())
+
+    def test_accepts_dense_vector(self):
+        d = random_dense(8, 8, 0.4, seed=9)
+        xv = np.zeros(8)
+        xv[[1, 5]] = [2.0, 3.0]
+        op = TileSpMSpV(d, nt=4)
+        assert np.allclose(op.multiply(xv).to_dense(), d @ xv)
+
+    def test_accepts_tiled_vector(self):
+        d = random_dense(8, 8, 0.4, seed=10)
+        xv = np.zeros(8)
+        xv[2] = 4.0
+        tv = TiledVector.from_dense(xv, 4)
+        op = TileSpMSpV(d, nt=4)
+        assert np.allclose(op.multiply(tv).to_dense(), d @ xv)
+
+    def test_tiled_vector_nt_mismatch(self):
+        op = TileSpMSpV(np.eye(8), nt=4)
+        with pytest.raises(ShapeError):
+            op.multiply(TiledVector.from_dense(np.ones(8), 2))
+
+
+class TestOutputs:
+    def test_sparse_output_has_no_explicit_zeros(self):
+        d = np.array([[1.0, -1.0], [0.0, 0.0]])
+        x = SparseVector(2, np.array([0, 1]), np.array([1.0, 1.0]))
+        y = TileSpMSpV(d, nt=2).multiply(x)
+        # row 0 sums to exactly zero -> dropped from the sparse result
+        assert 0 not in y.indices
+
+    def test_dense_output(self):
+        d = random_dense(8, 8, 0.4, seed=11)
+        x = random_sparse_vector(8, 0.5, seed=12)
+        y = TileSpMSpV(d, nt=4).multiply(x, output="dense")
+        assert isinstance(y, np.ndarray)
+        assert np.allclose(y, d @ x.to_dense())
+
+    def test_tiled_output(self):
+        d = random_dense(8, 8, 0.4, seed=13)
+        x = random_sparse_vector(8, 0.5, seed=14)
+        y = TileSpMSpV(d, nt=4).multiply(x, output="tiled")
+        assert isinstance(y, TiledVector)
+        assert np.allclose(y.to_dense(), d @ x.to_dense())
+
+    def test_unknown_output_mode(self):
+        op = TileSpMSpV(np.eye(4), nt=4)
+        with pytest.raises(ShapeError):
+            op.multiply(random_sparse_vector(4, 0.5), output="csv")
+
+
+class TestSemirings:
+    def test_min_plus_shortest_relaxation(self):
+        """One min-plus SpMSpV == one Bellman-Ford relaxation step."""
+        inf = np.inf
+        w = np.array([[inf, inf, inf],
+                      [3.0, inf, inf],
+                      [5.0, 1.0, inf]])
+        d = np.where(np.isinf(w), 0.0, w)   # store finite weights
+        coo = COOMatrix.from_dense(d)
+        op = TileSpMSpV(coo, nt=2, semiring=MIN_PLUS)
+        x = SparseVector(3, np.array([0]), np.array([0.0]))
+        y = op.multiply(x)
+        out = y.to_dense()
+        # y_i = min_j (w_ij + x_j): vertex 1 at 3, vertex 2 at 5
+        assert out[1] == 3.0 and out[2] == 5.0
+
+    def test_max_times_reliability(self):
+        d = np.array([[0.0, 0.0], [0.9, 0.0]])
+        op = TileSpMSpV(d, nt=2, semiring=MAX_TIMES)
+        x = SparseVector(2, np.array([0]), np.array([0.5]))
+        y = op.multiply(x)
+        assert y.to_dense()[1] == pytest.approx(0.45)
+
+    def test_plus_times_is_default(self):
+        op = TileSpMSpV(np.eye(4), nt=4)
+        assert op.semiring is PLUS_TIMES
+
+
+class TestErrors:
+    def test_shape_mismatch(self):
+        op = TileSpMSpV(random_dense(5, 7, 0.5, seed=15), nt=4)
+        with pytest.raises(ShapeError):
+            op.multiply(random_sparse_vector(5, 0.5))
+
+    def test_bad_tile_size(self):
+        with pytest.raises(TileError):
+            TileSpMSpV(np.eye(4), nt=7)
+
+
+class TestDeviceAccounting:
+    def test_launch_records_submitted(self):
+        dev = Device(RTX3090)
+        d = random_dense(40, 40, 0.1, seed=16)
+        op = TileSpMSpV(d, nt=4, extract_threshold=1, device=dev)
+        op.multiply(random_sparse_vector(40, 0.3, seed=17))
+        names = [r.name for r in dev.timeline]
+        assert "tile_spmspv_csr" in names
+        if op.hybrid.side.nnz:
+            assert "tile_spmspv_coo_side" in names
+        assert dev.elapsed_ms > 0
+
+    def test_sparser_vector_cheaper(self):
+        """The tile-skipping claim: fewer active tiles, less time."""
+        d = random_dense(400, 400, 0.05, seed=18)
+        op = TileSpMSpV(d, nt=16)
+        times = {}
+        for s in (0.5, 0.005):
+            dev = Device(RTX3090)
+            op.device = dev
+            op.multiply(random_sparse_vector(400, s, seed=19))
+            times[s] = dev.elapsed_ms
+        assert times[0.005] < times[0.5]
+
+    def test_flops_useful(self):
+        d = np.zeros((4, 4))
+        d[:, 1] = 1.0    # 4 nonzeros in column 1
+        op = TileSpMSpV(d, nt=4)
+        x = SparseVector(4, np.array([1]), np.array([1.0]))
+        assert op.flops_useful(x) == 8
+
+
+class TestEdgeCases:
+    def test_empty_vector(self):
+        d = random_dense(10, 10, 0.3, seed=20)
+        y = TileSpMSpV(d, nt=4).multiply(SparseVector.empty(10))
+        assert y.nnz == 0
+
+    def test_empty_matrix(self):
+        op = TileSpMSpV(COOMatrix.empty((6, 6)), nt=2)
+        y = op.multiply(random_sparse_vector(6, 0.5, seed=21))
+        assert y.nnz == 0
+
+    def test_single_entry_matrix(self):
+        coo = COOMatrix((3, 3), np.array([1]), np.array([2]),
+                        np.array([7.0]))
+        y = TileSpMSpV(coo, nt=2).multiply(
+            SparseVector(3, np.array([2]), np.array([2.0])))
+        assert y.to_dense().tolist() == [0.0, 14.0, 0.0]
+
+    def test_rectangular_tall(self):
+        d = random_dense(100, 8, 0.2, seed=22)
+        x = random_sparse_vector(8, 0.6, seed=23)
+        assert np.allclose(tile_spmspv(d, x, nt=4).to_dense(),
+                           d @ x.to_dense())
+
+    def test_rectangular_wide(self):
+        d = random_dense(8, 100, 0.2, seed=24)
+        x = random_sparse_vector(100, 0.1, seed=25)
+        assert np.allclose(tile_spmspv(d, x, nt=4).to_dense(),
+                           d @ x.to_dense())

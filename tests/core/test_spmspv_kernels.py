@@ -1,0 +1,121 @@
+"""Unit tests for the two numeric SpMSpV kernels (Alg. 4 + COO side)."""
+
+import numpy as np
+import pytest
+
+from repro.core import coo_side_kernel, tiled_kernel
+from repro.errors import ShapeError
+from repro.formats import COOMatrix
+from repro.gpusim import KernelCounters
+from repro.semiring import MIN_PLUS
+from repro.tiles import TiledMatrix, TiledVector
+from repro.tiles.extraction import IndexedSideMatrix
+
+from ..conftest import random_dense
+
+
+class TestTiledKernel:
+    def test_matches_dense(self):
+        d = random_dense(40, 30, 0.2, seed=1)
+        x = random_dense(30, 2, 0.4, seed=2)[:, 0]
+        y, c = tiled_kernel(TiledMatrix.from_dense(d, 4),
+                            TiledVector.from_dense(x, 4))
+        assert np.allclose(y, d @ x)
+        c.check()
+
+    def test_shape_mismatch(self):
+        tm = TiledMatrix.from_dense(np.eye(8), 4)
+        with pytest.raises(ShapeError):
+            tiled_kernel(tm, TiledVector.empty(9, 4))
+
+    def test_tile_size_mismatch(self):
+        tm = TiledMatrix.from_dense(np.eye(8), 4)
+        with pytest.raises(ShapeError):
+            tiled_kernel(tm, TiledVector.empty(8, 2))
+
+    def test_empty_vector_skips_everything(self):
+        d = random_dense(16, 16, 0.3, seed=3)
+        tm = TiledMatrix.from_dense(d, 4)
+        y, c = tiled_kernel(tm, TiledVector.empty(16, 4))
+        assert np.allclose(y, 0.0)
+        assert c.flops == 0
+
+    def test_skipped_tiles_not_charged(self):
+        """Tiles whose x tile is empty contribute no flops/payload."""
+        d = np.zeros((8, 8))
+        d[0, 0] = 1.0   # tile (0, 0)
+        d[0, 5] = 1.0   # tile (0, 1)
+        tm = TiledMatrix.from_dense(d, 4)
+        x = np.zeros(8)
+        x[0] = 1.0      # only tile 0 active
+        _, c = tiled_kernel(tm, TiledVector.from_dense(x, 4))
+        assert c.flops == 2.0   # one active entry
+
+    def test_accumulates_into_existing_y(self):
+        d = random_dense(8, 8, 0.4, seed=4)
+        tm = TiledMatrix.from_dense(d, 4)
+        x = TiledVector.from_dense(np.ones(8), 4)
+        y0 = np.full(8, 0.0)
+        y0[0] = 100.0
+        y, _ = tiled_kernel(tm, x, y_dense=y0)
+        assert y[0] == pytest.approx(100.0 + d[0].sum())
+
+    def test_min_plus_with_sentinel_fill(self):
+        d = np.zeros((4, 4))
+        d[1, 0] = 3.0
+        tm = TiledMatrix.from_dense(d, 4)
+        x = TiledVector.from_sparse(np.array([0]), np.array([2.0]), 4, 4,
+                                    fill=np.inf)
+        y, _ = tiled_kernel(tm, x, semiring=MIN_PLUS)
+        assert y[1] == 5.0
+        assert np.isinf(y[0])
+
+
+class TestCooSideKernel:
+    def make_side(self, d, nt=4):
+        coo = COOMatrix.from_dense(d)
+        return IndexedSideMatrix.from_coo(coo, nt), coo
+
+    def test_matches_dense_indexed(self):
+        d = random_dense(20, 24, 0.1, seed=5)
+        side, _ = self.make_side(d)
+        x = random_dense(24, 2, 0.5, seed=6)[:, 0]
+        y, c = coo_side_kernel(side, TiledVector.from_dense(x, 4))
+        assert np.allclose(y, d @ x)
+        c.check()
+
+    def test_matches_dense_plain_coo(self):
+        d = random_dense(20, 24, 0.1, seed=7)
+        coo = COOMatrix.from_dense(d)
+        x = random_dense(24, 2, 0.5, seed=8)[:, 0]
+        y, _ = coo_side_kernel(coo, TiledVector.from_dense(x, 4))
+        assert np.allclose(y, d @ x)
+
+    def test_indexed_skips_inactive_column_tiles(self):
+        d = np.zeros((8, 8))
+        d[0, 0] = 1.0
+        d[0, 7] = 1.0
+        side, _ = self.make_side(d, nt=4)
+        x = np.zeros(8)
+        x[0] = 1.0
+        _, c_idx = coo_side_kernel(side, TiledVector.from_dense(x, 4))
+        coo = COOMatrix.from_dense(d)
+        _, c_coo = coo_side_kernel(coo, TiledVector.from_dense(x, 4))
+        # the indexed kernel scans only the active tile's entry
+        assert c_idx.random_read_count < c_coo.random_read_count
+
+    def test_empty_side(self):
+        side = IndexedSideMatrix.from_coo(COOMatrix.empty((8, 8)), 4)
+        y, c = coo_side_kernel(side, TiledVector.empty(8, 4))
+        assert np.allclose(y, 0.0)
+        assert c.atomic_ops == 0
+
+    def test_shape_mismatch(self):
+        side = IndexedSideMatrix.from_coo(COOMatrix.empty((8, 8)), 4)
+        with pytest.raises(ShapeError):
+            coo_side_kernel(side, TiledVector.empty(9, 4))
+
+    def test_tile_size_mismatch(self):
+        side = IndexedSideMatrix.from_coo(COOMatrix.empty((8, 8)), 4)
+        with pytest.raises(ShapeError):
+            coo_side_kernel(side, TiledVector.empty(8, 2))

@@ -1,0 +1,191 @@
+"""Tests for the CSC-form kernel, adaptive mode selection, and masked
+multiply (the §3.2.3 dual-form machinery and its GraphBLAS plumbing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TileSpMSpV, csc_tiled_kernel
+from repro.errors import ShapeError, TileError
+from repro.formats import COOMatrix
+from repro.gpusim import Device, RTX3090
+from repro.semiring import MIN_PLUS
+from repro.tiles import TiledMatrix, TiledVector
+from repro.vectors import SparseVector, random_sparse_vector
+
+from ..conftest import random_dense
+
+
+def cases():
+    return st.tuples(st.integers(1, 70), st.integers(1, 70),
+                     st.sampled_from([2, 4, 16, 32]),
+                     st.integers(0, 10**6), st.floats(0.0, 0.5))
+
+
+class TestCscKernel:
+    @given(cases())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dense(self, params):
+        m, n, nt, seed, xdens = params
+        d = random_dense(m, n, 0.2, seed=seed)
+        At = TiledMatrix.from_coo(COOMatrix.from_dense(d).transpose(), nt)
+        x = random_sparse_vector(n, xdens, seed=seed + 1)
+        xt = TiledVector.from_sparse(x.indices, x.values, n, nt)
+        y, c = csc_tiled_kernel(At, xt)
+        assert np.allclose(y, d @ x.to_dense())
+        c.check()
+
+    def test_shape_mismatch(self):
+        At = TiledMatrix.from_dense(np.eye(8), 4)   # A is 8x8
+        with pytest.raises(ShapeError):
+            csc_tiled_kernel(At, TiledVector.empty(9, 4))
+
+    def test_tile_size_mismatch(self):
+        At = TiledMatrix.from_dense(np.eye(8), 4)
+        with pytest.raises(ShapeError):
+            csc_tiled_kernel(At, TiledVector.empty(8, 2))
+
+    def test_empty_vector(self):
+        At = TiledMatrix.from_dense(np.eye(8), 4)
+        y, c = csc_tiled_kernel(At, TiledVector.empty(8, 4))
+        assert np.allclose(y, 0.0)
+        assert c.atomic_ops == 0
+
+    def test_work_proportional_to_active_columns(self):
+        """The CSC form's whole point: untouched tile columns cost
+        nothing — no full metadata scan."""
+        d = random_dense(200, 200, 0.1, seed=3)
+        At = TiledMatrix.from_coo(COOMatrix.from_dense(d).transpose(), 16)
+        one = TiledVector.from_sparse(np.array([0]), np.array([1.0]),
+                                      200, 16)
+        many = TiledVector.from_dense(np.ones(200), 16)
+        _, c_one = csc_tiled_kernel(At, one)
+        _, c_many = csc_tiled_kernel(At, many)
+        assert c_one.coalesced_read_bytes < c_many.coalesced_read_bytes / 4
+        assert c_one.atomic_ops < c_many.atomic_ops
+
+    def test_min_plus_semiring(self):
+        d = np.zeros((4, 4))
+        d[2, 1] = 5.0
+        At = TiledMatrix.from_coo(COOMatrix.from_dense(d).transpose(), 4)
+        xt = TiledVector.from_sparse(np.array([1]), np.array([3.0]), 4, 4,
+                                     fill=np.inf)
+        y, _ = csc_tiled_kernel(At, xt, semiring=MIN_PLUS)
+        assert y[2] == 8.0 and np.isinf(y[0])
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["csr", "csc", "adaptive"])
+    @given(cases())
+    @settings(max_examples=25, deadline=None)
+    def test_all_modes_agree(self, mode, params):
+        m, n, nt, seed, xdens = params
+        d = random_dense(m, n, 0.2, seed=seed)
+        op = TileSpMSpV(d, nt=nt, mode=mode)
+        x = random_sparse_vector(n, xdens, seed=seed + 2)
+        assert np.allclose(op.multiply(x).to_dense(), d @ x.to_dense())
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TileError):
+            TileSpMSpV(np.eye(4), nt=4, mode="magic")
+
+    def test_bad_adaptive_threshold(self):
+        with pytest.raises(TileError):
+            TileSpMSpV(np.eye(4), nt=4, adaptive_threshold=1.5)
+
+    def test_adaptive_picks_csc_when_very_sparse(self):
+        d = random_dense(2000, 2000, 0.01, seed=4)
+        dev = Device(RTX3090)
+        op = TileSpMSpV(d, nt=16, mode="adaptive", device=dev,
+                        adaptive_threshold=0.05)
+        op.multiply(SparseVector(2000, np.array([7]), np.array([1.0])))
+        assert any(r.name == "tile_spmspv_csc" for r in dev.timeline)
+
+    def test_adaptive_picks_csr_when_dense(self):
+        d = random_dense(200, 200, 0.1, seed=5)
+        dev = Device(RTX3090)
+        op = TileSpMSpV(d, nt=16, mode="adaptive", device=dev)
+        op.multiply(random_sparse_vector(200, 0.5, seed=6))
+        assert any(r.name == "tile_spmspv_csr" for r in dev.timeline)
+
+    def test_transposed_tiling_cached(self):
+        op = TileSpMSpV(np.eye(8), nt=4, mode="csc")
+        op.multiply(SparseVector(8, np.array([0]), np.array([1.0])))
+        first = op._transposed_tiled
+        op.multiply(SparseVector(8, np.array([1]), np.array([1.0])))
+        assert op._transposed_tiled is first
+
+    def test_csc_faster_than_csr_at_extreme_sparsity(self):
+        """The adaptive rationale: one-nonzero input on a big matrix
+        should cost less via the column form (simulated time)."""
+        d = random_dense(3000, 3000, 0.01, seed=7)
+        x = SparseVector(3000, np.array([17]), np.array([1.0]))
+        times = {}
+        for mode in ("csr", "csc"):
+            dev = Device(RTX3090)
+            TileSpMSpV(d, nt=16, mode=mode, device=dev).multiply(x)
+            times[mode] = dev.elapsed_ms
+        assert times["csc"] < times["csr"]
+
+
+class TestMaskedMultiply:
+    @pytest.fixture
+    def op_and_ref(self):
+        d = random_dense(60, 60, 0.15, seed=8)
+        x = random_sparse_vector(60, 0.3, seed=9)
+        return TileSpMSpV(d, nt=16), d @ x.to_dense(), x
+
+    def test_bool_mask(self, op_and_ref):
+        op, ref, x = op_and_ref
+        keep = np.zeros(60, dtype=bool)
+        keep[::2] = True
+        y = op.multiply(x, mask=keep)
+        expected = np.where(keep, ref, 0.0)
+        assert np.allclose(y.to_dense(), expected)
+
+    def test_complement_mask(self, op_and_ref):
+        op, ref, x = op_and_ref
+        keep = np.zeros(60, dtype=bool)
+        keep[::2] = True
+        y = op.multiply(x, mask=keep, mask_complement=True)
+        assert np.allclose(y.to_dense(), np.where(~keep, ref, 0.0))
+
+    def test_sparse_vector_mask(self, op_and_ref):
+        op, ref, x = op_and_ref
+        mask = SparseVector(60, np.arange(10), np.ones(10))
+        y = op.multiply(x, mask=mask)
+        expected = ref.copy()
+        expected[10:] = 0.0
+        assert np.allclose(y.to_dense(), expected)
+
+    def test_tiled_vector_mask(self, op_and_ref):
+        op, ref, x = op_and_ref
+        mv = np.zeros(60)
+        mv[:20] = 1.0
+        mask = TiledVector.from_dense(mv, 16)
+        y = op.multiply(x, mask=mask)
+        expected = ref.copy()
+        expected[20:] = 0.0
+        assert np.allclose(y.to_dense(), expected)
+
+    def test_bfs_style_complemented_mask(self, op_and_ref):
+        """y<!visited> = A x — the paper's BFS filter as a mask."""
+        op, ref, x = op_and_ref
+        visited = SparseVector(60, np.arange(30), np.ones(30))
+        y = op.multiply(x, mask=visited, mask_complement=True)
+        assert np.all(y.indices >= 30)
+
+    def test_mask_length_mismatch(self, op_and_ref):
+        op, _, x = op_and_ref
+        with pytest.raises(ShapeError):
+            op.multiply(x, mask=np.zeros(59, dtype=bool))
+        with pytest.raises(ShapeError):
+            op.multiply(x, mask=SparseVector.empty(59))
+
+    def test_mask_charged_on_device(self, op_and_ref):
+        op, _, x = op_and_ref
+        dev = Device(RTX3090)
+        op.device = dev
+        op.multiply(x, mask=np.ones(60, dtype=bool))
+        assert any(r.name == "tile_spmspv_mask" for r in dev.timeline)

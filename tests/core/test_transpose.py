@@ -1,0 +1,108 @@
+"""Tests for the transpose multiply and directed Brandes BC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TileSpMSpV
+from repro.errors import ShapeError
+from repro.formats import COOMatrix
+from repro.gpusim import Device, RTX3090
+from repro.vectors import SparseVector, random_sparse_vector
+
+from ..conftest import random_dense
+
+
+class TestMultiplyTranspose:
+    @given(st.integers(1, 60), st.integers(1, 60),
+           st.integers(0, 10**6), st.floats(0.0, 0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dense(self, m, n, seed, xd):
+        d = random_dense(m, n, 0.2, seed=seed)
+        op = TileSpMSpV(d, nt=16)
+        x = random_sparse_vector(m, xd, seed=seed + 1)
+        y = op.multiply_transpose(x)
+        assert np.allclose(y.to_dense(), d.T @ x.to_dense())
+
+    def test_includes_side_matrix(self):
+        d = random_dense(60, 60, 0.02, seed=1)   # scattered => side nnz
+        op = TileSpMSpV(d, nt=16, extract_threshold=4)
+        assert op.hybrid.side.nnz > 0
+        x = random_sparse_vector(60, 0.3, seed=2)
+        assert np.allclose(op.multiply_transpose(x).to_dense(),
+                           d.T @ x.to_dense())
+
+    def test_shape_error(self):
+        op = TileSpMSpV(random_dense(5, 7, 0.5, seed=3), nt=4)
+        with pytest.raises(ShapeError):
+            op.multiply_transpose(random_sparse_vector(7, 0.5))
+
+    def test_output_modes(self):
+        d = random_dense(8, 8, 0.4, seed=4)
+        op = TileSpMSpV(d, nt=4)
+        x = random_sparse_vector(8, 0.5, seed=5)
+        dense = op.multiply_transpose(x, output="dense")
+        assert isinstance(dense, np.ndarray)
+        tiled = op.multiply_transpose(x, output="tiled")
+        assert np.allclose(tiled.to_dense(), dense)
+        with pytest.raises(ShapeError):
+            op.multiply_transpose(x, output="csv")
+
+    def test_transpose_tiling_cached(self):
+        op = TileSpMSpV(np.eye(8), nt=4)
+        x = SparseVector(8, np.array([0]), np.array([1.0]))
+        op.multiply_transpose(x)
+        first = op._transposed_full_tiled
+        op.multiply_transpose(x)
+        assert op._transposed_full_tiled is first
+
+    def test_device_record(self):
+        dev = Device(RTX3090)
+        op = TileSpMSpV(np.eye(8), nt=4, device=dev)
+        op.multiply_transpose(SparseVector(8, np.array([1]),
+                                           np.array([1.0])))
+        assert any(r.name == "tile_spmspv_transpose"
+                   for r in dev.timeline)
+
+    def test_symmetric_matrix_agrees_with_forward(self):
+        d = random_dense(20, 20, 0.2, seed=6)
+        d = d + d.T
+        op = TileSpMSpV(d, nt=4)
+        x = random_sparse_vector(20, 0.3, seed=7)
+        a = op.multiply(x).to_dense()
+        b = op.multiply_transpose(x).to_dense()
+        assert np.allclose(a, b)
+
+
+class TestDirectedBC:
+    def _directed_coo(self, n, seed):
+        import networkx as nx
+
+        G = nx.gnp_random_graph(n, 0.12, seed=seed, directed=True)
+        A = nx.to_scipy_sparse_array(G, format="coo")
+        # our convention: A[i, j] = edge j -> i
+        return G, COOMatrix((n, n), A.col.astype(np.int64),
+                            A.row.astype(np.int64),
+                            A.data.astype(float))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        from repro.graphs import betweenness_centrality
+
+        G, coo = self._directed_coo(28, seed)
+        ours = betweenness_centrality(coo, nt=4, directed=True,
+                                      normalized=False)
+        ref = nx.betweenness_centrality(G, normalized=False)
+        refv = np.array([ref[i] for i in range(28)])
+        assert np.allclose(ours, refv, atol=1e-9)
+
+    def test_directed_batched_rejected(self):
+        from repro.graphs import betweenness_centrality
+
+        _, coo = self._directed_coo(10, 3)
+        with pytest.raises(ShapeError):
+            betweenness_centrality(coo, nt=2, directed=True,
+                                   batch_size=4)

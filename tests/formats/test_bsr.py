@@ -1,0 +1,86 @@
+"""Unit tests for the BSR (dense-block) format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError, FormatError, ShapeError
+from repro.formats import BSRMatrix, COOMatrix
+
+from ..conftest import random_dense
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("b", [1, 2, 4, 8])
+    def test_roundtrip_various_blocksizes(self, b):
+        d = random_dense(19, 23, 0.2, seed=b)   # deliberately non-multiples
+        bsr = BSRMatrix.from_dense(d, b)
+        assert np.allclose(bsr.to_dense(), d)
+
+    def test_rejects_nonpositive_blocksize(self):
+        with pytest.raises(ConversionError):
+            BSRMatrix.from_dense(np.eye(4), 0)
+
+    def test_padding_geometry(self):
+        bsr = BSRMatrix.from_dense(np.eye(10), 4)
+        assert bsr.n_block_rows == 3 and bsr.n_block_cols == 3
+
+    def test_blocks_are_dense(self):
+        d = np.zeros((4, 4))
+        d[0, 0] = 1.0
+        bsr = BSRMatrix.from_dense(d, 4)
+        assert bsr.n_blocks == 1
+        assert bsr.blocks.shape == (1, 4, 4)
+        # the stored nnz counts zeros inside the block
+        assert bsr.nnz == 16
+        assert bsr.true_nnz == 1
+
+    def test_fill_ratio(self):
+        d = np.zeros((4, 4))
+        d[0, 0] = d[1, 1] = 1.0
+        bsr = BSRMatrix.from_dense(d, 4)
+        assert bsr.fill_ratio() == pytest.approx(2 / 16)
+
+    def test_fill_ratio_empty(self):
+        bsr = BSRMatrix.from_coo(COOMatrix.empty((4, 4)), 2)
+        assert bsr.fill_ratio() == 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_blocks_shape(self):
+        with pytest.raises(FormatError):
+            BSRMatrix((4, 4), 2, np.array([0, 1, 1]), np.array([0]),
+                      np.zeros((1, 2, 3)))
+
+    def test_rejects_block_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            BSRMatrix((4, 4), 2, np.array([0, 1, 1]), np.array([2]),
+                      np.zeros((1, 2, 2)))
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(FormatError):
+            BSRMatrix((4, 4), 2, np.array([1, 1, 1]), np.zeros(0, np.int64),
+                      np.zeros((0, 2, 2)))
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("b", [2, 3, 8])
+    def test_matches_dense(self, b):
+        d = random_dense(17, 14, 0.3, seed=10 + b)
+        x = np.random.default_rng(3).random(14)
+        assert np.allclose(BSRMatrix.from_dense(d, b).matvec(x), d @ x)
+
+    def test_matvec_shape_error(self):
+        bsr = BSRMatrix.from_dense(np.eye(4), 2)
+        with pytest.raises(ShapeError):
+            bsr.matvec(np.zeros(5))
+
+    def test_matvec_empty_matrix(self):
+        bsr = BSRMatrix.from_coo(COOMatrix.empty((6, 6)), 2)
+        assert np.allclose(bsr.matvec(np.ones(6)), 0.0)
+
+    def test_matvec_padded_tail(self):
+        """Values in the padded region must not leak into the result."""
+        d = random_dense(5, 5, 0.8, seed=20)
+        x = np.random.default_rng(4).random(5)
+        bsr = BSRMatrix.from_dense(d, 4)   # pads to 8x8
+        assert np.allclose(bsr.matvec(x), d @ x)

@@ -1,0 +1,103 @@
+"""Unit tests for the CSC format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import COOMatrix, CSCMatrix
+
+from ..conftest import random_dense
+
+
+class TestConstruction:
+    def test_from_coo_roundtrip(self):
+        d = random_dense(13, 9, 0.3, seed=2)
+        csc = CSCMatrix.from_coo(COOMatrix.from_dense(d))
+        assert np.allclose(csc.to_dense(), d)
+
+    def test_indices_sorted_within_cols(self):
+        d = random_dense(25, 25, 0.2, seed=3)
+        csc = CSCMatrix.from_dense(d)
+        for j in range(25):
+            idx, _ = csc.col_slice(j)
+            assert np.all(np.diff(idx) > 0)
+
+    def test_empty(self):
+        csc = CSCMatrix.empty((3, 4))
+        assert csc.nnz == 0
+
+
+class TestValidation:
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), np.array([0, 0]), np.zeros(0, dtype=np.int64))
+
+    def test_rejects_row_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 1), np.array([0, 1]), np.array([2]))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), np.array([0, 2, 1]), np.array([0, 1, 0]))
+
+
+class TestGatherColumns:
+    def test_gather_matches_slices(self):
+        d = random_dense(10, 12, 0.35, seed=4)
+        csc = CSCMatrix.from_dense(d)
+        cols = np.array([3, 0, 7])
+        rows, vals, src = csc.gather_columns(cols)
+        off = 0
+        for k, j in enumerate(cols):
+            idx, v = csc.col_slice(j)
+            seg = slice(off, off + len(idx))
+            assert np.array_equal(rows[seg], idx)
+            assert np.allclose(vals[seg], v)
+            assert np.all(src[seg] == k)
+            off += len(idx)
+        assert off == len(rows)
+
+    def test_gather_empty_selection(self):
+        csc = CSCMatrix.from_dense(random_dense(5, 5, 0.5, seed=5))
+        rows, vals, src = csc.gather_columns(np.zeros(0, dtype=np.int64))
+        assert len(rows) == len(vals) == len(src) == 0
+
+    def test_gather_out_of_range(self):
+        csc = CSCMatrix.empty((3, 3))
+        with pytest.raises(ShapeError):
+            csc.gather_columns(np.array([3]))
+
+    def test_gather_empty_columns(self):
+        d = np.zeros((4, 4))
+        d[0, 1] = 1.0
+        csc = CSCMatrix.from_dense(d)
+        rows, vals, src = csc.gather_columns(np.array([0, 1, 2]))
+        assert rows.tolist() == [0]
+        assert src.tolist() == [1]
+
+
+class TestOps:
+    def test_matvec_matches_dense(self):
+        d = random_dense(21, 17, 0.25, seed=6)
+        x = np.random.default_rng(7).random(17)
+        assert np.allclose(CSCMatrix.from_dense(d).matvec(x), d @ x)
+
+    def test_matvec_shape_error(self):
+        with pytest.raises(ShapeError):
+            CSCMatrix.empty((2, 3)).matvec(np.zeros(4))
+
+    def test_transpose_is_csr(self):
+        from repro.formats import CSRMatrix
+
+        d = random_dense(5, 9, 0.4, seed=8)
+        t = CSCMatrix.from_dense(d).transpose()
+        assert isinstance(t, CSRMatrix)
+        assert np.allclose(t.to_dense(), d.T)
+
+    def test_col_degrees(self):
+        d = np.array([[1.0, 0.0], [2.0, 0.0]])
+        assert CSCMatrix.from_dense(d).col_degrees().tolist() == [2, 0]
+
+    def test_col_of_entry(self):
+        d = np.array([[1.0, 3.0], [2.0, 0.0]])
+        assert CSCMatrix.from_dense(d).col_of_entry().tolist() == [0, 0, 1]

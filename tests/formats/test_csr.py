@@ -1,0 +1,138 @@
+"""Unit tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import COOMatrix, CSRMatrix
+from repro.formats.csr import compress_indptr, expand_indptr
+
+from ..conftest import random_dense
+
+
+class TestIndptrHelpers:
+    def test_compress_expand_roundtrip(self):
+        major = np.array([0, 0, 2, 2, 2, 4], dtype=np.int64)
+        indptr = compress_indptr(major, 5)
+        assert indptr.tolist() == [0, 2, 2, 5, 5, 6]
+        assert np.array_equal(expand_indptr(indptr), major)
+
+    def test_compress_empty(self):
+        indptr = compress_indptr(np.zeros(0, dtype=np.int64), 3)
+        assert indptr.tolist() == [0, 0, 0, 0]
+
+
+class TestConstruction:
+    def test_from_coo_roundtrip(self):
+        d = random_dense(11, 17, 0.3, seed=2)
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(d))
+        assert np.allclose(csr.to_dense(), d)
+
+    def test_from_dense(self):
+        d = random_dense(8, 8, 0.4, seed=3)
+        assert np.allclose(CSRMatrix.from_dense(d).to_dense(), d)
+
+    def test_duplicates_summed_via_coo(self):
+        coo = COOMatrix((2, 2), np.array([0, 0]), np.array([1, 1]),
+                        np.array([1.0, 2.0]))
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.nnz == 1 and csr.data[0] == 3.0
+
+    def test_indices_sorted_within_rows(self):
+        d = random_dense(30, 30, 0.2, seed=4)
+        csr = CSRMatrix.from_dense(d)
+        for i in range(30):
+            idx, _ = csr.row_slice(i)
+            assert np.all(np.diff(idx) > 0)
+
+    def test_empty(self):
+        csr = CSRMatrix.empty((3, 4))
+        assert csr.nnz == 0
+        assert csr.matvec(np.ones(4)).tolist() == [0.0, 0.0, 0.0]
+
+
+class TestValidation:
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), np.array([0, 0]), np.zeros(0, dtype=np.int64))
+
+    def test_rejects_indptr_not_starting_at_zero(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 2), np.array([1, 1]), np.zeros(0, dtype=np.int64))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), np.array([0, 2, 1]), np.array([0, 1, 0]))
+
+    def test_rejects_indptr_nnz_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 2), np.array([0, 2]), np.array([0]))
+
+    def test_rejects_column_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 2), np.array([0, 1]), np.array([2]))
+
+    def test_rejects_data_length_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 2), np.array([0, 1]), np.array([0]),
+                      np.array([1.0, 2.0]))
+
+
+class TestAccessors:
+    def test_row_degrees(self):
+        d = np.array([[1.0, 2.0], [0.0, 0.0], [3.0, 0.0]])
+        csr = CSRMatrix.from_dense(d)
+        assert csr.row_degrees().tolist() == [2, 0, 1]
+
+    def test_row_of_entry(self):
+        d = np.array([[1.0, 2.0], [0.0, 0.0], [3.0, 0.0]])
+        csr = CSRMatrix.from_dense(d)
+        assert csr.row_of_entry().tolist() == [0, 0, 2]
+
+    def test_row_slice_views(self):
+        d = random_dense(10, 10, 0.3, seed=5)
+        csr = CSRMatrix.from_dense(d)
+        idx, vals = csr.row_slice(3)
+        assert np.allclose(d[3, idx], vals)
+
+    def test_select_rows(self):
+        d = random_dense(12, 7, 0.4, seed=6)
+        csr = CSRMatrix.from_dense(d)
+        sub = csr.select_rows(np.array([2, 5, 5, 0]))
+        assert np.allclose(sub.to_dense(), d[[2, 5, 5, 0]])
+
+    def test_select_rows_out_of_range(self):
+        csr = CSRMatrix.empty((3, 3))
+        with pytest.raises(ShapeError):
+            csr.select_rows(np.array([4]))
+
+
+class TestOps:
+    def test_matvec_matches_dense(self):
+        d = random_dense(23, 19, 0.2, seed=7)
+        x = np.random.default_rng(8).random(19)
+        assert np.allclose(CSRMatrix.from_dense(d).matvec(x), d @ x)
+
+    def test_matvec_empty_rows(self):
+        d = np.zeros((4, 3))
+        d[1, 2] = 5.0
+        csr = CSRMatrix.from_dense(d)
+        y = csr.matvec(np.array([1.0, 1.0, 2.0]))
+        assert y.tolist() == [0.0, 10.0, 0.0, 0.0]
+
+    def test_matvec_shape_error(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.empty((2, 3)).matvec(np.zeros(2))
+
+    def test_transpose_is_csc(self):
+        from repro.formats import CSCMatrix
+
+        d = random_dense(5, 9, 0.4, seed=9)
+        t = CSRMatrix.from_dense(d).transpose()
+        assert isinstance(t, CSCMatrix)
+        assert np.allclose(t.to_dense(), d.T)
+
+    def test_to_coo_roundtrip(self):
+        d = random_dense(14, 6, 0.3, seed=10)
+        csr = CSRMatrix.from_dense(d)
+        assert np.allclose(csr.to_coo().to_dense(), d)

@@ -1,0 +1,112 @@
+"""Matrix Market I/O tests, including malformed-file rejection."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import IOFormatError
+from repro.formats import (COOMatrix, read_matrix_market,
+                           write_matrix_market)
+
+from ..conftest import random_dense
+
+
+def roundtrip(coo, field="real"):
+    buf = io.StringIO()
+    write_matrix_market(coo, buf, field=field)
+    buf.seek(0)
+    return read_matrix_market(buf)
+
+
+class TestRoundTrip:
+    def test_real_roundtrip(self):
+        d = random_dense(9, 13, 0.3, seed=1)
+        coo = COOMatrix.from_dense(d)
+        assert np.allclose(roundtrip(coo).to_dense(), d)
+
+    def test_pattern_roundtrip(self):
+        d = (random_dense(6, 6, 0.4, seed=2) != 0).astype(float)
+        coo = COOMatrix.from_dense(d)
+        back = roundtrip(coo, field="pattern")
+        assert np.array_equal(back.to_dense() != 0, d != 0)
+
+    def test_empty_matrix(self):
+        back = roundtrip(COOMatrix.empty((4, 7)))
+        assert back.shape == (4, 7) and back.nnz == 0
+
+    def test_write_to_path(self, tmp_path):
+        d = random_dense(5, 5, 0.4, seed=3)
+        p = tmp_path / "m.mtx"
+        write_matrix_market(COOMatrix.from_dense(d), p)
+        assert np.allclose(read_matrix_market(p).to_dense(), d)
+
+    def test_write_rejects_unknown_field(self):
+        with pytest.raises(IOFormatError):
+            write_matrix_market(COOMatrix.empty((1, 1)), io.StringIO(),
+                                field="complex")
+
+
+class TestParsing:
+    def test_symmetric_expansion(self):
+        text = ("%%MatrixMarket matrix coordinate real symmetric\n"
+                "3 3 2\n"
+                "2 1 5.0\n"
+                "3 3 7.0\n")
+        m = read_matrix_market(io.StringIO(text)).to_dense()
+        assert m[1, 0] == 5.0 and m[0, 1] == 5.0 and m[2, 2] == 7.0
+
+    def test_skew_symmetric_expansion(self):
+        text = ("%%MatrixMarket matrix coordinate real skew-symmetric\n"
+                "2 2 1\n"
+                "2 1 4.0\n")
+        m = read_matrix_market(io.StringIO(text)).to_dense()
+        assert m[1, 0] == 4.0 and m[0, 1] == -4.0
+
+    def test_integer_field(self):
+        text = ("%%MatrixMarket matrix coordinate integer general\n"
+                "2 2 1\n"
+                "1 2 42\n")
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense()[0, 1] == 42.0
+
+    def test_pattern_field(self):
+        text = ("%%MatrixMarket matrix coordinate pattern general\n"
+                "2 2 2\n"
+                "1 1\n2 2\n")
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense().tolist() == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_comments_before_size_line(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "% a comment\n%another\n\n"
+                "1 1 1\n"
+                "1 1 9.0\n")
+        assert read_matrix_market(io.StringIO(text)).to_dense()[0, 0] == 9.0
+
+
+class TestMalformed:
+    @pytest.mark.parametrize("text,why", [
+        ("not a header\n1 1 0\n", "missing header"),
+        ("%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+         "array format unsupported"),
+        ("%%MatrixMarket vector coordinate real general\n1 1 0\n",
+         "non-matrix object"),
+        ("%%MatrixMarket matrix coordinate complex general\n1 1 1\n"
+         "1 1 1.0 0.0\n", "complex unsupported"),
+        ("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+         "hermitian unsupported"),
+        ("%%MatrixMarket matrix coordinate real general\n", "no size line"),
+        ("%%MatrixMarket matrix coordinate real general\nfoo bar baz\n",
+         "bad size line"),
+        ("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+         "entry count mismatch"),
+        ("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 xyz\n",
+         "non-numeric value"),
+        ("%%MatrixMarket matrix coordinate real general\n1 1 1\n5 1 1.0\n",
+         "index out of range"),
+        ("%%MatrixMarket matrix\n1 1 0\n", "short header"),
+    ])
+    def test_rejects(self, text, why):
+        with pytest.raises(IOFormatError):
+            read_matrix_market(io.StringIO(text))

@@ -1,0 +1,112 @@
+"""Tests for the matrix arithmetic helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.formats import (COOMatrix, col_degrees, diagonal, matrix_add,
+                           row_degrees, scale_columns, scale_rows,
+                           with_diagonal)
+
+from ..conftest import random_dense
+
+
+def mats():
+    return st.tuples(st.integers(1, 40), st.integers(1, 40),
+                     st.integers(0, 10**6))
+
+
+class TestDiagonal:
+    @given(mats())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_numpy(self, p):
+        m, n, seed = p
+        d = random_dense(m, n, 0.3, seed=seed)
+        assert np.allclose(diagonal(COOMatrix.from_dense(d)),
+                           np.diag(d))
+
+    def test_duplicates_summed(self):
+        coo = COOMatrix((2, 2), np.array([0, 0]), np.array([0, 0]),
+                        np.array([1.0, 2.0]))
+        assert diagonal(coo)[0] == 3.0
+
+    def test_empty(self):
+        assert len(diagonal(COOMatrix.empty((3, 5)))) == 3
+
+
+class TestWithDiagonal:
+    def test_replaces(self):
+        d = random_dense(8, 8, 0.4, seed=1)
+        coo = COOMatrix.from_dense(d)
+        newd = np.arange(1.0, 9.0)
+        out = with_diagonal(coo, newd).to_dense()
+        assert np.allclose(np.diag(out), newd)
+        off = ~np.eye(8, dtype=bool)
+        assert np.allclose(out[off], d[off])
+
+    def test_zero_removes_entry(self):
+        coo = COOMatrix.from_dense(np.eye(3))
+        out = with_diagonal(coo, np.array([1.0, 0.0, 1.0]))
+        assert out.nnz == 2
+
+    def test_shape_error(self):
+        with pytest.raises(ShapeError):
+            with_diagonal(COOMatrix.empty((3, 3)), np.zeros(4))
+
+
+class TestScaling:
+    @given(mats())
+    @settings(max_examples=30, deadline=None)
+    def test_row_scaling(self, p):
+        m, n, seed = p
+        d = random_dense(m, n, 0.3, seed=seed)
+        s = np.random.default_rng(seed).random(m) + 0.5
+        out = scale_rows(COOMatrix.from_dense(d), s)
+        assert np.allclose(out.to_dense(), np.diag(s) @ d)
+
+    @given(mats())
+    @settings(max_examples=30, deadline=None)
+    def test_col_scaling(self, p):
+        m, n, seed = p
+        d = random_dense(m, n, 0.3, seed=seed)
+        s = np.random.default_rng(seed + 1).random(n) + 0.5
+        out = scale_columns(COOMatrix.from_dense(d), s)
+        assert np.allclose(out.to_dense(), d @ np.diag(s))
+
+    def test_shape_errors(self):
+        coo = COOMatrix.empty((3, 4))
+        with pytest.raises(ShapeError):
+            scale_rows(coo, np.zeros(4))
+        with pytest.raises(ShapeError):
+            scale_columns(coo, np.zeros(3))
+
+
+class TestMatrixAdd:
+    @given(mats(), st.floats(-3, 3), st.floats(-3, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dense(self, p, alpha, beta):
+        m, n, seed = p
+        a = random_dense(m, n, 0.25, seed=seed)
+        b = random_dense(m, n, 0.25, seed=seed + 1)
+        out = matrix_add(COOMatrix.from_dense(a),
+                         COOMatrix.from_dense(b), alpha, beta)
+        assert np.allclose(out.to_dense(), alpha * a + beta * b)
+
+    def test_cancellation_dropped(self):
+        a = COOMatrix.from_dense(np.eye(3))
+        out = matrix_add(a, a, 1.0, -1.0)
+        assert out.nnz == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            matrix_add(COOMatrix.empty((2, 3)), COOMatrix.empty((3, 2)))
+
+
+class TestDegrees:
+    def test_row_and_col(self):
+        d = np.array([[1.0, 2.0, 0.0], [0.0, 3.0, 0.0]])
+        coo = COOMatrix.from_dense(d)
+        assert row_degrees(coo).tolist() == [2, 1]
+        assert col_degrees(coo).tolist() == [1, 2, 0]

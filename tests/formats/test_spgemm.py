@@ -1,0 +1,111 @@
+"""Tests for Gustavson SpGEMM and the SpMSpV-via-SpGEMM baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SpMSpVViaSpGEMM
+from repro.errors import ShapeError
+from repro.formats import COOMatrix, CSRMatrix, spgemm, spgemm_flops, to_csr
+from repro.gpusim import Device, RTX3090
+from repro.vectors import SparseVector, random_sparse_vector
+
+from ..conftest import random_dense
+
+
+def csr_of(d):
+    return to_csr(COOMatrix.from_dense(d))
+
+
+class TestSpgemm:
+    @given(st.integers(1, 30), st.integers(1, 30), st.integers(1, 30),
+           st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dense(self, m, k, n, seed):
+        a = random_dense(m, k, 0.2, seed=seed)
+        b = random_dense(k, n, 0.2, seed=seed + 1)
+        C = spgemm(csr_of(a), csr_of(b))
+        assert np.allclose(C.to_dense(), a @ b)
+
+    @given(st.integers(1, 25), st.integers(1, 25), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scipy(self, m, n, seed):
+        import scipy.sparse as sp
+
+        a = random_dense(m, n, 0.25, seed=seed)
+        b = random_dense(n, m, 0.25, seed=seed + 2)
+        C = spgemm(csr_of(a), csr_of(b))
+        ref = (sp.csr_matrix(a) @ sp.csr_matrix(b)).toarray()
+        assert np.allclose(C.to_dense(), ref)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            spgemm(CSRMatrix.empty((2, 3)), CSRMatrix.empty((4, 2)))
+
+    def test_empty_operands(self):
+        C = spgemm(CSRMatrix.empty((3, 4)), CSRMatrix.empty((4, 5)))
+        assert C.shape == (3, 5) and C.nnz == 0
+
+    def test_identity(self):
+        d = random_dense(10, 10, 0.3, seed=3)
+        C = spgemm(csr_of(d), csr_of(np.eye(10)))
+        assert np.allclose(C.to_dense(), d)
+
+    def test_associativity(self):
+        a = random_dense(8, 8, 0.3, seed=4)
+        b = random_dense(8, 8, 0.3, seed=5)
+        c = random_dense(8, 8, 0.3, seed=6)
+        left = spgemm(spgemm(csr_of(a), csr_of(b)), csr_of(c))
+        right = spgemm(csr_of(a), spgemm(csr_of(b), csr_of(c)))
+        assert np.allclose(left.to_dense(), right.to_dense())
+
+    def test_flops_metric(self):
+        a = np.zeros((2, 2))
+        a[0, 0] = 1.0
+        b = np.zeros((2, 2))
+        b[0, :] = 1.0      # the one A entry meets a 2-nnz B row
+        assert spgemm_flops(csr_of(a), csr_of(b)) == 4
+
+    def test_flops_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            spgemm_flops(CSRMatrix.empty((2, 3)), CSRMatrix.empty((2, 3)))
+
+
+class TestSpMSpVViaSpGEMM:
+    @given(st.integers(1, 40), st.integers(1, 40),
+           st.integers(0, 10**6), st.floats(0.0, 0.6))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dense(self, m, n, seed, xd):
+        d = random_dense(m, n, 0.2, seed=seed)
+        x = random_sparse_vector(n, xd, seed=seed + 1)
+        y = SpMSpVViaSpGEMM(COOMatrix.from_dense(d)).multiply(x)
+        assert np.allclose(y.to_dense(), d @ x.to_dense())
+
+    def test_shape_error(self):
+        with pytest.raises(ShapeError):
+            SpMSpVViaSpGEMM(np.eye(4)).multiply(SparseVector.empty(5))
+
+    def test_paper_claim_less_efficient_than_tiled(self):
+        """§1: calling SpGEMM for SpMSpV is less efficient — the
+        simulated times must agree on a mid-size matrix."""
+        from repro.core import TileSpMSpV
+        from repro.matrices import fem_like
+
+        coo = fem_like(8192, nnz_per_row=40, block=16, seed=7)
+        x = random_sparse_vector(coo.shape[1], 0.01)
+        times = {}
+        for name, make in (
+                ("tile", lambda d: TileSpMSpV(coo, nt=16, device=d)),
+                ("spgemm", lambda d: SpMSpVViaSpGEMM(coo, device=d))):
+            dev = Device(RTX3090)
+            make(dev).multiply(x)
+            times[name] = dev.elapsed_ms
+        assert times["tile"] < times["spgemm"]
+
+    def test_device_record_submitted(self):
+        dev = Device(RTX3090)
+        d = random_dense(30, 30, 0.2, seed=8)
+        SpMSpVViaSpGEMM(d, device=dev).multiply(
+            random_sparse_vector(30, 0.2, seed=9))
+        assert [r.name for r in dev.timeline] == ["spmspv_via_spgemm"]

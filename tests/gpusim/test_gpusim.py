@@ -1,0 +1,202 @@
+"""Tests for the GPU execution model: specs, counters, cost, device."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim import (RTX3060, RTX3090, CostModel, Device, GPUSpec,
+                          KernelCounters, get_spec)
+
+
+class TestSpec:
+    def test_presets_match_paper_table1(self):
+        assert RTX3060.cuda_cores == 3584
+        assert RTX3060.clock_ghz == pytest.approx(1.78)
+        assert RTX3060.mem_bandwidth_gbps == pytest.approx(360.0)
+        assert RTX3090.cuda_cores == 10496
+        assert RTX3090.clock_ghz == pytest.approx(1.70)
+        assert RTX3090.mem_bandwidth_gbps == pytest.approx(936.2)
+
+    def test_peak_gflops(self):
+        assert RTX3090.peak_gflops == pytest.approx(10496 * 1.70 * 2.0)
+
+    def test_get_spec_forgiving_names(self):
+        assert get_spec("RTX 3090") is RTX3090
+        assert get_spec("rtx3060") is RTX3060
+        assert get_spec("GeForce RTX 3090") is RTX3090
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(DeviceError):
+            get_spec("H100")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(DeviceError):
+            GPUSpec(name="bad", sm_count=0, cuda_cores=1, clock_ghz=1.0,
+                    mem_bandwidth_gbps=1.0, l2_bytes=1,
+                    shared_mem_per_sm=1)
+
+
+class TestCounters:
+    def test_defaults_valid(self):
+        KernelCounters().check()
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(DeviceError):
+            KernelCounters(flops=-1.0)
+
+    def test_bad_divergence_rejected(self):
+        with pytest.raises(DeviceError):
+            KernelCounters(divergence=0.0)
+        with pytest.raises(DeviceError):
+            KernelCounters(divergence=1.5)
+
+    def test_global_bytes_includes_sectors(self):
+        c = KernelCounters(coalesced_read_bytes=100.0, random_read_count=2)
+        assert c.global_bytes == 100.0 + 2 * 32
+
+    def test_merged_adds(self):
+        a = KernelCounters(flops=10, warps=2, launches=1)
+        b = KernelCounters(flops=5, warps=2, launches=2)
+        m = a.merged(b)
+        assert m.flops == 15 and m.launches == 3 and m.warps == 4
+
+    def test_merged_divergence_weighted(self):
+        a = KernelCounters(warps=3, divergence=1.0)
+        b = KernelCounters(warps=1, divergence=0.5)
+        assert a.merged(b).divergence == pytest.approx(
+            (3 * 1.0 + 1 * 0.5) / 4)
+
+    def test_sum_empty(self):
+        total = KernelCounters.sum([])
+        assert total.launches == 0 and total.flops == 0
+
+
+class TestCostModel:
+    def test_launch_overhead_floor(self):
+        """An empty kernel still costs one launch."""
+        model = CostModel(RTX3090)
+        t = model.evaluate(KernelCounters())
+        assert t.total_ms >= RTX3090.launch_overhead_us * 1e-3
+
+    def test_memory_bound_scales_with_bytes(self):
+        model = CostModel(RTX3090)
+        small = KernelCounters(coalesced_read_bytes=1e6, warps=1e5)
+        big = KernelCounters(coalesced_read_bytes=1e8, warps=1e5)
+        assert model.time_ms(big) > model.time_ms(small) * 10
+
+    def test_memory_time_matches_bandwidth(self):
+        model = CostModel(RTX3090)
+        c = KernelCounters(coalesced_read_bytes=936.2e9 / 1000,
+                           warps=1e6)   # 1ms worth of traffic, saturated
+        t = model.evaluate(c)
+        assert t.memory_ms == pytest.approx(1.0, rel=0.05)
+
+    def test_compute_bound_detection(self):
+        model = CostModel(RTX3090)
+        c = KernelCounters(flops=1e12, coalesced_read_bytes=8.0, warps=1e6)
+        assert model.evaluate(c).bound == "compute"
+
+    def test_atomic_bound_detection(self):
+        model = CostModel(RTX3090)
+        c = KernelCounters(atomic_ops=1e9, warps=1e6)
+        assert model.evaluate(c).bound == "atomic"
+
+    def test_launch_bound_detection(self):
+        model = CostModel(RTX3090)
+        c = KernelCounters(coalesced_read_bytes=128.0, warps=1.0)
+        assert model.evaluate(c).bound == "launch"
+
+    def test_divergence_slows_compute(self):
+        model = CostModel(RTX3090)
+        full = KernelCounters(flops=1e10, warps=1e6, divergence=1.0)
+        half = KernelCounters(flops=1e10, warps=1e6, divergence=0.5)
+        assert model.evaluate(half).compute_ms == pytest.approx(
+            2 * model.evaluate(full).compute_ms)
+
+    def test_low_occupancy_penalised(self):
+        model = CostModel(RTX3090)
+        few = KernelCounters(coalesced_read_bytes=1e8, warps=10)
+        many = KernelCounters(coalesced_read_bytes=1e8, warps=1e5)
+        assert model.time_ms(few) > model.time_ms(many)
+
+    def test_same_counters_faster_on_3090_than_3060(self):
+        c = KernelCounters(coalesced_read_bytes=1e8, flops=1e9, warps=1e5)
+        assert CostModel(RTX3090).time_ms(c) < CostModel(RTX3060).time_ms(c)
+
+    def test_invalid_contention_rejected(self):
+        with pytest.raises(DeviceError):
+            CostModel(RTX3090, atomic_contention=0.0)
+
+    def test_invalid_per_warp_rates_rejected(self):
+        with pytest.raises(DeviceError):
+            CostModel(RTX3090, warp_gbps=0.0)
+        with pytest.raises(DeviceError):
+            CostModel(RTX3090, warp_gflops=-1.0)
+
+    def test_bigger_gpu_never_slower(self):
+        """The cross-card consistency the per-warp model guarantees."""
+        for warps in (1.0, 50.0, 400.0, 1e5):
+            c = KernelCounters(coalesced_read_bytes=1e7, flops=1e8,
+                               warps=warps)
+            assert CostModel(RTX3090).time_ms(c) <= \
+                CostModel(RTX3060).time_ms(c) + 1e-12
+
+    def test_low_occupancy_identical_across_cards(self):
+        """A kernel too small to saturate either card runs at the same
+        speed on both (latency-bound, not bandwidth-bound)."""
+        c = KernelCounters(coalesced_read_bytes=1e7, warps=10.0)
+        t60 = CostModel(RTX3060).evaluate(c).memory_ms
+        t90 = CostModel(RTX3090).evaluate(c).memory_ms
+        assert t60 == pytest.approx(t90)
+
+    def test_l2_traffic_cheaper_than_dram(self):
+        model = CostModel(RTX3090)
+        dram = KernelCounters(coalesced_read_bytes=1e8, warps=1e5)
+        l2 = KernelCounters(l2_read_bytes=1e8, warps=1e5)
+        assert model.evaluate(l2).memory_ms < model.evaluate(dram).memory_ms
+
+
+class TestDevice:
+    def test_timeline_accumulates(self):
+        dev = Device(RTX3090)
+        dev.submit("k1", KernelCounters(flops=1e6, warps=100))
+        dev.submit("k2", KernelCounters(flops=1e6, warps=100))
+        assert len(dev.timeline) == 2
+        assert dev.elapsed_ms > 0
+
+    def test_reset(self):
+        dev = Device(RTX3090)
+        dev.submit("k", KernelCounters())
+        dev.reset()
+        assert dev.elapsed_ms == 0 and len(dev.timeline) == 0
+
+    def test_split_and_elapsed_since(self):
+        dev = Device(RTX3090)
+        dev.submit("a", KernelCounters())
+        mark = dev.split()
+        dev.submit("b", KernelCounters())
+        assert dev.elapsed_since(mark) == pytest.approx(
+            dev.timeline[1].ms)
+        assert len(dev.records_since(mark)) == 1
+
+    def test_kernel_breakdown(self):
+        dev = Device(RTX3090)
+        dev.submit("a", KernelCounters())
+        dev.submit("a", KernelCounters())
+        dev.submit("b", KernelCounters())
+        bd = dev.kernel_breakdown()
+        assert set(bd) == {"a", "b"}
+        assert bd["a"] == pytest.approx(2 * bd["b"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DeviceError):
+            Device(RTX3090).submit("", KernelCounters())
+
+    def test_memcpy_cost(self):
+        dev = Device(RTX3090)
+        t = dev.memcpy(25e9 / 1000)   # 1 ms worth of PCIe traffic
+        assert t.total_ms == pytest.approx(1.01, rel=0.05)
+
+    def test_memcpy_negative_rejected(self):
+        with pytest.raises(DeviceError):
+            Device(RTX3090).memcpy(-1)

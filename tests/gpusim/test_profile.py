@@ -1,0 +1,82 @@
+"""Tests for the timeline profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import TileSpMSpV
+from repro.errors import DeviceError
+from repro.gpusim import (Device, KernelCounters, RTX3090, format_profile,
+                          profile_device, timeline_csv)
+from repro.vectors import random_sparse_vector
+
+from ..conftest import random_dense
+
+
+@pytest.fixture
+def busy_device():
+    dev = Device(RTX3090)
+    op = TileSpMSpV(random_dense(100, 100, 0.1, seed=1), nt=16,
+                    device=dev)
+    for i in range(3):
+        op.multiply(random_sparse_vector(100, 0.1, seed=i))
+    return dev
+
+
+class TestProfileDevice:
+    def test_groups_by_kernel_name(self, busy_device):
+        profiles = profile_device(busy_device)
+        names = {p.name for p in profiles}
+        assert "tile_spmspv_csr" in names
+        csr = next(p for p in profiles if p.name == "tile_spmspv_csr")
+        assert csr.calls == 3
+        assert csr.total_ms == pytest.approx(3 * csr.mean_ms)
+
+    def test_sorted_by_total_time(self, busy_device):
+        profiles = profile_device(busy_device)
+        totals = [p.total_ms for p in profiles]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_empty_device(self):
+        assert profile_device(Device(RTX3090)) == []
+
+    def test_dominant_bound_valid(self, busy_device):
+        for p in profile_device(busy_device):
+            assert p.dominant_bound in ("launch", "memory", "compute",
+                                        "atomic")
+
+    def test_effective_rates(self):
+        dev = Device(RTX3090)
+        dev.submit("k", KernelCounters(coalesced_read_bytes=1e8,
+                                       flops=1e9, warps=1e5))
+        p = profile_device(dev)[0]
+        assert p.effective_bandwidth_gbps > 0
+        assert p.effective_gflops > 0
+
+
+class TestFormatProfile:
+    def test_contains_kernels_and_total(self, busy_device):
+        text = format_profile(busy_device)
+        assert "tile_spmspv_csr" in text
+        assert "total simulated" in text
+        assert "RTX 3090" in text
+
+    def test_custom_title(self, busy_device):
+        assert format_profile(busy_device, title="XYZ").startswith("XYZ")
+
+
+class TestTimelineCsv:
+    def test_header_and_rows(self, busy_device):
+        csv = timeline_csv(busy_device)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("index,name,tag,total_ms")
+        assert len(lines) == 1 + len(busy_device.timeline)
+
+    def test_parseable_floats(self, busy_device):
+        line = timeline_csv(busy_device).strip().splitlines()[1]
+        cells = line.split(",")
+        float(cells[3])   # total_ms
+        float(cells[8])   # efficiency
+
+    def test_none_device_rejected(self):
+        with pytest.raises(DeviceError):
+            timeline_csv(None)

@@ -1,0 +1,168 @@
+"""Tests for the extended graph algorithms (CC, PageRank, SSSP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.formats import COOMatrix
+from repro.graphs import connected_components, pagerank, sssp
+
+from ..conftest import nx_graph_of, random_graph_coo
+
+
+class TestConnectedComponents:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        coo = random_graph_coo(150, 1.5, seed=seed)   # sparse => many comps
+        labels = connected_components(coo, nt=16)
+        G = nx_graph_of(coo)
+        for comp in nx.connected_components(G):
+            ids = {labels[v] for v in comp}
+            assert ids == {min(comp)}
+
+    def test_label_is_min_vertex(self):
+        coo = COOMatrix((5, 5), np.array([0, 1, 3, 4]),
+                        np.array([1, 0, 4, 3]))
+        labels = connected_components(coo, nt=2)
+        assert labels.tolist() == [0, 0, 2, 3, 3]
+
+    def test_fully_connected(self):
+        coo = random_graph_coo(60, 8.0, seed=3)
+        labels = connected_components(coo, nt=4)
+        # dense ER graph at this degree is connected w.h.p.
+        assert len(set(labels.tolist())) <= 3
+
+    def test_no_edges(self):
+        labels = connected_components(COOMatrix.empty((7, 7)), nt=2)
+        assert labels.tolist() == list(range(7))
+
+    def test_empty_graph(self):
+        assert len(connected_components(COOMatrix.empty((0, 0)), nt=2)) == 0
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ShapeError):
+            connected_components(COOMatrix.empty((3, 4)), nt=2)
+
+    @given(st.integers(2, 80), st.integers(0, 10**5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_labels_consistent_across_edges(self, n, seed):
+        coo = random_graph_coo(n, 2.0, seed)
+        labels = connected_components(coo, nt=4)
+        # every edge joins same-labelled vertices
+        assert np.all(labels[coo.row] == labels[coo.col])
+        # labels are component minima: label[v] <= v
+        assert np.all(labels <= np.arange(n))
+
+
+class TestPageRank:
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        G = nx.gnp_random_graph(70, 0.08, seed=5, directed=True)
+        A = nx.to_scipy_sparse_array(G, format="coo")
+        # our convention is A[i, j] = edge j -> i
+        coo = COOMatrix((70, 70), A.col.astype(np.int64),
+                        A.row.astype(np.int64), A.data.astype(float))
+        ours, _ = pagerank(coo, tol=1e-12)
+        ref = nx.pagerank(G, alpha=0.85, tol=1e-12, max_iter=500)
+        refv = np.array([ref[i] for i in range(70)])
+        assert np.allclose(ours, refv, atol=1e-7)
+
+    def test_sums_to_one(self):
+        coo = random_graph_coo(50, 4.0, seed=6)
+        r, _ = pagerank(coo)
+        assert r.sum() == pytest.approx(1.0)
+        assert np.all(r > 0)
+
+    def test_ring_is_uniform(self):
+        n = 12
+        coo = COOMatrix((n, n),
+                        np.arange(n),
+                        np.roll(np.arange(n), 1))
+        r, _ = pagerank(coo, tol=1e-14)
+        assert np.allclose(r, 1.0 / n)
+
+    def test_dangling_vertices_handled(self):
+        # vertex 2 has no out-edges; mass must still sum to 1
+        coo = COOMatrix((3, 3), np.array([1, 2]), np.array([0, 1]))
+        r, _ = pagerank(coo)
+        assert r.sum() == pytest.approx(1.0)
+
+    def test_converges(self):
+        coo = random_graph_coo(100, 5.0, seed=7)
+        _, iters = pagerank(coo, tol=1e-10, max_iter=300)
+        assert iters < 300
+
+    def test_bad_damping(self):
+        with pytest.raises(ShapeError):
+            pagerank(COOMatrix.empty((2, 2)), damping=1.0)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ShapeError):
+            pagerank(COOMatrix.empty((2, 3)))
+
+
+class TestSSSP:
+    def weighted_graph(self, n, seed):
+        import networkx as nx
+
+        rng = np.random.default_rng(seed)
+        G = nx.gnp_random_graph(n, 5.0 / n, seed=seed)
+        for u, v in G.edges:
+            G[u][v]["weight"] = float(rng.random() + 0.05)
+        A = nx.to_scipy_sparse_array(G, format="coo", weight="weight")
+        coo = COOMatrix((n, n), A.row.astype(np.int64),
+                        A.col.astype(np.int64), A.data.astype(float))
+        return G, coo
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dijkstra(self, seed):
+        import networkx as nx
+
+        G, coo = self.weighted_graph(90, seed)
+        d = sssp(coo, 0, nt=16)
+        ref = nx.single_source_dijkstra_path_length(G, 0)
+        want = np.full(90, np.inf)
+        for v, dist in ref.items():
+            want[v] = dist
+        assert np.allclose(d, want)
+
+    def test_unweighted_equals_bfs_levels(self):
+        from repro.graphs import bfs_levels
+
+        coo = random_graph_coo(80, 4.0, seed=3)
+        d = sssp(coo, 0, nt=4)
+        levels = bfs_levels(coo, 0)
+        finite = levels >= 0
+        assert np.allclose(d[finite], levels[finite])
+        assert np.all(np.isinf(d[~finite]))
+
+    def test_source_distance_zero(self):
+        _, coo = self.weighted_graph(40, 4)
+        assert sssp(coo, 7, nt=4)[7] == 0.0
+
+    def test_unreachable_inf(self):
+        coo = COOMatrix((4, 4), np.array([1]), np.array([0]),
+                        np.array([2.0]))
+        d = sssp(coo, 0, nt=2)
+        assert d[1] == 2.0 and np.isinf(d[2]) and np.isinf(d[3])
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ShapeError):
+            sssp(COOMatrix.empty((4, 4)), 4, nt=2)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ShapeError):
+            sssp(COOMatrix.empty((3, 4)), 0, nt=2)
+
+    def test_max_rounds_caps_work(self):
+        # a path graph needs n-1 rounds; capping at 1 leaves the tail inf
+        n = 6
+        coo = COOMatrix((n, n), np.arange(1, n), np.arange(n - 1),
+                        np.ones(n - 1))
+        d = sssp(coo, 0, nt=2, max_rounds=1)
+        assert d[1] == 1.0 and np.isinf(d[2])

@@ -1,0 +1,190 @@
+"""Tests for the graph applications: reference BFS, BC, RCM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.formats import COOMatrix
+from repro.graphs import (bandwidth, betweenness_centrality, bfs_levels,
+                          rcm_ordering)
+from repro.matrices import banded, erdos_renyi, mesh2d
+
+from ..conftest import nx_graph_of, nx_levels, random_graph_coo
+
+
+class TestBfsReference:
+    def test_matches_networkx(self):
+        coo = random_graph_coo(150, 4.0, seed=1)
+        assert np.array_equal(bfs_levels(coo, 0), nx_levels(coo, 0))
+
+    def test_matches_tilebfs(self):
+        from repro.core import tile_bfs
+
+        coo = random_graph_coo(90, 4.0, seed=2)
+        assert np.array_equal(bfs_levels(coo, 5),
+                              tile_bfs(coo, 5, nt=4).levels)
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ShapeError):
+            bfs_levels(COOMatrix.empty((3, 3)), 3)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ShapeError):
+            bfs_levels(COOMatrix.empty((3, 4)), 0)
+
+    def test_accepts_dense(self):
+        d = np.zeros((4, 4))
+        d[0, 1] = d[1, 0] = 1.0
+        assert bfs_levels(d, 0).tolist() == [0, 1, -1, -1]
+
+
+class TestBetweennessCentrality:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_exact_matches_networkx(self, seed):
+        import networkx as nx
+
+        coo = random_graph_coo(35, 4.0, seed=seed)
+        G = nx_graph_of(coo)
+        ours = betweenness_centrality(coo, nt=4)
+        ref = nx.betweenness_centrality(G)
+        refv = np.array([ref[i] for i in range(35)])
+        assert np.allclose(ours, refv, atol=1e-9)
+
+    def test_unnormalized(self):
+        import networkx as nx
+
+        coo = random_graph_coo(25, 4.0, seed=5)
+        ours = betweenness_centrality(coo, nt=4, normalized=False)
+        ref = nx.betweenness_centrality(nx_graph_of(coo),
+                                        normalized=False)
+        # networkx halves undirected counts; Brandes delta counts each
+        # pair twice
+        refv = np.array([ref[i] for i in range(25)]) * 2
+        assert np.allclose(ours, refv, atol=1e-9)
+
+    def test_star_graph_center(self):
+        n = 9
+        rows = np.concatenate([np.zeros(n - 1, dtype=int),
+                               np.arange(1, n)])
+        cols = np.concatenate([np.arange(1, n),
+                               np.zeros(n - 1, dtype=int)])
+        coo = COOMatrix((n, n), rows, cols)
+        bc = betweenness_centrality(coo, nt=4, normalized=False)
+        # every pair of leaves routes through the center: 2 * C(8,2)
+        assert bc[0] == pytest.approx(2 * 28)
+        assert np.allclose(bc[1:], 0.0)
+
+    def test_pivot_subset_runs(self):
+        coo = random_graph_coo(60, 4.0, seed=6)
+        bc = betweenness_centrality(coo, sources=[0, 1, 2], nt=4)
+        assert bc.shape == (60,)
+        assert np.all(bc >= 0)
+
+    def test_source_out_of_range(self):
+        coo = random_graph_coo(10, 3.0, seed=7)
+        with pytest.raises(ShapeError):
+            betweenness_centrality(coo, sources=[10], nt=4)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ShapeError):
+            betweenness_centrality(COOMatrix.empty((3, 4)), nt=2)
+
+
+class TestRCM:
+    def test_permutation_valid(self):
+        coo = random_graph_coo(80, 4.0, seed=8)
+        perm = rcm_ordering(coo, nt=4)
+        assert sorted(perm.tolist()) == list(range(80))
+
+    def test_reduces_bandwidth_on_shuffled_band(self):
+        """The canonical RCM test: shuffle a banded matrix, RCM should
+        recover a narrow band."""
+        m = banded(300, bandwidth=2, extra_bands=0, seed=9)
+        rng = np.random.default_rng(10)
+        shuffle = rng.permutation(300)
+        shuffled = COOMatrix((300, 300), shuffle[m.row], shuffle[m.col],
+                             m.val)
+        b_before = bandwidth(shuffled)
+        perm = rcm_ordering(shuffled, nt=4)
+        b_after = bandwidth(shuffled, perm)
+        assert b_after < b_before / 4
+
+    def test_shuffled_mesh_bandwidth_recovered(self):
+        """A row-major mesh is already optimally ordered (RCM cannot
+        beat it), but RCM must recover a narrow band from a shuffle."""
+        m = mesh2d(12, seed=11)
+        rng = np.random.default_rng(20)
+        shuffle = rng.permutation(m.shape[0])
+        shuffled = COOMatrix(m.shape, shuffle[m.row], shuffle[m.col],
+                             m.val)
+        perm = rcm_ordering(shuffled, nt=4)
+        assert bandwidth(shuffled, perm) < bandwidth(shuffled) / 2
+
+    def test_disconnected_graph_covered(self):
+        coo = COOMatrix((8, 8), np.array([0, 1, 4, 5]),
+                        np.array([1, 0, 5, 4]))
+        perm = rcm_ordering(coo, nt=2)
+        assert sorted(perm.tolist()) == list(range(8))
+
+    def test_explicit_start(self):
+        coo = random_graph_coo(40, 4.0, seed=12)
+        perm = rcm_ordering(coo, start=7, nt=4)
+        assert sorted(perm.tolist()) == list(range(40))
+
+    def test_bad_start_rejected(self):
+        coo = random_graph_coo(10, 3.0, seed=13)
+        with pytest.raises(ShapeError):
+            rcm_ordering(coo, start=99, nt=2)
+
+
+class TestBandwidth:
+    def test_empty(self):
+        assert bandwidth(COOMatrix.empty((5, 5))) == 0
+
+    def test_diagonal(self):
+        assert bandwidth(COOMatrix.from_dense(np.eye(4))) == 0
+
+    def test_known_value(self):
+        coo = COOMatrix((5, 5), np.array([0]), np.array([4]))
+        assert bandwidth(coo) == 4
+
+    def test_with_permutation(self):
+        coo = COOMatrix((3, 3), np.array([0]), np.array([2]))
+        perm = np.array([0, 2, 1])   # position of old idx in new order
+        # inv perm maps old->new: 0->0, 2->1, 1->2 => |0-1| = 1
+        assert bandwidth(coo, perm) == 1
+
+
+class TestBatchedBC:
+    @pytest.mark.parametrize("batch_size", [2, 7, 64])
+    def test_identical_to_sequential(self, batch_size):
+        coo = random_graph_coo(45, 4.0, seed=14)
+        seq = betweenness_centrality(coo, nt=8)
+        bat = betweenness_centrality(coo, nt=8, batch_size=batch_size)
+        assert np.allclose(bat, seq)
+
+    def test_batched_saves_simulated_time(self):
+        from repro.gpusim import Device, RTX3090
+
+        coo = random_graph_coo(80, 4.0, seed=15)
+        d_seq = Device(RTX3090)
+        betweenness_centrality(coo, nt=8, device=d_seq,
+                               sources=range(12))
+        d_bat = Device(RTX3090)
+        betweenness_centrality(coo, nt=8, device=d_bat,
+                               sources=range(12), batch_size=12)
+        assert d_bat.elapsed_ms < d_seq.elapsed_ms
+
+    def test_pivot_subset_batched(self):
+        import networkx as nx
+
+        coo = random_graph_coo(40, 4.0, seed=16)
+        a = betweenness_centrality(coo, sources=[0, 5, 9], nt=8,
+                                   batch_size=3)
+        b = betweenness_centrality(coo, sources=[0, 5, 9], nt=8)
+        assert np.allclose(a, b)
+
+    def test_bad_batch_size(self):
+        coo = random_graph_coo(10, 3.0, seed=17)
+        with pytest.raises(ShapeError):
+            betweenness_centrality(coo, nt=2, batch_size=0)

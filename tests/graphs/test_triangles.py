@@ -1,0 +1,106 @@
+"""Tests for triangle counting (batched SpMSpV exerciser)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.formats import COOMatrix
+from repro.graphs import triangle_count, triangles_per_vertex
+
+from ..conftest import nx_graph_of, random_graph_coo
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_per_vertex_matches(self, seed):
+        import networkx as nx
+
+        coo = random_graph_coo(70, 5.0, seed=seed)
+        ref = nx.triangles(nx_graph_of(coo))
+        ours = triangles_per_vertex(coo, nt=8)
+        assert all(ours[v] == ref[v] for v in range(70))
+
+    @given(st.integers(3, 60), st.integers(0, 10**5),
+           st.sampled_from([1, 8, 64]))
+    @settings(max_examples=15, deadline=None)
+    def test_total_matches(self, n, seed, batch):
+        import networkx as nx
+
+        coo = random_graph_coo(n, 5.0, seed)
+        ref = sum(nx.triangles(nx_graph_of(coo)).values()) // 3
+        assert triangle_count(coo, nt=4, batch_size=batch) == ref
+
+
+class TestKnownGraphs:
+    def test_triangle_graph(self):
+        coo = COOMatrix((3, 3),
+                        np.array([0, 1, 1, 2, 0, 2]),
+                        np.array([1, 0, 2, 1, 2, 0]))
+        assert triangle_count(coo, nt=2) == 1
+        assert triangles_per_vertex(coo, nt=2).tolist() == [1, 1, 1]
+
+    def test_square_has_none(self):
+        rows = np.array([0, 1, 1, 2, 2, 3, 3, 0])
+        cols = np.array([1, 0, 2, 1, 3, 2, 0, 3])
+        coo = COOMatrix((4, 4), rows, cols)
+        assert triangle_count(coo, nt=2) == 0
+
+    def test_complete_graph(self):
+        n = 6
+        d = 1.0 - np.eye(n)
+        assert triangle_count(COOMatrix.from_dense(d), nt=2) == 20  # C(6,3)
+
+    def test_self_loops_ignored(self):
+        coo = COOMatrix((3, 3),
+                        np.array([0, 1, 1, 2, 0, 2, 0]),
+                        np.array([1, 0, 2, 1, 2, 0, 0]))
+        assert triangle_count(coo, nt=2) == 1
+
+    def test_empty_graph(self):
+        assert triangle_count(COOMatrix.empty((5, 5)), nt=2) == 0
+
+
+class TestValidation:
+    def test_nonsquare(self):
+        with pytest.raises(ShapeError):
+            triangle_count(COOMatrix.empty((3, 4)), nt=2)
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ShapeError):
+            triangle_count(COOMatrix.empty((3, 3)), nt=2, batch_size=0)
+
+
+class TestExtractionAdvisor:
+    def test_empty_matrix_zero(self):
+        from repro.tiles import suggest_extract_threshold
+
+        assert suggest_extract_threshold(COOMatrix.empty((8, 8)), 4) == 0
+
+    def test_dusty_matrix_extracts(self):
+        from repro.tiles import suggest_extract_threshold
+
+        rng = np.random.default_rng(0)
+        n = 20_000
+        rows = rng.integers(0, n, 30_000)
+        cols = rng.integers(0, n, 30_000)
+        dust = COOMatrix((n, n), rows, cols,
+                         np.ones(30_000)).sum_duplicates()
+        assert suggest_extract_threshold(dust, 16) >= 1
+
+    def test_bounded_by_max(self):
+        from repro.tiles import suggest_extract_threshold
+        from ..conftest import random_dense
+
+        coo = COOMatrix.from_dense(random_dense(64, 64, 0.05, seed=1))
+        t = suggest_extract_threshold(coo, 16, max_threshold=3)
+        assert 0 <= t <= 3
+
+    def test_negative_max_rejected(self):
+        from repro.errors import TileError
+        from repro.tiles import suggest_extract_threshold
+
+        with pytest.raises(TileError):
+            suggest_extract_threshold(COOMatrix.empty((4, 4)), 4,
+                                      max_threshold=-1)

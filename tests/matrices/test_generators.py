@@ -1,0 +1,139 @@
+"""Tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrices import (banded, block_diagonal, erdos_renyi, fem_like,
+                            mesh2d, mesh3d, random_rectangular, rmat,
+                            road_network)
+from repro.tiles import tile_stats
+
+
+def is_symmetric(coo):
+    d = coo.to_dense()
+    return np.array_equal(d != 0, (d != 0).T)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("gen,args", [
+        (banded, (200,)), (mesh2d, (10,)), (mesh3d, (5,)),
+        (fem_like, (128,)), (block_diagonal, (4, 8)),
+        (rmat, (7,)), (erdos_renyi, (100,)), (road_network, (10,)),
+        (random_rectangular, (30, 40, 0.1)),
+    ], ids=lambda g: getattr(g, "__name__", str(g)))
+    def test_same_seed_same_matrix(self, gen, args):
+        a = gen(*args, seed=42)
+        b = gen(*args, seed=42)
+        assert a.shape == b.shape and a.nnz == b.nnz
+        assert np.array_equal(a.row, b.row)
+        assert np.allclose(a.val, b.val)
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(200, 6.0, seed=1)
+        b = erdos_renyi(200, 6.0, seed=2)
+        assert not (a.nnz == b.nnz and np.array_equal(a.row, b.row)
+                    and np.array_equal(a.col, b.col))
+
+
+class TestStructure:
+    def test_banded_bandwidth(self):
+        m = banded(100, bandwidth=3, extra_bands=0, seed=0)
+        assert np.abs(m.row - m.col).max() <= 3
+
+    def test_banded_symmetric(self):
+        assert is_symmetric(banded(80, seed=1))
+
+    def test_mesh2d_shape_and_degree(self):
+        m = mesh2d(8, stencil=5)
+        assert m.shape == (64, 64)
+        degrees = np.bincount(m.row, minlength=64)
+        assert degrees.max() <= 5
+
+    def test_mesh2d_bad_stencil(self):
+        with pytest.raises(ShapeError):
+            mesh2d(5, stencil=7)
+
+    def test_mesh3d_degree(self):
+        m = mesh3d(4)
+        degrees = np.bincount(m.row, minlength=64)
+        assert degrees.max() <= 7
+
+    def test_fem_like_dense_tiles(self):
+        """FEM generator must produce dense-ish tiles (that's its job)."""
+        m = fem_like(1024, nnz_per_row=40, block=16, seed=2)
+        st = tile_stats(m, 16)
+        assert st.in_tile_density > 0.15
+
+    def test_fem_like_symmetric(self):
+        assert is_symmetric(fem_like(256, seed=3))
+
+    def test_block_diagonal_structure(self):
+        m = block_diagonal(4, 8, density=1.0, seed=4)
+        assert m.shape == (32, 32)
+        assert np.all(m.row // 8 == m.col // 8)
+        # exactly the block cells
+        assert m.nnz == 4 * 64
+
+    def test_block_diagonal_bad_density(self):
+        with pytest.raises(ShapeError):
+            block_diagonal(2, 4, density=0.0)
+
+    def test_rmat_power_law_skew(self):
+        m = rmat(10, edge_factor=8, seed=5)
+        degrees = np.bincount(m.row, minlength=m.shape[0])
+        # a power-law graph has a hub far above the mean degree
+        assert degrees.max() > 8 * degrees.mean()
+
+    def test_rmat_shape_is_power_of_two(self):
+        assert rmat(6, seed=6).shape == (64, 64)
+
+    def test_rmat_bad_scale(self):
+        with pytest.raises(ShapeError):
+            rmat(0)
+        with pytest.raises(ShapeError):
+            rmat(30)
+
+    def test_rmat_bad_probabilities(self):
+        with pytest.raises(ShapeError):
+            rmat(5, a=0.8, b=0.2, c=0.2)
+
+    def test_road_network_low_degree_long_diameter(self):
+        m = road_network(20, seed=7)
+        degrees = np.bincount(m.row, minlength=m.shape[0])
+        assert degrees.mean() < 5.0
+        from repro.graphs import bfs_levels
+
+        levels = bfs_levels(m, 0)
+        # grid-like diameter mostly survives the rewiring shortcuts
+        assert levels.max() > 10
+
+    def test_road_network_symmetric(self):
+        assert is_symmetric(road_network(12, seed=8))
+
+    def test_road_network_bad_fractions(self):
+        with pytest.raises(ShapeError):
+            road_network(5, rewire=1.5)
+
+    def test_erdos_renyi_degree(self):
+        m = erdos_renyi(500, avg_degree=8.0, seed=9)
+        degrees = np.bincount(m.row, minlength=500)
+        assert 4.0 < degrees.mean() < 20.0
+
+    def test_random_rectangular(self):
+        m = random_rectangular(30, 50, 0.05, seed=10)
+        assert m.shape == (30, 50)
+        assert m.nnz > 0
+
+    def test_random_rectangular_bad_density(self):
+        with pytest.raises(ShapeError):
+            random_rectangular(3, 3, 0.0)
+
+    def test_values_in_unit_interval(self):
+        for m in (banded(50, seed=11), rmat(6, seed=12)):
+            assert np.all(m.val > 0) and np.all(m.val <= 1.0)
+
+    def test_no_duplicates(self):
+        m = erdos_renyi(100, 8.0, seed=13)
+        keys = m.row * 100 + m.col
+        assert len(np.unique(keys)) == len(keys)

@@ -1,0 +1,41 @@
+"""Smoke tests for the bench CLI and the fast example scripts."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestBenchCli:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert bench_main(["nonsense"]) == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_single_experiment_prints_table(self, capsys):
+        assert bench_main(["extraction"]) == 0
+        out = capsys.readouterr().out
+        assert "COO extraction" in out
+
+    def test_table2_runs(self, capsys):
+        assert bench_main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "ldoor" in out and "#tiles (64)" in out
+
+
+@pytest.mark.parametrize("script", [
+    "semiring_algebra.py",
+    "format_tour.py",
+])
+def test_fast_examples_run_clean(script):
+    """The lightweight examples must execute end to end (the heavier
+    ones are exercised by the benchmark suite's machinery instead)."""
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "examples" / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()

@@ -1,0 +1,186 @@
+"""Cross-cutting edge cases and failure injection.
+
+Degenerate inputs (empty matrices/vectors/frontiers, single elements,
+all-dense, all-empty) pushed through every public entry point, plus
+misuse paths that must raise typed errors rather than corrupt state.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (Device, RTX3090, SparseVector, TileBFS, TileSpMSpV,
+                   random_sparse_vector)
+from repro.baselines import (CombBLASSpMSpV, CuSparseBSRMV, EnterpriseBFS,
+                             GSwitchBFS, GunrockBFS, TileSpMV,
+                             spmspv_colwise, spmspv_rowwise)
+from repro.errors import ReproError, ShapeError
+from repro.formats import COOMatrix, to_csc, to_csr
+from repro.tiles import BitVector, TiledMatrix, TiledVector
+
+
+class TestEmptyEverything:
+    def test_empty_matrix_empty_vector(self):
+        op = TileSpMSpV(COOMatrix.empty((8, 8)), nt=4)
+        y = op.multiply(SparseVector.empty(8))
+        assert y.nnz == 0
+
+    def test_all_baselines_empty_vector(self):
+        coo = COOMatrix.empty((6, 6))
+        x = SparseVector.empty(6)
+        assert spmspv_rowwise(to_csr(coo), x).nnz == 0
+        assert spmspv_colwise(to_csc(coo), x).nnz == 0
+        assert TileSpMV(coo, nt=2).multiply(x).nnz == 0
+        assert CuSparseBSRMV(coo, 2).multiply(x).nnz == 0
+        assert CombBLASSpMSpV(coo).multiply(x).nnz == 0
+
+    def test_1x1_matrix(self):
+        coo = COOMatrix((1, 1), np.array([0]), np.array([0]),
+                        np.array([3.0]))
+        y = TileSpMSpV(coo, nt=2).multiply(
+            SparseVector(1, np.array([0]), np.array([2.0])))
+        assert y.to_dense().tolist() == [6.0]
+
+    def test_single_vertex_bfs(self):
+        coo = COOMatrix.empty((1, 1))
+        for cls in (lambda: TileBFS(coo, nt=2), lambda: GunrockBFS(coo),
+                    lambda: GSwitchBFS(coo), lambda: EnterpriseBFS(coo)):
+            res = cls().run(0)
+            assert res.levels.tolist() == [0]
+
+    def test_vector_longer_than_matrix_rows(self):
+        """Tall rectangular: y longer than x."""
+        coo = COOMatrix((100, 2), np.array([99]), np.array([1]),
+                        np.array([5.0]))
+        y = TileSpMSpV(coo, nt=2).multiply(
+            SparseVector(2, np.array([1]), np.array([1.0])))
+        assert y.indices.tolist() == [99]
+
+
+class TestDenseExtremes:
+    def test_fully_dense_matrix(self):
+        d = np.arange(1.0, 37.0).reshape(6, 6)
+        x = random_sparse_vector(6, 1.0, seed=1)
+        y = TileSpMSpV(d, nt=2).multiply(x)
+        assert np.allclose(y.to_dense(), d @ x.to_dense())
+
+    def test_single_dense_column(self):
+        d = np.zeros((32, 32))
+        d[:, 5] = np.arange(1.0, 33.0)
+        y = TileSpMSpV(d, nt=16).multiply(
+            SparseVector(32, np.array([5]), np.array([2.0])))
+        assert np.allclose(y.to_dense(), d[:, 5] * 2.0)
+
+    def test_single_dense_row(self):
+        d = np.zeros((32, 32))
+        d[7, :] = 1.0
+        x = random_sparse_vector(32, 0.5, seed=2)
+        y = TileSpMSpV(d, nt=16).multiply(x)
+        assert y.indices.tolist() == [7]
+        assert y.values[0] == pytest.approx(x.values.sum())
+
+
+class TestNumericalEdge:
+    def test_negative_values(self):
+        d = np.array([[1.0, -2.0], [-3.0, 4.0]])
+        x = SparseVector(2, np.array([0, 1]), np.array([-1.0, 0.5]))
+        y = TileSpMSpV(d, nt=2).multiply(x)
+        assert np.allclose(y.to_dense(), d @ x.to_dense())
+
+    def test_tiny_values_preserved(self):
+        coo = COOMatrix((2, 2), np.array([0]), np.array([0]),
+                        np.array([1e-300]))
+        y = TileSpMSpV(coo, nt=2).multiply(
+            SparseVector(2, np.array([0]), np.array([1e-300])))
+        # 1e-600 underflows to exact zero and is dropped: documented
+        # sparse-output behaviour, not data corruption
+        assert y.nnz == 0 or y.values[0] >= 0
+
+    def test_large_values(self):
+        coo = COOMatrix((2, 2), np.array([1]), np.array([0]),
+                        np.array([1e150]))
+        y = TileSpMSpV(coo, nt=2).multiply(
+            SparseVector(2, np.array([0]), np.array([1e150])))
+        assert y.to_dense()[1] == pytest.approx(1e300)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro.errors import (ConversionError, DeviceError,
+                                  FormatError, IOFormatError, ShapeError,
+                                  TileError)
+
+        for err in (FormatError, ShapeError, TileError, ConversionError,
+                    DeviceError, IOFormatError):
+            assert issubclass(err, ReproError)
+
+    def test_catching_base_class_works(self):
+        with pytest.raises(ReproError):
+            TileSpMSpV(np.eye(4), nt=5)
+        with pytest.raises(ReproError):
+            COOMatrix((2, 2), np.array([5]), np.array([0]))
+
+
+class TestStateIsolation:
+    def test_multiply_does_not_mutate_inputs(self):
+        d = np.eye(8)
+        op = TileSpMSpV(d, nt=4)
+        x = SparseVector(8, np.array([1, 3]), np.array([2.0, 4.0]))
+        idx_before = x.indices.copy()
+        val_before = x.values.copy()
+        op.multiply(x)
+        op.multiply(x, mask=np.ones(8, dtype=bool))
+        assert np.array_equal(x.indices, idx_before)
+        assert np.array_equal(x.values, val_before)
+
+    def test_bfs_rerun_is_deterministic(self):
+        from .conftest import random_graph_coo
+
+        coo = random_graph_coo(100, 4.0, seed=1)
+        bfs = TileBFS(coo, nt=16, device=Device(RTX3090))
+        a = bfs.run(0)
+        b = bfs.run(0)
+        assert np.array_equal(a.levels, b.levels)
+        assert a.simulated_ms == pytest.approx(b.simulated_ms)
+
+    def test_tiled_structures_not_shared_between_ops(self):
+        d = np.eye(8)
+        op1 = TileSpMSpV(d, nt=4)
+        op2 = TileSpMSpV(d, nt=4)
+        op1.hybrid.tiled.values[:] = 99.0
+        y = op2.multiply(SparseVector(8, np.array([0]),
+                                      np.array([1.0])))
+        assert y.values[0] == 1.0
+
+
+class TestBitVectorTailSafety:
+    @pytest.mark.parametrize("n", [1, 7, 63, 64, 65, 100])
+    def test_invert_never_leaks_past_n(self, n):
+        v = BitVector.zeros(n, 64)
+        inv = v.invert()
+        assert inv.count() == n
+        inv.validate()
+
+    def test_ops_preserve_validity(self):
+        a = BitVector.from_indices(np.array([0, 9]), 10, 4)
+        b = a.invert()
+        for out in (a | b, a & b, a.andnot(b), b.invert()):
+            out.validate()
+
+
+class TestTiledVectorDegenerate:
+    def test_length_one(self):
+        tv = TiledVector.from_dense(np.array([5.0]), 4)
+        assert tv.get(0) == 5.0
+        assert tv.to_dense().tolist() == [5.0]
+
+    def test_all_tiles_full(self):
+        x = np.arange(1.0, 17.0)
+        tv = TiledVector.from_dense(x, 4)
+        assert tv.n_nonempty_tiles == 4
+        assert np.allclose(tv.to_dense(), x)
+
+    def test_tiled_matrix_single_entry_corner(self):
+        d = np.zeros((33, 33))
+        d[32, 32] = 7.0   # in the ragged tail tile
+        tm = TiledMatrix.from_dense(d, 16)
+        assert np.allclose(tm.to_dense(), d)

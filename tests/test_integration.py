@@ -1,0 +1,165 @@
+"""Cross-module integration tests: full pipelines through the public API."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import (Device, KernelSelector, RTX3060, RTX3090, SparseVector,
+                   TileBFS, TileSpMSpV, random_sparse_vector, tile_bfs,
+                   tile_spmspv)
+from repro.baselines import (CombBLASSpMSpV, CuSparseBSRMV, EnterpriseBFS,
+                             GSwitchBFS, GunrockBFS, TileSpMV)
+from repro.formats import (COOMatrix, read_matrix_market,
+                           write_matrix_market)
+from repro.graphs import bfs_levels
+from repro.matrices import fem_like, get_matrix, rmat, road_network
+from repro.semiring import OR_AND
+
+from .conftest import nx_levels, random_graph_coo
+
+
+class TestSpMSpVChain:
+    def test_bfs_via_repeated_spmspv(self):
+        """Algorithm 3 of the paper: BFS as a loop of SpMSpV calls,
+        cross-checked against TileBFS."""
+        coo = random_graph_coo(120, 4.0, seed=1)
+        n = coo.shape[0]
+        op = TileSpMSpV(coo, nt=16)
+        levels = np.full(n, -1, dtype=np.int64)
+        levels[0] = 0
+        x = SparseVector(n, np.array([0]), np.array([1.0]))
+        visited = np.zeros(n, dtype=bool)
+        visited[0] = True
+        depth = 0
+        while x.nnz:
+            depth += 1
+            y = op.multiply(x)
+            new = y.indices[~visited[y.indices]]
+            if len(new) == 0:
+                break
+            visited[new] = True
+            levels[new] = depth
+            x = SparseVector(n, new, np.ones(len(new)))
+        assert np.array_equal(levels, tile_bfs(coo, 0, nt=16).levels)
+
+    def test_chained_multiplies_tiled_output(self):
+        """y = A (A x) with tiled intermediate — A^2 x oracle."""
+        d = (np.random.default_rng(2).random((32, 32)) < 0.1) * 1.0
+        op = TileSpMSpV(d, nt=8)
+        x = random_sparse_vector(32, 0.2, seed=3)
+        y1 = op.multiply(x, output="tiled")
+        y2 = op.multiply(y1)
+        ref = d @ (d @ x.to_dense())
+        assert np.allclose(y2.to_dense(), ref)
+
+    def test_matrix_market_to_bfs_pipeline(self):
+        """Load a matrix from MM text, run every BFS, all agree."""
+        coo = random_graph_coo(80, 4.0, seed=4)
+        buf = io.StringIO()
+        write_matrix_market(coo, buf)
+        buf.seek(0)
+        loaded = read_matrix_market(buf)
+        ref = nx_levels(coo, 0)
+        for make in (lambda: TileBFS(loaded, nt=16),
+                     lambda: GunrockBFS(loaded),
+                     lambda: GSwitchBFS(loaded),
+                     lambda: EnterpriseBFS(loaded)):
+            assert np.array_equal(make().run(0).levels, ref)
+
+
+class TestAllAlgorithmsOneMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return get_matrix("cavity23")
+
+    def test_spmspv_stack_agrees(self, matrix):
+        from repro.formats import to_csc, to_csr
+        from repro.baselines import spmspv_colwise, spmspv_rowwise
+
+        x = random_sparse_vector(matrix.shape[1], 0.01)
+        ref = tile_spmspv(matrix, x, nt=16).to_dense()
+        assert np.allclose(
+            TileSpMV(matrix, nt=16).multiply(x).to_dense(), ref)
+        assert np.allclose(
+            CuSparseBSRMV(matrix, 16).multiply(x).to_dense(), ref)
+        assert np.allclose(
+            CombBLASSpMSpV(matrix).multiply(x).to_dense(), ref)
+        assert np.allclose(
+            spmspv_rowwise(to_csr(matrix), x).to_dense(), ref)
+        assert np.allclose(
+            spmspv_colwise(to_csc(matrix), x).to_dense(), ref)
+
+    def test_bfs_stack_agrees(self, matrix):
+        ref = bfs_levels(matrix, 0)
+        for make in (lambda: TileBFS(matrix),
+                     lambda: GunrockBFS(matrix),
+                     lambda: GSwitchBFS(matrix),
+                     lambda: EnterpriseBFS(matrix)):
+            assert np.array_equal(make().run(0).levels, ref)
+
+
+class TestDeviceSharedAcrossAlgorithms:
+    def test_one_device_many_ops(self):
+        dev = Device(RTX3090)
+        coo = fem_like(1024, nnz_per_row=20, seed=5)
+        op = TileSpMSpV(coo, nt=16, device=dev)
+        bfs = TileBFS(coo, nt=32, device=dev)
+        op.multiply(random_sparse_vector(1024, 0.05))
+        bfs.run(0)
+        names = {r.name for r in dev.timeline}
+        assert any(n.startswith("tile_spmspv") for n in names)
+        assert any(n.startswith("tilebfs") for n in names)
+
+    def test_spec_scaling_consistent(self):
+        """Across specs, algorithm rankings stay stable on a dense-tile
+        FEM matrix (paper runs both GPUs and reports the same story)."""
+        coo = fem_like(8192, nnz_per_row=40, block=16, spread=0.004,
+                       seed=6)
+        ranks = {}
+        for spec in (RTX3060, RTX3090):
+            times = {}
+            for name, make in (
+                    ("tile", lambda d: TileBFS(coo, device=d)),
+                    ("gunrock", lambda d: GunrockBFS(coo, device=d))):
+                dev = Device(spec)
+                times[name] = make(dev).run(0).simulated_ms
+            ranks[spec.name] = times["tile"] < times["gunrock"]
+        assert ranks["RTX 3060"] == ranks["RTX 3090"]
+
+
+class TestBitmaskSemiring:
+    def test_or_and_spmspv_equals_bfs_step(self):
+        """One OR-AND SpMSpV over the pattern == one BFS expansion."""
+        coo = random_graph_coo(60, 4.0, seed=7)
+        d = (coo.to_dense() != 0)
+        frontier = np.zeros(60, dtype=bool)
+        frontier[0] = True
+        expected = d[:, frontier].any(axis=1)
+
+        # boolean SpMSpV via plus_times on 0/1 values, then threshold
+        ones = COOMatrix(coo.shape, coo.row, coo.col,
+                         np.ones(coo.nnz))
+        y = tile_spmspv(ones, SparseVector(60, np.array([0]),
+                                           np.array([1.0])), nt=4)
+        got = np.zeros(60, dtype=bool)
+        got[y.indices] = True
+        assert np.array_equal(got, expected)
+
+
+class TestSelectorsEndToEnd:
+    @pytest.mark.parametrize("gen,args,seed", [
+        (rmat, (9, 8), 8),
+        (road_network, (16,), 9),
+        (fem_like, (900, 30), 10),
+    ], ids=["rmat", "road", "fem"])
+    def test_all_selector_points_agree(self, gen, args, seed):
+        coo = gen(*args, seed=seed)
+        ref = None
+        for sel in (KernelSelector.k1(), KernelSelector.k1_k2(),
+                    KernelSelector.k1_k2_k3()):
+            levels = TileBFS(coo, selector=sel).run(0).levels
+            if ref is None:
+                ref = levels
+            else:
+                assert np.array_equal(levels, ref)

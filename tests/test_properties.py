@@ -1,0 +1,160 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+These state the *laws* the system must satisfy, independent of any
+specific input: linearity of SpMSpV, equivalence of all storage routes,
+BFS triangle properties, and conservation across tiling splits.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SparseVector, TileBFS, TileSpMSpV, tile_spmspv
+from repro.formats import COOMatrix
+from repro.tiles import (BitVector, TiledMatrix, TiledVector,
+                         split_very_sparse_tiles)
+from repro.vectors import random_sparse_vector
+
+from .conftest import random_dense, random_graph_coo
+
+mat_params = st.tuples(st.integers(1, 50), st.integers(1, 50),
+                       st.integers(0, 10**6))
+graph_params = st.tuples(st.integers(2, 90), st.integers(0, 10**6))
+
+
+class TestSpMSpVLaws:
+    @given(mat_params, st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_linearity_in_x(self, mp, xseed):
+        """A(ax + by) == a(Ax) + b(Ay)."""
+        m, n, seed = mp
+        d = random_dense(m, n, 0.2, seed=seed)
+        op = TileSpMSpV(d, nt=4)
+        x = random_sparse_vector(n, 0.3, seed=xseed)
+        y = random_sparse_vector(n, 0.3, seed=xseed + 1)
+        lhs = op.multiply(
+            SparseVector.from_dense(2.0 * x.to_dense()
+                                    + 3.0 * y.to_dense())).to_dense()
+        rhs = (2.0 * op.multiply(x).to_dense()
+               + 3.0 * op.multiply(y).to_dense())
+        assert np.allclose(lhs, rhs)
+
+    @given(mat_params)
+    @settings(max_examples=30, deadline=None)
+    def test_identity_vector(self, mp):
+        """A e_j == column j of A."""
+        m, n, seed = mp
+        d = random_dense(m, n, 0.25, seed=seed)
+        j = seed % n
+        y = tile_spmspv(d, SparseVector(n, np.array([j]),
+                                        np.array([1.0])), nt=4)
+        assert np.allclose(y.to_dense(), d[:, j])
+
+    @given(mat_params, st.sampled_from([2, 4, 16, 32]),
+           st.sampled_from([0, 1, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_tiling_invariance(self, mp, nt, threshold):
+        """The result must not depend on nt or the extraction split."""
+        m, n, seed = mp
+        d = random_dense(m, n, 0.2, seed=seed)
+        x = random_sparse_vector(n, 0.25, seed=seed + 9)
+        ref = d @ x.to_dense()
+        y = tile_spmspv(d, x, nt=nt, extract_threshold=threshold)
+        assert np.allclose(y.to_dense(), ref)
+
+
+class TestTilingConservation:
+    @given(mat_params, st.sampled_from([2, 4, 16]), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_split_partitions_nnz(self, mp, nt, threshold):
+        m, n, seed = mp
+        coo = COOMatrix.from_dense(random_dense(m, n, 0.2, seed=seed))
+        hy = split_very_sparse_tiles(coo, nt, threshold)
+        assert hy.tiled.nnz + hy.side.nnz == coo.nnz
+        assert np.allclose(hy.to_coo().to_dense(), coo.to_dense())
+
+    @given(mat_params, st.sampled_from([2, 4, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_tiled_matrix_preserves_frobenius(self, mp, nt):
+        m, n, seed = mp
+        d = random_dense(m, n, 0.2, seed=seed)
+        tm = TiledMatrix.from_dense(d, nt)
+        assert np.isclose((tm.values ** 2).sum(), (d ** 2).sum())
+
+
+class TestBFSLaws:
+    @given(graph_params)
+    @settings(max_examples=25, deadline=None)
+    def test_levels_differ_by_at_most_one_across_edges(self, gp):
+        """For every edge (u, v): |level(u) - level(v)| <= 1 when both
+        reached — the fundamental BFS invariant."""
+        n, seed = gp
+        coo = random_graph_coo(n, 4.0, seed)
+        levels = TileBFS(coo, nt=4).run(seed % n).levels
+        lu, lv = levels[coo.row], levels[coo.col]
+        both = (lu >= 0) & (lv >= 0)
+        assert np.all(np.abs(lu[both] - lv[both]) <= 1)
+        # and an edge never connects reached to unreached
+        assert not np.any((lu >= 0) ^ (lv >= 0))
+
+    @given(graph_params)
+    @settings(max_examples=25, deadline=None)
+    def test_source_level_zero_and_contiguous(self, gp):
+        n, seed = gp
+        coo = random_graph_coo(n, 3.0, seed)
+        src = seed % n
+        levels = TileBFS(coo, nt=4).run(src).levels
+        assert levels[src] == 0
+        reached = np.unique(levels[levels >= 0])
+        assert np.array_equal(reached, np.arange(len(reached)))
+
+    @given(graph_params)
+    @settings(max_examples=20, deadline=None)
+    def test_symmetric_reachability(self, gp):
+        """On an undirected graph, u reaches v iff v reaches u."""
+        n, seed = gp
+        coo = random_graph_coo(n, 3.0, seed)
+        bfs = TileBFS(coo, nt=4)
+        a, b = 0, n - 1
+        assert (bfs.run(a).levels[b] >= 0) == (bfs.run(b).levels[a] >= 0)
+
+
+class TestBitVectorLaws:
+    @given(st.sets(st.integers(0, 79), max_size=40),
+           st.sets(st.integers(0, 79), max_size=40),
+           st.sampled_from([4, 16, 64]))
+    @settings(max_examples=50)
+    def test_set_algebra_homomorphism(self, a, b, nt):
+        """BitVector ops mirror Python set ops exactly."""
+        va = BitVector.from_indices(np.array(sorted(a), dtype=np.int64),
+                                    80, nt)
+        vb = BitVector.from_indices(np.array(sorted(b), dtype=np.int64),
+                                    80, nt)
+        assert set((va | vb).to_indices().tolist()) == a | b
+        assert set((va & vb).to_indices().tolist()) == a & b
+        assert set(va.andnot(vb).to_indices().tolist()) == a - b
+        assert set(va.invert().to_indices().tolist()) == \
+            set(range(80)) - a
+
+    @given(st.sets(st.integers(0, 79), max_size=40),
+           st.sampled_from([4, 16, 64]))
+    @settings(max_examples=30)
+    def test_double_invert_identity(self, a, nt):
+        v = BitVector.from_indices(np.array(sorted(a), dtype=np.int64),
+                                   80, nt)
+        assert np.array_equal(v.invert().invert().words, v.words)
+
+
+class TestTiledVectorLaws:
+    @given(st.integers(1, 120), st.sampled_from([2, 4, 16, 32]),
+           st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_tiled_dense_sparse_commute(self, n, nt, seed):
+        """from_dense and from_sparse produce identical structures."""
+        x = (np.random.default_rng(seed).random(n) < 0.3) * 1.0
+        a = TiledVector.from_dense(x, nt)
+        idx = np.flatnonzero(x)
+        b = TiledVector.from_sparse(idx, x[idx], n, nt)
+        assert np.array_equal(a.x_ptr, b.x_ptr)
+        assert np.allclose(a.x_tile, b.x_tile)

@@ -1,0 +1,94 @@
+"""Tests for the semiring abstractions (incl. algebraic axioms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring import (MAX_TIMES, MIN_PLUS, OR_AND, PLUS_TIMES,
+                            Semiring)
+
+NUMERIC_SEMIRINGS = [PLUS_TIMES, MIN_PLUS, MAX_TIMES]
+
+finite = st.floats(min_value=0.001, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestIdentities:
+    @pytest.mark.parametrize("sr", NUMERIC_SEMIRINGS, ids=lambda s: s.name)
+    @given(v=finite)
+    @settings(max_examples=25)
+    def test_add_identity(self, sr: Semiring, v):
+        assert sr.add(v, sr.add_identity) == pytest.approx(v)
+
+    @pytest.mark.parametrize("sr", NUMERIC_SEMIRINGS, ids=lambda s: s.name)
+    @given(v=finite)
+    @settings(max_examples=25)
+    def test_mul_identity(self, sr: Semiring, v):
+        assert sr.mul(v, sr.mul_identity) == pytest.approx(v)
+
+    @pytest.mark.parametrize("sr", NUMERIC_SEMIRINGS, ids=lambda s: s.name)
+    @given(v=finite)
+    @settings(max_examples=25)
+    def test_add_identity_absorbs_mul(self, sr: Semiring, v):
+        """``add(x, mul(v, add_identity)) == x`` — the property the
+        tiled kernels rely on so sentinel-filled vector-tile slots fold
+        away harmlessly."""
+        product = sr.mul(v, sr.add_identity)
+        x = 5.0
+        assert sr.add(x, product) == pytest.approx(x)
+
+    def test_or_and_identities(self):
+        a = np.uint64(0b1011)
+        assert OR_AND.add(a, np.uint64(0)) == a
+        assert OR_AND.mul(a, OR_AND.mul_identity) == a
+
+
+class TestAxioms:
+    @pytest.mark.parametrize("sr", NUMERIC_SEMIRINGS, ids=lambda s: s.name)
+    @given(a=finite, b=finite, c=finite)
+    @settings(max_examples=25)
+    def test_add_commutative_associative(self, sr, a, b, c):
+        assert sr.add(a, b) == pytest.approx(sr.add(b, a))
+        assert sr.add(sr.add(a, b), c) == pytest.approx(
+            sr.add(a, sr.add(b, c)))
+
+    @pytest.mark.parametrize("sr", [PLUS_TIMES, MIN_PLUS],
+                             ids=lambda s: s.name)
+    @given(a=finite, b=finite, c=finite)
+    @settings(max_examples=25)
+    def test_mul_distributes_over_add(self, sr, a, b, c):
+        lhs = sr.mul(a, sr.add(b, c))
+        rhs = sr.add(sr.mul(a, b), sr.mul(a, c))
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestReduceSegments:
+    def test_plus_times(self):
+        out = PLUS_TIMES.reduce_segments(
+            np.array([1.0, 2.0, 4.0]), np.array([1, 1, 0]), 2)
+        assert out.tolist() == [4.0, 3.0]
+
+    def test_min_plus_identity_fill(self):
+        out = MIN_PLUS.reduce_segments(
+            np.array([3.0]), np.array([1]), 3)
+        assert np.isinf(out[0]) and out[1] == 3.0 and np.isinf(out[2])
+
+    def test_empty(self):
+        out = MAX_TIMES.reduce_segments(
+            np.zeros(0), np.zeros(0, dtype=np.int64), 2)
+        assert out.tolist() == [0.0, 0.0]
+
+
+class TestIsIdentity:
+    def test_plus_times_zero(self):
+        mask = PLUS_TIMES.is_identity(np.array([0.0, 1.0, 0.0]))
+        assert mask.tolist() == [True, False, True]
+
+    def test_min_plus_inf(self):
+        mask = MIN_PLUS.is_identity(np.array([np.inf, 2.0, -np.inf]))
+        assert mask.tolist() == [True, False, False]
+
+    def test_max_times(self):
+        mask = MAX_TIMES.is_identity(np.array([0.0, 0.5]))
+        assert mask.tolist() == [True, False]

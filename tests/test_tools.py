@@ -1,0 +1,74 @@
+"""Tests for the command-line utilities (``python -m repro.tools``)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import read_matrix_market, write_matrix_market
+from repro.matrices import banded
+from repro.tools import build_parser, main
+
+
+@pytest.fixture
+def mtx(tmp_path):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(banded(300, seed=1), path)
+    return str(path)
+
+
+class TestInfo:
+    def test_prints_tile_stats(self, mtx, capsys):
+        assert main(["info", mtx]) == 0
+        out = capsys.readouterr().out
+        assert "nnz=" in out
+        assert "nt=16" in out and "nt=64" in out
+
+
+class TestBfs:
+    def test_runs_and_reports(self, mtx, capsys):
+        assert main(["bfs", mtx, "0"]) == 0
+        out = capsys.readouterr().out
+        assert "reached 300/300" in out
+        assert "kernel mix" in out
+
+    def test_gpu_flag(self, mtx, capsys):
+        assert main(["bfs", mtx, "0", "--gpu", "rtx3060"]) == 0
+        assert "RTX 3060" in capsys.readouterr().out
+
+
+class TestSpmspv:
+    def test_runs_and_reports_launches(self, mtx, capsys):
+        assert main(["spmspv", mtx, "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "tile_spmspv" in out
+        assert "total" in out
+
+    def test_nt_flag(self, mtx, capsys):
+        assert main(["spmspv", mtx, "0.05", "--nt", "32"]) == 0
+        assert "nt=32" in capsys.readouterr().out
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["fem", "banded", "mesh2d", "rmat",
+                                      "road", "er"])
+    def test_kinds(self, kind, tmp_path, capsys):
+        out_path = tmp_path / f"{kind}.mtx"
+        assert main(["generate", kind, str(out_path), "--n", "256"]) == 0
+        m = read_matrix_market(out_path)
+        assert m.nnz > 0
+
+    def test_unknown_kind(self, tmp_path):
+        assert main(["generate", "nope",
+                     str(tmp_path / "x.mtx")]) == 2
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.mtx", tmp_path / "b.mtx"
+        main(["generate", "er", str(a), "--n", "128", "--seed", "7"])
+        main(["generate", "er", str(b), "--n", "128", "--seed", "7"])
+        ma, mb = read_matrix_market(a), read_matrix_market(b)
+        assert np.array_equal(ma.row, mb.row)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

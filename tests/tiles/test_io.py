@@ -1,0 +1,90 @@
+"""Round-trip tests for tiled-structure serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IOFormatError
+from repro.formats import COOMatrix
+from repro.tiles import (BitTiledMatrix, TiledMatrix, TiledVector,
+                         load_tiled, save_tiled, split_very_sparse_tiles)
+
+from ..conftest import random_dense
+
+
+@pytest.fixture
+def coo():
+    return COOMatrix.from_dense(random_dense(50, 50, 0.1, seed=1))
+
+
+class TestRoundTrips:
+    def test_tiled_matrix(self, coo, tmp_path):
+        tm = TiledMatrix.from_coo(coo, 16)
+        p = tmp_path / "m.npz"
+        save_tiled(tm, p)
+        back = load_tiled(p)
+        assert isinstance(back, TiledMatrix)
+        assert back.nt == 16
+        assert np.allclose(back.to_dense(), tm.to_dense())
+
+    def test_tiled_vector_with_fill(self, tmp_path):
+        tv = TiledVector.from_sparse(np.array([3]), np.array([2.0]), 12,
+                                     4, fill=np.inf)
+        p = tmp_path / "v.npz"
+        save_tiled(tv, p)
+        back = load_tiled(p)
+        assert isinstance(back, TiledVector)
+        assert back.fill == np.inf
+        assert np.array_equal(back.to_dense(), tv.to_dense())
+
+    @pytest.mark.parametrize("orientation", ["csc", "csr"])
+    def test_bit_tiled_matrix(self, coo, tmp_path, orientation):
+        bm = BitTiledMatrix.from_coo(coo, 16, orientation)
+        p = tmp_path / "b.npz"
+        save_tiled(bm, p)
+        back = load_tiled(p)
+        assert isinstance(back, BitTiledMatrix)
+        assert back.orientation == orientation
+        assert np.array_equal(back.words, bm.words)
+
+    def test_hybrid(self, coo, tmp_path):
+        hy = split_very_sparse_tiles(coo, 16, 3)
+        p = tmp_path / "h.npz"
+        save_tiled(hy, p)
+        back = load_tiled(p)
+        assert back.threshold == 3
+        assert np.allclose(back.to_coo().to_dense(),
+                           hy.to_coo().to_dense())
+
+    def test_loaded_matrix_usable_in_spmspv(self, coo, tmp_path):
+        from repro.core import TileSpMSpV
+        from repro.vectors import random_sparse_vector
+
+        hy = split_very_sparse_tiles(coo, 16, 2)
+        p = tmp_path / "h.npz"
+        save_tiled(hy, p)
+        op = TileSpMSpV(load_tiled(p))
+        x = random_sparse_vector(50, 0.2)
+        assert np.allclose(op.multiply(x).to_dense(),
+                           coo.to_dense() @ x.to_dense())
+
+
+class TestErrors:
+    def test_unsupported_object(self, tmp_path):
+        with pytest.raises(IOFormatError):
+            save_tiled({"not": "tiled"}, tmp_path / "x.npz")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IOFormatError):
+            load_tiled(tmp_path / "missing.npz")
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        p = tmp_path / "foreign.npz"
+        np.savez(p, a=np.zeros(3))
+        with pytest.raises(IOFormatError):
+            load_tiled(p)
+
+    def test_future_version_rejected(self, tmp_path):
+        p = tmp_path / "future.npz"
+        np.savez(p, kind="tiled_matrix", version=999)
+        with pytest.raises(IOFormatError):
+            load_tiled(p)

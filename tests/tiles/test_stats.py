@@ -1,0 +1,79 @@
+"""Tests for tile-occupancy statistics (Table 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TileError
+from repro.formats import COOMatrix
+from repro.tiles import (count_nonempty_tiles, tile_nnz_histogram,
+                         tile_stats, tile_stats_sweep)
+
+from ..conftest import random_dense
+
+
+class TestCountTiles:
+    def test_identity_matrix(self):
+        coo = COOMatrix.from_dense(np.eye(16))
+        assert count_nonempty_tiles(coo, 4) == 4
+        assert count_nonempty_tiles(coo, 16) == 1
+
+    def test_empty(self):
+        assert count_nonempty_tiles(COOMatrix.empty((8, 8)), 4) == 0
+
+    def test_bad_tile_size(self):
+        with pytest.raises(TileError):
+            count_nonempty_tiles(COOMatrix.empty((8, 8)), 0)
+
+    def test_matches_tiled_matrix(self):
+        from repro.tiles import TiledMatrix
+
+        d = random_dense(60, 45, 0.15, seed=1)
+        coo = COOMatrix.from_dense(d)
+        for nt in (4, 16, 32):
+            assert count_nonempty_tiles(coo, nt) == \
+                TiledMatrix.from_coo(coo, nt).n_nonempty_tiles
+
+    def test_monotone_in_tile_size(self):
+        """Bigger tiles can only merge tiles, never split them."""
+        d = random_dense(64, 64, 0.1, seed=2)
+        coo = COOMatrix.from_dense(d)
+        counts = [count_nonempty_tiles(coo, nt) for nt in (16, 32, 64)]
+        assert counts[0] >= counts[1] >= counts[2] >= 1
+
+
+class TestHistogram:
+    def test_sums_to_nnz(self):
+        d = random_dense(40, 40, 0.2, seed=3)
+        coo = COOMatrix.from_dense(d)
+        hist = tile_nnz_histogram(coo, 8)
+        assert sum(k * v for k, v in hist.items()) == coo.nnz
+
+    def test_empty(self):
+        assert tile_nnz_histogram(COOMatrix.empty((4, 4)), 4) == {}
+
+    def test_dense_tile(self):
+        coo = COOMatrix.from_dense(np.ones((4, 4)))
+        assert tile_nnz_histogram(coo, 4) == {16: 1}
+
+
+class TestTileStats:
+    def test_fields(self):
+        coo = COOMatrix.from_dense(np.eye(8))
+        st = tile_stats(coo, 4)
+        assert st.nnz == 8
+        assert st.n_nonempty_tiles == 2
+        assert st.total_tiles == 4
+        assert st.nonempty_tile_fraction == pytest.approx(0.5)
+        assert st.avg_nnz_per_tile == pytest.approx(4.0)
+        assert st.in_tile_density == pytest.approx(8 / 32)
+
+    def test_empty_matrix_stats(self):
+        st = tile_stats(COOMatrix.empty((8, 8)), 4)
+        assert st.n_nonempty_tiles == 0
+        assert st.avg_nnz_per_tile == 0.0
+        assert st.in_tile_density == 0.0
+
+    def test_sweep_covers_paper_sizes(self):
+        d = random_dense(70, 70, 0.1, seed=4)
+        sweep = tile_stats_sweep(COOMatrix.from_dense(d))
+        assert set(sweep) == {16, 32, 64}

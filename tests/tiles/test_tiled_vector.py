@@ -1,0 +1,164 @@
+"""Tests for the x_ptr / x_tile tiled vector (paper §3.2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError, TileError
+from repro.tiles import SUPPORTED_TILE_SIZES, TiledVector
+
+
+def sparse_vec_strategy():
+    return st.tuples(
+        st.integers(1, 200),                      # n
+        st.sampled_from([2, 4, 16, 32, 64]),      # nt
+        st.integers(0, 10**6),                    # seed
+        st.floats(0.0, 0.6),                      # density
+    )
+
+
+def make_dense(n, seed, density):
+    r = np.random.default_rng(seed)
+    return (r.random(n) < density) * (1.0 - r.random(n))
+
+
+class TestFigure3Example:
+    """The exact example of the paper's Figure 3."""
+
+    def test_paper_example(self):
+        x = np.zeros(16)
+        # five nonzeros, tiles 2 and 4 (1-based) empty
+        x[[0, 2, 3, 9, 11]] = [1, 5, 2, 4, 3]
+        tv = TiledVector.from_dense(x, 4)
+        assert tv.x_ptr.tolist() == [0, -1, 1, -1]
+        assert tv.n_nonempty_tiles == 2
+        # the retrieval formula x_tile[x_ptr[i/nt]*nt + i%nt]
+        for i in np.flatnonzero(x):
+            t = tv.x_ptr[i // 4]
+            assert tv.x_tile[t * 4 + i % 4] == x[i]
+
+
+class TestConstruction:
+    def test_rejects_bad_tile_size(self):
+        with pytest.raises(TileError):
+            TiledVector.from_dense(np.ones(10), 5)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ShapeError):
+            TiledVector.empty(-1, 4)
+
+    def test_supported_sizes_include_paper_values(self):
+        assert {16, 32, 64} <= set(SUPPORTED_TILE_SIZES)
+
+    def test_empty_vector(self):
+        tv = TiledVector.empty(20, 4)
+        assert tv.nnz == 0 and tv.n_nonempty_tiles == 0
+        assert np.allclose(tv.to_dense(), 0.0)
+
+    def test_from_sparse_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            TiledVector.from_sparse(np.array([10]), np.array([1.0]), 10, 4)
+
+    def test_from_sparse_rejects_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            TiledVector.from_sparse(np.array([1, 2]), np.array([1.0]), 10, 4)
+
+    def test_from_sparse_sums_duplicates(self):
+        tv = TiledVector.from_sparse(np.array([3, 3]), np.array([1.0, 2.0]),
+                                     8, 4)
+        assert tv.get(3) == 3.0
+
+    def test_validate_rejects_bad_ptr(self):
+        with pytest.raises(TileError):
+            TiledVector(8, 4, np.array([0, 5]), np.zeros(8))
+
+    def test_validate_rejects_wrong_tile_payload(self):
+        with pytest.raises(TileError):
+            TiledVector(8, 4, np.array([0, 1]), np.zeros(4))
+
+    def test_length_not_multiple_of_nt(self):
+        x = np.zeros(10)
+        x[9] = 7.0
+        tv = TiledVector.from_dense(x, 4)
+        assert tv.get(9) == 7.0
+        assert len(tv.to_dense()) == 10
+
+
+class TestIndexingIdentity:
+    @given(sparse_vec_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_get_matches_dense(self, params):
+        n, nt, seed, density = params
+        x = make_dense(n, seed, density)
+        tv = TiledVector.from_dense(x, nt)
+        for i in range(n):
+            assert tv.get(i) == x[i]
+
+    @given(sparse_vec_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_dense(self, params):
+        n, nt, seed, density = params
+        x = make_dense(n, seed, density)
+        assert np.allclose(TiledVector.from_dense(x, nt).to_dense(), x)
+
+    @given(sparse_vec_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_sparse_roundtrip(self, params):
+        n, nt, seed, density = params
+        x = make_dense(n, seed, density)
+        tv = TiledVector.from_dense(x, nt)
+        idx, vals = tv.to_sparse()
+        tv2 = TiledVector.from_sparse(idx, vals, n, nt)
+        assert np.allclose(tv2.to_dense(), x)
+
+    def test_get_out_of_range(self):
+        tv = TiledVector.empty(8, 4)
+        with pytest.raises(ShapeError):
+            tv.get(8)
+
+
+class TestFillSentinel:
+    def test_min_plus_fill(self):
+        tv = TiledVector.from_sparse(np.array([1]), np.array([0.5]), 8, 4,
+                                     fill=np.inf)
+        assert tv.get(0) == np.inf       # same tile, unoccupied slot
+        assert tv.get(1) == 0.5
+        assert tv.get(7) == np.inf       # empty tile
+        assert tv.nnz == 1
+
+    def test_fill_dense_roundtrip(self):
+        x = np.full(10, np.inf)
+        x[3] = 2.0
+        tv = TiledVector.from_dense(x, 2, fill=np.inf)
+        assert tv.n_nonempty_tiles == 1
+        assert np.array_equal(tv.to_dense(), x)
+
+    def test_zero_value_entry_with_inf_fill(self):
+        """Value 0.0 is a legitimate entry under min-plus."""
+        tv = TiledVector.from_sparse(np.array([2]), np.array([0.0]), 8, 4,
+                                     fill=np.inf)
+        assert tv.get(2) == 0.0
+        assert tv.nnz == 1
+
+
+class TestStats:
+    def test_sparsity(self):
+        x = np.zeros(100)
+        x[:10] = 1.0
+        assert TiledVector.from_dense(x, 4).sparsity == pytest.approx(0.1)
+
+    def test_nbytes_counts_both_arrays(self):
+        x = np.zeros(64)
+        x[0] = 1.0
+        tv = TiledVector.from_dense(x, 16)
+        assert tv.nbytes() == tv.x_ptr.nbytes + tv.x_tile.nbytes
+
+    def test_nonzero_tile_ids_sorted(self):
+        x = np.zeros(64)
+        x[[50, 3]] = 1.0
+        ids = TiledVector.from_dense(x, 16).nonzero_tile_ids()
+        assert ids.tolist() == [0, 3]
+
+    def test_len(self):
+        assert len(TiledVector.empty(42, 2)) == 42

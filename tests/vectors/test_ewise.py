@@ -1,0 +1,108 @@
+"""Tests for the element-wise SparseVector algebra (GraphBLAS eWise)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.vectors import SparseVector
+
+
+def sv(n, entries):
+    idx = np.array(sorted(entries), dtype=np.int64)
+    vals = np.array([entries[i] for i in sorted(entries)])
+    return SparseVector(n, idx, vals)
+
+
+sparse_dicts = st.dictionaries(st.integers(0, 49),
+                               st.floats(-10, 10, allow_nan=False),
+                               max_size=20)
+
+
+class TestEwiseAdd:
+    def test_union_semantics(self):
+        a = sv(10, {1: 1.0, 3: 2.0})
+        b = sv(10, {3: 10.0, 5: 5.0})
+        out = a.ewise_add(b)
+        assert out.indices.tolist() == [1, 3, 5]
+        assert out.values.tolist() == [1.0, 12.0, 5.0]
+
+    def test_custom_op(self):
+        a = sv(10, {0: 5.0})
+        b = sv(10, {0: 2.0})
+        assert a.ewise_add(b, op=np.minimum).values.tolist() == [2.0]
+        assert a.ewise_add(b, op=np.maximum).values.tolist() == [5.0]
+
+    def test_empty_operands(self):
+        a = sv(10, {2: 1.0})
+        e = SparseVector.empty(10)
+        assert a.ewise_add(e).indices.tolist() == [2]
+        assert e.ewise_add(a).indices.tolist() == [2]
+        assert e.ewise_add(e).nnz == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            sv(10, {0: 1.0}).ewise_add(sv(9, {0: 1.0}))
+
+    @given(sparse_dicts, sparse_dicts)
+    @settings(max_examples=50)
+    def test_matches_dense_add(self, da, db):
+        a, b = sv(50, da), sv(50, db)
+        out = a.ewise_add(b)
+        assert np.allclose(out.to_dense(), a.to_dense() + b.to_dense())
+
+    @given(sparse_dicts, sparse_dicts)
+    @settings(max_examples=30)
+    def test_commutative(self, da, db):
+        a, b = sv(50, da), sv(50, db)
+        x, y = a.ewise_add(b), b.ewise_add(a)
+        assert np.array_equal(x.indices, y.indices)
+        assert np.allclose(x.values, y.values)
+
+
+class TestEwiseMult:
+    def test_intersection_semantics(self):
+        a = sv(10, {1: 2.0, 3: 3.0})
+        b = sv(10, {3: 4.0, 5: 5.0})
+        out = a.ewise_mult(b)
+        assert out.indices.tolist() == [3]
+        assert out.values.tolist() == [12.0]
+
+    def test_disjoint_supports(self):
+        a = sv(10, {1: 2.0})
+        b = sv(10, {2: 3.0})
+        assert a.ewise_mult(b).nnz == 0
+
+    def test_custom_op(self):
+        a = sv(10, {0: 5.0})
+        b = sv(10, {0: 2.0})
+        assert a.ewise_mult(b, op=np.subtract).values.tolist() == [3.0]
+
+    @given(sparse_dicts, sparse_dicts)
+    @settings(max_examples=50)
+    def test_support_is_intersection(self, da, db):
+        a, b = sv(50, da), sv(50, db)
+        out = a.ewise_mult(b)
+        assert set(out.indices.tolist()) == set(da) & set(db)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            sv(10, {0: 1.0}).ewise_mult(sv(9, {0: 1.0}))
+
+
+class TestSelect:
+    def test_position_filter(self):
+        a = sv(6, {0: 1.0, 2: 2.0, 4: 3.0})
+        keep = np.array([True, True, False, True, True, True])
+        out = a.select(keep)
+        assert out.indices.tolist() == [0, 4]
+
+    def test_bad_mask_shape(self):
+        with pytest.raises(ShapeError):
+            sv(6, {0: 1.0}).select(np.ones(5, dtype=bool))
+
+    def test_keep_all(self):
+        a = sv(6, {1: 1.0, 5: 2.0})
+        out = a.select(np.ones(6, dtype=bool))
+        assert np.array_equal(out.indices, a.indices)
