@@ -2,14 +2,17 @@
 
 Regenerates the iteration-time series of Gunrock, GSwitch and TileBFS
 on the paper's four trace matrices (cant, in-2004, msdoor, roadNet-TX).
+Operators are built through the runtime registry, so repeated
+constructions on the same matrix reuse the cached tiling plan — the
+hit/miss stats are registered alongside the tables.
 """
 
 import pytest
 
 from repro.bench import run_fig10
-from repro.core import TileBFS
 from repro.gpusim import Device, RTX3090
 from repro.matrices import get_matrix
+from repro.runtime import plan_cache_stats
 
 TRACE_MATRICES = ("cant", "in-2004", "msdoor", "roadNet-TX")
 
@@ -26,11 +29,11 @@ def test_fig10_traces(register, benchmark):
         assert row[3] > 0        # total ms
 
 
-def test_fig10_kernel_switching_visible(register, benchmark):
+def test_fig10_kernel_switching_visible(register, benchmark, make_operator):
     """§4.5: TileBFS switches kernels across a traversal — the trace on
     in-2004 (power-law) must use more than one kernel."""
     coo = get_matrix("in-2004")
-    bfs = TileBFS(coo, device=Device(RTX3090))
+    bfs = make_operator("tilebfs", coo, device=Device(RTX3090))
     res = benchmark.pedantic(bfs.run, args=(0,), rounds=1, iterations=1)
     kernels = {it.kernel for it in res.iterations}
     register("fig10_kernels",
@@ -40,8 +43,27 @@ def test_fig10_kernel_switching_visible(register, benchmark):
 
 
 @pytest.mark.parametrize("name", TRACE_MATRICES)
-def test_single_trace(benchmark, name):
+def test_single_trace(benchmark, make_operator, name):
     coo = get_matrix(name)
-    bfs = TileBFS(coo, device=Device(RTX3090))
+    bfs = make_operator("tilebfs", coo, device=Device(RTX3090))
     res = benchmark.pedantic(bfs.run, args=(0,), rounds=2, iterations=1)
     assert len(res.iterations) >= 2
+
+
+def test_fig10_plan_cache_reuse(register, make_operator):
+    """Re-preparing TileBFS on a matrix the earlier tests already tiled
+    must hit the plan cache instead of re-running COO extraction."""
+    before = plan_cache_stats()
+    for name in TRACE_MATRICES:
+        coo = get_matrix(name)
+        make_operator("tilebfs", coo, device=Device(RTX3090))
+        make_operator("tilebfs", coo, device=Device(RTX3090))
+    after = plan_cache_stats()
+    hits = after["hits"] - before["hits"]
+    total = hits + after["misses"] - before["misses"]
+    register("fig10_plan_cache",
+             f"plan cache over the fig10 trace matrices: {hits}/{total} "
+             f"construction lookups served from cache "
+             f"(process-wide: {after})")
+    # the second construction per matrix is always a hit
+    assert hits >= len(TRACE_MATRICES)

@@ -56,3 +56,13 @@ def register():
 @pytest.fixture(scope="session")
 def register_csv():
     return save_csv
+
+
+@pytest.fixture(scope="session")
+def make_operator():
+    """Build prepared operators by registry name — benchmarks dispatch
+    through :func:`repro.runtime.create_operator` instead of importing
+    implementation classes."""
+    from repro.runtime import create_operator
+
+    return create_operator

@@ -8,8 +8,6 @@ stable grouping (a bucket sort).
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
 __all__ = [

@@ -30,6 +30,7 @@ from ..formats.base import SparseMatrix
 from ..formats.coo import COOMatrix
 from ..formats.csc import CSCMatrix
 from ..gpusim import Device, KernelCounters
+from ..runtime import ExecutionContext
 from ..semiring import PLUS_TIMES, Semiring
 from ..vectors.sparse_vector import SparseVector
 
@@ -57,7 +58,19 @@ class CombBLASSpMSpV:
             raise ShapeError(f"bucket_rows must be positive, got {bucket_rows}")
         self.bucket_rows = int(bucket_rows)
         self.semiring = semiring
-        self.device = device
+        self.ctx = ExecutionContext.wrap(device, operator="combblas")
+
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("combblas")
+        else:
+            self.ctx.device = device
 
     @property
     def shape(self):
@@ -96,14 +109,12 @@ class CombBLASSpMSpV:
         keep = ~semiring.is_identity(reduced)
         y = SparseVector(self.shape[0], out_rows[keep], reduced[keep])
 
-        if self.device is not None:
-            self._account(x, n_pairs, len(out_rows))
+        self._account(x, n_pairs, len(out_rows))
         return y
 
     # ------------------------------------------------------------------
     def _account(self, x: SparseVector, n_pairs: int, n_out: int) -> None:
-        """Submit the five phases' launch records."""
-        dev = self.device
+        """Launch the five phases' kernel records."""
         n_buckets = max(1, int(np.ceil(self.shape[0] / self.bucket_rows)))
         # phase 0: per-call setup — clear the bucket-offset table and the
         # per-bucket accumulator flags (m-proportional, paid on every
@@ -112,7 +123,7 @@ class CombBLASSpMSpV:
         c = KernelCounters(launches=1)
         c.coalesced_write_bytes += n_buckets * 8.0 + self.shape[0] * 1.0
         c.warps = max(1.0, self.shape[0] / (32.0 * 32.0))
-        dev.submit("combblas_setup", c)
+        self.ctx.launch("combblas_setup", c, phase="setup")
 
         # phase 0b: bucket sizing scan over the touched columns (the
         # algorithm needs per-bucket offsets before it can scatter)
@@ -121,7 +132,7 @@ class CombBLASSpMSpV:
         c.atomic_ops += float(n_pairs)     # histogram increments
         c.coalesced_read_bytes += n_pairs * 8.0
         c.warps = max(1.0, x.nnz)
-        dev.submit("combblas_bucket_count", c)
+        self.ctx.launch("combblas_bucket_count", c, phase="bucket")
 
         # gather: column pointers (L2) + column payloads (coalesced)
         c = KernelCounters(launches=1)
@@ -136,7 +147,7 @@ class CombBLASSpMSpV:
         if len(lens):
             util = np.minimum(1.0, lens / 32.0).mean()
             c.divergence = float(max(util, 1.0 / 32.0))
-        dev.submit("combblas_gather_bucket", c)
+        self.ctx.launch("combblas_gather_bucket", c, phase="gather")
 
         # sort inside buckets: a GPU radix sort by row key makes several
         # full read+write passes over the (row, value) pairs — this
@@ -148,7 +159,7 @@ class CombBLASSpMSpV:
         c.coalesced_write_bytes += n_pairs * 16.0 * radix_passes
         c.word_ops += 8.0 * n_pairs
         c.warps = max(1.0, n_pairs / 32.0)
-        dev.submit("combblas_sort", c)
+        self.ctx.launch("combblas_sort", c, phase="sort")
 
         # merge: stream the sorted pairs, reduce duplicate rows
         c = KernelCounters(launches=1)
@@ -156,7 +167,7 @@ class CombBLASSpMSpV:
         c.flops += float(max(0, n_pairs - n_out))   # duplicate adds
         c.coalesced_write_bytes += n_out * 16.0
         c.warps = max(1.0, n_pairs / 32.0)
-        dev.submit("combblas_merge", c)
+        self.ctx.launch("combblas_merge", c, phase="merge")
 
         # compact into the sparse output
         c = KernelCounters(launches=1)
@@ -164,7 +175,7 @@ class CombBLASSpMSpV:
         c.random_write_count += float(n_out)
         c.atomic_ops += float(n_out)    # output-offset counters
         c.warps = max(1.0, n_out / 32.0)
-        dev.submit("combblas_compact", c)
+        self.ctx.launch("combblas_compact", c, phase="compact")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<CombBLASSpMSpV {self.shape} "

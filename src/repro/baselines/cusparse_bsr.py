@@ -22,6 +22,7 @@ from ..formats.base import SparseMatrix
 from ..formats.bsr import BSRMatrix
 from ..formats.coo import COOMatrix
 from ..gpusim import Device, KernelCounters
+from ..runtime import ExecutionContext
 from ..vectors.sparse_vector import SparseVector
 
 __all__ = ["CuSparseBSRMV"]
@@ -51,7 +52,19 @@ class CuSparseBSRMV:
             else:
                 coo = COOMatrix.from_dense(np.asarray(matrix))
             self.bsr = BSRMatrix.from_coo(coo, blocksize)
-        self.device = device
+        self.ctx = ExecutionContext.wrap(device, operator="cusparse-bsr")
+
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("cusparse-bsr")
+        else:
+            self.ctx.device = device
 
     @property
     def shape(self):
@@ -66,12 +79,11 @@ class CuSparseBSRMV:
                     f"shape mismatch: A is {self.shape}, x has length {x.n}"
                 )
             x_dense = x.to_dense()
-            if self.device is not None:
-                c = KernelCounters(launches=1)
-                c.coalesced_write_bytes += self.shape[1] * 8.0
-                c.coalesced_read_bytes += x.nnz * 16.0
-                c.warps = max(1.0, self.shape[1] / (32.0 * 32.0))
-                self.device.submit("bsrmv_densify_x", c)
+            c = KernelCounters(launches=1)
+            c.coalesced_write_bytes += self.shape[1] * 8.0
+            c.coalesced_read_bytes += x.nnz * 16.0
+            c.warps = max(1.0, self.shape[1] / (32.0 * 32.0))
+            self.ctx.launch("bsrmv_densify_x", c, phase="densify")
         else:
             x_dense = np.asarray(x)
             if x_dense.shape != (self.shape[1],):
@@ -82,20 +94,19 @@ class CuSparseBSRMV:
 
         y = self.bsr.matvec(x_dense)
 
-        if self.device is not None:
-            b = self.bsr.blocksize
-            nb = self.bsr.n_blocks
-            c = KernelCounters(launches=1)
-            # block metadata + every stored block cell streams in
-            c.coalesced_read_bytes += nb * 16.0 + nb * b * b * 8.0
-            # the x slice of each block (dense, contiguous, L2-friendly)
-            c.l2_read_bytes += nb * b * 8.0
-            # full dense work per block, zeros included
-            c.flops += 2.0 * nb * b * b
-            c.coalesced_write_bytes += max(1, self.bsr.n_block_rows) * b * 8.0
-            c.warps = float(max(1, nb))
-            c.divergence = 1.0  # dense blocks keep every lane busy
-            self.device.submit("bsrmv", c)
+        b = self.bsr.blocksize
+        nb = self.bsr.n_blocks
+        c = KernelCounters(launches=1)
+        # block metadata + every stored block cell streams in
+        c.coalesced_read_bytes += nb * 16.0 + nb * b * b * 8.0
+        # the x slice of each block (dense, contiguous, L2-friendly)
+        c.l2_read_bytes += nb * b * 8.0
+        # full dense work per block, zeros included
+        c.flops += 2.0 * nb * b * b
+        c.coalesced_write_bytes += max(1, self.bsr.n_block_rows) * b * 8.0
+        c.warps = float(max(1, nb))
+        c.divergence = 1.0  # dense blocks keep every lane busy
+        self.ctx.launch("bsrmv", c, phase="multiply")
 
         idx = np.flatnonzero(y)
         return SparseVector(self.shape[0], idx, y[idx])

@@ -25,6 +25,7 @@ import numpy as np
 from ..core.tilebfs import BFSResult, IterationRecord
 from ..errors import ShapeError
 from ..gpusim import Device, KernelCounters
+from ..runtime import ExecutionContext
 from ._bfs_common import build_adjacency, expand_push
 
 __all__ = ["EnterpriseBFS"]
@@ -40,8 +41,21 @@ class EnterpriseBFS:
         self.csr, self.csc = build_adjacency(matrix)
         self.n = self.csr.shape[0]
         self.nnz = self.csr.nnz
-        self.device = device
+        self.ctx = ExecutionContext.wrap(device, operator="enterprise")
         self._out_degrees = self.csc.col_degrees()
+
+    # ------------------------------------------------------------------
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("enterprise")
+        else:
+            self.ctx.device = device
 
     # ------------------------------------------------------------------
     def run(self, source: int, max_depth: Optional[int] = None) -> BFSResult:
@@ -77,8 +91,6 @@ class EnterpriseBFS:
     # ------------------------------------------------------------------
     def _account_iteration(self, frontier: np.ndarray, edges: int,
                            n_new: int) -> float:
-        if self.device is None:
-            return 0.0
         degs = self._out_degrees[frontier]
         classes = np.searchsorted(CLASS_BOUNDS, degs, side="right")
         n_classes = len(np.unique(classes)) if len(classes) else 0
@@ -89,7 +101,7 @@ class EnterpriseBFS:
         cls.coalesced_write_bytes += len(frontier) * 4.0
         cls.word_ops += float(len(frontier))
         cls.warps = max(1.0, len(frontier) / 32.0)
-        ms = self.device.submit("enterprise_classify", cls).total_ms
+        ms = self.ctx.launch("enterprise_classify", cls, phase="iteration")
 
         # one expansion launch per non-empty class; work split among
         # them but each pays a launch.  Load balancing keeps lanes full.
@@ -103,7 +115,7 @@ class EnterpriseBFS:
         exp.coalesced_write_bytes += n_new * 4.0        # next queue
         exp.warps = max(1.0, edges / 32.0)
         exp.divergence = 1.0                            # classified mapping
-        ms += self.device.submit("enterprise_expand", exp).total_ms
+        ms += self.ctx.launch("enterprise_expand", exp, phase="iteration")
         return ms
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -25,6 +25,7 @@ import numpy as np
 from ..core.tilebfs import BFSResult, IterationRecord
 from ..errors import ShapeError
 from ..gpusim import Device, KernelCounters
+from ..runtime import ExecutionContext
 from ._bfs_common import build_adjacency, expand_pull, expand_push
 
 __all__ = ["GSwitchBFS"]
@@ -40,7 +41,20 @@ class GSwitchBFS:
         self.csr, self.csc = build_adjacency(matrix)
         self.n = self.csr.shape[0]
         self.nnz = self.csr.nnz
-        self.device = device
+        self.ctx = ExecutionContext.wrap(device, operator="gswitch")
+
+    # ------------------------------------------------------------------
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("gswitch")
+        else:
+            self.ctx.device = device
 
     # ------------------------------------------------------------------
     def run(self, source: int, max_depth: Optional[int] = None) -> BFSResult:
@@ -95,26 +109,23 @@ class GSwitchBFS:
 
     def _account_decision(self, depth: int, frontier_size: int) -> float:
         """Feature sampling + host decision (+ warm-up probing)."""
-        if self.device is None:
-            return 0.0
         c = KernelCounters(launches=1)
         c.coalesced_read_bytes += min(frontier_size, 1024) * 8.0  # sample
         c.word_ops += 512.0                                       # features
         c.warps = 4.0
-        ms = self.device.submit("gswitch_sample", c).total_ms
+        ms = self.ctx.launch("gswitch_sample", c, phase="decision")
         if depth <= WARMUP_ITERATIONS:
             # autotuner probes an alternative pattern and discards it
             probe = KernelCounters(launches=1)
             probe.coalesced_read_bytes += min(frontier_size, 4096) * 8.0
             probe.word_ops += 2048.0
             probe.warps = 8.0
-            ms += self.device.submit("gswitch_probe", probe).total_ms
+            ms += self.ctx.launch("gswitch_probe", probe,
+                                  phase="decision")
         return ms
 
     def _account_push(self, frontier_size: int, edges: int,
                       n_new: int) -> float:
-        if self.device is None:
-            return 0.0
         c = KernelCounters(launches=1)
         c.coalesced_read_bytes += frontier_size * 4.0 + edges * 4.0
         c.l2_read_bytes += frontier_size * 8.0
@@ -122,12 +133,10 @@ class GSwitchBFS:
         c.atomic_ops += float(edges)                 # claims
         c.coalesced_write_bytes += n_new * 4.0
         c.warps = max(1.0, edges / 32.0)
-        return self.device.submit("gswitch_push", c).total_ms
+        return self.ctx.launch("gswitch_push", c, phase="iteration")
 
     def _account_pull(self, frontier_size: int, scanned: int,
                       n_new: int) -> float:
-        if self.device is None:
-            return 0.0
         c = KernelCounters(launches=1)
         c.coalesced_write_bytes += self.n / 8.0      # frontier bitmap
         c.coalesced_read_bytes += frontier_size * 4.0 + scanned * 4.0
@@ -135,7 +144,7 @@ class GSwitchBFS:
         c.random_read_count += float(scanned)
         c.coalesced_write_bytes += n_new * 4.0
         c.warps = max(1.0, self.n / 32.0)
-        return self.device.submit("gswitch_pull", c).total_ms
+        return self.ctx.launch("gswitch_pull", c, phase="iteration")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<GSwitchBFS n={self.n} nnz={self.nnz}>"

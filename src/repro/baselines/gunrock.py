@@ -24,6 +24,7 @@ import numpy as np
 from ..core.tilebfs import BFSResult, IterationRecord
 from ..errors import ShapeError
 from ..gpusim import Device, KernelCounters
+from ..runtime import ExecutionContext
 from ._bfs_common import build_adjacency, expand_pull, expand_push
 
 __all__ = ["GunrockBFS"]
@@ -56,7 +57,20 @@ class GunrockBFS:
         self.direction_optimized = direction_optimized
         self.alpha = alpha
         self.beta = beta
-        self.device = device
+        self.ctx = ExecutionContext.wrap(device, operator="gunrock")
+
+    # ------------------------------------------------------------------
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("gunrock")
+        else:
+            self.ctx.device = device
 
     # ------------------------------------------------------------------
     def run(self, source: int, max_depth: Optional[int] = None) -> BFSResult:
@@ -111,8 +125,6 @@ class GunrockBFS:
     def _account_push(self, frontier_size: int, edges: int,
                       n_new: int) -> float:
         """Advance + filter kernel pair of a top-down iteration."""
-        if self.device is None:
-            return 0.0
         adv = KernelCounters(launches=1)
         adv.coalesced_read_bytes += frontier_size * 4.0      # input queue
         adv.l2_read_bytes += frontier_size * 8.0             # row offsets
@@ -123,7 +135,7 @@ class GunrockBFS:
         adv.warps = max(1.0, edges / 32.0)
         adv.divergence = _frontier_divergence(
             self.csc.col_degrees(), frontier_size, edges)
-        t1 = self.device.submit("gunrock_advance", adv).total_ms
+        t1 = self.ctx.launch("gunrock_advance", adv, phase="iteration")
 
         flt = KernelCounters(launches=1)
         flt.coalesced_read_bytes += edges * 4.0              # raw queue
@@ -131,14 +143,12 @@ class GunrockBFS:
         flt.coalesced_write_bytes += n_new * 4.0             # compacted
         flt.word_ops += float(edges)
         flt.warps = max(1.0, edges / 32.0)
-        t2 = self.device.submit("gunrock_filter", flt).total_ms
+        t2 = self.ctx.launch("gunrock_filter", flt, phase="iteration")
         return t1 + t2
 
     def _account_pull(self, frontier_size: int, scanned: int,
                       n_new: int) -> float:
         """Bottom-up advance + filter pair."""
-        if self.device is None:
-            return 0.0
         adv = KernelCounters(launches=1)
         # build the frontier bitmap first (Gunrock converts queue->bitmap)
         adv.coalesced_write_bytes += self.n / 8.0
@@ -148,13 +158,13 @@ class GunrockBFS:
         adv.random_read_count += float(scanned)              # bitmap probes
         adv.coalesced_write_bytes += n_new * 4.0
         adv.warps = max(1.0, self.n / 32.0)
-        t1 = self.device.submit("gunrock_advance_pull", adv).total_ms
+        t1 = self.ctx.launch("gunrock_advance_pull", adv, phase="iteration")
 
         flt = KernelCounters(launches=1)
         flt.coalesced_read_bytes += n_new * 4.0
         flt.coalesced_write_bytes += n_new * 4.0
         flt.warps = max(1.0, n_new / 32.0)
-        t2 = self.device.submit("gunrock_filter", flt).total_ms
+        t2 = self.ctx.launch("gunrock_filter", flt, phase="iteration")
         return t1 + t2
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

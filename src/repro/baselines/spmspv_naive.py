@@ -9,7 +9,7 @@ measured against in the ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -17,6 +17,7 @@ from ..errors import ShapeError
 from ..formats.csc import CSCMatrix
 from ..formats.csr import CSRMatrix
 from ..gpusim import Device, KernelCounters
+from ..runtime import ExecutionContext
 from ..semiring import PLUS_TIMES, Semiring
 from ..vectors.sparse_vector import SparseVector
 
@@ -51,14 +52,14 @@ def spmspv_rowwise(A: CSRMatrix, x: SparseVector,
     if len(rows):
         semiring.add.at(y_dense, rows, products)
 
-    if device is not None:
-        c = KernelCounters(launches=1)
-        c.coalesced_read_bytes += A.nnz * 16.0        # indices + values
-        c.random_read_count += A.nnz                  # x probes (line 4)
-        c.flops += 2.0 * len(rows)
-        c.coalesced_write_bytes += A.shape[0] * 8.0   # y row results
-        c.warps = max(1.0, A.shape[0] / 32.0)
-        device.submit("spmspv_rowwise", c)
+    ctx = ExecutionContext.wrap(device, operator="spmspv-rowwise")
+    c = KernelCounters(launches=1)
+    c.coalesced_read_bytes += A.nnz * 16.0        # indices + values
+    c.random_read_count += A.nnz                  # x probes (line 4)
+    c.flops += 2.0 * len(rows)
+    c.coalesced_write_bytes += A.shape[0] * 8.0   # y row results
+    c.warps = max(1.0, A.shape[0] / 32.0)
+    ctx.launch("spmspv_rowwise", c, phase="multiply")
 
     idx = np.flatnonzero(~semiring.is_identity(y_dense))
     return SparseVector(A.shape[0], idx, y_dense[idx])
@@ -85,16 +86,16 @@ def spmspv_colwise(A: CSCMatrix, x: SparseVector,
     if len(rows):
         semiring.add.at(y_dense, rows, products)
 
-    if device is not None:
-        c = KernelCounters(launches=1)
-        c.l2_read_bytes += x.nnz * 16.0               # column pointers
-        c.coalesced_read_bytes += len(rows) * 16.0    # column payloads
-        c.flops += 2.0 * len(rows)
-        c.atomic_ops += float(len(rows))              # global merge
-        c.random_write_count += float(len(rows))
-        c.warps = max(1.0, x.nnz)
-        c.divergence = _column_divergence(A, x)
-        device.submit("spmspv_colwise", c)
+    ctx = ExecutionContext.wrap(device, operator="spmspv-colwise")
+    c = KernelCounters(launches=1)
+    c.l2_read_bytes += x.nnz * 16.0               # column pointers
+    c.coalesced_read_bytes += len(rows) * 16.0    # column payloads
+    c.flops += 2.0 * len(rows)
+    c.atomic_ops += float(len(rows))              # global merge
+    c.random_write_count += float(len(rows))
+    c.warps = max(1.0, x.nnz)
+    c.divergence = _column_divergence(A, x)
+    ctx.launch("spmspv_colwise", c, phase="multiply")
 
     idx = np.flatnonzero(~semiring.is_identity(y_dense))
     return SparseVector(A.shape[0], idx, y_dense[idx])

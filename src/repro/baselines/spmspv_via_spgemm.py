@@ -28,6 +28,7 @@ from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..formats.spgemm import spgemm
 from ..gpusim import Device, KernelCounters
+from ..runtime import ExecutionContext
 from ..vectors.sparse_vector import SparseVector
 
 __all__ = ["SpMSpVViaSpGEMM"]
@@ -43,7 +44,19 @@ class SpMSpVViaSpGEMM:
             self.csr = matrix.to_csr()
         else:
             self.csr = COOMatrix.from_dense(np.asarray(matrix)).to_csr()
-        self.device = device
+        self.ctx = ExecutionContext.wrap(device, operator="spmspv-via-spgemm")
+
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("spmspv-via-spgemm")
+        else:
+            self.ctx.device = device
 
     @property
     def shape(self):
@@ -62,23 +75,22 @@ class SpMSpVViaSpGEMM:
                       np.zeros(x.nnz, dtype=np.int64), x.values)
         C = spgemm(self.csr, X)
 
-        if self.device is not None:
-            c = KernelCounters(launches=3)   # expand / sort / compress
-            nnz = self.csr.nnz
-            matched = int(np.isin(self.csr.indices, x.indices).sum())
-            # row-row walk: every A entry streams in and probes the
-            # multiplier's row — a scattered single-element lookup
-            c.coalesced_read_bytes += nnz * 16.0
-            c.random_read_count += float(nnz)      # B-row existence probes
-            c.flops += 2.0 * matched
-            # partial products round-trip through global memory for the
-            # sort/compress phases (general machinery, single column)
-            c.coalesced_write_bytes += matched * 16.0
-            c.coalesced_read_bytes += matched * 16.0 * 4   # radix passes
-            c.coalesced_write_bytes += matched * 16.0 * 4
-            c.coalesced_write_bytes += C.nnz * 16.0
-            c.warps = max(1.0, nnz / 32.0)
-            self.device.submit("spmspv_via_spgemm", c)
+        c = KernelCounters(launches=3)   # expand / sort / compress
+        nnz = self.csr.nnz
+        matched = int(np.isin(self.csr.indices, x.indices).sum())
+        # row-row walk: every A entry streams in and probes the
+        # multiplier's row — a scattered single-element lookup
+        c.coalesced_read_bytes += nnz * 16.0
+        c.random_read_count += float(nnz)      # B-row existence probes
+        c.flops += 2.0 * matched
+        # partial products round-trip through global memory for the
+        # sort/compress phases (general machinery, single column)
+        c.coalesced_write_bytes += matched * 16.0
+        c.coalesced_read_bytes += matched * 16.0 * 4   # radix passes
+        c.coalesced_write_bytes += matched * 16.0 * 4
+        c.coalesced_write_bytes += C.nnz * 16.0
+        c.warps = max(1.0, nnz / 32.0)
+        self.ctx.launch("spmspv_via_spgemm", c, phase="multiply")
 
         idx = C.row_of_entry()
         keep = C.data != 0

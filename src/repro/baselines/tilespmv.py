@@ -21,6 +21,7 @@ from ..errors import ShapeError
 from ..formats.base import SparseMatrix
 from ..formats.coo import COOMatrix
 from ..gpusim import Device, KernelCounters
+from ..runtime import ExecutionContext
 from ..semiring import PLUS_TIMES, Semiring
 from ..tiles.tiled_matrix import TiledMatrix
 from ..vectors.sparse_vector import SparseVector
@@ -47,7 +48,19 @@ class TileSpMV:
                 coo = COOMatrix.from_dense(np.asarray(matrix))
             self.tiled = TiledMatrix.from_coo(coo, nt)
         self.semiring = semiring
-        self.device = device
+        self.ctx = ExecutionContext.wrap(device, operator="tilespmv")
+
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("tilespmv")
+        else:
+            self.ctx.device = device
 
     @property
     def shape(self):
@@ -74,12 +87,11 @@ class TileSpMV:
             x_dense = np.full(self.shape[1], semiring.add_identity,
                               dtype=semiring.dtype)
             x_dense[x.indices] = x.values
-            if self.device is not None:
-                c = KernelCounters(launches=1)
-                c.coalesced_write_bytes += self.shape[1] * 8.0  # densify
-                c.coalesced_read_bytes += x.nnz * 16.0
-                c.warps = max(1.0, self.shape[1] / (32.0 * 32.0))
-                self.device.submit("tilespmv_densify_x", c)
+            c = KernelCounters(launches=1)
+            c.coalesced_write_bytes += self.shape[1] * 8.0  # densify
+            c.coalesced_read_bytes += x.nnz * 16.0
+            c.warps = max(1.0, self.shape[1] / (32.0 * 32.0))
+            self.ctx.launch("tilespmv_densify_x", c, phase="densify")
         else:
             x_dense = np.asarray(x)
             if x_dense.shape != (self.shape[1],):
@@ -101,25 +113,24 @@ class TileSpMV:
         if len(grow):
             semiring.add.at(y_dense, grow, products)
 
-        if self.device is not None:
-            c = KernelCounters(launches=1)
-            idx_bytes = A.index_bytes_per_entry()
-            c.coalesced_read_bytes += A.n_nonempty_tiles * 16.0
-            c.coalesced_read_bytes += A.nnz * (8.0 + idx_bytes)
-            # the dense-x tile of *every* stored tile streams through
-            # shared memory — no skipping
-            c.l2_read_bytes += A.n_nonempty_tiles * nt * 8.0
-            c.shared_bytes += A.n_nonempty_tiles * nt * 8.0
-            c.flops += 2.0 * A.nnz
-            c.word_ops += A.n_nonempty_tiles * 5.0
-            row_tiles = max(1, A.n_tile_rows)
-            c.coalesced_write_bytes += row_tiles * nt * 8.0
-            c.warps = float(row_tiles)
-            nnz_tiles = np.diff(A.tile_nnz_ptr)
-            if len(nnz_tiles):
-                util = np.minimum(1.0, nnz_tiles / 32.0).mean()
-                c.divergence = float(max(util, 1.0 / 32.0))
-            self.device.submit("tilespmv", c)
+        c = KernelCounters(launches=1)
+        idx_bytes = A.index_bytes_per_entry()
+        c.coalesced_read_bytes += A.n_nonempty_tiles * 16.0
+        c.coalesced_read_bytes += A.nnz * (8.0 + idx_bytes)
+        # the dense-x tile of *every* stored tile streams through
+        # shared memory — no skipping
+        c.l2_read_bytes += A.n_nonempty_tiles * nt * 8.0
+        c.shared_bytes += A.n_nonempty_tiles * nt * 8.0
+        c.flops += 2.0 * A.nnz
+        c.word_ops += A.n_nonempty_tiles * 5.0
+        row_tiles = max(1, A.n_tile_rows)
+        c.coalesced_write_bytes += row_tiles * nt * 8.0
+        c.warps = float(row_tiles)
+        nnz_tiles = np.diff(A.tile_nnz_ptr)
+        if len(nnz_tiles):
+            util = np.minimum(1.0, nnz_tiles / 32.0).mean()
+            c.divergence = float(max(util, 1.0 / 32.0))
+        self.ctx.launch("tilespmv", c, phase="multiply")
 
         idx = np.flatnonzero(~semiring.is_identity(y_dense))
         return SparseVector(self.shape[0], idx, y_dense[idx])

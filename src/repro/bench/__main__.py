@@ -2,17 +2,66 @@
 
 With no arguments, runs every experiment (Table 2 and Figures 6-12 plus
 the extraction ablation) and prints the paper-style tables.
+
+``python -m repro.bench trace`` instead runs a traced workload and
+writes the launch-by-launch record as Chrome ``trace_event`` JSON
+(default) or JSONL — see ``trace --help``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from .harness import ALL_EXPERIMENTS
 
 
+def _run_trace(argv) -> int:
+    from ..runtime import available_operators
+    from .trace import DEFAULT_TRACE_OPERATORS, run_traced_workload
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench trace",
+        description="Run operators under a traced execution context and "
+                    "export the kernel-launch timeline.")
+    parser.add_argument("--matrix", default="cant",
+                        help="collection matrix name (default: cant)")
+    parser.add_argument("--operators", default=None,
+                        help="comma-separated registry names "
+                             f"(default: {','.join(DEFAULT_TRACE_OPERATORS)}; "
+                             f"known: {','.join(available_operators())})")
+    parser.add_argument("--sparsity", type=float, default=0.01,
+                        help="input-vector sparsity for spmspv/spmv "
+                             "operators (default: 0.01)")
+    parser.add_argument("--source", type=int, default=0,
+                        help="BFS source vertex (default: 0)")
+    parser.add_argument("--format", choices=("chrome", "jsonl"),
+                        default="chrome",
+                        help="output format (default: chrome)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: trace.json / "
+                             "trace.jsonl by format)")
+    args = parser.parse_args(argv)
+
+    operators = (args.operators.split(",") if args.operators else None)
+    tracer, device = run_traced_workload(
+        matrix=args.matrix, operators=operators,
+        sparsity=args.sparsity, source=args.source)
+    out = args.out or ("trace.json" if args.format == "chrome"
+                       else "trace.jsonl")
+    if args.format == "chrome":
+        tracer.write_chrome(out)
+    else:
+        tracer.write_jsonl(out)
+    print(f"{len(tracer)} launches, {device.elapsed_ms:.3f} simulated ms "
+          f"-> {out}")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return _run_trace(argv[1:])
     names = argv or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:

@@ -29,13 +29,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..baselines import (CombBLASSpMSpV, CuSparseBSRMV, EnterpriseBFS,
-                         GSwitchBFS, GunrockBFS, TileSpMV)
-from ..core import KernelSelector, TileBFS, TileSpMSpV
+from ..core import KernelSelector
 from ..formats.coo import COOMatrix
 from ..gpusim import Device, GPUSpec, KernelCounters, RTX3060, RTX3090
 from ..matrices import (ENTERPRISE_6, REPRESENTATIVE_12, CollectionEntry,
                         get_matrix, sweep_entries)
+from ..runtime import create_operator, plan_cache_stats
 from ..tiles import tile_stats
 from ..vectors import PAPER_SPARSITIES, random_sparse_vector
 from .report import Summary, format_series, format_table, geomean
@@ -106,11 +105,14 @@ def run_fig6(entries: Optional[Sequence[CollectionEntry]] = None,
         devices = {name: Device(spec) for name in
                    ("TileSpMSpV", "TileSpMV", "cuSPARSE", "CombBLAS")}
         algs = {
-            "TileSpMSpV": TileSpMSpV(coo, nt=nt,
-                                     device=devices["TileSpMSpV"]),
-            "TileSpMV": TileSpMV(coo, nt=nt, device=devices["TileSpMV"]),
-            "cuSPARSE": CuSparseBSRMV(coo, nt, device=devices["cuSPARSE"]),
-            "CombBLAS": CombBLASSpMSpV(coo, device=devices["CombBLAS"]),
+            "TileSpMSpV": create_operator("tilespmspv", coo, nt=nt,
+                                          device=devices["TileSpMSpV"]),
+            "TileSpMV": create_operator("tilespmv", coo, nt=nt,
+                                        device=devices["TileSpMV"]),
+            "cuSPARSE": create_operator("cusparse-bsr", coo, blocksize=nt,
+                                        device=devices["cuSPARSE"]),
+            "CombBLAS": create_operator("combblas", coo,
+                                        device=devices["CombBLAS"]),
         }
         for s in sparsities:
             x = random_sparse_vector(n, s)
@@ -167,12 +169,12 @@ def run_fig7(entries: Optional[Sequence[CollectionEntry]] = None,
             if coo.shape[0] != coo.shape[1]:
                 continue
             times = {}
-            for name, make in (
-                    ("TileBFS", lambda d: TileBFS(coo, device=d)),
-                    ("Gunrock", lambda d: GunrockBFS(coo, device=d)),
-                    ("GSwitch", lambda d: GSwitchBFS(coo, device=d))):
+            for name, regname in (("TileBFS", "tilebfs"),
+                                  ("Gunrock", "gunrock"),
+                                  ("GSwitch", "gswitch")):
                 dev = Device(spec)
-                times[name] = make(dev).run(source).simulated_ms
+                alg = create_operator(regname, coo, device=dev)
+                times[name] = alg.run(source).simulated_ms
             summary.add("Gunrock", times["Gunrock"] / times["TileBFS"])
             summary.add("GSwitch", times["GSwitch"] / times["TileBFS"])
             rows.append([spec.name, e.name, coo.nnz, times["TileBFS"],
@@ -208,12 +210,11 @@ def run_fig8(entries: Optional[Sequence[CollectionEntry]] = None,
     for e in entries:
         coo = get_matrix(e.name) if e.name in _named() else e.build()
         gteps = {}
-        for name, make in (
-                ("GSwitch", lambda d: GSwitchBFS(coo, device=d)),
-                ("Gunrock", lambda d: GunrockBFS(coo, device=d)),
-                ("TileBFS", lambda d: TileBFS(coo, device=d))):
+        for name, regname in (("GSwitch", "gswitch"),
+                              ("Gunrock", "gunrock"),
+                              ("TileBFS", "tilebfs")):
             dev = Device(spec)
-            res = make(dev).run(source)
+            res = create_operator(regname, coo, device=dev).run(source)
             gteps[name] = res.gteps(coo.nnz)
         rows.append([e.name, gteps["GSwitch"], gteps["Gunrock"],
                      gteps["TileBFS"]])
@@ -240,7 +241,8 @@ def run_fig9(entries: Optional[Sequence[CollectionEntry]] = None,
         row = [e.name]
         for _, sel in selectors:
             dev = Device(spec)
-            res = TileBFS(coo, selector=sel, device=dev).run(source)
+            res = create_operator("tilebfs", coo, selector=sel,
+                                  device=dev).run(source)
             row.append(res.gteps(coo.nnz))
         rows.append(row)
     text = format_table(headers, rows,
@@ -259,22 +261,28 @@ def run_fig10(names: Sequence[str] = ("cant", "in-2004", "msdoor",
     GSwitch and TileBFS on four representative matrices."""
     rows = []
     series_text = []
+    cache_before = plan_cache_stats()
     for name in names:
         coo = get_matrix(name)
-        for alg, make in (("Gunrock", lambda d: GunrockBFS(coo, device=d)),
-                          ("GSwitch", lambda d: GSwitchBFS(coo, device=d)),
-                          ("TileBFS", lambda d: TileBFS(coo, device=d))):
+        for alg, regname in (("Gunrock", "gunrock"),
+                             ("GSwitch", "gswitch"),
+                             ("TileBFS", "tilebfs")):
             dev = Device(spec)
-            res = make(dev).run(source)
+            res = create_operator(regname, coo, device=dev).run(source)
             xs = [it.depth for it in res.iterations]
             ys = [it.simulated_ms for it in res.iterations]
             rows.append([name, alg, len(xs), sum(ys)])
             series_text.append(format_series(f"{name}/{alg}", xs, ys))
+    cache_after = plan_cache_stats()
     headers = ["Matrix", "Algorithm", "iterations", "total ms"]
     text = (format_table(headers, rows,
                          title="Figure 10 - iteration time traces")
             + "\n" + "\n".join(series_text))
-    return ExperimentResult("fig10", headers, rows, text)
+    return ExperimentResult(
+        "fig10", headers, rows, text,
+        extra={"plan_cache": {
+            k: cache_after[k] - cache_before.get(k, 0)
+            for k in ("hits", "misses", "evictions")}})
 
 
 # ----------------------------------------------------------------------
@@ -316,7 +324,7 @@ def run_fig11(entries: Optional[Sequence[CollectionEntry]] = None,
     for e in entries:
         coo = get_matrix(e.name) if e.name in _named() else e.build()
         dev = Device(spec)
-        bfs = TileBFS(coo, device=dev)
+        bfs = create_operator("tilebfs", coo, device=dev)
         conv_ms = dev.model.time_ms(conversion_counters(coo, bfs.nt))
         bfs_ms = bfs.run(source).simulated_ms
         rows.append([e.name, conv_ms, bfs_ms,
@@ -339,11 +347,11 @@ def run_fig12(entries: Optional[Sequence[CollectionEntry]] = None,
     for e in entries:
         coo = get_matrix(e.name) if e.name in _named() else e.build()
         gteps = {}
-        for name, make in (
-                ("Enterprise", lambda d: EnterpriseBFS(coo, device=d)),
-                ("TileBFS", lambda d: TileBFS(coo, device=d))):
+        for name, regname in (("Enterprise", "enterprise"),
+                              ("TileBFS", "tilebfs")):
             dev = Device(spec)
-            gteps[name] = make(dev).run(source).gteps(coo.nnz)
+            alg = create_operator(regname, coo, device=dev)
+            gteps[name] = alg.run(source).gteps(coo.nnz)
         rows.append([e.name, gteps["Enterprise"], gteps["TileBFS"],
                      gteps["TileBFS"] / gteps["Enterprise"]])
     speedups = [r[3] for r in rows]
@@ -378,8 +386,8 @@ def run_extraction(spec: GPUSpec = RTX3090,
         times = {}
         for mode, threshold in (("off", 0), ("on", 2)):
             dev = Device(spec)
-            op = TileSpMSpV(coo, nt=16, extract_threshold=threshold,
-                            device=dev)
+            op = create_operator("tilespmspv", coo, nt=16,
+                                 extract_threshold=threshold, device=dev)
             op.multiply(x)
             times[mode] = dev.elapsed_ms
             if mode == "on":

@@ -1,0 +1,59 @@
+"""Traced workloads behind ``python -m repro.bench trace``.
+
+Runs a set of registered operators on one matrix with a shared
+:class:`~repro.runtime.ExecutionContext` (one simulated device, one
+:class:`~repro.runtime.Tracer`), so every priced kernel launch lands on
+a single serial timeline annotated with its operator and phase.  The
+result exports as JSONL or as Chrome ``trace_event`` JSON (open in
+``chrome://tracing`` or Perfetto).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..gpusim import Device, GPUSpec, RTX3090
+from ..matrices import get_matrix
+from ..runtime import (ExecutionContext, Tracer, create_operator,
+                       operator_kind)
+from ..vectors import random_sparse_vector
+
+__all__ = ["DEFAULT_TRACE_OPERATORS", "run_traced_workload"]
+
+#: Operators the ``trace`` subcommand drives when none are named:
+#: every registered algorithm that works on a square matrix.
+DEFAULT_TRACE_OPERATORS = (
+    "tilespmspv", "combblas", "spmspv-via-spgemm",
+    "tilespmv", "cusparse-bsr",
+    "tilebfs", "gunrock", "gswitch", "enterprise",
+    "msbfs",
+)
+
+
+def run_traced_workload(matrix: str = "cant",
+                        operators: Optional[Sequence[str]] = None,
+                        sparsity: float = 0.01, source: int = 0,
+                        spec: GPUSpec = RTX3090
+                        ) -> Tuple[Tracer, Device]:
+    """Drive ``operators`` on ``matrix`` under one traced context.
+
+    ``spmspv``/``spmv`` operators multiply a random sparse vector of
+    the given ``sparsity``; ``bfs`` operators traverse from ``source``;
+    ``msbfs`` traverses from the single-source batch ``[source]``.
+    Returns the tracer and the shared device (whose timeline holds the
+    same launches, unannotated).
+    """
+    coo = get_matrix(matrix)
+    tracer = Tracer()
+    ctx = ExecutionContext(device=Device(spec), tracer=tracer)
+    x = random_sparse_vector(coo.shape[1], sparsity)
+    for name in (operators or DEFAULT_TRACE_OPERATORS):
+        kind = operator_kind(name)
+        op = create_operator(name, coo, device=ctx)
+        if kind in ("spmspv", "spmv"):
+            op.multiply(x)
+        elif kind == "bfs":
+            op.run(source)
+        else:  # msbfs
+            op.run([source])
+    return tracer, ctx.device

@@ -15,8 +15,8 @@ frontier once every source has seen it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from .._util import concat_ranges
 from ..errors import ShapeError
 from ..formats.coo import COOMatrix
 from ..gpusim import Device, KernelCounters
+from ..runtime import ExecutionContext
 
 __all__ = ["MultiSourceBFS", "MSBFSResult"]
 
@@ -87,7 +88,20 @@ class MultiSourceBFS:
         self.n = coo.shape[0]
         self.nnz = coo.nnz
         self.csc = coo.to_csc()
-        self.device = device
+        self.ctx = ExecutionContext.wrap(device, operator="msbfs")
+
+    # ------------------------------------------------------------------
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("msbfs")
+        else:
+            self.ctx.device = device
 
     # ------------------------------------------------------------------
     def run(self, sources: Sequence[int],
@@ -151,8 +165,6 @@ class MultiSourceBFS:
 
     # ------------------------------------------------------------------
     def _account(self, n_active: int, edges: int, n_new: int) -> float:
-        if self.device is None:
-            return 0.0
         c = KernelCounters(launches=1)
         c.coalesced_read_bytes += self.n * 8.0          # frontier scan
         c.l2_read_bytes += n_active * 16.0              # column pointers
@@ -163,7 +175,7 @@ class MultiSourceBFS:
         c.coalesced_write_bytes += self.n * 8.0         # next/visited
         c.word_ops += 3.0 * self.n
         c.warps = max(1.0, edges / 32.0)
-        return self.device.submit("msbfs_expand", c).total_ms
+        return self.ctx.launch("msbfs_expand", c, phase="iteration")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<MultiSourceBFS n={self.n} nnz={self.nnz}>"

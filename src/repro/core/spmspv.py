@@ -22,7 +22,9 @@ import numpy as np
 from ..errors import ShapeError, TileError
 from ..formats.base import SparseMatrix
 from ..formats.coo import COOMatrix
-from ..gpusim import Device
+from ..gpusim import Device, KernelCounters
+from ..runtime import (ExecutionContext, OperatorPlan, PlanCache,
+                       default_plan_cache, matrix_token)
 from ..semiring import PLUS_TIMES, Semiring
 from ..tiles.extraction import (HybridTiledMatrix, IndexedSideMatrix,
                                  split_very_sparse_tiles)
@@ -75,46 +77,59 @@ class TileSpMSpV:
                  semiring: Semiring = PLUS_TIMES,
                  device: Optional[Device] = None,
                  mode: str = "csr",
-                 adaptive_threshold: float = 0.02):
+                 adaptive_threshold: float = 0.02,
+                 plan_cache: Optional[PlanCache] = None):
         if nt not in SUPPORTED_TILE_SIZES:
             raise TileError(
                 f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
             )
-        self.semiring = semiring
-        self.device = device
-        if isinstance(matrix, HybridTiledMatrix):
-            self.hybrid = matrix
-        elif isinstance(matrix, TiledMatrix):
-            self.hybrid = HybridTiledMatrix(
-                tiled=matrix,
-                side=COOMatrix.empty(matrix.shape),
-                threshold=0,
-            )
-        else:
-            if isinstance(matrix, SparseMatrix):
-                coo = matrix.to_coo()
-            else:
-                coo = COOMatrix.from_dense(np.asarray(matrix))
-            self.hybrid = split_very_sparse_tiles(
-                coo, nt, threshold=extract_threshold)
-        if self.hybrid.nt != nt and not isinstance(
-                matrix, (HybridTiledMatrix, TiledMatrix)):
-            raise TileError("internal: tile size mismatch")  # pragma: no cover
-        # index the side triplets by column tile once, so every multiply
-        # skips inactive side columns just like the tiled kernel does
-        self._side_index = (
-            IndexedSideMatrix.from_coo(self.hybrid.side, self.hybrid.nt)
-            if self.hybrid.side.nnz else None)
         if mode not in ("csr", "csc", "adaptive"):
             raise TileError(f"unknown SpMSpV mode {mode!r}; "
                             "expected csr / csc / adaptive")
-        self.mode = mode
         if not (0.0 <= adaptive_threshold <= 1.0):
             raise TileError("adaptive_threshold must be in [0, 1]")
+        self.semiring = semiring
+        self.mode = mode
         self.adaptive_threshold = float(adaptive_threshold)
-        self._transposed_tiled: Optional[TiledMatrix] = None
+        self.ctx = ExecutionContext.wrap(device, operator="tilespmspv")
+        if isinstance(matrix, HybridTiledMatrix):
+            # preprocessing already done by the caller: private plan
+            self._plan = _spmspv_plan(matrix)
+        elif isinstance(matrix, TiledMatrix):
+            self._plan = _spmspv_plan(HybridTiledMatrix(
+                tiled=matrix,
+                side=COOMatrix.empty(matrix.shape),
+                threshold=0,
+            ))
+        else:
+            cache = plan_cache if plan_cache is not None \
+                else default_plan_cache()
+            key = ("tilespmspv", matrix_token(matrix), nt,
+                   extract_threshold, semiring, mode)
+            self._plan = cache.get_or_build(
+                key,
+                lambda: _build_spmspv_plan(matrix, nt, extract_threshold,
+                                           key),
+                pin=matrix)
+        self.hybrid = self._plan.data["hybrid"]
+        self._side_index = self._plan.data["side_index"]
+        if self.hybrid.nt != nt and not isinstance(
+                matrix, (HybridTiledMatrix, TiledMatrix)):
+            raise TileError("internal: tile size mismatch")  # pragma: no cover
 
     # ------------------------------------------------------------------
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("tilespmspv")
+        else:
+            self.ctx.device = device
+
     @property
     def shape(self):
         return self.hybrid.shape
@@ -144,12 +159,25 @@ class TileSpMSpV:
 
     def _transposed(self) -> TiledMatrix:
         """The CSC-of-tiles view: the tiling of A^T (built lazily,
-        cached — a second preprocessing pass, like the paper's A1/A2
-        pair for BFS)."""
-        if self._transposed_tiled is None:
-            self._transposed_tiled = TiledMatrix.from_coo(
-                self.hybrid.tiled.to_coo().transpose(), self.nt)
-        return self._transposed_tiled
+        cached on the plan — a second preprocessing pass, like the
+        paper's A1/A2 pair for BFS — so every operator sharing the plan
+        reuses it)."""
+        return self._plan.lazy_get(
+            "transposed",
+            lambda: TiledMatrix.from_coo(
+                self.hybrid.tiled.to_coo().transpose(), self.nt))
+
+    @property
+    def _transposed_tiled(self) -> Optional[TiledMatrix]:
+        """The transposed tiling if already built (None before the
+        first CSC-form multiply)."""
+        return self._plan.lazy.get("transposed")
+
+    @property
+    def _transposed_full_tiled(self) -> Optional[TiledMatrix]:
+        """The full-A^T tiling if already built (None before the first
+        transpose multiply)."""
+        return self._plan.lazy.get("transposed_full")
 
     def _pick_kernel(self, xt: TiledVector) -> str:
         if self.mode != "adaptive":
@@ -200,14 +228,14 @@ class TileSpMSpV:
         else:
             y_dense, counters = tiled_kernel(self.hybrid.tiled, xt,
                                              semiring=self.semiring)
-        if self.device is not None:
-            self.device.submit(f"tile_spmspv_{kernel}", counters)
+        self.ctx.launch(f"tile_spmspv_{kernel}", counters,
+                        phase="multiply")
         if self.hybrid.side.nnz:
             y_dense, side_counters = coo_side_kernel(
                 self._side_index, xt, semiring=self.semiring,
                 y_dense=y_dense)
-            if self.device is not None:
-                self.device.submit("tile_spmspv_coo_side", side_counters)
+            self.ctx.launch("tile_spmspv_coo_side", side_counters,
+                            phase="multiply")
 
         if mask is not None:
             y_dense = self._apply_mask(y_dense, mask, mask_complement)
@@ -258,8 +286,8 @@ class TileSpMSpV:
                 f"{(self.shape[1], self.shape[0])}, x has length {xt.n}"
             )
         y_dense, counters = tiled_kernel(At, xt, semiring=self.semiring)
-        if self.device is not None:
-            self.device.submit("tile_spmspv_transpose", counters)
+        self.ctx.launch("tile_spmspv_transpose", counters,
+                        phase="multiply")
         if output == "dense":
             return y_dense
         occupied = ~self.semiring.is_identity(y_dense)
@@ -271,13 +299,12 @@ class TileSpMSpV:
                                        self.nt, fill=fill)
 
     def _transposed_full(self) -> TiledMatrix:
-        """Tiling of the full A^T (tiled part + side matrix), cached."""
-        cached = getattr(self, "_transposed_full_tiled", None)
-        if cached is None:
-            cached = TiledMatrix.from_coo(
-                self.hybrid.to_coo().transpose(), self.nt)
-            self._transposed_full_tiled = cached
-        return cached
+        """Tiling of the full A^T (tiled part + side matrix), cached on
+        the plan."""
+        return self._plan.lazy_get(
+            "transposed_full",
+            lambda: TiledMatrix.from_coo(
+                self.hybrid.to_coo().transpose(), self.nt))
 
     def multiply_batch(self, xs, output: str = "sparse"):
         """Multiply against a batch of vectors in one logical launch.
@@ -301,16 +328,14 @@ class TileSpMSpV:
         xts = [self._as_tiled_vector(x) for x in xs]
         Y, counters = batched_tiled_kernel(self.hybrid.tiled, xts,
                                            semiring=self.semiring)
-        if self.device is not None:
-            self.device.submit("tile_spmspv_batch", counters)
+        self.ctx.launch("tile_spmspv_batch", counters, phase="batch")
         if self.hybrid.side.nnz:
             for b, xt in enumerate(xts):
                 _, side_counters = coo_side_kernel(
                     self._side_index, xt, semiring=self.semiring,
                     y_dense=Y[b])
-                if self.device is not None:
-                    self.device.submit("tile_spmspv_coo_side",
-                                       side_counters)
+                self.ctx.launch("tile_spmspv_coo_side", side_counters,
+                                phase="batch")
         if output == "dense":
             return Y
         out = []
@@ -353,14 +378,11 @@ class TileSpMSpV:
             keep = ~keep
         y_dense = y_dense.copy()
         y_dense[~keep] = self.semiring.add_identity
-        if self.device is not None:
-            from ..gpusim import KernelCounters
-
-            c = KernelCounters(launches=1)
-            c.coalesced_read_bytes += self.shape[0] / 8.0   # mask bits
-            c.coalesced_write_bytes += self.shape[0] * 8.0
-            c.warps = max(1.0, self.shape[0] / (32.0 * 32.0))
-            self.device.submit("tile_spmspv_mask", c)
+        c = KernelCounters(launches=1)
+        c.coalesced_read_bytes += self.shape[0] / 8.0   # mask bits
+        c.coalesced_write_bytes += self.shape[0] * 8.0
+        c.warps = max(1.0, self.shape[0] / (32.0 * 32.0))
+        self.ctx.launch("tile_spmspv_mask", c, phase="mask")
         return y_dense
 
     def flops_useful(self, x: VectorLike) -> int:
@@ -379,6 +401,30 @@ class TileSpMSpV:
         return (f"<TileSpMSpV {self.shape} nt={self.nt} "
                 f"tiles={self.hybrid.tiled.n_nonempty_tiles} "
                 f"side_nnz={self.hybrid.side.nnz}>")
+
+
+def _spmspv_plan(hybrid: HybridTiledMatrix, key=()) -> OperatorPlan:
+    """A TileSpMSpV plan from a built hybrid tiling: the side triplets
+    are indexed by column tile once, so every multiply skips inactive
+    side columns just like the tiled kernel does."""
+    side_index = (IndexedSideMatrix.from_coo(hybrid.side, hybrid.nt)
+                  if hybrid.side.nnz else None)
+    return OperatorPlan(kind="tilespmspv", key=tuple(key),
+                        data={"hybrid": hybrid,
+                              "side_index": side_index})
+
+
+def _build_spmspv_plan(matrix, nt: int, extract_threshold: int,
+                       key) -> OperatorPlan:
+    """Full Fig. 11 preprocessing: COO conversion, tiling, and
+    very-sparse-tile extraction (the cache-miss path)."""
+    if isinstance(matrix, SparseMatrix):
+        coo = matrix.to_coo()
+    else:
+        coo = COOMatrix.from_dense(np.asarray(matrix))
+    hybrid = split_very_sparse_tiles(coo, nt,
+                                     threshold=extract_threshold)
+    return _spmspv_plan(hybrid, key=key)
 
 
 def tile_spmspv(matrix, x: VectorLike, nt: int = 16,

@@ -29,6 +29,8 @@ from ..errors import ShapeError
 from ..formats.base import SparseMatrix
 from ..formats.coo import COOMatrix
 from ..gpusim import Device, KernelCounters
+from ..runtime import (ExecutionContext, OperatorPlan, PlanCache,
+                       default_plan_cache, matrix_token)
 from ..tiles.bitmask import (BitTiledMatrix, BitVector,
                              pattern_is_symmetric)
 from ..tiles.extraction import split_very_sparse_tiles
@@ -123,43 +125,41 @@ class TileBFS:
     def __init__(self, matrix, nt: Optional[int] = None,
                  selector: Optional[KernelSelector] = None,
                  extract_threshold: int = 2,
-                 device: Optional[Device] = None):
-        if isinstance(matrix, SparseMatrix):
-            coo = matrix.to_coo()
-        else:
-            coo = COOMatrix.from_dense(np.asarray(matrix))
-        if coo.shape[0] != coo.shape[1]:
-            raise ShapeError(f"BFS requires a square matrix, got {coo.shape}")
-        self.n = coo.shape[0]
-        self.nnz = coo.nnz
-        if nt is None:
-            nt = select_tile_size(self.n)
-        if nt not in SUPPORTED_TILE_SIZES:
-            raise ShapeError(
-                f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
-            )
-        self.nt = nt
+                 device: Optional[Device] = None,
+                 plan_cache: Optional[PlanCache] = None):
         self.selector = selector or KernelSelector()
-        self.device = device
-
-        if extract_threshold > 0:
-            hybrid = split_very_sparse_tiles(coo, nt, extract_threshold)
-            dense_part = hybrid.tiled.to_coo()
-            #: COO edge list of the extracted very-sparse tiles,
-            #: traversed by a per-edge kernel each iteration.
-            self.side = hybrid.side
-        else:
-            dense_part = coo
-            self.side = COOMatrix.empty(coo.shape)
+        self.ctx = ExecutionContext.wrap(device, operator="tilebfs")
+        cache = plan_cache if plan_cache is not None \
+            else default_plan_cache()
+        key = ("tilebfs", matrix_token(matrix), nt, extract_threshold)
+        self._plan = cache.get_or_build(
+            key,
+            lambda: _build_bfs_plan(matrix, nt, extract_threshold, key),
+            pin=matrix)
+        data = self._plan.data
+        self.n = data["n"]
+        self.nnz = data["nnz"]
+        self.nt = data["nt"]
+        #: COO edge list of the extracted very-sparse tiles,
+        #: traversed by a per-edge kernel each iteration.
+        self.side = data["side"]
         #: Column-compressed bitmask tiles (the A1 of Fig. 5).
-        self.A1 = BitTiledMatrix.from_coo(dense_part, nt, "csc")
-        #: Row-compressed bitmask tiles (the A2 of Fig. 5).  For an
-        #: undirected graph A1 and A2 hold identical arrays (§3.2.3),
-        #: so the storage is shared — "about half" the footprint.
-        if pattern_is_symmetric(dense_part):
-            self.A2 = self.A1.as_reinterpreted("csr")
+        self.A1 = data["A1"]
+        #: Row-compressed bitmask tiles (the A2 of Fig. 5).
+        self.A2 = data["A2"]
+
+    # ------------------------------------------------------------------
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("tilebfs")
         else:
-            self.A2 = BitTiledMatrix.from_coo(dense_part, nt, "csr")
+            self.ctx.device = device
 
     # ------------------------------------------------------------------
     def run(self, source: int, max_depth: Optional[int] = None) -> BFSResult:
@@ -198,10 +198,8 @@ class TileBFS:
             if self.side.nnz:
                 y, side_counters = self._side_kernel(x, m, y)
                 counters = counters.merged(side_counters)
-            ms = 0.0
-            if self.device is not None:
-                ms = self.device.submit(f"tilebfs_{kernel_name}",
-                                        counters).total_ms
+            ms = self.ctx.launch(f"tilebfs_{kernel_name}", counters,
+                                 phase="iteration")
 
             new = y.to_indices()
             result.iterations.append(IterationRecord(
@@ -300,6 +298,43 @@ class TileBFS:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<TileBFS n={self.n} nnz={self.nnz} nt={self.nt} "
                 f"tiles={self.A1.n_nonempty_tiles}>")
+
+
+def _build_bfs_plan(matrix, nt: Optional[int], extract_threshold: int,
+                    key) -> OperatorPlan:
+    """TileBFS preprocessing (the cache-miss path): COO conversion,
+    tile-size selection, very-sparse-tile extraction, and the A1/A2
+    bitmask compressions of Fig. 5."""
+    if isinstance(matrix, SparseMatrix):
+        coo = matrix.to_coo()
+    else:
+        coo = COOMatrix.from_dense(np.asarray(matrix))
+    if coo.shape[0] != coo.shape[1]:
+        raise ShapeError(f"BFS requires a square matrix, got {coo.shape}")
+    n = coo.shape[0]
+    if nt is None:
+        nt = select_tile_size(n)
+    if nt not in SUPPORTED_TILE_SIZES:
+        raise ShapeError(
+            f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
+        )
+    if extract_threshold > 0:
+        hybrid = split_very_sparse_tiles(coo, nt, extract_threshold)
+        dense_part = hybrid.tiled.to_coo()
+        side = hybrid.side
+    else:
+        dense_part = coo
+        side = COOMatrix.empty(coo.shape)
+    A1 = BitTiledMatrix.from_coo(dense_part, nt, "csc")
+    # For an undirected graph A1 and A2 hold identical arrays (§3.2.3),
+    # so the storage is shared — "about half" the footprint.
+    if pattern_is_symmetric(dense_part):
+        A2 = A1.as_reinterpreted("csr")
+    else:
+        A2 = BitTiledMatrix.from_coo(dense_part, nt, "csr")
+    return OperatorPlan(kind="tilebfs", key=tuple(key),
+                        data={"n": n, "nnz": coo.nnz, "nt": nt,
+                              "side": side, "A1": A1, "A2": A2})
 
 
 def tile_bfs(matrix, source: int, nt: Optional[int] = None,

@@ -11,9 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ShapeError
-from .base import SparseMatrix
 from .coo import COOMatrix
-from .convert import as_sparse, to_coo
+from .convert import to_coo
 
 __all__ = ["diagonal", "with_diagonal", "scale_rows", "scale_columns",
            "matrix_add", "row_degrees", "col_degrees"]

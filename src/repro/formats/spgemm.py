@@ -19,8 +19,6 @@ is the honest cost of the expansion approach.
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
 from .._util import concat_ranges, group_starts

@@ -83,6 +83,15 @@ class Device:
         """Total simulated time of everything on the timeline."""
         return sum(rec.ms for rec in self.timeline)
 
+    def snapshot(self) -> tuple:
+        """An immutable copy of the timeline.
+
+        Records are frozen dataclasses, so a snapshot taken before
+        :meth:`reset` compares equal (``==``) to the timeline of an
+        identical re-run — the round-trip the runtime tests rely on.
+        """
+        return tuple(self.timeline)
+
     def reset(self) -> None:
         """Clear the timeline (new measurement)."""
         self.timeline.clear()

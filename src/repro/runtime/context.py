@@ -1,0 +1,105 @@
+"""The launch context: one API between operators and the device.
+
+Before the runtime existed, every operator hand-rolled the same three
+lines at each kernel boundary::
+
+    if self.device is not None:
+        ms = self.device.submit(name, counters).total_ms
+
+:class:`ExecutionContext` centralises that: operators call
+:meth:`ExecutionContext.launch` unconditionally; the None-device case
+(functional execution with no accounting) is handled here, once, and a
+:class:`~repro.runtime.tracing.Tracer` — when attached — observes every
+priced launch with its operator tag and phase.
+
+Operators accept either a raw :class:`~repro.gpusim.Device` (the
+historical API, still supported everywhere) or an
+:class:`ExecutionContext`; :meth:`ExecutionContext.wrap` normalises the
+two.  Passing one shared context to several operators is how a traced
+multi-operator workload is assembled — each operator scopes the context
+with its own tag, while the device timeline and the tracer are shared.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..gpusim import Device, KernelCounters, KernelTime
+from .tracing import Tracer
+
+__all__ = ["ExecutionContext"]
+
+
+class ExecutionContext:
+    """Execution state shared by an operator's kernel launches.
+
+    Parameters
+    ----------
+    device:
+        The simulated GPU receiving priced launch records, or ``None``
+        for functional-only execution (no accounting at all — the
+        single place that check lives).
+    tracer:
+        Optional structured-trace collector; sees every priced launch.
+    operator:
+        Tag naming the operator this context is scoped to (e.g.
+        ``"tilespmspv"``); recorded on trace events.
+    """
+
+    def __init__(self, device: Optional[Device] = None,
+                 tracer: Optional[Tracer] = None,
+                 operator: Optional[str] = None):
+        self.device = device
+        self.tracer = tracer
+        self.operator = operator
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def wrap(cls, device: Union["ExecutionContext", Device, None],
+             operator: Optional[str] = None) -> "ExecutionContext":
+        """Normalise a ``device=`` argument into a context.
+
+        A raw :class:`Device` (or ``None``) gets a fresh private
+        context; an existing context is scoped to ``operator`` while
+        sharing its device and tracer.
+        """
+        if isinstance(device, ExecutionContext):
+            return device.scoped(operator)
+        return cls(device, operator=operator)
+
+    def scoped(self, operator: Optional[str]) -> "ExecutionContext":
+        """A view of this context tagged with ``operator`` (device and
+        tracer shared)."""
+        return ExecutionContext(self.device, tracer=self.tracer,
+                                operator=operator or self.operator)
+
+    # ------------------------------------------------------------------
+    def launch(self, name: str, counters: KernelCounters,
+               tag: Optional[str] = None,
+               phase: Optional[str] = None) -> float:
+        """Submit one kernel launch; returns its priced time in ms.
+
+        With no device attached this is a no-op returning ``0.0`` — the
+        functional result of the caller is identical either way.  The
+        launch record appended to the device timeline is exactly what a
+        direct ``device.submit(name, counters, tag)`` would append.
+        """
+        if self.device is None:
+            return 0.0
+        t: KernelTime = self.device.submit(name, counters, tag)
+        if self.tracer is not None:
+            self.tracer.record(name=name, counters=counters, time=t,
+                               operator=self.operator, phase=phase,
+                               tag=tag)
+        return t.total_ms
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_ms(self) -> float:
+        """Total simulated ms on the attached device (0.0 if none)."""
+        return self.device.elapsed_ms if self.device is not None else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ExecutionContext operator={self.operator!r} "
+                f"device={self.device!r} "
+                f"traced={self.tracer is not None}>")

@@ -1,0 +1,175 @@
+"""The operator-plan cache: preprocess once, construct many times.
+
+The paper's Fig. 11 argues that the tiled-format conversion pays for
+itself because it is done once per matrix and amortised over many
+multiplies / traversals.  Benchmarks and services that rebuild an
+operator per measurement were silently redoing that preprocessing;
+:class:`PlanCache` closes the gap: operator constructors key their
+expensive analysis — tiling, very-sparse-tile COO extraction, bitmask
+compression — by ``(kind, matrix identity, nt, extract_threshold,
+semiring, mode)`` and reuse the stored :class:`OperatorPlan` when the
+same matrix comes around again.
+
+Matrix identity is ``id()``-based (:func:`matrix_token`): the cache
+pins a strong reference to the keyed object for as long as the entry
+lives, so a recycled ``id()`` can never alias a live entry.  Entries
+are evicted LRU beyond ``maxsize``.
+
+The module-level :func:`default_plan_cache` instance is what operators
+use unless handed an explicit cache; :func:`plan_cache_stats` /
+:func:`reset_plan_cache` expose it to benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = ["OperatorPlan", "PlanCache", "matrix_token",
+           "default_plan_cache", "plan_cache_stats", "reset_plan_cache"]
+
+
+def matrix_token(matrix: Any) -> Tuple:
+    """A hashable identity token for a matrix-like object.
+
+    ``id()`` plus cheap shape/nnz attributes: the id ties the token to
+    the exact object (the cache pins the object so the id cannot be
+    recycled while the entry lives); shape and nnz are a second check
+    that costs nothing and catches accidental misuse.
+    """
+    shape = getattr(matrix, "shape", None)
+    shape = tuple(shape) if shape is not None else None
+    return (id(matrix), shape, getattr(matrix, "nnz", None))
+
+
+@dataclass
+class OperatorPlan:
+    """The reusable preprocessing of one operator over one matrix.
+
+    ``data`` holds whatever the operator's constructor considers its
+    immutable analysis product (for :class:`~repro.core.TileSpMSpV`:
+    the hybrid tiling and the indexed side matrix; for
+    :class:`~repro.core.TileBFS`: the A1/A2 bitmask forms and the side
+    edge list).  ``lazy`` is a mutable side table for derived
+    structures built on demand (e.g. the transposed tiling), shared by
+    every operator reusing the plan — building it once benefits all.
+    """
+
+    kind: str
+    key: Tuple
+    data: Dict[str, Any] = field(default_factory=dict)
+    lazy: Dict[str, Any] = field(default_factory=dict)
+
+    def lazy_get(self, name: str, builder: Callable[[], Any]) -> Any:
+        """Build-once accessor for derived structures."""
+        if name not in self.lazy:
+            self.lazy[name] = builder()
+        return self.lazy[name]
+
+
+class PlanCache:
+    """LRU cache of :class:`OperatorPlan` with hit/miss stats.
+
+    Thread-safe for the cheap map operations (plan *construction* runs
+    outside the lock; two racing builders may both build, last one
+    wins — acceptable for a cache of deterministic products).
+    """
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Tuple[OperatorPlan, Any]]" \
+            = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[OperatorPlan]:
+        """The cached plan for ``key``, or ``None`` (counts a hit or a
+        miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: Hashable, plan: OperatorPlan,
+            pin: Any = None) -> OperatorPlan:
+        """Store ``plan`` under ``key``; ``pin`` keeps the keyed matrix
+        alive for the lifetime of the entry."""
+        with self._lock:
+            self._entries[key] = (plan, pin)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return plan
+
+    def get_or_build(self, key: Hashable,
+                     builder: Callable[[], OperatorPlan],
+                     pin: Any = None) -> OperatorPlan:
+        """The cached plan, or ``builder()`` stored under ``key``."""
+        plan = self.get(key)
+        if plan is not None:
+            return plan
+        return self.put(key, builder(), pin=pin)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "size": len(self._entries),
+                    "maxsize": self.maxsize}
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when none)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry and zero the stats."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (f"<PlanCache {s['size']}/{s['maxsize']} entries, "
+                f"{s['hits']} hits / {s['misses']} misses>")
+
+
+#: The process-wide cache operators use by default.
+_DEFAULT = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide plan cache."""
+    return _DEFAULT
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Hit/miss stats of the process-wide cache (for benchmarks)."""
+    return _DEFAULT.stats()
+
+
+def reset_plan_cache() -> None:
+    """Clear the process-wide cache (tests, fresh measurements)."""
+    _DEFAULT.clear()

@@ -1,0 +1,186 @@
+"""The operator registry: dispatch by name, not by import.
+
+The bench harness, the CLI, and the benchmark suite used to hard-code
+one import + constructor per algorithm.  The registry replaces that
+with a single lookup table: every operator — the paper's algorithms
+and all eight baselines — registers a factory under a stable name, and
+callers build instances with :func:`create_operator`.
+
+Adding a new baseline is one registration::
+
+    from repro.runtime import register_operator
+
+    @register_operator("mybfs", kind="bfs",
+                       summary="my shiny traversal")
+    def _make_mybfs(matrix, device=None, **kwargs):
+        from mypkg import MyBFS
+        return MyBFS(matrix, device=device, **kwargs)
+
+Factories import their implementation lazily so this module can be
+imported from anywhere (including the packages that define the
+operators) without cycles.
+
+``kind`` groups operators by how they are driven: ``"spmspv"`` /
+``"spmv"`` expose ``multiply(x)``, ``"bfs"`` exposes ``run(source)``,
+``"msbfs"`` exposes ``run(sources)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ReproError
+
+__all__ = ["register_operator", "create_operator", "resolve_operator",
+           "available_operators", "operator_kind", "OperatorEntry"]
+
+#: Operator groupings the drivers understand.
+KINDS = ("spmspv", "spmv", "bfs", "msbfs")
+
+
+@dataclass(frozen=True)
+class OperatorEntry:
+    """One registered operator factory."""
+
+    name: str
+    kind: str
+    summary: str
+    factory: Callable
+
+
+_REGISTRY: Dict[str, OperatorEntry] = {}
+
+
+def register_operator(name: str, kind: str = "spmspv",
+                      summary: str = "",
+                      aliases: tuple = ()) -> Callable:
+    """Decorator registering ``factory(matrix, device=None, **kwargs)``
+    under ``name`` (and ``aliases``)."""
+    if kind not in KINDS:
+        raise ReproError(f"unknown operator kind {kind!r}; "
+                         f"expected one of {KINDS}")
+
+    def _register(factory: Callable) -> Callable:
+        for alias in (name, *aliases):
+            if alias in _REGISTRY:
+                raise ReproError(
+                    f"operator {alias!r} is already registered")
+            _REGISTRY[alias] = OperatorEntry(name=alias, kind=kind,
+                                             summary=summary,
+                                             factory=factory)
+        return factory
+
+    return _register
+
+
+def resolve_operator(name: str) -> OperatorEntry:
+    """The registry entry for ``name`` (raises with the known names)."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ReproError(
+            f"unknown operator {name!r}; "
+            f"available: {sorted(_REGISTRY)}")
+    return entry
+
+
+def create_operator(name: str, matrix, device=None, **kwargs):
+    """Build a prepared operator by registry name.
+
+    ``device`` accepts a :class:`~repro.gpusim.Device`, an
+    :class:`~repro.runtime.ExecutionContext`, or ``None``, exactly like
+    the operator constructors themselves.
+    """
+    return resolve_operator(name).factory(matrix, device=device, **kwargs)
+
+
+def available_operators(kind: Optional[str] = None) -> List[str]:
+    """Sorted registered names, optionally filtered by ``kind``."""
+    return sorted(n for n, e in _REGISTRY.items()
+                  if kind is None or e.kind == kind)
+
+
+def operator_kind(name: str) -> str:
+    """The ``kind`` of a registered operator."""
+    return resolve_operator(name).kind
+
+
+# ----------------------------------------------------------------------
+# Built-in operators.  Implementations are imported lazily inside each
+# factory: the registry stays import-cycle-free and costs nothing until
+# an operator is actually built.
+# ----------------------------------------------------------------------
+@register_operator("tilespmspv", kind="spmspv",
+                   summary="TileSpMSpV (paper §3.3) — the primary "
+                           "contribution")
+def _make_tilespmspv(matrix, device=None, **kwargs):
+    from ..core.spmspv import TileSpMSpV
+    return TileSpMSpV(matrix, device=device, **kwargs)
+
+
+@register_operator("tilebfs", kind="bfs",
+                   summary="TileBFS (paper §3.4) — directional "
+                           "optimization over bitmask tiles")
+def _make_tilebfs(matrix, device=None, **kwargs):
+    from ..core.tilebfs import TileBFS
+    return TileBFS(matrix, device=device, **kwargs)
+
+
+@register_operator("msbfs", kind="msbfs",
+                   summary="bit-parallel multi-source BFS extension")
+def _make_msbfs(matrix, device=None, **kwargs):
+    from ..core.msbfs import MultiSourceBFS
+    return MultiSourceBFS(matrix, device=device, **kwargs)
+
+
+@register_operator("tilespmv", kind="spmv",
+                   summary="TileSpMV baseline (IPDPS '21) — dense "
+                           "input vector")
+def _make_tilespmv(matrix, device=None, **kwargs):
+    from ..baselines.tilespmv import TileSpMV
+    return TileSpMV(matrix, device=device, **kwargs)
+
+
+@register_operator("cusparse-bsr", kind="spmv",
+                   summary="cuSPARSE bsrmv stand-in — dense blocks")
+def _make_cusparse_bsr(matrix, device=None, **kwargs):
+    from ..baselines.cusparse_bsr import CuSparseBSRMV
+    return CuSparseBSRMV(matrix, device=device, **kwargs)
+
+
+@register_operator("combblas", kind="spmspv",
+                   summary="CombBLAS SpMSpV-bucket (IPDPS '17)")
+def _make_combblas(matrix, device=None, **kwargs):
+    from ..baselines.combblas import CombBLASSpMSpV
+    return CombBLASSpMSpV(matrix, device=device, **kwargs)
+
+
+@register_operator("spmspv-via-spgemm", kind="spmspv",
+                   summary="SpMSpV through a general SpGEMM — the §1 "
+                           "strawman")
+def _make_spmspv_via_spgemm(matrix, device=None, **kwargs):
+    from ..baselines.spmspv_via_spgemm import SpMSpVViaSpGEMM
+    return SpMSpVViaSpGEMM(matrix, device=device, **kwargs)
+
+
+@register_operator("gunrock", kind="bfs",
+                   summary="Gunrock-style advance/filter BFS "
+                           "(PPoPP '16)")
+def _make_gunrock(matrix, device=None, **kwargs):
+    from ..baselines.gunrock import GunrockBFS
+    return GunrockBFS(matrix, device=device, **kwargs)
+
+
+@register_operator("gswitch", kind="bfs",
+                   summary="GSwitch-style adaptive BFS (PPoPP '19)")
+def _make_gswitch(matrix, device=None, **kwargs):
+    from ..baselines.gswitch import GSwitchBFS
+    return GSwitchBFS(matrix, device=device, **kwargs)
+
+
+@register_operator("enterprise", kind="bfs",
+                   summary="Enterprise-style classified-frontier BFS "
+                           "(SC '15)")
+def _make_enterprise(matrix, device=None, **kwargs):
+    from ..baselines.enterprise import EnterpriseBFS
+    return EnterpriseBFS(matrix, device=device, **kwargs)

@@ -1,0 +1,181 @@
+"""Structured launch tracing: JSONL and Chrome ``trace_event`` export.
+
+A :class:`Tracer` attached to an :class:`~repro.runtime.ExecutionContext`
+records one :class:`TraceEvent` per priced kernel launch — operator
+tag, phase, the raw :class:`~repro.gpusim.KernelCounters`, and the
+priced :class:`~repro.gpusim.KernelTime` — on a simulated clock that
+advances by each launch's duration (the device timeline is serial, so
+cumulative time *is* the event's start time).
+
+Two export formats:
+
+* :meth:`Tracer.to_jsonl` — one JSON object per line, for ad-hoc
+  analysis (``jq``, pandas);
+* :meth:`Tracer.to_chrome` — the Chrome ``trace_event`` JSON object
+  format, loadable in ``chrome://tracing`` / Perfetto, with one track
+  per operator tag.
+
+``python -m repro.bench trace`` wires a traced workload end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from ..gpusim.cost import KernelTime
+from ..gpusim.counters import KernelCounters
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One priced kernel launch as seen by the tracer.
+
+    Attributes
+    ----------
+    seq:
+        0-based launch index in trace order.
+    name:
+        Kernel name (matches the device timeline's
+        :class:`~repro.gpusim.LaunchRecord`).
+    operator:
+        Tag of the operator that launched it (``None`` when the
+        context was unscoped).
+    phase:
+        Optional sub-operator phase (e.g. ``"iteration"``,
+        ``"preprocess"``).
+    tag:
+        The free-form tag forwarded to the device, if any.
+    start_ms / dur_ms:
+        Simulated start time and duration on the serial device
+        timeline.
+    time:
+        Full priced-time breakdown.
+    counters:
+        The hardware counters of the launch.
+    """
+
+    seq: int
+    name: str
+    operator: Optional[str]
+    phase: Optional[str]
+    tag: Optional[str]
+    start_ms: float
+    dur_ms: float
+    time: KernelTime
+    counters: KernelCounters
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records on a simulated clock."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+        self._clock_ms = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, name: str, counters: KernelCounters,
+               time: KernelTime, operator: Optional[str] = None,
+               phase: Optional[str] = None,
+               tag: Optional[str] = None) -> TraceEvent:
+        """Append one launch; the clock advances by its duration."""
+        ev = TraceEvent(seq=len(self.events), name=name,
+                        operator=operator, phase=phase, tag=tag,
+                        start_ms=self._clock_ms, dur_ms=time.total_ms,
+                        time=time, counters=counters)
+        self.events.append(ev)
+        self._clock_ms += time.total_ms
+        return ev
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._clock_ms = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_ms(self) -> float:
+        """Simulated ms covered by the recorded events."""
+        return self._clock_ms
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[dict]:
+        """Plain-dict form of every event (JSONL row shape)."""
+        out = []
+        for ev in self.events:
+            out.append({
+                "seq": ev.seq,
+                "name": ev.name,
+                "operator": ev.operator,
+                "phase": ev.phase,
+                "tag": ev.tag,
+                "start_ms": ev.start_ms,
+                "dur_ms": ev.dur_ms,
+                "bound": ev.time.bound,
+                "time": asdict(ev.time),
+                "counters": asdict(ev.counters),
+            })
+        return out
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line (trailing newline included when
+        there are events)."""
+        rows = self.to_dicts()
+        return "".join(json.dumps(row) + "\n" for row in rows)
+
+    def to_chrome(self) -> dict:
+        """Chrome ``trace_event`` JSON object format.
+
+        One complete (``"ph": "X"``) event per launch, timestamps in
+        microseconds, one thread track per operator tag (named via
+        ``thread_name`` metadata events).
+        """
+        tids: Dict[str, int] = {}
+        trace_events: List[dict] = []
+        for ev in self.events:
+            track = ev.operator or "(unscoped)"
+            if track not in tids:
+                tids[track] = len(tids)
+                trace_events.append({
+                    "ph": "M", "pid": 0, "tid": tids[track],
+                    "name": "thread_name", "args": {"name": track},
+                })
+            trace_events.append({
+                "ph": "X",
+                "pid": 0,
+                "tid": tids[track],
+                "name": ev.name,
+                "cat": ev.phase or "kernel",
+                "ts": ev.start_ms * 1000.0,     # microseconds
+                "dur": ev.dur_ms * 1000.0,
+                "args": {
+                    "seq": ev.seq,
+                    "bound": ev.time.bound,
+                    "efficiency": ev.time.efficiency,
+                    "flops": ev.counters.flops,
+                    "atomic_ops": ev.counters.atomic_ops,
+                    "coalesced_read_bytes":
+                        ev.counters.coalesced_read_bytes,
+                    "coalesced_write_bytes":
+                        ev.counters.coalesced_write_bytes,
+                    "tag": ev.tag,
+                },
+            })
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+    def write_chrome(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh, indent=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Tracer {len(self.events)} events, {self._clock_ms:.3f} ms>"

@@ -11,7 +11,7 @@ input is empty without any search.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -26,8 +26,6 @@ import argparse
 import sys
 from collections import Counter
 
-import numpy as np
-
 from .core import TileBFS, TileSpMSpV
 from .formats import read_matrix_market, write_matrix_market
 from .gpusim import Device, get_spec

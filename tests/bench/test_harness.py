@@ -6,7 +6,6 @@ row counts, and the qualitative relations the paper reports.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import (ALL_EXPERIMENTS, conversion_counters,
                          run_extraction, run_fig6, run_fig7, run_fig8,
@@ -14,7 +13,7 @@ from repro.bench import (ALL_EXPERIMENTS, conversion_counters,
                          run_table2)
 from repro.formats import COOMatrix
 from repro.gpusim import RTX3090
-from repro.matrices import CollectionEntry, fem_like, road_network
+from repro.matrices import fem_like, road_network
 from repro.matrices.collection import _e
 
 

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.core import TileBFS, TileSpMSpV
 from repro.core.spmspv_kernels import batched_tiled_kernel
 from repro.errors import ShapeError
-from repro.formats import COOMatrix
 from repro.gpusim import Device, RTX3090
 from repro.tiles import TiledMatrix, TiledVector
 from repro.vectors import SparseVector, random_sparse_vector

@@ -6,7 +6,6 @@ import pytest
 from repro.core import coo_side_kernel, tiled_kernel
 from repro.errors import ShapeError
 from repro.formats import COOMatrix
-from repro.gpusim import KernelCounters
 from repro.semiring import MIN_PLUS
 from repro.tiles import TiledMatrix, TiledVector
 from repro.tiles.extraction import IndexedSideMatrix

@@ -109,6 +109,34 @@ class TestModes:
         op.multiply(random_sparse_vector(200, 0.5, seed=6))
         assert any(r.name == "tile_spmspv_csr" for r in dev.timeline)
 
+    @pytest.mark.parametrize("k_active,expected", [
+        (2, "csc"),    # 2/10 = 0.2 < threshold -> column form
+        (3, "csr"),    # 3/10 = 0.3 == threshold -> row form (not <)
+        (4, "csr"),    # 4/10 = 0.4 > threshold -> row form
+    ])
+    def test_adaptive_threshold_boundary(self, k_active, expected):
+        """The adaptive rule is a strict less-than on the active-tile
+        fraction; a fraction exactly equal to the threshold stays on
+        the CSR form."""
+        n, nt = 160, 16                      # 10 vector tiles
+        d = random_dense(n, n, 0.1, seed=10)
+        dev = Device(RTX3090)
+        op = TileSpMSpV(d, nt=nt, mode="adaptive", device=dev,
+                        adaptive_threshold=0.3)
+        # one nonzero in each of the first k_active tiles
+        idx = np.arange(k_active) * nt
+        x = SparseVector(n, idx, np.ones(k_active))
+        xt = op._as_tiled_vector(x)
+        assert xt.n_nonempty_tiles == k_active
+        assert op._pick_kernel(xt) == expected
+        # the choice is what actually launches
+        op.multiply(x)
+        assert any(r.name == f"tile_spmspv_{expected}"
+                   for r in dev.timeline)
+        other = "csc" if expected == "csr" else "csr"
+        assert not any(r.name == f"tile_spmspv_{other}"
+                       for r in dev.timeline)
+
     def test_transposed_tiling_cached(self):
         op = TileSpMSpV(np.eye(8), nt=4, mode="csc")
         op.multiply(SparseVector(8, np.array([0]), np.array([1.0])))

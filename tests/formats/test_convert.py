@@ -1,12 +1,10 @@
 """Conversion round-trips, including property-based checks."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as hnp
 
-from repro.formats import (BSRMatrix, COOMatrix, CSCMatrix, CSRMatrix,
+from repro.formats import (COOMatrix, CSCMatrix, CSRMatrix,
                            as_sparse, from_scipy, to_bsr, to_coo, to_csc,
                            to_csr, to_scipy_csr)
 

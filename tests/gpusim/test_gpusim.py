@@ -1,6 +1,5 @@
 """Tests for the GPU execution model: specs, counters, cost, device."""
 
-import numpy as np
 import pytest
 
 from repro.errors import DeviceError

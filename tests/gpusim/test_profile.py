@@ -1,6 +1,5 @@
 """Tests for the timeline profiler."""
 
-import numpy as np
 import pytest
 
 from repro.core import TileSpMSpV

@@ -1,0 +1,46 @@
+"""Device.snapshot() / reset() round-trips."""
+
+import numpy as np
+
+from repro.core import TileSpMSpV
+from repro.gpusim import Device, KernelCounters, RTX3090
+from repro.vectors import random_sparse_vector
+
+from ..conftest import random_coo
+
+
+class TestSnapshot:
+    def test_snapshot_is_immutable_copy(self):
+        dev = Device(RTX3090)
+        dev.submit("k1", KernelCounters(flops=1e6, warps=100))
+        snap = dev.snapshot()
+        assert isinstance(snap, tuple)
+        assert list(snap) == dev.timeline
+        dev.submit("k2", KernelCounters(flops=1e6, warps=100))
+        # the snapshot does not grow with the live timeline
+        assert len(snap) == 1 and len(dev.timeline) == 2
+
+    def test_empty_snapshot(self):
+        assert Device(RTX3090).snapshot() == ()
+
+    def test_round_trip_reset_and_rerun(self):
+        """run -> snapshot -> reset -> identical re-run reproduces the
+        snapshot exactly (records are frozen dataclasses, so == means
+        identical names, counters, priced times, tags)."""
+        coo = random_coo(80, 80, density=0.1, seed=21)
+        x = random_sparse_vector(80, 0.1)
+        dev = Device(RTX3090)
+        op = TileSpMSpV(coo, nt=16, device=dev)
+        y1 = op.multiply(x)
+        snap = dev.snapshot()
+        elapsed = dev.elapsed_ms
+        assert len(snap) > 0
+
+        dev.reset()
+        assert dev.timeline == [] and dev.elapsed_ms == 0.0
+
+        y2 = op.multiply(x)
+        assert dev.snapshot() == snap
+        assert dev.elapsed_ms == elapsed
+        assert np.array_equal(y1.indices, y2.indices)
+        assert np.allclose(y1.values, y2.values)

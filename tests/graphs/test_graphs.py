@@ -7,7 +7,7 @@ from repro.errors import ShapeError
 from repro.formats import COOMatrix
 from repro.graphs import (bandwidth, betweenness_centrality, bfs_levels,
                           rcm_ordering)
-from repro.matrices import banded, erdos_renyi, mesh2d
+from repro.matrices import banded, mesh2d
 
 from ..conftest import nx_graph_of, nx_levels, random_graph_coo
 

@@ -1,6 +1,5 @@
 """Tests for the curated collection (Table 2 / Figure 12 stand-ins)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ShapeError

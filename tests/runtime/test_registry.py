@@ -1,0 +1,91 @@
+"""Operator registry: name-based dispatch for harness, CLI, benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gpusim import Device, RTX3090
+from repro.runtime import (available_operators, create_operator,
+                           operator_kind, resolve_operator)
+from repro.vectors import random_sparse_vector
+
+from ..conftest import random_coo, random_graph_coo
+
+ALL_NAMES = ("tilespmspv", "tilebfs", "msbfs", "tilespmv", "cusparse-bsr",
+             "combblas", "spmspv-via-spgemm", "gunrock", "gswitch",
+             "enterprise")
+
+
+class TestLookup:
+    def test_all_expected_names_registered(self):
+        names = available_operators()
+        for name in ALL_NAMES:
+            assert name in names
+
+    def test_kind_filter(self):
+        assert "tilebfs" in available_operators(kind="bfs")
+        assert "tilespmspv" not in available_operators(kind="bfs")
+        assert set(available_operators()) == {
+            n for k in ("spmspv", "spmv", "bfs", "msbfs")
+            for n in available_operators(kind=k)}
+
+    def test_operator_kind(self):
+        assert operator_kind("tilespmspv") == "spmspv"
+        assert operator_kind("cusparse-bsr") == "spmv"
+        assert operator_kind("enterprise") == "bfs"
+        assert operator_kind("msbfs") == "msbfs"
+
+    def test_unknown_name_raises_with_available(self):
+        with pytest.raises(ReproError, match="tilespmspv"):
+            resolve_operator("nope")
+        with pytest.raises(ReproError, match="unknown operator"):
+            create_operator("nope", None)
+
+
+class TestCreate:
+    def test_create_spmspv_operators(self):
+        coo = random_coo(64, 64, density=0.1, seed=1)
+        x = random_sparse_vector(64, 0.1)
+        results = {}
+        for name in available_operators(kind="spmspv"):
+            y = create_operator(name, coo).multiply(x)
+            results[name] = y.to_dense()
+        ref = results.pop("tilespmspv")
+        for name, dense in results.items():
+            assert np.allclose(dense, ref), name
+
+    def test_create_bfs_operators_agree(self):
+        g = random_graph_coo(100, avg_degree=5.0, seed=2)
+        levels = {name: create_operator(name, g).run(0).levels
+                  for name in available_operators(kind="bfs")}
+        ref = levels.pop("tilebfs")
+        for name, lv in levels.items():
+            assert np.array_equal(lv, ref), name
+
+    def test_kwargs_passthrough(self):
+        coo = random_coo(64, 64, density=0.1, seed=3)
+        op = create_operator("tilespmspv", coo, nt=32,
+                             extract_threshold=0, mode="csc")
+        assert op.nt == 32
+        assert op.mode == "csc"
+        bsr = create_operator("cusparse-bsr", coo, blocksize=8)
+        assert bsr.bsr.blocksize == 8
+
+    def test_device_forwarded(self):
+        coo = random_coo(64, 64, density=0.1, seed=4)
+        dev = Device(RTX3090)
+        op = create_operator("combblas", coo, device=dev)
+        op.multiply(random_sparse_vector(64, 0.1))
+        assert len(dev.timeline) > 0
+
+    def test_duplicate_registration_rejected(self):
+        from repro.runtime import register_operator
+
+        with pytest.raises(ReproError, match="already registered"):
+            register_operator("tilespmspv", kind="spmspv")(lambda m: m)
+
+    def test_unknown_kind_rejected(self):
+        from repro.runtime import register_operator
+
+        with pytest.raises(ReproError, match="kind"):
+            register_operator("x-new-op", kind="wat")(lambda m: m)

