@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the active-set execution engine.
+
+Times the production SpMSpV kernels against the preserved O(nnz) seed
+oracles at swept frontier densities (multiply in CSR / CSC / batched
+form, plus an end-to-end BFS) and writes the measurements to
+``BENCH_wallclock.json`` — the perf trajectory future PRs append to.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py          # full
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke  # CI
+
+Unlike the other ``bench_*`` modules (pytest-benchmark over *simulated*
+GPU time), this is a standalone CLI measuring *host* wall-clock time;
+see :mod:`repro.bench.wallclock` for the methodology.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:
+    from repro.bench.wallclock import run_wallclock
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.wallclock import run_wallclock
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small matrix / few repeats for CI")
+    parser.add_argument("--scale", type=int, default=17,
+                        help="RMAT scale (2**scale vertices)")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--nt", type=int, default=16)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_wallclock.json")
+    args = parser.parse_args(argv)
+
+    result = run_wallclock(scale=args.scale, edge_factor=args.edge_factor,
+                           nt=args.nt, repeats=args.repeats,
+                           smoke=args.smoke,
+                           progress=lambda m: print(f"  .. {m}",
+                                                    file=sys.stderr))
+    args.out.write_text(json.dumps(result, indent=2) + "\n",
+                        encoding="utf-8")
+
+    meta = result["meta"]
+    print(f"{meta['matrix']}: n={meta['n']} nnz={meta['nnz']} "
+          f"nt={meta['nt']}")
+    print(f"{'form':>8} {'density':>9} {'act.cols':>9} "
+          f"{'ref ms':>9} {'new ms':>9} {'speedup':>8}")
+    for r in result["multiply"]:
+        print(f"{r['form']:>8} {r['density']:>9g} "
+              f"{r['active_col_fraction']:>9.4f} {r['ref_ms']:>9.3f} "
+              f"{r['new_ms']:>9.3f} {r['speedup']:>7.1f}x")
+    b = result["bfs"]
+    print(f"{'bfs':>8} {'-':>9} {'-':>9} {b['ref_ms']:>9.3f} "
+          f"{b['new_ms']:>9.3f} {b['speedup']:>7.1f}x "
+          f"({b['iterations']} iterations, {b['reached']} reached)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

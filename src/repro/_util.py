@@ -12,6 +12,7 @@ import numpy as np
 
 __all__ = [
     "concat_ranges",
+    "gather_ranges",
     "segment_sum",
     "segment_reduce",
     "group_starts",
@@ -39,6 +40,18 @@ def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     seg_start = np.concatenate(([0], np.cumsum(lengths)[:-1]))
     within = np.arange(total, dtype=np.int64) - seg_start[seg]
     return np.asarray(starts, dtype=np.int64)[seg] + within
+
+
+def gather_ranges(indptr: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Concatenate the CSR segments ``[indptr[i], indptr[i+1])`` for
+    each ``i`` in ``ids``.
+
+    The active-set gather: ``ids`` is the (small) list of selected
+    segments and the output indexes only their elements, so the cost is
+    proportional to the selected payload, never to the whole array.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    return concat_ranges(indptr[ids], indptr[ids + 1] - indptr[ids])
 
 
 def segment_sum(values: np.ndarray, segment_ids: np.ndarray,

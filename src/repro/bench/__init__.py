@@ -10,10 +10,12 @@ from .harness import (ALL_EXPERIMENTS, ExperimentResult,
                       run_fig7, run_fig8, run_fig9, run_fig10, run_fig11,
                       run_fig12, run_table2)
 from .report import Summary, format_series, format_table, geomean
+from .wallclock import run_wallclock
 
 __all__ = [
     "ALL_EXPERIMENTS", "ExperimentResult", "conversion_counters",
     "run_table2", "run_fig6", "run_fig7", "run_fig8", "run_fig9",
     "run_fig10", "run_fig11", "run_fig12", "run_extraction",
+    "run_wallclock",
     "Summary", "format_series", "format_table", "geomean",
 ]

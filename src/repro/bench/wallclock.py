@@ -1,0 +1,191 @@
+"""Wall-clock microbenchmarks of the active-set execution engine.
+
+Everything else under :mod:`repro.bench` reports *simulated* GPU time
+from the cost model; this module times the **host** NumPy execution
+with ``time.perf_counter`` — the cost the active-set rewrite attacks.
+Each workload runs both the production kernels
+(:mod:`repro.core.spmspv_kernels`) and the preserved O(nnz) seed
+oracles (:mod:`repro.core.reference_kernels`) on identical inputs, so
+the recorded speedup is exactly the host-side win of gathering active
+tile columns instead of masking all ``nnz`` entries.
+
+``benchmarks/bench_wallclock.py`` is the CLI wrapper; it writes the
+results to ``BENCH_wallclock.json`` so every PR leaves a perf data
+point behind (see the developer guide, "Active-set execution &
+wall-clock benchmarking").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.reference_kernels import (reference_batched_tiled_kernel,
+                                      reference_csc_tiled_kernel,
+                                      reference_tiled_kernel)
+from ..core.spmspv_kernels import (batched_tiled_kernel, csc_tiled_kernel,
+                                   tiled_kernel)
+from ..matrices.generators import rmat
+from ..tiles.tiled_matrix import TiledMatrix
+from ..tiles.tiled_vector import TiledVector
+
+__all__ = ["run_wallclock"]
+
+
+def _best_ms(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time in milliseconds (best-of is the
+    standard low-noise estimator for short deterministic kernels)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def _frontier(n: int, density: float, nt: int,
+              rng: np.random.Generator) -> TiledVector:
+    k = max(1, int(round(n * density)))
+    idx = rng.choice(n, size=k, replace=False)
+    return TiledVector.from_sparse(idx, 1.0 + rng.random(k), n, nt)
+
+
+def _bfs_wallclock(A: TiledMatrix, kernel, source: int,
+                   max_depth: int = 64) -> Dict[str, float]:
+    """Level-synchronous BFS driven by one SpMSpV kernel per layer —
+    the paper's flagship workload, timed end to end on the host."""
+    n = A.shape[0]
+    t0 = time.perf_counter()
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while len(frontier) and depth < max_depth:
+        xt = TiledVector.from_sparse(frontier,
+                                     np.ones(len(frontier)), n, A.nt)
+        y, _ = kernel(A, xt)
+        frontier = np.flatnonzero((y != 0.0) & ~visited)
+        visited[frontier] = True
+        depth += 1
+    return {"ms": (time.perf_counter() - t0) * 1e3,
+            "iterations": depth,
+            "reached": int(visited.sum())}
+
+
+def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
+                  densities: Sequence[float] = (
+                      1e-4, 5e-4, 2e-3, 1e-2, 0.1),
+                  repeats: int = 5, batch: int = 4, seed: int = 1,
+                  smoke: bool = False,
+                  progress: Optional[Callable[[str], None]] = None
+                  ) -> Dict:
+    """Time the active-set kernels against the seed oracles.
+
+    Parameters
+    ----------
+    scale, edge_factor:
+        RMAT parameters of the benchmark graph (``2**scale`` vertices);
+        the defaults give a ~3.7M-nnz matrix, comfortably above the
+        1e6-nnz floor the acceptance criterion names.
+    nt:
+        Tile size (16, the paper's SpMSpV choice).
+    densities:
+        Frontier densities (``nnz(x) / n``) swept for every multiply
+        form; the report also records the resulting active-tile-column
+        fraction, the quantity the engine's cost is proportional to.
+    repeats:
+        Timing repetitions per measurement (best-of).
+    batch:
+        Batch width for the batched kernel workload.
+    smoke:
+        Shrink everything for CI (a few seconds end to end).
+
+    Returns
+    -------
+    dict with ``meta``, per-density ``multiply`` rows (form, density,
+    active column fraction, reference/new ms, speedup) and a ``bfs``
+    record — the JSON payload of ``BENCH_wallclock.json``.
+    """
+    if smoke:
+        scale, edge_factor = min(scale, 13), min(edge_factor, 8)
+        densities = tuple(densities)[:3]
+        repeats = min(repeats, 2)
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    say(f"generating rmat(scale={scale}, edge_factor={edge_factor})")
+    coo = rmat(scale, edge_factor=edge_factor, seed=seed)
+    say(f"tiling {coo.nnz} nonzeros at nt={nt}")
+    A = TiledMatrix.from_coo(coo, nt)
+    At = TiledMatrix.from_coo(coo.transpose(), nt)
+    for t in (A, At):        # plan-time warming, as TileSpMSpV does
+        t.column_gather()
+        t.entry_rows()
+        t.entry_cols()
+        t.local_row64()
+        t.local_col64()
+        t.tile_nnz()
+        t.n_occupied_tile_rows()
+
+    n = A.shape[1]
+    rng = np.random.default_rng(seed)
+    rows = []
+    for density in densities:
+        x = _frontier(n, density, nt, rng)
+        frac = x.n_nonempty_tiles / max(1, x.n_tiles)
+        say(f"density {density:g} (active cols {frac:.4f})")
+        forms = [
+            ("csr", lambda: tiled_kernel(A, x),
+             lambda: reference_tiled_kernel(A, x)),
+            ("csc", lambda: csc_tiled_kernel(At, x),
+             lambda: reference_csc_tiled_kernel(At, x)),
+        ]
+        if batch > 1:
+            xs = [_frontier(n, density, nt, rng) for _ in range(batch)]
+            forms.append(
+                ("batched", lambda: batched_tiled_kernel(A, xs),
+                 lambda: reference_batched_tiled_kernel(A, xs)))
+        for form, new_fn, ref_fn in forms:
+            new_ms = _best_ms(new_fn, repeats)
+            ref_ms = _best_ms(ref_fn, repeats)
+            rows.append({
+                "form": form,
+                "density": density,
+                "active_col_fraction": frac,
+                "ref_ms": ref_ms,
+                "new_ms": new_ms,
+                "speedup": ref_ms / new_ms if new_ms > 0 else float("inf"),
+            })
+
+    say("BFS sweep")
+    new_bfs = _bfs_wallclock(A, tiled_kernel, source=0)
+    ref_bfs = _bfs_wallclock(A, reference_tiled_kernel, source=0)
+    assert new_bfs["reached"] == ref_bfs["reached"]
+
+    return {
+        "meta": {
+            "matrix": f"rmat(scale={scale}, edge_factor={edge_factor})",
+            "n": int(A.shape[0]),
+            "nnz": int(A.nnz),
+            "nt": nt,
+            "n_nonempty_tiles": int(A.n_nonempty_tiles),
+            "repeats": repeats,
+            "batch": batch,
+            "smoke": bool(smoke),
+            "reference": "repro.core.reference_kernels (seed O(nnz) "
+                         "mask-based kernels)",
+        },
+        "multiply": rows,
+        "bfs": {
+            "ref_ms": ref_bfs["ms"],
+            "new_ms": new_bfs["ms"],
+            "speedup": (ref_bfs["ms"] / new_bfs["ms"]
+                        if new_bfs["ms"] > 0 else float("inf")),
+            "iterations": new_bfs["iterations"],
+            "reached": new_bfs["reached"],
+        },
+    }

@@ -13,14 +13,21 @@ Public entry points:
 from .bfs_kernels import pull_csc_kernel, push_csc_kernel, push_csr_kernel
 from .selection import (PULL_CSC, PUSH_CSC, PUSH_CSR, KernelSelector,
                         select_tile_size)
+from .reference_kernels import (reference_batched_tiled_kernel,
+                                reference_coo_side_kernel,
+                                reference_csc_tiled_kernel,
+                                reference_tiled_kernel)
 from .spmspv import TileSpMSpV, tile_spmspv
-from .spmspv_kernels import coo_side_kernel, csc_tiled_kernel, tiled_kernel
+from .spmspv_kernels import (batched_tiled_kernel, coo_side_kernel,
+                             csc_tiled_kernel, tiled_kernel)
 from .msbfs import MSBFSResult, MultiSourceBFS
 from .tilebfs import BFSResult, IterationRecord, TileBFS, tile_bfs
 
 __all__ = [
     "TileSpMSpV", "tile_spmspv", "tiled_kernel", "csc_tiled_kernel",
-    "coo_side_kernel",
+    "batched_tiled_kernel", "coo_side_kernel",
+    "reference_tiled_kernel", "reference_csc_tiled_kernel",
+    "reference_batched_tiled_kernel", "reference_coo_side_kernel",
     "TileBFS", "tile_bfs", "BFSResult", "IterationRecord",
     "MultiSourceBFS", "MSBFSResult",
     "KernelSelector", "select_tile_size",

@@ -17,6 +17,23 @@ Two kernels implement one SpMSpV over the hybrid storage:
 Both kernels execute functionally in vectorized NumPy and return the
 :class:`~repro.gpusim.counters.KernelCounters` a CUDA realisation would
 incur (accounting rules in DESIGN.md §3).
+
+Active-set execution
+--------------------
+The paper's claim is that tile skipping makes the work proportional to
+the active part of ``x`` — and the modeled counters always reflected
+that — but the original host execution still built boolean masks over
+all ``A.nnz`` entries per multiply.  These kernels instead walk the
+plan-time :class:`~repro.tiles.tiled_matrix.ColumnGather` index: the
+active tile columns name their stored tiles directly, the tiles name
+their entry ranges, and :func:`~repro._util.gather_ranges` pulls
+exactly that payload.  Host cost is thereby proportional to the active
+tiles, matching the model.  The gathered entries are visited in the
+same stored order as the old masks selected them and the merge
+(:meth:`~repro.semiring.Semiring.scatter_merge`) folds each output row
+in the same sequence, so results *and* counters are byte-identical to
+the reference kernels in :mod:`repro.core.reference_kernels` — the
+kernel-equivalence tests enforce this.
 """
 
 from __future__ import annotations
@@ -25,8 +42,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .._util import gather_ranges
 from ..errors import ShapeError
-from ..formats.coo import COOMatrix
 from ..gpusim import KernelCounters
 from ..semiring import PLUS_TIMES, Semiring
 from ..tiles.tiled_matrix import TiledMatrix
@@ -87,34 +104,57 @@ def tiled_kernel(A: TiledMatrix, x: TiledVector,
     if y_dense is None:
         y_dense = np.full(m, semiring.add_identity, dtype=semiring.dtype)
 
-    # --- tile activity: O(1) x_ptr lookup per stored tile (Alg.4 l.2-5)
-    x_off = x.x_ptr[A.tile_colidx]              # random-ish, L2 resident
-    active = x_off >= 0
-    n_active = int(active.sum())
-
     counters = KernelCounters(launches=1)
     # every stored tile's metadata is read once (coalesced stream):
     # tile_colidx (8B) + its x_ptr entry + nnz offsets (8B)
     counters.coalesced_read_bytes += A.n_nonempty_tiles * 16.0
     counters.l2_read_bytes += A.n_nonempty_tiles * 8.0  # x_ptr lookups
 
+    # --- tile activity, active-set style (Alg.4 l.2-5): the non-empty
+    # vector tiles name A's active tile columns; the plan-time column
+    # gather names their stored tiles.  Nothing O(nnz) here.
+    active_cols = np.flatnonzero(x.x_ptr >= 0)
+    gather = A.column_gather()
+    ptr = gather.coltile_tile_ptr
+    n_active = int((ptr[active_cols + 1] - ptr[active_cols]).sum())
+
     if n_active == 0:
         # warps still launch to discover there is nothing to do
         counters.warps = max(1.0, A.n_tile_rows)
         return y_dense, counters
 
-    # --- gather the entries of active tiles
-    tile_of_entry = A.tile_of_entry()
-    entry_active = active[tile_of_entry]
-    t_act = tile_of_entry[entry_active]
-    vals = A.values[entry_active]
-    lrow = A.local_row[entry_active].astype(np.int64)
-    lcol = A.local_col[entry_active].astype(np.int64)
+    # --- gather the entries of active tiles (stored order preserved).
+    # Three regimes, all selecting the same entries in the same order:
+    # every stored tile active (dense frontier) → the gather is the
+    # identity, use the full arrays; most tiles active → a boolean
+    # sweep of the stored-tile stream beats gathering and sorting
+    # nearly all of them; sparse frontier → the plan-time column
+    # gather touches only the active tiles (nothing O(nnz)).
+    if n_active == A.n_nonempty_tiles:
+        nnz_t = A.tile_nnz()
+        vals = A.values
+        lcol = A.local_col64()
+        grow = A.entry_rows()
+        x_off_tiles = x.x_ptr[A.tile_colidx]
+        rowidx_act = A.tile_rowidx()
+    else:
+        if 4 * n_active >= A.n_nonempty_tiles:
+            tile_mask = x.x_ptr[A.tile_colidx] >= 0
+            tiles = np.flatnonzero(tile_mask)
+            entry_sel = np.repeat(tile_mask, A.tile_nnz())
+        else:
+            tiles = gather.active_tiles(active_cols)
+            entry_sel = gather_ranges(A.tile_nnz_ptr, tiles)
+        nnz_t = A.tile_nnz()[tiles]
+        vals = A.values[entry_sel]
+        lcol = A.local_col64()[entry_sel]
+        grow = A.entry_rows()[entry_sel]
+        x_off_tiles = x.x_ptr[A.tile_colidx[tiles]]
+        rowidx_act = A.tile_rowidx()[tiles]
 
-    xv = x.x_tile[x_off[t_act] * nt + lcol]
+    xv = x.x_tile[np.repeat(x_off_tiles, nnz_t) * nt + lcol]
     products = semiring.mul(vals, xv)
-    grow = A.tile_rowidx()[t_act] * nt + lrow
-    semiring.add.at(y_dense, grow, products)
+    semiring.scatter_merge(y_dense, grow, products)
 
     # --- accounting
     nnz_active = len(vals)
@@ -130,13 +170,12 @@ def tiled_kernel(A: TiledMatrix, x: TiledVector,
     # warp shuffle reduction: ~log2(32) word ops per lane pair
     counters.word_ops += n_active * 5.0
     # each row tile with work writes its nt-row result once, coalesced
-    row_tiles_active = np.unique(A.tile_rowidx()[active])
+    row_tiles_active = np.unique(rowidx_act)
     counters.coalesced_write_bytes += len(row_tiles_active) * nt * 8.0
     # one warp per row tile that has stored tiles — inactive ones still
     # launch and scan their metadata (Alg. 4 lines 2-5)
-    counters.warps = float(max(1, int((np.diff(A.tile_ptr) > 0).sum())))
-    counters.divergence = _lane_utilization(
-        np.diff(A.tile_nnz_ptr)[active])
+    counters.warps = float(max(1, A.n_occupied_tile_rows()))
+    counters.divergence = _lane_utilization(nnz_t)
     counters.check()
     return y_dense, counters
 
@@ -189,40 +228,57 @@ def batched_tiled_kernel(A: TiledMatrix, xs, semiring: Semiring = PLUS_TIMES
     counters.coalesced_read_bytes += A.n_nonempty_tiles * 16.0
     counters.l2_read_bytes += A.n_nonempty_tiles * 8.0 * k  # k x_ptr tests
 
-    tile_of_entry = A.tile_of_entry()
+    # loop-invariant structure, hoisted out of the per-vector loop
+    gather = A.column_gather()
     rowidx = A.tile_rowidx()
-    nnz_per_tile = np.diff(A.tile_nnz_ptr)
+    tile_nnz = A.tile_nnz()
+    entry_rows = A.entry_rows()
+    local_col = A.local_col64()
+    idx_bytes = A.index_bytes_per_entry()
     total_active_rows = 0.0
     utilizations = []
     for b, x in enumerate(xs):
-        x_off = x.x_ptr[A.tile_colidx]
-        active = x_off >= 0
-        if not active.any():
+        active_cols = np.flatnonzero(x.x_ptr >= 0)
+        ptr = gather.coltile_tile_ptr
+        n_active = int((ptr[active_cols + 1] - ptr[active_cols]).sum())
+        if n_active == 0:
             continue
-        entry_active = active[tile_of_entry]
-        t_act = tile_of_entry[entry_active]
-        vals = A.values[entry_active]
-        lrow = A.local_row[entry_active].astype(np.int64)
-        lcol = A.local_col[entry_active].astype(np.int64)
-        xv = x.x_tile[x_off[t_act] * nt + lcol]
+        if n_active == A.n_nonempty_tiles:     # dense frontier
+            nnz_t = tile_nnz
+            vals = A.values
+            lcol = local_col
+            grow = entry_rows
+            x_off_tiles = x.x_ptr[A.tile_colidx]
+            rowidx_act = rowidx
+        else:
+            if 4 * n_active >= A.n_nonempty_tiles:   # near-dense
+                tile_mask = x.x_ptr[A.tile_colidx] >= 0
+                tiles = np.flatnonzero(tile_mask)
+                entry_sel = np.repeat(tile_mask, tile_nnz)
+            else:
+                tiles = gather.active_tiles(active_cols)
+                entry_sel = gather_ranges(A.tile_nnz_ptr, tiles)
+            nnz_t = tile_nnz[tiles]
+            vals = A.values[entry_sel]
+            lcol = local_col[entry_sel]
+            grow = entry_rows[entry_sel]
+            x_off_tiles = x.x_ptr[A.tile_colidx[tiles]]
+            rowidx_act = rowidx[tiles]
+        xv = x.x_tile[np.repeat(x_off_tiles, nnz_t) * nt + lcol]
         products = semiring.mul(vals, xv)
-        grow = rowidx[t_act] * nt + lrow
-        semiring.add.at(Y[b], grow, products)
+        semiring.scatter_merge(Y[b], grow, products)
 
-        n_active = int(active.sum())
-        idx_bytes = A.index_bytes_per_entry()
         counters.coalesced_read_bytes += len(vals) * (8.0 + idx_bytes)
         counters.l2_read_bytes += n_active * nt * 8.0
         counters.shared_bytes += n_active * nt * 8.0
         counters.flops += 2.0 * len(vals)
-        row_tiles_active = len(np.unique(rowidx[active]))
+        row_tiles_active = len(np.unique(rowidx_act))
         counters.coalesced_write_bytes += row_tiles_active * nt * 8.0
         total_active_rows += row_tiles_active
-        utilizations.append(_lane_utilization(nnz_per_tile[active]))
+        utilizations.append(_lane_utilization(nnz_t))
 
     counters.warps = max(
-        1.0, float(max(total_active_rows,
-                       int((np.diff(A.tile_ptr) > 0).sum()))))
+        1.0, float(max(total_active_rows, A.n_occupied_tile_rows())))
     if utilizations:
         counters.divergence = float(np.mean(utilizations))
     counters.check()
@@ -274,37 +330,48 @@ def csc_tiled_kernel(At: TiledMatrix, x: TiledVector,
         counters.warps = 1.0
         return y_dense, counters
 
-    from .._util import concat_ranges
-
-    lengths = At.tile_ptr[active_cols + 1] - At.tile_ptr[active_cols]
-    tiles = concat_ranges(At.tile_ptr[active_cols], lengths)
-    if len(tiles) == 0:
+    # At's tile rows are A's tile columns: the active tile list falls
+    # straight out of tile_ptr, already in ascending stored order.
+    n_active = int((At.tile_ptr[active_cols + 1]
+                    - At.tile_ptr[active_cols]).sum())
+    if n_active == 0:
         counters.warps = max(1.0, len(active_cols) / 32.0)
         counters.l2_read_bytes += len(active_cols) * 16.0
         return y_dense, counters
 
-    # gather the entries of the touched tiles
-    tile_of_entry = At.tile_of_entry()
-    tile_active = np.zeros(At.n_nonempty_tiles, dtype=bool)
-    tile_active[tiles] = True
-    entry_sel = tile_active[tile_of_entry]
-    t_sel = tile_of_entry[entry_sel]
-    vals = At.values[entry_sel]
-    x_local = At.local_row[entry_sel].astype(np.int64)   # A's local col
-    y_local = At.local_col[entry_sel].astype(np.int64)   # A's local row
+    # gather the entries of the touched tiles — same three regimes as
+    # the CSR form (identity / boolean sweep / plan-time gather), all
+    # yielding the ascending stored selection
+    if n_active == At.n_nonempty_tiles:
+        nnz_t = At.tile_nnz()
+        vals = At.values
+        x_local = At.local_row64()                       # A's local col
+        gcols = At.entry_cols()
+        x_off_tiles = x.x_ptr[At.tile_rowidx()]
+    else:
+        if 4 * n_active >= At.n_nonempty_tiles:          # near-dense
+            tile_mask = (x.x_ptr >= 0)[At.tile_rowidx()]
+            tiles = np.flatnonzero(tile_mask)
+            entry_sel = np.repeat(tile_mask, At.tile_nnz())
+        else:
+            tiles = gather_ranges(At.tile_ptr, active_cols)
+            entry_sel = gather_ranges(At.tile_nnz_ptr, tiles)
+        nnz_t = At.tile_nnz()[tiles]
+        vals = At.values[entry_sel]
+        x_local = At.local_row64()[entry_sel]            # A's local col
+        gcols = At.entry_cols()[entry_sel]
+        x_off_tiles = x.x_ptr[At.tile_rowidx()[tiles]]
 
-    col_tile = At.tile_rowidx()[t_sel]                  # A's tile column
-    xv = x.x_tile[x.x_ptr[col_tile] * nt + x_local]
+    xv = x.x_tile[np.repeat(x_off_tiles, nnz_t) * nt + x_local]
     occupied = ~semiring.is_identity(xv)
     products = semiring.mul(vals[occupied], xv[occupied])
-    grow = (At.tile_colidx[t_sel][occupied] * nt
-            + y_local[occupied])
+    grow = gcols[occupied]                               # A's global row
     if len(grow):
-        semiring.add.at(y_dense, grow, products)
+        semiring.scatter_merge(y_dense, grow, products)
 
     # accounting: only the touched tile columns are read; the merge
     # into y is a global atomic scatter (the CSC form's cost).
-    n_tiles = float(len(tiles))
+    n_tiles = float(n_active)
     nnz_touched = float(len(vals))
     idx_bytes = At.index_bytes_per_entry()
     counters.l2_read_bytes += len(active_cols) * 16.0    # tile_ptr probes
@@ -316,8 +383,7 @@ def csc_tiled_kernel(At: TiledMatrix, x: TiledVector,
     counters.atomic_ops += float(occupied.sum())
     counters.random_write_count += float(occupied.sum())
     counters.warps = max(1.0, n_tiles)
-    nnz_per_tile = np.diff(At.tile_nnz_ptr)[tiles]
-    counters.divergence = _lane_utilization(nnz_per_tile)
+    counters.divergence = _lane_utilization(nnz_t)
     counters.check()
     return y_dense, counters
 
@@ -361,21 +427,16 @@ def coo_side_kernel(side, x: TiledVector,
 
     if isinstance(side, IndexedSideMatrix):
         active_tiles = np.flatnonzero(
-            (x.x_ptr >= 0) & (np.diff(side.coltile_ptr) > 0))
-        lengths = (side.coltile_ptr[active_tiles + 1]
-                   - side.coltile_ptr[active_tiles])
-        from .._util import concat_ranges
-
-        sel = concat_ranges(side.coltile_ptr[active_tiles], lengths)
+            (x.x_ptr >= 0) & side.nonempty_coltiles())
+        sel = gather_ranges(side.coltile_ptr, active_tiles)
         rows_all, cols_all, vals_all = (side.row[sel], side.col[sel],
                                         side.val[sel])
         # index lookups are driven from the sparser operand: either the
         # vector's non-empty tiles probe the side index, or the side's
         # non-empty column tiles probe x_ptr — a kernel picks the
         # cheaper direction.
-        n_index_tiles = int((np.diff(side.coltile_ptr) > 0).sum())
         counters.l2_read_bytes += min(
-            n_index_tiles, x.n_nonempty_tiles) * 16.0
+            side.n_index_tiles(), x.n_nonempty_tiles) * 16.0
         scanned = len(sel)
     else:
         rows_all, cols_all, vals_all = side.row, side.col, side.val
@@ -386,12 +447,12 @@ def coo_side_kernel(side, x: TiledVector,
     if int(hit.sum()):
         xv = x.x_tile[x_off[hit] * nt + cols_all[hit] % nt]
     else:
-        xv = np.zeros(0, dtype=np.float64)
+        xv = np.zeros(0, dtype=semiring.dtype)
     occupied = ~semiring.is_identity(xv)
     rows = rows_all[hit][occupied]
     products = semiring.mul(vals_all[hit][occupied], xv[occupied])
     if len(rows):
-        semiring.add.at(y_dense, rows, products)
+        semiring.scatter_merge(y_dense, rows, products)
 
     # accounting: touched triplets stream in coalesced; x lookups and y
     # updates are data-dependent scatters.

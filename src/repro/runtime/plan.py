@@ -61,12 +61,32 @@ class OperatorPlan:
     key: Tuple
     data: Dict[str, Any] = field(default_factory=dict)
     lazy: Dict[str, Any] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def lazy_get(self, name: str, builder: Callable[[], Any]) -> Any:
-        """Build-once accessor for derived structures."""
+        """Build-once accessor for derived structures.
+
+        Thread-safe: plans are shared by every operator the cache hands
+        them to, so two threads racing on the same slot must not build
+        (and pay for) the derived structure twice.
+        """
         if name not in self.lazy:
-            self.lazy[name] = builder()
+            with self._lock:
+                if name not in self.lazy:
+                    self.lazy[name] = builder()
         return self.lazy[name]
+
+    def warm(self, **builders: Callable[[], Any]) -> "OperatorPlan":
+        """Eagerly build lazy slots at plan-construction time.
+
+        Moves per-multiply setup cost (e.g. the active-set column
+        gather index) into the one-off preprocessing the plan cache
+        amortises; returns ``self`` for chaining.
+        """
+        for name, builder in builders.items():
+            self.lazy_get(name, builder)
+        return self
 
 
 class PlanCache:

@@ -76,6 +76,33 @@ class Semiring:
             self.add.at(out, segment_ids, values)
         return out
 
+    def scatter_merge(self, out: np.ndarray, idx: np.ndarray,
+                      values: np.ndarray) -> np.ndarray:
+        """Merge ``values`` into ``out[idx]`` with ``add`` (duplicates
+        in ``idx`` accumulate), returning ``out``.
+
+        For the default plus-style float64 case with many more updates
+        than slots, when every touched slot still holds exactly
+        ``+0.0``, the merge runs through one full-length ``np.bincount``
+        instead of ``np.add.at`` — on NumPy builds without the indexed
+        ufunc loop, unbuffered ``add.at`` walks elements one by one and
+        dominates host time.  The fast path is bit-identical to
+        ``add.at``: ``bincount`` accumulates each bin's addends in
+        array order from ``0.0``, which is the same left fold ``add.at``
+        performs on a zeroed slot, and untouched slots absorb an exact
+        ``+0.0``.  Any other semiring, dtype, sparse update, or a
+        non-zero base falls back to ``add.at``.
+        """
+        if len(idx) == 0:
+            return out
+        if (self.add is np.add and out.dtype == np.float64
+                and values.dtype == np.float64
+                and 4 * len(idx) >= len(out) and not out[idx].any()):
+            out += np.bincount(idx, weights=values, minlength=len(out))
+            return out
+        self.add.at(out, idx, values)
+        return out
+
     def is_identity(self, values: np.ndarray) -> np.ndarray:
         """Boolean mask of entries equal to the additive identity.
 

@@ -15,11 +15,11 @@ from .extraction import (HybridTiledMatrix, split_very_sparse_tiles,
 from .io import load_tiled, save_tiled
 from .stats import (TileStats, count_nonempty_tiles, tile_nnz_histogram,
                     tile_stats, tile_stats_sweep)
-from .tiled_matrix import TiledMatrix
+from .tiled_matrix import ColumnGather, TiledMatrix
 from .tiled_vector import SUPPORTED_TILE_SIZES, TiledVector
 
 __all__ = [
-    "TiledMatrix", "TiledVector", "SUPPORTED_TILE_SIZES",
+    "TiledMatrix", "ColumnGather", "TiledVector", "SUPPORTED_TILE_SIZES",
     "BitTiledMatrix", "BitVector", "bit_positions", "pack_bits",
     "unpack_words", "pattern_is_symmetric",
     "HybridTiledMatrix", "split_very_sparse_tiles",

@@ -70,6 +70,23 @@ class IndexedSideMatrix:
     def nnz(self) -> int:
         return len(self.val)
 
+    def nonempty_coltiles(self) -> np.ndarray:
+        """Boolean mask of column tiles holding at least one triplet
+        (cached — the side kernel tests it on every multiply)."""
+        cached = getattr(self, "_nonempty_coltiles", None)
+        if cached is None:
+            cached = np.diff(self.coltile_ptr) > 0
+            self._nonempty_coltiles = cached
+        return cached
+
+    def n_index_tiles(self) -> int:
+        """Number of non-empty column tiles (cached)."""
+        cached = getattr(self, "_n_index_tiles", None)
+        if cached is None:
+            cached = int(self.nonempty_coltiles().sum())
+            self._n_index_tiles = cached
+        return cached
+
 #: Default extraction threshold: tiles with <= this many nonzeros move
 #: to the COO side matrix.
 DEFAULT_THRESHOLD = 2

@@ -11,17 +11,78 @@ trick of §3.2.1, exposed via :meth:`TiledMatrix.packed_index`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
 
-from .._util import ceil_div
+from .._util import ceil_div, gather_ranges
 from ..errors import TileError
 from ..formats.coo import COOMatrix
 from ..formats.csr import compress_indptr, expand_indptr
 from .tiled_vector import SUPPORTED_TILE_SIZES
 
-__all__ = ["TiledMatrix"]
+__all__ = ["TiledMatrix", "ColumnGather"]
+
+
+@dataclass(frozen=True)
+class ColumnGather:
+    """The tiled structure regrouped by *tile column* — the plan-time
+    index behind the active-set execution engine.
+
+    The row-tile kernel's input activity is per tile column (a vector
+    tile is a tile column of ``x``), but the CSR-of-tiles layout groups
+    storage by tile *row*; without a column index every multiply has to
+    mask all ``nnz`` entries to find the active ones.  Grouping the
+    stored tiles (and, transitively, their entries) by tile column once
+    at plan time turns that O(nnz) mask into an O(active) gather — the
+    same trick :class:`~repro.tiles.extraction.IndexedSideMatrix` plays
+    for the extracted COO side.
+
+    Attributes
+    ----------
+    coltile_tile_ptr:
+        ``int64[n_tile_cols + 1]`` — ranges into :attr:`coltile_tiles`
+        per tile column.
+    coltile_tiles:
+        ``int64[n_nonempty_tiles]`` — stored-tile indices grouped by
+        tile column, ascending within each column.
+    coltile_entry_ptr:
+        ``int64[n_tile_cols + 1]`` — entry ranges per tile column (into
+        :attr:`coltile_entry_perm`).
+    coltile_entry_perm:
+        ``int64[nnz]`` — entry indices grouped by tile column,
+        preserving the stored (row-major per tile) order inside each
+        column.
+    """
+
+    coltile_tile_ptr: np.ndarray
+    coltile_tiles: np.ndarray
+    coltile_entry_ptr: np.ndarray
+    coltile_entry_perm: np.ndarray
+
+    @classmethod
+    def build(cls, A: "TiledMatrix") -> "ColumnGather":
+        nc = A.n_tile_cols
+        order = np.argsort(A.tile_colidx, kind="stable").astype(np.int64)
+        tile_counts = np.bincount(A.tile_colidx, minlength=nc)
+        tile_ptr = np.zeros(nc + 1, dtype=np.int64)
+        np.cumsum(tile_counts, out=tile_ptr[1:])
+        tile_nnz = np.diff(A.tile_nnz_ptr)
+        entry_counts = np.zeros(nc, dtype=np.int64)
+        np.add.at(entry_counts, A.tile_colidx, tile_nnz)
+        entry_ptr = np.zeros(nc + 1, dtype=np.int64)
+        np.cumsum(entry_counts, out=entry_ptr[1:])
+        entry_perm = gather_ranges(A.tile_nnz_ptr, order)
+        return cls(tile_ptr, order, entry_ptr, entry_perm)
+
+    def active_tiles(self, active_cols: np.ndarray) -> np.ndarray:
+        """Stored-tile indices living in the given tile columns, sorted
+        ascending (the order the CSR-of-tiles stream visits them)."""
+        tiles = self.coltile_tiles[
+            gather_ranges(self.coltile_tile_ptr, active_cols)]
+        tiles.sort()
+        return tiles
 
 
 class TiledMatrix:
@@ -180,8 +241,12 @@ class TiledMatrix:
         return cached
 
     def tile_nnz(self) -> np.ndarray:
-        """Nonzero count of each stored tile."""
-        return np.diff(self.tile_nnz_ptr)
+        """Nonzero count of each stored tile (cached)."""
+        cached = getattr(self, "_tile_nnz", None)
+        if cached is None:
+            cached = np.diff(self.tile_nnz_ptr)
+            self._tile_nnz = cached
+        return cached
 
     def tile_of_entry(self) -> np.ndarray:
         """Stored-tile index of each nonzero entry (cached)."""
@@ -189,6 +254,68 @@ class TiledMatrix:
         if cached is None:
             cached = expand_indptr(self.tile_nnz_ptr)
             self._tile_of_entry = cached
+        return cached
+
+    def local_row64(self) -> np.ndarray:
+        """:attr:`local_row` widened to int64 (cached).
+
+        The kernels need the widened copy on every multiply for index
+        arithmetic; casting per launch was a full O(nnz) pass."""
+        cached = getattr(self, "_local_row64", None)
+        if cached is None:
+            cached = self.local_row.astype(np.int64)
+            self._local_row64 = cached
+        return cached
+
+    def local_col64(self) -> np.ndarray:
+        """:attr:`local_col` widened to int64 (cached)."""
+        cached = getattr(self, "_local_col64", None)
+        if cached is None:
+            cached = self.local_col.astype(np.int64)
+            self._local_col64 = cached
+        return cached
+
+    def entry_rows(self) -> np.ndarray:
+        """Global row index of each entry (cached):
+        ``tile_rowidx[tile_of_entry] * nt + local_row``."""
+        cached = getattr(self, "_entry_rows", None)
+        if cached is None:
+            cached = (self.tile_rowidx()[self.tile_of_entry()] * self.nt
+                      + self.local_row64())
+            self._entry_rows = cached
+        return cached
+
+    def entry_cols(self) -> np.ndarray:
+        """Global column index of each entry (cached):
+        ``tile_colidx[tile_of_entry] * nt + local_col``."""
+        cached = getattr(self, "_entry_cols", None)
+        if cached is None:
+            cached = (self.tile_colidx[self.tile_of_entry()] * self.nt
+                      + self.local_col64())
+            self._entry_cols = cached
+        return cached
+
+    def n_occupied_tile_rows(self) -> int:
+        """Number of tile rows holding at least one stored tile
+        (cached) — the warp count of the row-tile kernel."""
+        cached = getattr(self, "_n_occupied_tile_rows", None)
+        if cached is None:
+            cached = int((np.diff(self.tile_ptr) > 0).sum())
+            self._n_occupied_tile_rows = cached
+        return cached
+
+    def column_gather(self) -> ColumnGather:
+        """The tile-column grouping of the stored structure (cached).
+
+        Built once per matrix (plan time for operators sharing an
+        :class:`~repro.runtime.OperatorPlan`); every multiply then
+        gathers only the entries of active tile columns instead of
+        masking all ``nnz``.
+        """
+        cached = getattr(self, "_column_gather", None)
+        if cached is None:
+            cached = ColumnGather.build(self)
+            self._column_gather = cached
         return cached
 
     def tile_slice(self, t: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
