@@ -64,6 +64,23 @@ def main(argv=None) -> int:
     print(f"{'bfs':>8} {'-':>9} {'-':>9} {b['ref_ms']:>9.3f} "
           f"{b['new_ms']:>9.3f} {b['speedup']:>7.1f}x "
           f"({b['iterations']} iterations, {b['reached']} reached)")
+
+    print("TileBFS kernels (forced):")
+    print(f"{'kernel':>10} {'density':>9} {'visited':>9} "
+          f"{'ref ms':>9} {'new ms':>9} {'speedup':>8}")
+    for r in result["bfs_kernels"]:
+        print(f"{r['kernel']:>10} {r['density']:>9g} "
+              f"{r['visited_fraction']:>9g} {r['ref_ms']:>9.3f} "
+              f"{r['new_ms']:>9.3f} {r['speedup']:>7.1f}x")
+    t = result["tilebfs"]
+    print(f"{'tilebfs':>10} end-to-end (nt={t['nt']}): "
+          f"{t['ref_ms']:.3f} -> {t['new_ms']:.3f} ms "
+          f"= {t['speedup']:.1f}x "
+          f"({t['iterations']} iterations, {t['reached']} reached)")
+    s = result["msbfs"]
+    print(f"{'msbfs':>10} end-to-end ({s['sources']} sources): "
+          f"{s['ref_ms']:.3f} -> {s['new_ms']:.3f} ms "
+          f"= {s['speedup']:.1f}x")
     print(f"wrote {args.out}")
     return 0
 

@@ -22,16 +22,26 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from ..core.bfs_kernels import (pull_csc_kernel, push_csc_kernel,
+                                push_csr_kernel)
+from ..core.msbfs import MultiSourceBFS
+from ..core.reference_bfs_kernels import (reference_msbfs_expand,
+                                          reference_pull_csc_kernel,
+                                          reference_push_csc_kernel,
+                                          reference_push_csr_kernel)
 from ..core.reference_kernels import (reference_batched_tiled_kernel,
                                       reference_csc_tiled_kernel,
                                       reference_tiled_kernel)
 from ..core.spmspv_kernels import (batched_tiled_kernel, csc_tiled_kernel,
                                    tiled_kernel)
+from ..core.tilebfs import TileBFS
+from ..gpusim import KernelCounters
 from ..matrices.generators import rmat
+from ..tiles.bitmask import BitVector
 from ..tiles.tiled_matrix import TiledMatrix
 from ..tiles.tiled_vector import TiledVector
 
-__all__ = ["run_wallclock"]
+__all__ = ["run_wallclock", "check_regression"]
 
 
 def _best_ms(fn: Callable[[], object], repeats: int) -> float:
@@ -74,6 +84,144 @@ def _bfs_wallclock(A: TiledMatrix, kernel, source: int,
             "reached": int(visited.sum())}
 
 
+def _bitmask_frontier(n: int, density: float, nt: int,
+                      rng: np.random.Generator) -> BitVector:
+    k = max(1, int(round(n * density)))
+    idx = rng.choice(n, size=k, replace=False)
+    return BitVector.from_indices(np.sort(idx), n, nt)
+
+
+def _bfs_kernel_rows(bfs: TileBFS, densities: Sequence[float],
+                     visited_fractions: Sequence[float], repeats: int,
+                     rng: np.random.Generator, say) -> list:
+    """Per-kernel BFS breakdown: each directional kernel forced on
+    synthetic frontier / visited states, new vs oracle.
+
+    K1/K2 sweep the frontier densities of the multiply section (with a
+    visited set a little larger than the frontier, as mid-traversal);
+    K3 only makes sense near the end of a traversal, so it sweeps high
+    visited fractions instead.
+    """
+    n, nt = bfs.n, bfs.nt
+    rows = []
+    cases = []
+    for density in densities:
+        cases.append(("push_csc", density, min(1.0, density * 2.5)))
+        cases.append(("push_csr", density, min(1.0, density * 2.5)))
+    for vf in visited_fractions:
+        cases.append(("pull_csc", 0.02, vf))
+    impls = {
+        "push_csc": (push_csc_kernel, reference_push_csc_kernel, "A1"),
+        "push_csr": (push_csr_kernel, reference_push_csr_kernel, "A2"),
+        "pull_csc": (pull_csc_kernel, reference_pull_csc_kernel, "A1"),
+    }
+    for kernel, density, vf in cases:
+        new_fn, ref_fn, mat = impls[kernel]
+        A = getattr(bfs, mat)
+        x = _bitmask_frontier(n, density, nt, rng)
+        m = _bitmask_frontier(n, vf, nt, rng)
+        m |= x                   # the frontier is always visited
+        say(f"bfs kernel {kernel} density={density:g} visited={vf:g}")
+        y_new, _ = new_fn(A, x, m)
+        y_ref, _ = ref_fn(A, x, m)
+        assert np.array_equal(y_new.words, y_ref.words), kernel
+        new_ms = _best_ms(lambda: new_fn(A, x, m), repeats)
+        ref_ms = _best_ms(lambda: ref_fn(A, x, m), repeats)
+        rows.append({
+            "kernel": kernel,
+            "density": density,
+            "visited_fraction": vf,
+            "ref_ms": ref_ms,
+            "new_ms": new_ms,
+            "speedup": ref_ms / new_ms if new_ms > 0 else float("inf"),
+        })
+    return rows
+
+
+def _seed_tilebfs_ms(bfs: TileBFS, source: int, repeats: int) -> Dict:
+    """The seed ``TileBFS.run`` loop, replayed over the same plan with
+    the oracle kernels: per-layer ``BitVector`` allocation, double
+    index conversion, ``m.count()``, O(n) side-kernel scratch — the
+    baseline the allocation-free rewrite is measured against."""
+    impls = {"push_csc": lambda x, m: reference_push_csc_kernel(
+                 bfs.A1, x, m),
+             "push_csr": lambda x, m: reference_push_csr_kernel(
+                 bfs.A2, x, m),
+             "pull_csc": lambda x, m: reference_pull_csc_kernel(
+                 bfs.A1, x, m)}
+
+    def side_kernel(x, m, y):
+        counters = KernelCounters(launches=1)
+        src_active = np.zeros(bfs.side.nnz, dtype=bool)
+        frontier = x.to_indices()
+        if len(frontier):
+            in_frontier = np.zeros(bfs.n, dtype=bool)
+            in_frontier[frontier] = True
+            src_active = in_frontier[bfs.side.col]
+        rows_ = bfs.side.row[src_active]
+        if len(rows_):
+            visited = np.zeros(bfs.n, dtype=bool)
+            visited[m.to_indices()] = True
+            rows_ = rows_[~visited[rows_]]
+            y = y.copy()
+            y.set_indices(rows_)
+        counters.coalesced_read_bytes += bfs.side.nnz * 16.0
+        counters.random_read_count += float(src_active.sum())
+        counters.atomic_ops += float(len(rows_))
+        counters.random_write_count += float(len(rows_))
+        counters.warps = max(1.0, bfs.side.nnz / 32.0)
+        return y, counters
+
+    state = {}
+
+    def run() -> None:
+        levels = np.full(bfs.n, -1, dtype=np.int64)
+        levels[source] = 0
+        x = BitVector.from_indices(
+            np.array([source], dtype=np.int64), bfs.n, bfs.nt)
+        m = x.copy()
+        depth = 0
+        frontier_size = 1
+        while frontier_size > 0:
+            depth += 1
+            kernel_name = bfs.selector.choose(
+                frontier_sparsity=frontier_size / bfs.n,
+                unvisited_fraction=(bfs.n - m.count()) / bfs.n,
+            )
+            y, counters = impls[kernel_name](x, m)
+            if bfs.side.nnz:
+                y, side_counters = side_kernel(x, m, y)
+                counters = counters.merged(side_counters)
+            bfs.ctx.launch(f"tilebfs_{kernel_name}", counters,
+                           phase="iteration")
+            new = y.to_indices()
+            if len(new) == 0:
+                break
+            levels[new] = depth
+            m = m | y
+            x = y
+            frontier_size = len(new)
+        state["levels"] = levels
+
+    ms = _best_ms(run, repeats)
+    return {"ms": ms, "levels": state["levels"]}
+
+
+def _msbfs_ms(op: MultiSourceBFS, sources: np.ndarray, repeats: int,
+              use_reference: bool) -> float:
+    """Time a full MS-BFS run; with ``use_reference`` the expansion is
+    swapped for the preserved seed ``bitwise_or.at`` version, keeping
+    every other loop cost identical."""
+    from ..core import msbfs as msbfs_mod
+    production = msbfs_mod.msbfs_expand
+    if use_reference:
+        msbfs_mod.msbfs_expand = reference_msbfs_expand
+    try:
+        return _best_ms(lambda: op.run(sources), repeats)
+    finally:
+        msbfs_mod.msbfs_expand = production
+
+
 def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
                   densities: Sequence[float] = (
                       1e-4, 5e-4, 2e-3, 1e-2, 0.1),
@@ -109,9 +257,11 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
     record — the JSON payload of ``BENCH_wallclock.json``.
     """
     if smoke:
+        # shrink the workload, not the repeats: smoke rows are sub-ms,
+        # so best-of-N is what keeps their speedups reproducible enough
+        # for the CI regression guard
         scale, edge_factor = min(scale, 13), min(edge_factor, 8)
         densities = tuple(densities)[:3]
-        repeats = min(repeats, 2)
 
     def say(msg: str) -> None:
         if progress is not None:
@@ -166,6 +316,25 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
     ref_bfs = _bfs_wallclock(A, reference_tiled_kernel, source=0)
     assert new_bfs["reached"] == ref_bfs["reached"]
 
+    say("TileBFS (bitmask) per-kernel breakdown")
+    bfs_op = TileBFS(coo)
+    visited_fractions = (0.9, 0.98) if smoke else (0.5, 0.9, 0.98)
+    kernel_rows = _bfs_kernel_rows(bfs_op, densities, visited_fractions,
+                                   repeats, rng, say)
+
+    say("TileBFS end to end: active-tile loop vs seed loop")
+    tilebfs_new = _best_ms(lambda: bfs_op.run(0), repeats)
+    res = bfs_op.run(0)
+    seed_run = _seed_tilebfs_ms(bfs_op, source=0, repeats=repeats)
+    assert np.array_equal(res.levels, seed_run["levels"])
+
+    say("MS-BFS end to end")
+    ms_op = MultiSourceBFS(coo)
+    ms_sources = rng.choice(A.shape[0], size=min(64, A.shape[0]),
+                            replace=False).astype(np.int64)
+    msbfs_new = _msbfs_ms(ms_op, ms_sources, repeats, use_reference=False)
+    msbfs_ref = _msbfs_ms(ms_op, ms_sources, repeats, use_reference=True)
+
     return {
         "meta": {
             "matrix": f"rmat(scale={scale}, edge_factor={edge_factor})",
@@ -188,4 +357,84 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
             "iterations": new_bfs["iterations"],
             "reached": new_bfs["reached"],
         },
+        "bfs_kernels": kernel_rows,
+        "tilebfs": {
+            "nt": bfs_op.nt,
+            "ref_ms": seed_run["ms"],
+            "new_ms": tilebfs_new,
+            "speedup": (seed_run["ms"] / tilebfs_new
+                        if tilebfs_new > 0 else float("inf")),
+            "iterations": len(res.iterations),
+            "reached": res.n_reached,
+        },
+        "msbfs": {
+            "sources": int(len(ms_sources)),
+            "ref_ms": msbfs_ref,
+            "new_ms": msbfs_new,
+            "speedup": (msbfs_ref / msbfs_new
+                        if msbfs_new > 0 else float("inf")),
+        },
     }
+
+
+#: Measurements whose faster side is below this many milliseconds are
+#: timer-noise-bound (a best-of-N ``perf_counter`` delta at tens of µs
+#: wobbles by tens of percent run to run); the regression guard skips
+#: them rather than flake.
+NOISE_FLOOR_MS = 0.25
+
+
+def _speedup_entries(report: Dict) -> Dict[str, tuple]:
+    """Flatten a wall-clock report to ``label -> (speedup, min_ms)``
+    (every row and scalar section that records one); ``min_ms`` is the
+    faster of the two timed sides, ``inf`` when the report carries no
+    timings (synthetic fixtures)."""
+    entries: Dict[str, tuple] = {}
+
+    def min_ms(row):
+        if "ref_ms" in row and "new_ms" in row:
+            return min(row["ref_ms"], row["new_ms"])
+        return float("inf")
+
+    for row in report.get("multiply", ()):
+        entries[f"multiply/{row['form']}@{row['density']:g}"] = \
+            (row["speedup"], min_ms(row))
+    for row in report.get("bfs_kernels", ()):
+        entries[(f"bfs_kernels/{row['kernel']}@{row['density']:g}"
+                 f"/v{row['visited_fraction']:g}")] = \
+            (row["speedup"], min_ms(row))
+    for section in ("bfs", "tilebfs", "msbfs"):
+        if section in report:
+            entries[section] = (report[section]["speedup"],
+                                min_ms(report[section]))
+    return entries
+
+
+def check_regression(current: Dict, committed: Dict, floor: float = 0.6,
+                     noise_floor_ms: float = NOISE_FLOOR_MS) -> list:
+    """Compare two wall-clock reports; list every regression.
+
+    A regression is a speedup in ``current`` below ``floor`` times the
+    value recorded for the same label in ``committed``.  Labels present
+    on only one side are ignored (new rows are allowed to appear), as
+    are labels whose faster timed side is under ``noise_floor_ms`` in
+    either report (micro rows whose speedup is timer noise); ratios of
+    speedups are compared rather than raw milliseconds so the guard is
+    stable across host machines of different speed.
+    """
+    cur = _speedup_entries(current)
+    ref = _speedup_entries(committed)
+    failures = []
+    for label in sorted(set(cur) & set(ref)):
+        cur_s, cur_ms = cur[label]
+        ref_s, ref_ms = ref[label]
+        if min(cur_ms, ref_ms) < noise_floor_ms:
+            continue
+        if ref_s > 0 and cur_s < floor * ref_s:
+            failures.append({
+                "label": label,
+                "committed_speedup": ref_s,
+                "current_speedup": cur_s,
+                "floor": floor * ref_s,
+            })
+    return failures

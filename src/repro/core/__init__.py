@@ -10,9 +10,14 @@ Public entry points:
   hooks for Figure 9).
 """
 
-from .bfs_kernels import pull_csc_kernel, push_csc_kernel, push_csr_kernel
+from .bfs_kernels import (expand_vertex_tiles, pull_csc_kernel,
+                          push_csc_kernel, push_csr_kernel)
 from .selection import (PULL_CSC, PUSH_CSC, PUSH_CSR, KernelSelector,
                         select_tile_size)
+from .reference_bfs_kernels import (reference_msbfs_expand,
+                                    reference_pull_csc_kernel,
+                                    reference_push_csc_kernel,
+                                    reference_push_csr_kernel)
 from .reference_kernels import (reference_batched_tiled_kernel,
                                 reference_coo_side_kernel,
                                 reference_csc_tiled_kernel,
@@ -20,7 +25,7 @@ from .reference_kernels import (reference_batched_tiled_kernel,
 from .spmspv import TileSpMSpV, tile_spmspv
 from .spmspv_kernels import (batched_tiled_kernel, coo_side_kernel,
                              csc_tiled_kernel, tiled_kernel)
-from .msbfs import MSBFSResult, MultiSourceBFS
+from .msbfs import MSBFSResult, MultiSourceBFS, msbfs_expand
 from .tilebfs import BFSResult, IterationRecord, TileBFS, tile_bfs
 
 __all__ = [
@@ -33,4 +38,7 @@ __all__ = [
     "KernelSelector", "select_tile_size",
     "PUSH_CSC", "PUSH_CSR", "PULL_CSC",
     "push_csc_kernel", "push_csr_kernel", "pull_csc_kernel",
+    "expand_vertex_tiles", "msbfs_expand",
+    "reference_push_csc_kernel", "reference_push_csr_kernel",
+    "reference_pull_csc_kernel", "reference_msbfs_expand",
 ]

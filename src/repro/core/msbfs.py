@@ -16,7 +16,7 @@ frontier once every source has seen it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,12 +25,39 @@ from ..errors import ShapeError
 from ..formats.coo import COOMatrix
 from ..gpusim import Device, KernelCounters
 from ..runtime import ExecutionContext
+from ..tiles.bitmask import segmented_scatter_or
 
-__all__ = ["MultiSourceBFS", "MSBFSResult"]
+__all__ = ["MultiSourceBFS", "MSBFSResult", "msbfs_expand"]
 
 _U64 = np.uint64
 #: Sources packed per state word.
 WORD_SOURCES = 64
+
+
+def msbfs_expand(csc, frontier: np.ndarray
+                 ) -> Tuple[np.ndarray, int, int]:
+    """One MS-BFS frontier expansion over CSC.
+
+    Every vertex with a non-empty frontier word pushes that word along
+    its out-edges; the per-destination merge runs through the sort +
+    ``reduceat`` fast path of
+    :func:`~repro.tiles.bitmask.segmented_scatter_or` instead of the
+    element-at-a-time ``np.bitwise_or.at`` (OR is commutative and
+    idempotent, so the result is byte-identical to the preserved seed
+    expansion in
+    :func:`~repro.core.reference_bfs_kernels.reference_msbfs_expand`).
+
+    Returns ``(next_words, n_active, n_edges)``.
+    """
+    active = np.flatnonzero(frontier)
+    lengths = csc.indptr[active + 1] - csc.indptr[active]
+    gather = concat_ranges(csc.indptr[active], lengths)
+    dst = csc.indices[gather]
+    contrib = np.repeat(frontier[active], lengths)
+    next_words = np.zeros(len(frontier), dtype=_U64)
+    if len(dst):
+        segmented_scatter_or(next_words, dst, contrib)
+    return next_words, len(active), len(dst)
 
 
 @dataclass
@@ -134,21 +161,14 @@ class MultiSourceBFS:
             if max_depth is not None and depth >= max_depth:
                 break
             depth += 1
-            active = np.flatnonzero(frontier)
-            if len(active) == 0:
+            if not frontier.any():
                 break
             # push: every edge u -> v with a non-empty frontier word at
             # u contributes its word to v
-            lengths = (self.csc.indptr[active + 1]
-                       - self.csc.indptr[active])
-            gather = concat_ranges(self.csc.indptr[active], lengths)
-            dst = self.csc.indices[gather]
-            contrib = np.repeat(frontier[active], lengths)
-            next_words = np.zeros(self.n, dtype=_U64)
-            if len(dst):
-                np.bitwise_or.at(next_words, dst, contrib)
+            next_words, n_active, n_edges = msbfs_expand(self.csc,
+                                                         frontier)
             new = next_words & ~visited
-            ms = self._account(len(active), len(dst),
+            ms = self._account(n_active, n_edges,
                                int(np.count_nonzero(new)))
             result.simulated_ms += ms
             result.iterations += 1

@@ -1,0 +1,240 @@
+"""Seed BFS kernels — the pre-active-tile oracles, preserved verbatim.
+
+These are the original directional-optimization kernels of
+:mod:`repro.core.bfs_kernels` exactly as the seed shipped them.  Their
+host cost is O(everything): ``reference_push_csr_kernel`` gathers a
+frontier word for *every* stored tile, and ``reference_pull_csc_kernel``
+materialises every unvisited vertex's tile range through ``np.repeat``
+— the per-layer pattern the active-tile rewrite eliminates.
+
+They remain in-tree for two jobs (the same contract as
+:mod:`repro.core.reference_kernels` holds for the numeric SpMSpV
+kernels):
+
+* the BFS kernel-equivalence tests assert the rewritten kernels return
+  byte-identical result words **and**
+  :class:`~repro.gpusim.counters.KernelCounters` against these oracles,
+  so every simulated-ms figure and Fig. 10 trace is unchanged;
+* the wall-clock benchmark (``benchmarks/bench_wallclock.py``) times
+  the rewrite against them, recording the host-side BFS speedup in
+  ``BENCH_wallclock.json``.
+
+``reference_msbfs_expand`` preserves the seed MS-BFS frontier expansion
+(the ``np.bitwise_or.at`` scatter) for the same two jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._util import concat_ranges
+from ..errors import ShapeError
+from ..gpusim import KernelCounters
+from ..tiles.bitmask import BitTiledMatrix, BitVector
+
+__all__ = ["reference_push_csc_kernel", "reference_push_csr_kernel",
+           "reference_pull_csc_kernel", "reference_msbfs_expand"]
+
+_U64 = np.uint64
+
+
+def _check_operands(A: BitTiledMatrix, x: BitVector, m: BitVector,
+                    orientation: str, kernel: str) -> None:
+    if A.orientation != orientation:
+        raise ShapeError(
+            f"{kernel} requires the {orientation!r}-compressed matrix, "
+            f"got {A.orientation!r}"
+        )
+    if A.shape[0] != A.shape[1]:
+        raise ShapeError(f"BFS requires a square matrix, got {A.shape}")
+    if x.n != A.shape[1] or m.n != A.shape[0]:
+        raise ShapeError(
+            f"vector length mismatch: A is {A.shape}, x has {x.n}, "
+            f"m has {m.n}"
+        )
+    if x.nt != A.nt or m.nt != A.nt:
+        raise ShapeError(
+            f"tile size mismatch: A nt={A.nt}, x nt={x.nt}, m nt={m.nt}"
+        )
+
+
+def reference_push_csc_kernel(A1: BitTiledMatrix, x: BitVector, m: BitVector
+                              ) -> Tuple[BitVector, KernelCounters]:
+    """Seed K1 (Alg. 5): per-frontier-vertex gather, ``bitwise_or.at``
+    scatter."""
+    _check_operands(A1, x, m, "csc", "push_csc")
+    nt = A1.nt
+    y = BitVector.zeros(x.n, nt)
+    counters = KernelCounters(launches=1)
+
+    frontier = x.to_indices()
+    counters.coalesced_read_bytes += len(x.words) * 8.0  # scan frontier words
+    if len(frontier) == 0:
+        counters.warps = 1.0
+        return y, counters
+
+    jt = frontier // nt
+    lc = frontier % nt
+    lengths = A1.tile_ptr[jt + 1] - A1.tile_ptr[jt]
+    gathered = concat_ranges(A1.tile_ptr[jt], lengths)
+    lc_rep = np.repeat(lc, lengths)
+
+    if len(gathered):
+        col_words = A1.words[gathered, lc_rep]
+        row_tiles = A1.tile_otheridx[gathered]
+        new_words = col_words & ~m.words[row_tiles]
+        np.bitwise_or.at(y.words, row_tiles, new_words)
+
+    n_gathered = float(len(gathered))
+    # per frontier vertex: tile_ptr lookup (L2) ...
+    counters.l2_read_bytes += len(frontier) * 16.0
+    # ... then per touched tile: one word (scattered), the mask word
+    # (scattered, often L2-hot), one atomicOr into y.
+    counters.random_read_count += n_gathered        # A1 word
+    counters.l2_read_bytes += n_gathered * 8.0      # mask word
+    counters.word_ops += n_gathered * 3.0           # and/not/or
+    counters.atomic_ops += 2.0 * n_gathered         # y and flag (Alg.5 l.5-6)
+    counters.random_write_count += n_gathered
+    counters.warps = max(1.0, len(frontier) / 32.0 + n_gathered / 32.0)
+    counters.divergence = 1.0  # lanes process independent tiles
+    counters.check()
+    return y, counters
+
+
+def reference_push_csr_kernel(A2: BitTiledMatrix, x: BitVector, m: BitVector
+                              ) -> Tuple[BitVector, KernelCounters]:
+    """Seed K2 (Alg. 6): frontier word gathered for every stored tile."""
+    _check_operands(A2, x, m, "csr", "push_csr")
+    nt = A2.nt
+    y = BitVector.zeros(x.n, nt)
+    counters = KernelCounters(launches=1)
+
+    n_tiles = A2.n_nonempty_tiles
+    if n_tiles == 0:
+        counters.warps = 1.0
+        return y, counters
+
+    xw = x.words[A2.tile_otheridx]          # frontier word per stored tile
+    active = xw != 0
+    n_active = int(active.sum())
+    # all stored tiles read their metadata + frontier word
+    counters.coalesced_read_bytes += n_tiles * 16.0
+    counters.l2_read_bytes += n_tiles * 8.0
+
+    if n_active:
+        hits = (A2.words[active] & xw[active][:, None]) != 0   # (na, nt)
+        bit_weights = _U64(1) << (_U64(nt - 1)
+                                  - np.arange(nt, dtype=_U64))
+        out_words = (hits.astype(_U64) * bit_weights).sum(
+            axis=1, dtype=_U64)
+        trow = A2.tile_majoridx()[active]
+        new_words = out_words & ~m.words[trow]
+        np.bitwise_or.at(y.words, trow, new_words)
+
+        counters.coalesced_read_bytes += n_active * nt * 8.0  # tile words
+        counters.word_ops += n_active * nt * 2.0              # and + test
+        counters.l2_read_bytes += n_active * 8.0              # mask word
+        counters.atomic_ops += 2.0 * n_active
+        counters.random_write_count += float(n_active)
+
+    # one warp per row tile (long row tiles are split across warps for
+    # load balance — §3.4 —, modelled as extra warps, no extra work)
+    tiles_per_row = np.diff(A2.tile_ptr)
+    counters.warps = float((np.ceil(tiles_per_row / 32.0)).sum())
+    counters.divergence = max(1.0 / 32.0,
+                              min(1.0, n_active / max(1, n_tiles)))
+    counters.check()
+    return y, counters
+
+
+def reference_pull_csc_kernel(A1: BitTiledMatrix, x: BitVector, m: BitVector
+                              ) -> Tuple[BitVector, KernelCounters]:
+    """Seed K3 (Alg. 7): per-unvisited-vertex index expansion via
+    ``np.repeat``."""
+    _check_operands(A1, x, m, "csc", "pull_csc")
+    nt = A1.nt
+    y = BitVector.zeros(m.n, nt)
+    counters = KernelCounters(launches=1)
+
+    unvisited = m.invert().to_indices()
+    counters.coalesced_read_bytes += len(m.words) * 8.0  # scan mask words
+    if len(unvisited) == 0:
+        counters.warps = 1.0
+        return y, counters
+
+    jt = unvisited // nt
+    lc = unvisited % nt
+    lengths = A1.tile_ptr[jt + 1] - A1.tile_ptr[jt]
+    gathered = concat_ranges(A1.tile_ptr[jt], lengths)
+    lc_rep = np.repeat(lc, lengths)
+    vertex_of = np.repeat(np.arange(len(unvisited)), lengths)
+
+    if len(gathered):
+        col_words = A1.words[gathered, lc_rep]
+        parents_visited = (col_words
+                           & m.words[A1.tile_otheridx[gathered]]) != 0
+        found = np.zeros(len(unvisited), dtype=bool)
+        np.logical_or.at(found, vertex_of, parents_visited)
+        y.set_indices(unvisited[found])
+
+        # early exit: a vertex's warp stops scanning at its first hit.
+        # Charge, per vertex, the tiles up to and including that hit
+        # (all of them when no parent is visited yet).
+        scanned = _reference_tiles_scanned_until_hit(
+            parents_visited, vertex_of, len(unvisited), lengths)
+        counters.random_read_count += float(scanned)   # A1 words
+        counters.l2_read_bytes += float(scanned) * 8.0  # mask words
+        counters.word_ops += float(scanned) * 3.0
+        counters.atomic_ops += float(found.sum())       # flag OR (Alg.7 l.9)
+        counters.random_write_count += float(found.sum())
+
+    counters.l2_read_bytes += len(unvisited) * 16.0     # tile_ptr lookups
+    counters.warps = max(1.0, len(unvisited) / 32.0)
+    counters.check()
+    return y, counters
+
+
+def _reference_tiles_scanned_until_hit(hit: np.ndarray, vertex_of: np.ndarray,
+                                       n_vertices: int, lengths: np.ndarray
+                                       ) -> int:
+    """Total tiles examined across vertices given per-(vertex, tile) hit
+    flags in scan order, with per-vertex early exit at the first hit.
+
+    A vertex whose scan hits at position ``p`` examines ``p + 1`` tiles;
+    a vertex with no hit examines all ``lengths[v]`` of them.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if len(hit) == 0:
+        return int(lengths.sum())
+    seg_start = np.repeat(
+        np.concatenate(([0], np.cumsum(lengths)[:-1])), lengths)
+    pos = np.arange(len(vertex_of), dtype=np.int64) - seg_start
+    sentinel = np.iinfo(np.int64).max
+    first_hit = np.full(n_vertices, sentinel, dtype=np.int64)
+    hit_idx = np.flatnonzero(hit)
+    if len(hit_idx):
+        np.minimum.at(first_hit, vertex_of[hit_idx], pos[hit_idx])
+    scanned = np.where(first_hit < sentinel, first_hit + 1, lengths)
+    return int(scanned.sum())
+
+
+def reference_msbfs_expand(csc, frontier: np.ndarray
+                           ) -> Tuple[np.ndarray, int, int]:
+    """Seed MS-BFS frontier expansion: gather the out-edges of every
+    vertex with a non-empty frontier word, then ``np.bitwise_or.at``
+    their words into the destinations.
+
+    Returns ``(next_words, n_active, n_edges)`` exactly as the seed
+    ``MultiSourceBFS.run`` inner loop computed them.
+    """
+    active = np.flatnonzero(frontier)
+    lengths = csc.indptr[active + 1] - csc.indptr[active]
+    gather = concat_ranges(csc.indptr[active], lengths)
+    dst = csc.indices[gather]
+    contrib = np.repeat(frontier[active], lengths)
+    next_words = np.zeros(len(frontier), dtype=_U64)
+    if len(dst):
+        np.bitwise_or.at(next_words, dst, contrib)
+    return next_words, len(active), len(dst)

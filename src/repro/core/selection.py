@@ -20,7 +20,7 @@ otherwise 32x32.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet
+from typing import FrozenSet, Optional
 
 from ..errors import TileError
 
@@ -60,6 +60,10 @@ class KernelSelector:
     enabled: FrozenSet[str] = field(default_factory=lambda: _ALL)
     sparsity_threshold: float = 0.01
     pull_threshold: float = 0.05
+    #: When set, every iteration runs this kernel regardless of the
+    #: rule — the forcing hook behind per-kernel benchmarks and the
+    #: kernel-equivalence / correctness grids.
+    forced: Optional[str] = None
 
     def __post_init__(self) -> None:
         bad = set(self.enabled) - _ALL
@@ -71,6 +75,8 @@ class KernelSelector:
             raise TileError("sparsity_threshold must be in (0, 1)")
         if not (0.0 <= self.pull_threshold <= 1.0):
             raise TileError("pull_threshold must be in [0, 1]")
+        if self.forced is not None and self.forced not in _ALL:
+            raise TileError(f"unknown forced kernel {self.forced!r}")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -88,6 +94,13 @@ class KernelSelector:
         """Figure-9 ablation point 'K1+K2+K3': the full rule."""
         return cls(enabled=_ALL)
 
+    @classmethod
+    def fixed(cls, kernel: str) -> "KernelSelector":
+        """A selector that always picks ``kernel`` — used to drive one
+        kernel across a whole traversal (per-kernel wall-clock rows,
+        the BFS correctness grid)."""
+        return cls(forced=kernel)
+
     # ------------------------------------------------------------------
     def choose(self, frontier_sparsity: float, unvisited_fraction: float
                ) -> str:
@@ -100,6 +113,8 @@ class KernelSelector:
         unvisited_fraction:
             ``(n - |visited|) / n``.
         """
+        if self.forced is not None:
+            return self.forced
         unvisited_small = unvisited_fraction < self.pull_threshold
         frontier_dense = frontier_sparsity >= self.sparsity_threshold
         # Pull scans every unvisited vertex, so it only pays while the

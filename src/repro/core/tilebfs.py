@@ -21,7 +21,7 @@ simulated ms) — the raw series behind the paper's Figure 10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -180,82 +180,113 @@ class TileBFS:
         levels = np.full(self.n, -1, dtype=np.int64)
         levels[sources] = 0
 
-        x = BitVector.from_indices(sources, self.n, self.nt)
-        m = x.copy()          # visited mask
-        result = BFSResult(levels=levels)
-        depth = 0
-        frontier_size = len(sources)
-
-        while frontier_size > 0:
-            if max_depth is not None and depth >= max_depth:
-                break
-            depth += 1
-            kernel_name = self.selector.choose(
-                frontier_sparsity=frontier_size / self.n,
-                unvisited_fraction=(self.n - m.count()) / self.n,
-            )
-            y, counters = self._launch(kernel_name, x, m)
+        # the layer loop is allocation-free: frontier / result / visited
+        # live in plan-owned scratch BitVectors, the visited count is
+        # maintained incrementally, frontier indices are materialised
+        # once per layer, and x / y ping-pong instead of re-allocating.
+        plan = self._plan
+        workspaces = [
+            plan.acquire_scratch(
+                "bitvector", lambda: BitVector.zeros(self.n, self.nt))
+            for _ in range(3)]
+        try:
+            x, y, m = workspaces
+            x.clear()
+            x.set_indices(sources)
+            m.words[:] = x.words          # visited mask
+            result = BFSResult(levels=levels)
+            depth = 0
+            frontier_idx = sources
+            frontier_size = len(sources)
+            visited_count = frontier_size
+            visited_bool = in_frontier = None
             if self.side.nnz:
-                y, side_counters = self._side_kernel(x, m, y)
-                counters = counters.merged(side_counters)
-            ms = self.ctx.launch(f"tilebfs_{kernel_name}", counters,
-                                 phase="iteration")
+                visited_bool = np.zeros(self.n, dtype=bool)
+                visited_bool[sources] = True
+                in_frontier = np.zeros(self.n, dtype=bool)
 
-            new = y.to_indices()
-            result.iterations.append(IterationRecord(
-                depth=depth, kernel=kernel_name,
-                frontier_size=frontier_size,
-                new_vertices=len(new), simulated_ms=ms,
-            ))
-            result.simulated_ms += ms
-            if len(new) == 0:
-                break
-            levels[new] = depth
-            m = m | y
-            x = y
-            frontier_size = len(new)
-        return result
+            while frontier_size > 0:
+                if max_depth is not None and depth >= max_depth:
+                    break
+                depth += 1
+                kernel_name = self.selector.choose(
+                    frontier_sparsity=frontier_size / self.n,
+                    unvisited_fraction=(self.n - visited_count) / self.n,
+                )
+                counters = self._launch(kernel_name, x, m, out=y)
+                if self.side.nnz:
+                    side_counters = self._side_kernel(
+                        frontier_idx, visited_bool, in_frontier, y)
+                    counters = counters.merged(side_counters)
+                ms = self.ctx.launch(f"tilebfs_{kernel_name}", counters,
+                                     phase="iteration")
+
+                n_new = y.count()
+                result.iterations.append(IterationRecord(
+                    depth=depth, kernel=kernel_name,
+                    frontier_size=frontier_size,
+                    new_vertices=n_new, simulated_ms=ms,
+                ))
+                result.simulated_ms += ms
+                if n_new == 0:
+                    break
+                new_idx = y.to_indices()
+                levels[new_idx] = depth
+                if visited_bool is not None:
+                    visited_bool[new_idx] = True
+                m |= y
+                visited_count += n_new
+                x, y = y, x
+                frontier_idx = new_idx
+                frontier_size = n_new
+            return result
+        finally:
+            for ws in workspaces:
+                plan.release_scratch("bitvector", ws)
 
     # ------------------------------------------------------------------
-    def _launch(self, kernel_name: str, x: BitVector, m: BitVector
-                ) -> Tuple[BitVector, KernelCounters]:
+    def _launch(self, kernel_name: str, x: BitVector, m: BitVector,
+                out: Optional[BitVector] = None) -> KernelCounters:
         if kernel_name == PUSH_CSC:
-            return push_csc_kernel(self.A1, x, m)
+            return push_csc_kernel(self.A1, x, m, out=out)[1]
         if kernel_name == PUSH_CSR:
-            return push_csr_kernel(self.A2, x, m)
+            return push_csr_kernel(self.A2, x, m, out=out)[1]
         if kernel_name == PULL_CSC:
-            return pull_csc_kernel(self.A1, x, m)
+            return pull_csc_kernel(self.A1, x, m, out=out)[1]
         raise ShapeError(f"unknown kernel {kernel_name!r}")  # pragma: no cover
 
-    def _side_kernel(self, x: BitVector, m: BitVector, y: BitVector
-                     ) -> Tuple[BitVector, KernelCounters]:
+    def _side_kernel(self, frontier: np.ndarray, visited: np.ndarray,
+                     in_frontier: np.ndarray, y: BitVector
+                     ) -> KernelCounters:
         """Per-edge traversal of the extracted very-sparse COO part.
 
         For each stored edge ``(i, j)``: if ``j`` is in the frontier
-        and ``i`` unvisited, claim ``i``.  The paper offloads this part
-        to GSwitch; a flat edge-list kernel has the same per-edge cost
-        profile (DESIGN.md §1).
+        and ``i`` unvisited, claim ``i`` (ORed into ``y`` in place).
+        The paper offloads this part to GSwitch; a flat edge-list kernel
+        has the same per-edge cost profile (DESIGN.md §1).
+
+        ``frontier`` is the layer's materialised frontier indices,
+        ``visited`` the loop-maintained visited boolean, and
+        ``in_frontier`` a reusable scratch boolean the kernel scatters
+        into and cleans up again — the run loop owns all three, so no
+        O(n) array is allocated per layer.
         """
         counters = KernelCounters(launches=1)
         src_active = np.zeros(self.side.nnz, dtype=bool)
-        frontier = x.to_indices()
         if len(frontier):
-            in_frontier = np.zeros(self.n, dtype=bool)
             in_frontier[frontier] = True
             src_active = in_frontier[self.side.col]
+            in_frontier[frontier] = False
         rows = self.side.row[src_active]
         if len(rows):
-            visited = np.zeros(self.n, dtype=bool)
-            visited[m.to_indices()] = True
             rows = rows[~visited[rows]]
-            y = y.copy()
             y.set_indices(rows)
         counters.coalesced_read_bytes += self.side.nnz * 16.0  # edge list
         counters.random_read_count += float(src_active.sum())  # mask checks
         counters.atomic_ops += float(len(rows))
         counters.random_write_count += float(len(rows))
         counters.warps = max(1.0, self.side.nnz / 32.0)
-        return y, counters
+        return counters
 
     def compute_parents(self, result: BFSResult) -> np.ndarray:
         """Derive a BFS parent tree from a finished traversal.
@@ -332,9 +363,26 @@ def _build_bfs_plan(matrix, nt: Optional[int], extract_threshold: int,
         A2 = A1.as_reinterpreted("csr")
     else:
         A2 = BitTiledMatrix.from_coo(dense_part, nt, "csr")
-    return OperatorPlan(kind="tilebfs", key=tuple(key),
+    plan = OperatorPlan(kind="tilebfs", key=tuple(key),
                         data={"n": n, "nnz": coo.nnz, "nt": nt,
                               "side": side, "A1": A1, "A2": A2})
+    # A1 *is* the csc tiling of the same pattern, so Push-CSR's
+    # active-column bit gather runs over it directly instead of
+    # re-tiling A2 (both branches above build A1/A2 from dense_part).
+    A2.attach_column_view(A1)
+    # Warm the kernels' plan-time gather structures (cached on the
+    # matrices, registered as lazy slots so the cost is paid here, in
+    # the amortised preprocessing, not on the first traversal layer):
+    # the column view and row-major ids driving the Push-CSR active
+    # paths, the warp count of its launch model, and the Pull-CSC
+    # full-mask template.
+    plan.warm(
+        a2_column_view=A2.column_view,
+        a2_tile_majoridx=A2.tile_majoridx,
+        a2_row_warp_count=A2.row_warp_count,
+        a1_full_mask_words=A1.full_mask_words,
+    )
+    return plan
 
 
 def tile_bfs(matrix, source: int, nt: Optional[int] = None,

@@ -88,6 +88,34 @@ class OperatorPlan:
             self.lazy_get(name, builder)
         return self
 
+    #: Workspaces kept per scratch pool; beyond this, released objects
+    #: are dropped rather than hoarded.
+    SCRATCH_POOL_CAP = 8
+
+    def acquire_scratch(self, name: str, builder: Callable[[], Any]) -> Any:
+        """Check a reusable workspace out of the plan's scratch pool.
+
+        Runs that allocate per-launch buffers (the BFS layer loop's
+        frontier / result / visited :class:`~repro.tiles.bitmask.BitVector`
+        triple) draw them here instead, so repeated traversals over one
+        plan reuse the same arrays.  The caller owns the object until it
+        hands it back through :meth:`release_scratch` (typically in a
+        ``finally``) and is responsible for clearing it — the pool
+        returns workspaces dirty.
+        """
+        with self._lock:
+            pool = self.lazy.setdefault("_scratch", {}).get(name)
+            if pool:
+                return pool.pop()
+        return builder()
+
+    def release_scratch(self, name: str, obj: Any) -> None:
+        """Return a workspace to the pool for the next acquirer."""
+        with self._lock:
+            pool = self.lazy.setdefault("_scratch", {}).setdefault(name, [])
+            if len(pool) < self.SCRATCH_POOL_CAP:
+                pool.append(obj)
+
 
 class PlanCache:
     """LRU cache of :class:`OperatorPlan` with hit/miss stats.

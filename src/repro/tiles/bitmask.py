@@ -20,7 +20,8 @@ always zero (enforced by :meth:`BitVector.validate`).
 
 from __future__ import annotations
 
-from typing import Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -30,10 +31,76 @@ from ..formats.coo import COOMatrix
 from ..formats.csr import compress_indptr, expand_indptr
 from .tiled_vector import SUPPORTED_TILE_SIZES
 
-__all__ = ["BitVector", "BitTiledMatrix", "bit_positions", "pack_bits",
-           "unpack_words", "pattern_is_symmetric"]
+__all__ = ["BitVector", "BitTiledMatrix",
+           "bit_positions", "pack_bits", "unpack_words",
+           "bit_weight_vector", "pack_hit_words", "segmented_scatter_or",
+           "pattern_is_symmetric"]
 
 _U64 = np.uint64
+
+#: Per-``nt`` MSB-first weight vectors, built once per process (the
+#: Push-CSR seed rebuilt this on every launch).
+_BIT_WEIGHTS: Dict[int, np.ndarray] = {}
+
+
+def bit_weight_vector(nt: int) -> np.ndarray:
+    """The ``nt`` single-bit words of local indices ``0..nt-1``
+    (MSB-first), cached per tile size.
+
+    ``word = (hits * bit_weight_vector(nt)).sum()`` packs a boolean row
+    into the bitmask convention of this module.
+    """
+    w = _BIT_WEIGHTS.get(nt)
+    if w is None:
+        w = _U64(1) << (_U64(nt - 1) - np.arange(nt, dtype=_U64))
+        w.setflags(write=False)
+        _BIT_WEIGHTS[nt] = w
+    return w
+
+
+def pack_hit_words(hits: np.ndarray, nt: int) -> np.ndarray:
+    """Pack boolean rows ``(k, nt)`` into ``uint64`` bitmask words
+    (column ``i`` becomes local index ``i``, MSB-first — the inverse of
+    :func:`unpack_words`).
+
+    Equivalent to ``(hits.astype(uint64) * bit_weight_vector(nt))
+    .sum(axis=1)`` but routed through ``np.packbits``, which touches one
+    byte per 8 lanes instead of an 8-byte product per lane.
+    """
+    k = len(hits)
+    if k == 0:
+        return np.zeros(0, dtype=_U64)
+    if nt == 64:
+        padded = np.ascontiguousarray(hits, dtype=bool)
+    else:
+        padded = np.zeros((k, 64), dtype=bool)
+        padded[:, 64 - nt:] = hits
+    packed = np.packbits(padded, axis=1)          # (k, 8) bytes, MSB-first
+    return packed.view(">u8").ravel().astype(_U64)
+
+
+def segmented_scatter_or(out: np.ndarray, idx: np.ndarray,
+                         words: np.ndarray) -> None:
+    """``out[idx] |= words`` with duplicate indices.
+
+    When ``idx`` is already non-decreasing — gathers that walk tiles in
+    storage order arrive sorted — equal destinations form runs, and one
+    ``np.bitwise_or.reduceat`` over the run starts plus a duplicate-free
+    scatter replaces the per-element merge, about 2.5x faster than
+    ``np.bitwise_or.at`` on the same input.  Unsorted destinations fall
+    back to ``np.bitwise_or.at`` directly: sorting them first costs more
+    than NumPy's indexed-loop scatter resolves (a stable 32-bit argsort
+    is timsort, ~10x the scatter itself on random keys).  OR is
+    commutative and idempotent, so both routes are identical bit for
+    bit.
+    """
+    if len(idx) == 0:
+        return
+    if len(idx) > 128 and np.all(idx[1:] >= idx[:-1]):
+        starts = group_starts(idx)
+        out[idx[starts]] |= np.bitwise_or.reduceat(words, starts)
+    else:
+        np.bitwise_or.at(out, idx, words)
 
 
 def bit_positions(local: np.ndarray, nt: int) -> np.ndarray:
@@ -131,14 +198,24 @@ class BitVector:
     # Mutators / queries
     # ------------------------------------------------------------------
     def set_indices(self, indices: np.ndarray) -> None:
-        """OR the bits of the given global indices into the vector."""
+        """OR the bits of the given global indices into the vector.
+
+        The merge runs through :func:`segmented_scatter_or`, which takes
+        the ``reduceat`` fast path when the indices arrive sorted (as
+        BFS frontier batches do); the result is identical either way.
+        """
         indices = np.asarray(indices, dtype=np.int64)
         if len(indices) == 0:
             return
         if indices.min() < 0 or indices.max() >= self.n:
             raise ShapeError(f"bit index out of range for length {self.n}")
-        np.bitwise_or.at(self.words, indices // self.nt,
-                         bit_positions(indices % self.nt, self.nt))
+        word_idx = indices // self.nt
+        bits = bit_positions(indices % self.nt, self.nt)
+        segmented_scatter_or(self.words, word_idx, bits)
+
+    def clear(self) -> None:
+        """Zero every bit in place (workspace reuse between BFS layers)."""
+        self.words[:] = _U64(0)
 
     def count(self) -> int:
         """Population count (number of set bits)."""
@@ -181,6 +258,12 @@ class BitVector:
     def __or__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
         return BitVector(self.n, self.nt, self.words | other.words)
+
+    def __ior__(self, other: "BitVector") -> "BitVector":
+        """In-place OR — the allocation-free ``m |= y`` of the BFS loop."""
+        self._check_compatible(other)
+        self.words |= other.words
+        return self
 
     def __and__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
@@ -340,8 +423,67 @@ class BitTiledMatrix:
     # ------------------------------------------------------------------
     def tile_majoridx(self) -> np.ndarray:
         """Major tile index (tile col for csc / tile row for csr) of each
-        stored tile."""
-        return expand_indptr(self.tile_ptr)
+        stored tile (cached — the seed Push-CSR re-expanded ``tile_ptr``
+        on every launch)."""
+        cached = getattr(self, "_tile_majoridx", None)
+        if cached is None:
+            cached = expand_indptr(self.tile_ptr)
+            self._tile_majoridx = cached
+        return cached
+
+    def column_view(self) -> "BitTiledMatrix":
+        """The column-compressed (csc) tiling of the same pattern
+        (cached).  The active-tile Push-CSR host execution walks tiles
+        by *tile column* — the grouping csc storage already has — so the
+        BFS plan attaches its A1 here via :meth:`attach_column_view` and
+        Push-CSR gathers exactly the tiles under non-zero frontier
+        words.  Without an attached sibling the view is rebuilt from the
+        pattern (plan-time cost, amortised across launches)."""
+        if self.orientation == "csc":
+            return self
+        cached = getattr(self, "_column_view", None)
+        if cached is None:
+            cached = BitTiledMatrix.from_coo(self.to_coo(), self.nt,
+                                             orientation="csc")
+            self._column_view = cached
+        return cached
+
+    def attach_column_view(self, csc: "BitTiledMatrix") -> None:
+        """Register an already-built csc tiling of the same pattern as
+        this matrix's :meth:`column_view` (the BFS plan holds both A1
+        and A2, so Push-CSR can reuse A1 instead of re-tiling)."""
+        if csc.orientation != "csc":
+            raise TileError("column view must be csc-oriented")
+        if csc.shape != self.shape or csc.nt != self.nt:
+            raise ShapeError(
+                f"column view mismatch: {csc.shape}/nt={csc.nt} vs "
+                f"{self.shape}/nt={self.nt}"
+            )
+        self._column_view = csc
+
+    def row_warp_count(self) -> float:
+        """Warps launched by the matrix-driven kernel: one per 32 stored
+        tiles of each major slot, at least one per occupied slot
+        (cached — a per-matrix constant the seed recomputed per
+        launch)."""
+        cached = getattr(self, "_row_warp_count", None)
+        if cached is None:
+            tiles_per_major = np.diff(self.tile_ptr)
+            cached = float((np.ceil(tiles_per_major / 32.0)).sum())
+            self._row_warp_count = cached
+        return cached
+
+    def full_mask_words(self) -> np.ndarray:
+        """The all-ones word template for vectors of length ``shape[0]``
+        (read-only, cached): ``full_mask_words() & ~m.words`` is the
+        Pull-CSC unvisited computation without the per-launch
+        ``BitVector.full`` scratch the seed allocated."""
+        cached = getattr(self, "_full_mask_words", None)
+        if cached is None:
+            cached = BitVector.full(self.shape[0], self.nt).words
+            cached.setflags(write=False)
+            self._full_mask_words = cached
+        return cached
 
     def tiles_of_major(self, j: int) -> np.ndarray:
         """Stored-tile indices in major slot ``j``."""

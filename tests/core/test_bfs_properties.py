@@ -1,0 +1,109 @@
+"""End-to-end BFS correctness properties of the active-tile engine.
+
+Every kernel, forced across a whole traversal via
+:meth:`KernelSelector.fixed`, with extraction on and off, must produce
+the exact level sets of the independent CPU oracle
+(:func:`repro.graphs.bfs_levels`) — on random graphs, disconnected
+graphs (unreachable vertices stay ``-1``) and power-law RMAT graphs.
+MS-BFS must agree with one single-source traversal per packed source.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KernelSelector, MultiSourceBFS, TileBFS
+from repro.formats import COOMatrix
+from repro.graphs import bfs_levels
+from repro.matrices.generators import rmat
+
+from ..conftest import random_graph_coo
+
+FORCED = ["push_csc", "push_csr", "pull_csc"]
+
+
+def disconnected_graph(seed=0):
+    """Two random components with no edges between them."""
+    a = random_graph_coo(40, avg_degree=4.0, seed=seed)
+    b = random_graph_coo(25, avg_degree=3.0, seed=seed + 1)
+    n = 40 + 25
+    row = np.concatenate([a.row, b.row + 40])
+    col = np.concatenate([a.col, b.col + 40])
+    return COOMatrix((n, n), row, col, np.ones(len(row)))
+
+
+@pytest.mark.parametrize("kernel", FORCED)
+@pytest.mark.parametrize("extract_threshold", [0, 2])
+def test_forced_kernel_matches_oracle(kernel, extract_threshold):
+    coo = random_graph_coo(130, avg_degree=5.0, seed=17)
+    bfs = TileBFS(coo, nt=8, selector=KernelSelector.fixed(kernel),
+                  extract_threshold=extract_threshold)
+    for source in (0, 64, 129):
+        res = bfs.run(source)
+        assert np.array_equal(res.levels, bfs_levels(coo, source))
+
+
+@pytest.mark.parametrize("kernel", FORCED)
+def test_forced_kernel_on_disconnected_graph(kernel):
+    coo = disconnected_graph(seed=3)
+    bfs = TileBFS(coo, nt=4, selector=KernelSelector.fixed(kernel))
+    res = bfs.run(0)
+    oracle = bfs_levels(coo, 0)
+    assert np.array_equal(res.levels, oracle)
+    # the second component must be untouched
+    assert (res.levels[40:] == -1).all()
+    assert (oracle[40:] == -1).all()
+
+
+@pytest.mark.parametrize("extract_threshold", [0, 2])
+def test_rmat_matches_oracle(extract_threshold):
+    coo = rmat(8, edge_factor=8, seed=5)
+    bfs = TileBFS(coo, extract_threshold=extract_threshold)
+    for source in (0, 100):
+        res = bfs.run(source)
+        assert np.array_equal(res.levels, bfs_levels(coo, source))
+
+
+@given(st.integers(10, 120), st.integers(0, 10**5),
+       st.floats(1.0, 8.0), st.sampled_from([2, 8, 32]))
+@settings(max_examples=25, deadline=None)
+def test_property_levels_match_oracle(n, seed, avg_degree, nt):
+    coo = random_graph_coo(n, avg_degree=avg_degree, seed=seed)
+    bfs = TileBFS(coo, nt=nt)
+    source = seed % n
+    assert np.array_equal(bfs.run(source).levels,
+                          bfs_levels(coo, source))
+
+
+@pytest.mark.parametrize("kernel", FORCED)
+def test_compute_parents_validity(kernel):
+    coo = random_graph_coo(110, avg_degree=5.0, seed=23)
+    bfs = TileBFS(coo, nt=8, selector=KernelSelector.fixed(kernel))
+    res = bfs.run(0)
+    parents = bfs.compute_parents(res)
+    dense = coo.to_dense() != 0
+    for v in range(110):
+        if res.levels[v] <= 0:          # source or unreachable
+            assert parents[v] == -1
+            continue
+        p = parents[v]
+        assert res.levels[p] == res.levels[v] - 1
+        assert dense[v, p]              # A[v, p] is the edge p -> v
+
+
+def test_msbfs_matches_per_source_runs():
+    coo = random_graph_coo(150, avg_degree=5.0, seed=31)
+    sources = [0, 7, 42, 149]
+    res = MultiSourceBFS(coo).run(sources)
+    bfs = TileBFS(coo)
+    for s in sources:
+        assert np.array_equal(res.levels_from(s), bfs.run(s).levels)
+        assert np.array_equal(res.levels_from(s), bfs_levels(coo, s))
+
+
+def test_msbfs_disconnected_sources():
+    coo = disconnected_graph(seed=8)
+    res = MultiSourceBFS(coo).run([0, 50])
+    assert (res.levels_from(0)[40:] == -1).all()
+    assert (res.levels_from(50)[:40] == -1).all()

@@ -1,0 +1,144 @@
+"""Unit tests for the plan-time gather structures behind the
+active-tile BFS kernels: the cached bit weights, the word packer, the
+segmented OR scatter and the Push-CSR column view."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, TileError
+from repro.tiles import BitTiledMatrix
+from repro.tiles.bitmask import (bit_weight_vector, pack_hit_words,
+                                 segmented_scatter_or)
+
+from ..conftest import random_coo, random_graph_coo
+
+
+class TestBitWeightVector:
+    @pytest.mark.parametrize("nt", [2, 4, 8, 16, 32, 64])
+    def test_msb_first_formula(self, nt):
+        w = bit_weight_vector(nt)
+        expected = np.array([1 << (nt - 1 - i) for i in range(nt)],
+                            dtype=np.uint64)
+        assert w.dtype == np.uint64
+        assert np.array_equal(w, expected)
+
+    def test_cached_instance(self):
+        assert bit_weight_vector(16) is bit_weight_vector(16)
+
+
+class TestPackHitWords:
+    @pytest.mark.parametrize("nt", [2, 8, 16, 32, 64])
+    def test_matches_weight_sum(self, nt):
+        rng = np.random.default_rng(nt)
+        hits = rng.random((37, nt)) < 0.3
+        packed = pack_hit_words(hits, nt)
+        expected = (hits * bit_weight_vector(nt)).sum(
+            axis=1, dtype=np.uint64)
+        assert packed.dtype == np.uint64
+        assert np.array_equal(packed, expected)
+
+    def test_empty(self):
+        assert len(pack_hit_words(np.zeros((0, 8), dtype=bool), 8)) == 0
+
+    def test_non_contiguous_input(self):
+        rng = np.random.default_rng(1)
+        buf = rng.random((20, 64)) < 0.5
+        view = buf[:11]
+        assert np.array_equal(pack_hit_words(view, 64),
+                              pack_hit_words(view.copy(), 64))
+
+
+class TestSegmentedScatterOr:
+    def scatter_cases(self):
+        rng = np.random.default_rng(7)
+        k = 500
+        words = rng.integers(0, 2**63, size=k, dtype=np.uint64)
+        unsorted_idx = rng.integers(0, 40, size=k, dtype=np.int64)
+        yield unsorted_idx, words                 # element-at-a-time path
+        yield np.sort(unsorted_idx), words        # reduceat fast path
+        yield unsorted_idx[:50], words[:50]       # below fast-path cutoff
+
+    def test_matches_bitwise_or_at(self):
+        for idx, words in self.scatter_cases():
+            got = np.zeros(40, dtype=np.uint64)
+            expected = got.copy()
+            segmented_scatter_or(got, idx, words)
+            np.bitwise_or.at(expected, idx, words)
+            assert np.array_equal(got, expected)
+
+    def test_accumulates_into_existing(self):
+        out = np.array([1, 2, 4], dtype=np.uint64)
+        segmented_scatter_or(out, np.array([0, 0, 2]),
+                             np.array([2, 8, 1], dtype=np.uint64))
+        assert np.array_equal(out, np.array([11, 2, 5], dtype=np.uint64))
+
+    def test_empty_noop(self):
+        out = np.array([3], dtype=np.uint64)
+        segmented_scatter_or(out, np.zeros(0, dtype=np.int64),
+                             np.zeros(0, dtype=np.uint64))
+        assert out[0] == 3
+
+
+class TestColumnView:
+    def test_csc_is_identity(self):
+        coo = random_graph_coo(60, avg_degree=4.0, seed=1)
+        a1 = BitTiledMatrix.from_coo(coo, 8, "csc")
+        assert a1.column_view() is a1
+
+    def test_csr_rebuilds_and_caches(self):
+        coo = random_coo(70, 70, density=0.05, seed=2)
+        a2 = BitTiledMatrix.from_coo(coo, 8, "csr")
+        view = a2.column_view()
+        assert view.orientation == "csc"
+        rebuilt = BitTiledMatrix.from_coo(coo, 8, "csc")
+        assert np.array_equal(view.words, rebuilt.words)
+        assert np.array_equal(view.tile_ptr, rebuilt.tile_ptr)
+        assert a2.column_view() is view
+
+    def test_attach_is_preferred(self):
+        coo = random_graph_coo(50, avg_degree=4.0, seed=3)
+        a1 = BitTiledMatrix.from_coo(coo, 8, "csc")
+        a2 = BitTiledMatrix.from_coo(coo, 8, "csr")
+        a2.attach_column_view(a1)
+        assert a2.column_view() is a1
+
+    def test_attach_rejects_wrong_orientation(self):
+        coo = random_graph_coo(50, avg_degree=4.0, seed=4)
+        a2 = BitTiledMatrix.from_coo(coo, 8, "csr")
+        with pytest.raises(TileError):
+            a2.attach_column_view(a2)
+
+    def test_attach_rejects_mismatched_shape_or_nt(self):
+        coo = random_graph_coo(50, avg_degree=4.0, seed=5)
+        a2 = BitTiledMatrix.from_coo(coo, 8, "csr")
+        with pytest.raises(ShapeError):
+            a2.attach_column_view(BitTiledMatrix.from_coo(coo, 16, "csc"))
+        other = random_graph_coo(34, avg_degree=4.0, seed=6)
+        with pytest.raises(ShapeError):
+            a2.attach_column_view(BitTiledMatrix.from_coo(other, 8, "csc"))
+
+
+class TestCachedLaunchConstants:
+    def test_tile_majoridx_cached_and_correct(self):
+        coo = random_graph_coo(80, avg_degree=4.0, seed=7)
+        a2 = BitTiledMatrix.from_coo(coo, 8, "csr")
+        idx = a2.tile_majoridx()
+        assert a2.tile_majoridx() is idx
+        expected = np.repeat(np.arange(len(a2.tile_ptr) - 1),
+                             np.diff(a2.tile_ptr))
+        assert np.array_equal(idx, expected)
+
+    def test_row_warp_count(self):
+        coo = random_graph_coo(80, avg_degree=4.0, seed=8)
+        a2 = BitTiledMatrix.from_coo(coo, 8, "csr")
+        per_row = np.diff(a2.tile_ptr)
+        assert a2.row_warp_count() == float(
+            np.ceil(per_row / 32.0).sum())
+
+    def test_full_mask_words_read_only(self):
+        coo = random_graph_coo(80, avg_degree=4.0, seed=9)
+        a1 = BitTiledMatrix.from_coo(coo, 8, "csc")
+        words = a1.full_mask_words()
+        assert a1.full_mask_words() is words
+        with pytest.raises(ValueError):
+            words[0] = 0
