@@ -81,6 +81,13 @@ def main(argv=None) -> int:
     print(f"{'msbfs':>10} end-to-end ({s['sources']} sources): "
           f"{s['ref_ms']:.3f} -> {s['new_ms']:.3f} ms "
           f"= {s['speedup']:.1f}x")
+    print("Batched engine (coalesced union launch vs looped singles):")
+    print(f"{'batch':>6} {'density':>9} {'loop ms':>9} {'batch ms':>9} "
+          f"{'speedup':>8} {'bytes':>7}")
+    for r in result["batched"]:
+        print(f"{r['batch']:>6} {r['density']:>9g} {r['ref_ms']:>9.3f} "
+              f"{r['new_ms']:>9.3f} {r['speedup']:>7.1f}x "
+              f"{r['bytes_ratio']:>6.2f}x")
     print(f"wrote {args.out}")
     return 0
 

@@ -6,7 +6,10 @@ run) against a committed baseline and fails when any speedup shared by
 both drops below ``--floor`` (default 0.6) times its recorded value.
 Speedup *ratios* are compared, not raw milliseconds, so the guard
 holds across host machines of different speed; labels present on only
-one side are ignored so new benchmark rows can land without churn.
+one side are ignored so new benchmark rows can land without churn —
+but a whole report *section* recorded in the baseline and missing from
+the current report fails hard (a bench run that silently dropped a
+workload must not pass).
 
 Usage::
 
@@ -44,12 +47,16 @@ def main(argv=None) -> int:
     committed = json.loads(args.committed.read_text(encoding="utf-8"))
     failures = check_regression(current, committed, floor=args.floor)
     if failures:
-        print(f"wall-clock regression: {len(failures)} speedup(s) below "
-              f"{args.floor:g}x their committed value")
+        print(f"wall-clock regression: {len(failures)} failure(s) vs "
+              f"the committed baseline (floor {args.floor:g}x)")
         for f in failures:
-            print(f"  {f['label']}: {f['current_speedup']:.2f}x < "
-                  f"{f['floor']:.2f}x "
-                  f"(committed {f['committed_speedup']:.2f}x)")
+            if f.get("missing"):
+                print(f"  {f['label']}: present in the committed "
+                      f"baseline but missing from the current report")
+            else:
+                print(f"  {f['label']}: {f['current_speedup']:.2f}x < "
+                      f"{f['floor']:.2f}x "
+                      f"(committed {f['committed_speedup']:.2f}x)")
         return 1
     print(f"no wall-clock regressions vs {args.committed.name} "
           f"(floor {args.floor:g}x)")

@@ -32,8 +32,9 @@ from ..core.reference_bfs_kernels import (reference_msbfs_expand,
 from ..core.reference_kernels import (reference_batched_tiled_kernel,
                                       reference_csc_tiled_kernel,
                                       reference_tiled_kernel)
-from ..core.spmspv_kernels import (batched_tiled_kernel, csc_tiled_kernel,
-                                   tiled_kernel)
+from ..core.spmspv_kernels import (batched_tiled_kernel,
+                                   batched_union_kernel,
+                                   csc_tiled_kernel, tiled_kernel)
 from ..core.tilebfs import TileBFS
 from ..gpusim import KernelCounters
 from ..matrices.generators import rmat
@@ -328,6 +329,37 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
     seed_run = _seed_tilebfs_ms(bfs_op, source=0, repeats=repeats)
     assert np.array_equal(res.levels, seed_run["levels"])
 
+    say("batched engine: coalesced union launch vs looped singles")
+    batch_sizes = (batch,) if smoke else (batch, batch * 4)
+    batched_rows = []
+    for bsize in batch_sizes:
+        for density in densities:
+            xs = [_frontier(n, density, nt, rng) for _ in range(bsize)]
+            say(f"batched b={bsize} density={density:g}")
+            Yb, cb = batched_union_kernel(A, xs)
+            loop_counters = []
+            for b, xt in enumerate(xs):
+                y, c = tiled_kernel(A, xt)
+                assert np.array_equal(Yb[b], y), "batched != looped"
+                loop_counters.append(c)
+            looped_bytes = KernelCounters.sum(loop_counters).global_bytes
+            new_ms = _best_ms(lambda: batched_union_kernel(A, xs),
+                              repeats)
+            ref_ms = _best_ms(
+                lambda: [tiled_kernel(A, xt) for xt in xs], repeats)
+            batched_rows.append({
+                "batch": bsize,
+                "density": density,
+                "ref_ms": ref_ms,
+                "new_ms": new_ms,
+                "speedup": ref_ms / new_ms if new_ms > 0
+                           else float("inf"),
+                "batched_bytes": cb.global_bytes,
+                "looped_bytes": looped_bytes,
+                "bytes_ratio": (cb.global_bytes / looped_bytes
+                                if looped_bytes > 0 else 1.0),
+            })
+
     say("MS-BFS end to end")
     ms_op = MultiSourceBFS(coo)
     ms_sources = rng.choice(A.shape[0], size=min(64, A.shape[0]),
@@ -374,6 +406,7 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
             "speedup": (msbfs_ref / msbfs_new
                         if msbfs_new > 0 else float("inf")),
         },
+        "batched": batched_rows,
     }
 
 
@@ -382,6 +415,14 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
 #: wobbles by tens of percent run to run); the regression guard skips
 #: them rather than flake.
 NOISE_FLOOR_MS = 0.25
+
+#: Report sections the regression guard knows about.  A section present
+#: in the committed baseline but absent from the current report is a
+#: hard failure: the guard used to pass silently on such reports, which
+#: let a bench run that lost a whole workload (crash, harness rename)
+#: look like a clean bill of health.
+KNOWN_SECTIONS = ("multiply", "bfs", "bfs_kernels", "tilebfs", "msbfs",
+                  "batched")
 
 
 def _speedup_entries(report: Dict) -> Dict[str, tuple]:
@@ -403,6 +444,9 @@ def _speedup_entries(report: Dict) -> Dict[str, tuple]:
         entries[(f"bfs_kernels/{row['kernel']}@{row['density']:g}"
                  f"/v{row['visited_fraction']:g}")] = \
             (row["speedup"], min_ms(row))
+    for row in report.get("batched", ()):
+        entries[f"batched/b{row['batch']}@{row['density']:g}"] = \
+            (row["speedup"], min_ms(row))
     for section in ("bfs", "tilebfs", "msbfs"):
         if section in report:
             entries[section] = (report[section]["speedup"],
@@ -421,10 +465,19 @@ def check_regression(current: Dict, committed: Dict, floor: float = 0.6,
     either report (micro rows whose speedup is timer noise); ratios of
     speedups are compared rather than raw milliseconds so the guard is
     stable across host machines of different speed.
+
+    A whole :data:`KNOWN_SECTIONS` section recorded in ``committed``
+    but missing from ``current`` is itself a failure (entry
+    ``{"label": "section:<name>", "missing": True}``): a report that
+    silently dropped a workload must not pass the guard.
     """
     cur = _speedup_entries(current)
     ref = _speedup_entries(committed)
     failures = []
+    for section in KNOWN_SECTIONS:
+        if section in committed and section not in current:
+            failures.append({"label": f"section:{section}",
+                             "missing": True})
     for label in sorted(set(cur) & set(ref)):
         cur_s, cur_ms = cur[label]
         ref_s, ref_ms = ref[label]

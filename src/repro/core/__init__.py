@@ -6,6 +6,8 @@ Public entry points:
   matrix-sparse vector multiply over tiled storage;
 * :class:`TileBFS` / :func:`tile_bfs` — directional-optimization BFS
   over bitmask tiles;
+* :class:`BatchedSpMSpV` — one matrix against many sparse vectors in a
+  single coalesced launch (the MS-BFS amortisation as an operator);
 * :class:`KernelSelector` — the K1/K2/K3 switching policy (ablation
   hooks for Figure 9).
 """
@@ -22,15 +24,19 @@ from .reference_kernels import (reference_batched_tiled_kernel,
                                 reference_coo_side_kernel,
                                 reference_csc_tiled_kernel,
                                 reference_tiled_kernel)
-from .spmspv import TileSpMSpV, tile_spmspv
-from .spmspv_kernels import (batched_tiled_kernel, coo_side_kernel,
-                             csc_tiled_kernel, tiled_kernel)
+from .batched import BatchedSpMSpV
+from .spmspv import TileSpMSpV, as_tiled_vector, tile_spmspv
+from .spmspv_kernels import (batched_tiled_kernel, batched_union_kernel,
+                             coo_side_kernel, csc_tiled_kernel,
+                             tiled_kernel)
 from .msbfs import MSBFSResult, MultiSourceBFS, msbfs_expand
 from .tilebfs import BFSResult, IterationRecord, TileBFS, tile_bfs
 
 __all__ = [
-    "TileSpMSpV", "tile_spmspv", "tiled_kernel", "csc_tiled_kernel",
+    "TileSpMSpV", "tile_spmspv", "as_tiled_vector",
+    "tiled_kernel", "csc_tiled_kernel",
     "batched_tiled_kernel", "coo_side_kernel",
+    "BatchedSpMSpV", "batched_union_kernel",
     "reference_tiled_kernel", "reference_csc_tiled_kernel",
     "reference_batched_tiled_kernel", "reference_coo_side_kernel",
     "TileBFS", "tile_bfs", "BFSResult", "IterationRecord",

@@ -1,0 +1,206 @@
+"""The batched multi-vector SpMSpV engine (request coalescing).
+
+The paper's MS-BFS section (§3.4) shows where tile skipping pays off
+most: one stored matrix amortised over many concurrent sparse vectors.
+:class:`BatchedSpMSpV` is that idea as a first-class operator — it
+multiplies one tiled matrix against a batch of ``B`` sparse vectors in
+a **single logical launch** through
+:func:`~repro.core.spmspv_kernels.batched_union_kernel`:
+
+* the union of the batch's active tile columns is computed once;
+* each stored tile in the union streams its payload from global memory
+  once and is applied to every vector that activates it;
+* the modeled counters charge shared tile loads once per batch instead
+  of once per vector (the *shared-load discount*), so modeled bytes
+  moved per batch are strictly below ``B`` times the single-vector
+  cost whenever vectors share tiles.
+
+Per vector, results are byte-identical to looping
+:class:`~repro.core.TileSpMSpV` — enforced by
+``tests/core/test_batched_engine.py`` across a shape × density ×
+semiring × batch-size grid.  The engine shares its preprocessing plan
+(hybrid tiling + indexed COO side) with ``TileSpMSpV`` through the
+PR-1 plan cache, so building both over one matrix tiles it once.
+
+The request-coalescing scheduler that feeds this engine lives in
+:class:`repro.runtime.BatchQueue`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ShapeError, TileError
+from ..formats.coo import COOMatrix
+from ..gpusim import Device
+from ..runtime import ExecutionContext, PlanCache, default_plan_cache, \
+    matrix_token
+from ..semiring import PLUS_TIMES, Semiring
+from ..tiles.extraction import HybridTiledMatrix
+from ..tiles.tiled_matrix import TiledMatrix
+from ..tiles.tiled_vector import SUPPORTED_TILE_SIZES
+from ..vectors.sparse_vector import SparseVector
+from .spmspv import VectorLike, _build_spmspv_plan, _spmspv_plan, \
+    as_tiled_vector
+from .spmspv_kernels import batched_union_kernel, coo_side_kernel
+
+__all__ = ["BatchedSpMSpV"]
+
+
+class BatchedSpMSpV:
+    """Prepared batched SpMSpV operator for one sparse matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Any library sparse matrix, or an already-built
+        :class:`~repro.tiles.extraction.HybridTiledMatrix` /
+        :class:`~repro.tiles.tiled_matrix.TiledMatrix`.
+    nt:
+        Tile size (16/32/64 per the paper; small powers of two for
+        testing).
+    extract_threshold:
+        Very-sparse-tile COO extraction threshold (paper §3.2.1).
+    semiring:
+        The ``(add, mul)`` algebra applied to every vector of a batch.
+    device:
+        Optional simulated GPU (or a shared
+        :class:`~repro.runtime.ExecutionContext`).
+    plan_cache:
+        Plan cache override; defaults to the process-wide cache.  The
+        key matches ``TileSpMSpV(mode="csr")`` over the same matrix, so
+        the two operators share one tiling.
+    """
+
+    def __init__(self, matrix, nt: int = 16, extract_threshold: int = 2,
+                 semiring: Semiring = PLUS_TIMES,
+                 device: Optional[Device] = None,
+                 plan_cache: Optional[PlanCache] = None):
+        if nt not in SUPPORTED_TILE_SIZES:
+            raise TileError(
+                f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
+            )
+        self.semiring = semiring
+        self.ctx = ExecutionContext.wrap(device, operator="batched_spmspv")
+        if isinstance(matrix, HybridTiledMatrix):
+            self._plan = _spmspv_plan(matrix)
+        elif isinstance(matrix, TiledMatrix):
+            self._plan = _spmspv_plan(HybridTiledMatrix(
+                tiled=matrix,
+                side=COOMatrix.empty(matrix.shape),
+                threshold=0,
+            ))
+        else:
+            cache = plan_cache if plan_cache is not None \
+                else default_plan_cache()
+            # same key as TileSpMSpV(mode="csr"): one tiling serves both
+            key = ("tilespmspv", matrix_token(matrix), nt,
+                   extract_threshold, semiring, "csr")
+            self._plan = cache.get_or_build(
+                key,
+                lambda: _build_spmspv_plan(matrix, nt, extract_threshold,
+                                           key),
+                pin=matrix)
+        self.hybrid = self._plan.data["hybrid"]
+        self._side_index = self._plan.data["side_index"]
+
+    # ------------------------------------------------------------------
+    @property
+    def device(self) -> Optional[Device]:
+        """The attached simulated GPU (held by the launch context)."""
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("batched_spmspv")
+        else:
+            self.ctx.device = device
+
+    @property
+    def shape(self):
+        return self.hybrid.shape
+
+    @property
+    def nt(self) -> int:
+        return self.hybrid.nt
+
+    @property
+    def nnz(self) -> int:
+        return self.hybrid.nnz
+
+    # ------------------------------------------------------------------
+    def sparsify(self, y_dense: np.ndarray) -> SparseVector:
+        """Extract one dense accumulator row into a
+        :class:`SparseVector` (the same identity-dropping extraction
+        the single-vector path performs)."""
+        occupied = ~self.semiring.is_identity(y_dense)
+        idx = np.flatnonzero(occupied)
+        return SparseVector(self.shape[0], idx, y_dense[idx])
+
+    def multiply_batch(self, xs: Sequence[VectorLike],
+                       output: str = "sparse",
+                       tag: Optional[str] = None,
+                       ) -> Union[List[SparseVector], np.ndarray]:
+        """Compute ``y_b = A x_b`` for every vector of the batch in one
+        coalesced launch.
+
+        Parameters
+        ----------
+        xs:
+            Non-empty sequence of vectors (any form
+            :meth:`TileSpMSpV.multiply` accepts), all of length
+            ``A.shape[1]``.
+        output:
+            ``"sparse"`` (default) → list of :class:`SparseVector`;
+            ``"dense"`` → one ``(B, m)`` ndarray.
+        tag:
+            Optional tag forwarded to the launch records (the
+            :class:`~repro.runtime.BatchQueue` stamps its batch id
+            here so traces attribute launches to batches).
+        """
+        if output not in ("sparse", "dense"):
+            raise ShapeError(f"unknown output mode {output!r}")
+        fill = float(self.semiring.add_identity)
+        xts = [as_tiled_vector(x, self.nt, fill) for x in xs]
+        for xt in xts:
+            if xt.n != self.shape[1]:
+                raise ShapeError(
+                    f"SpMSpV shape mismatch: A is {self.shape}, "
+                    f"x has length {xt.n}"
+                )
+        Y, counters = batched_union_kernel(self.hybrid.tiled, xts,
+                                           semiring=self.semiring)
+        self.ctx.launch("batched_spmspv_union", counters, phase="batch",
+                        tag=tag)
+        if self.hybrid.side.nnz:
+            # the extracted COO side has no tile reuse to coalesce:
+            # one per-entry launch per vector, exactly the single path
+            for b, xt in enumerate(xts):
+                _, side_counters = coo_side_kernel(
+                    self._side_index, xt, semiring=self.semiring,
+                    y_dense=Y[b])
+                self.ctx.launch("batched_spmspv_coo_side", side_counters,
+                                phase="batch", tag=tag)
+        if output == "dense":
+            return Y
+        return [self.sparsify(Y[b]) for b in range(Y.shape[0])]
+
+    def multiply(self, x: VectorLike, output: str = "sparse"):
+        """Single-vector convenience: a batch of one.
+
+        With ``B = 1`` the union *is* the vector's active set, so the
+        result and counters are byte-identical to the single-vector
+        kernel — the property the batch-size-1 tests pin down.
+        """
+        result = self.multiply_batch([x], output="dense" if
+                                     output == "dense" else "sparse")
+        return result[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<BatchedSpMSpV {self.shape} nt={self.nt} "
+                f"tiles={self.hybrid.tiled.n_nonempty_tiles} "
+                f"side_nnz={self.hybrid.side.nnz} "
+                f"semiring={self.semiring.name}>")

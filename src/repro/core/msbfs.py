@@ -11,6 +11,16 @@ sketches) affordable.
 The expansion is vector-driven over CSC like Push-CSC: only vertices
 whose frontier word is non-empty push, and a vertex is retired from the
 frontier once every source has seen it.
+
+Two engines drive the same level-synchronous traversal:
+
+* ``engine="words"`` (default) — the word-packed expansion above; at
+  most 64 sources per run (one bit each);
+* ``engine="batched"`` — each source's frontier rides one 0/1-valued
+  sparse vector through the coalesced batched SpMSpV engine
+  (:class:`~repro.core.batched.BatchedSpMSpV`): any number of sources,
+  each round is one union launch over the whole batch, and the levels
+  are identical to the words engine.
 """
 
 from __future__ import annotations
@@ -99,11 +109,24 @@ class MultiSourceBFS:
         Square sparse pattern (values ignored).
     device:
         Optional simulated GPU.
+    engine:
+        ``"words"`` (default) — the 64-bit word-packed expansion,
+        at most :data:`WORD_SOURCES` sources per run; ``"batched"`` —
+        frontiers ride the coalesced batched SpMSpV engine, any number
+        of sources per run.
+    nt:
+        Tile size of the batched engine (ignored by ``"words"``).
     """
 
-    def __init__(self, matrix, device: Optional[Device] = None):
+    def __init__(self, matrix, device: Optional[Device] = None,
+                 engine: str = "words", nt: int = 16):
         from ..formats.base import SparseMatrix
 
+        if engine not in ("words", "batched"):
+            raise ShapeError(
+                f"unknown MS-BFS engine {engine!r}; "
+                f"expected 'words' or 'batched'"
+            )
         if isinstance(matrix, SparseMatrix):
             coo = matrix.to_coo()
         else:
@@ -114,8 +137,21 @@ class MultiSourceBFS:
             )
         self.n = coo.shape[0]
         self.nnz = coo.nnz
-        self.csc = coo.to_csc()
+        self.engine = engine
         self.ctx = ExecutionContext.wrap(device, operator="msbfs")
+        if engine == "batched":
+            from .batched import BatchedSpMSpV
+
+            # traversal only needs the pattern: all-ones values make
+            # y = A x count frontier in-neighbours (>=1 means reached),
+            # matching the word engine's push direction exactly
+            pattern = COOMatrix(coo.shape, coo.row, coo.col,
+                                np.ones(coo.nnz)).canonicalize()
+            self._spmspv = BatchedSpMSpV(pattern, nt=nt, device=self.ctx)
+            self.csc = None
+        else:
+            self.csc = coo.to_csc()
+            self._spmspv = None
 
     # ------------------------------------------------------------------
     @property
@@ -129,23 +165,33 @@ class MultiSourceBFS:
             self.ctx = device.scoped("msbfs")
         else:
             self.ctx.device = device
+        if self._spmspv is not None:
+            self._spmspv.device = self.ctx
 
     # ------------------------------------------------------------------
     def run(self, sources: Sequence[int],
             max_depth: Optional[int] = None) -> MSBFSResult:
-        """Traverse from up to 64 sources simultaneously."""
+        """Traverse from many sources simultaneously.
+
+        The ``"words"`` engine packs up to 64 sources into one machine
+        word; the ``"batched"`` engine takes any number of sources (one
+        coalesced SpMSpV launch per round for the whole batch).  Both
+        produce identical level arrays.
+        """
         sources = np.asarray(list(sources), dtype=np.int64)
         if len(sources) == 0:
             raise ShapeError("MS-BFS needs at least one source")
-        if len(sources) > WORD_SOURCES:
-            raise ShapeError(
-                f"MS-BFS packs at most {WORD_SOURCES} sources per run, "
-                f"got {len(sources)}"
-            )
         if len(np.unique(sources)) != len(sources):
             raise ShapeError("MS-BFS sources must be distinct")
         if sources.min() < 0 or sources.max() >= self.n:
             raise ShapeError(f"source out of range for n={self.n}")
+        if self.engine == "batched":
+            return self._run_batched(sources, max_depth)
+        if len(sources) > WORD_SOURCES:
+            raise ShapeError(
+                f"MS-BFS packs at most {WORD_SOURCES} sources per run, "
+                f"got {len(sources)} (engine='batched' lifts the limit)"
+            )
         k = len(sources)
 
         visited = np.zeros(self.n, dtype=_U64)
@@ -181,6 +227,50 @@ class MultiSourceBFS:
                 levels[b, hit] = depth
             visited |= new
             frontier = new
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_batched(self, sources: np.ndarray,
+                     max_depth: Optional[int]) -> MSBFSResult:
+        """Level-synchronous traversal over the batched SpMSpV engine:
+        one 0/1-valued sparse frontier per source, one coalesced union
+        launch per round for the whole batch."""
+        from ..vectors.sparse_vector import SparseVector
+
+        k = len(sources)
+        visited = np.zeros((k, self.n), dtype=bool)
+        visited[np.arange(k), sources] = True
+        levels = np.full((k, self.n), -1, dtype=np.int64)
+        levels[np.arange(k), sources] = 0
+        frontiers = [np.array([s], dtype=np.int64) for s in sources]
+
+        result = MSBFSResult(sources=sources, levels=levels)
+        depth = 0
+        start_ms = self.ctx.elapsed_ms
+        while True:
+            if max_depth is not None and depth >= max_depth:
+                break
+            depth += 1
+            live = [b for b in range(k) if len(frontiers[b])]
+            if not live:
+                break
+            xs = [SparseVector(self.n, frontiers[b],
+                               np.ones(len(frontiers[b])))
+                  for b in live]
+            Y = self._spmspv.multiply_batch(xs, output="dense",
+                                            tag=f"round={depth}")
+            result.iterations += 1
+            any_new = False
+            for i, b in enumerate(live):
+                new = np.flatnonzero((Y[i] != 0) & ~visited[b])
+                frontiers[b] = new
+                if len(new):
+                    any_new = True
+                    levels[b, new] = depth
+                    visited[b, new] = True
+            if not any_new:
+                break
+        result.simulated_ms = self.ctx.elapsed_ms - start_ms
         return result
 
     # ------------------------------------------------------------------

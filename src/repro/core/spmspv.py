@@ -33,9 +33,29 @@ from ..tiles.tiled_vector import SUPPORTED_TILE_SIZES, TiledVector
 from ..vectors.sparse_vector import SparseVector
 from .spmspv_kernels import coo_side_kernel, csc_tiled_kernel, tiled_kernel
 
-__all__ = ["TileSpMSpV", "tile_spmspv"]
+__all__ = ["TileSpMSpV", "tile_spmspv", "as_tiled_vector"]
 
 VectorLike = Union[SparseVector, TiledVector, np.ndarray]
+
+
+def as_tiled_vector(x: VectorLike, nt: int, fill: float) -> TiledVector:
+    """Coerce any accepted vector form into a :class:`TiledVector`.
+
+    ``fill`` is the semiring's additive identity (the "no entry"
+    sentinel of unoccupied tile slots).  Shared by every operator that
+    feeds the tiled kernels — :class:`TileSpMSpV` and the batched
+    engine in :mod:`repro.core.batched`.
+    """
+    if isinstance(x, TiledVector):
+        if x.nt != nt:
+            raise ShapeError(
+                f"vector tile size {x.nt} != matrix tile size {nt}"
+            )
+        return x
+    if isinstance(x, SparseVector):
+        return TiledVector.from_sparse(x.indices, x.values, x.n, nt,
+                                       fill=fill)
+    return TiledVector.from_dense(np.asarray(x), nt, fill=fill)
 
 
 class TileSpMSpV:
@@ -144,18 +164,8 @@ class TileSpMSpV:
 
     # ------------------------------------------------------------------
     def _as_tiled_vector(self, x: VectorLike) -> TiledVector:
-        fill = float(self.semiring.add_identity)
-        if isinstance(x, TiledVector):
-            if x.nt != self.nt:
-                raise ShapeError(
-                    f"vector tile size {x.nt} != matrix tile size {self.nt}"
-                )
-            return x
-        if isinstance(x, SparseVector):
-            return TiledVector.from_sparse(x.indices, x.values, x.n,
-                                           self.nt, fill=fill)
-        x = np.asarray(x)
-        return TiledVector.from_dense(x, self.nt, fill=fill)
+        return as_tiled_vector(x, self.nt,
+                               float(self.semiring.add_identity))
 
     def _transposed(self) -> TiledMatrix:
         """The CSC-of-tiles view: the tiling of A^T (built lazily,
@@ -267,19 +277,7 @@ class TileSpMSpV:
             raise ShapeError(f"unknown output mode {output!r}")
         At = self._transposed_full()
         fill = float(self.semiring.add_identity)
-        if isinstance(x, TiledVector):
-            xt = x
-            if xt.nt != self.nt:
-                raise ShapeError(
-                    f"vector tile size {xt.nt} != matrix tile size "
-                    f"{self.nt}"
-                )
-        elif isinstance(x, SparseVector):
-            xt = TiledVector.from_sparse(x.indices, x.values, x.n,
-                                         self.nt, fill=fill)
-        else:
-            xt = TiledVector.from_dense(np.asarray(x), self.nt,
-                                        fill=fill)
+        xt = as_tiled_vector(x, self.nt, fill)
         if xt.n != self.shape[0]:
             raise ShapeError(
                 f"transpose SpMSpV shape mismatch: A^T is "

@@ -50,7 +50,7 @@ from ..tiles.tiled_matrix import TiledMatrix
 from ..tiles.tiled_vector import TiledVector
 
 __all__ = ["tiled_kernel", "csc_tiled_kernel", "batched_tiled_kernel",
-           "coo_side_kernel"]
+           "batched_union_kernel", "coo_side_kernel"]
 
 
 def _lane_utilization(nnz_per_active_tile: np.ndarray, warp: int = 32) -> float:
@@ -281,6 +281,145 @@ def batched_tiled_kernel(A: TiledMatrix, xs, semiring: Semiring = PLUS_TIMES
         1.0, float(max(total_active_rows, A.n_occupied_tile_rows())))
     if utilizations:
         counters.divergence = float(np.mean(utilizations))
+    counters.check()
+    return Y, counters
+
+
+def batched_union_kernel(A: TiledMatrix, xs, semiring: Semiring = PLUS_TIMES
+                         ) -> Tuple[np.ndarray, KernelCounters]:
+    """Coalesced batched Algorithm 4: one launch, one payload pass.
+
+    Where :func:`batched_tiled_kernel` amortises only the tile-metadata
+    scan, this kernel also coalesces the *payload*: the union of the
+    batch's active tile columns is computed once, every stored tile in
+    that union streams its entries from global memory **once**, and the
+    staged tile is applied to each vector that activates it (the
+    multi-source trick of :func:`~repro.core.msbfs.msbfs_expand`,
+    generalised from the bitmask-AND semiring to arbitrary semirings).
+
+    Per vector, the computed result is **byte-identical** to
+    :func:`tiled_kernel` on the same input: the union gather preserves
+    ascending stored entry order, each vector's subset selection
+    preserves it again, and the merge folds through the same
+    :meth:`~repro.semiring.Semiring.scatter_merge` on a fresh
+    accumulator row.
+
+    Counter contract — the *shared-load discount* (see the developer
+    guide, "Batched execution & CI pipeline").  Relative to summing the
+    counters of ``k`` single-vector :func:`tiled_kernel` launches:
+
+    * the tile-metadata scan (``n_nonempty_tiles * 16`` coalesced bytes)
+      is charged once per batch, not once per vector;
+    * tile payload (``(8 + idx_bytes)`` per entry) is charged once per
+      **union** entry, not once per (vector, entry) pair;
+    * ``launches`` is 1 and ``warps`` is one grid (one warp per occupied
+      row tile serving the whole batch); ``divergence`` is the lane
+      utilization over the union tile set;
+    * every genuinely per-vector cost is unchanged: the ``k`` ``x_ptr``
+      probes per stored tile (L2), per-vector x-tile staging
+      (L2 + shared), flops, warp-shuffle word ops, and per-vector
+      result-tile writes.
+
+    Returns ``(Y, counters)`` with ``Y`` a dense ``(k, m)`` accumulator.
+    """
+    k = len(xs)
+    if k == 0:
+        raise ShapeError("batched SpMSpV needs at least one vector")
+    nt = A.nt
+    m = A.shape[0]
+    for x in xs:
+        if x.n != A.shape[1]:
+            raise ShapeError(
+                f"SpMSpV shape mismatch: A is {A.shape}, "
+                f"x has length {x.n}"
+            )
+        if x.nt != nt:
+            raise ShapeError(
+                f"tile size mismatch: matrix nt={nt}, vector nt={x.nt}"
+            )
+
+    Y = np.full((k, m), semiring.add_identity, dtype=semiring.dtype)
+    counters = KernelCounters(launches=1)
+    # metadata scan once per batch; every vector's x_ptr is probed per
+    # stored tile (the k activity tests stay per-vector)
+    counters.coalesced_read_bytes += A.n_nonempty_tiles * 16.0
+    counters.l2_read_bytes += A.n_nonempty_tiles * 8.0 * k
+
+    # --- the union of active tile columns, computed once per batch
+    gather = A.column_gather()
+    active_any = np.zeros(A.n_tile_cols, dtype=bool)
+    for x in xs:
+        active_any |= x.x_ptr >= 0
+    union_cols = np.flatnonzero(active_any)
+    ptr = gather.coltile_tile_ptr
+    n_union = int((ptr[union_cols + 1] - ptr[union_cols]).sum())
+    if n_union == 0:
+        counters.warps = max(1.0, A.n_tile_rows)
+        return Y, counters
+
+    # --- gather the union payload ONCE (same three regimes as the
+    # single-vector kernel, driven by the union activity; `tiles` is
+    # ascending in every regime, so entries keep stored order)
+    tile_nnz = A.tile_nnz()
+    if n_union == A.n_nonempty_tiles:
+        tiles = np.arange(A.n_nonempty_tiles, dtype=np.int64)
+        u_vals = A.values
+        u_lcol = A.local_col64()
+        u_grow = A.entry_rows()
+    else:
+        if 4 * n_union >= A.n_nonempty_tiles:
+            tile_mask = active_any[A.tile_colidx]
+            tiles = np.flatnonzero(tile_mask)
+            entry_sel = np.repeat(tile_mask, tile_nnz)
+        else:
+            tiles = gather.active_tiles(union_cols)
+            entry_sel = gather_ranges(A.tile_nnz_ptr, tiles)
+        u_vals = A.values[entry_sel]
+        u_lcol = A.local_col64()[entry_sel]
+        u_grow = A.entry_rows()[entry_sel]
+    u_nnz_t = tile_nnz[tiles]
+    u_colidx = A.tile_colidx[tiles]
+    u_rowidx = A.tile_rowidx()[tiles]
+    u_tile_of_entry = np.repeat(np.arange(len(tiles), dtype=np.int64),
+                                u_nnz_t)
+
+    idx_bytes = A.index_bytes_per_entry()
+    # the shared-load discount: union payload streams in once per batch
+    counters.coalesced_read_bytes += len(u_vals) * (8.0 + idx_bytes)
+
+    # --- apply the staged union to every vector that activates it
+    for b, x in enumerate(xs):
+        sub = x.x_ptr[u_colidx] >= 0
+        n_active = int(sub.sum())
+        if n_active == 0:
+            continue
+        if n_active == len(tiles):
+            vals, lcol, grow = u_vals, u_lcol, u_grow
+            nnz_t = u_nnz_t
+            x_off_tiles = x.x_ptr[u_colidx]
+            rowidx_act = u_rowidx
+        else:
+            entry_sub = sub[u_tile_of_entry]
+            vals = u_vals[entry_sub]
+            lcol = u_lcol[entry_sub]
+            grow = u_grow[entry_sub]
+            nnz_t = u_nnz_t[sub]
+            x_off_tiles = x.x_ptr[u_colidx[sub]]
+            rowidx_act = u_rowidx[sub]
+        xv = x.x_tile[np.repeat(x_off_tiles, nnz_t) * nt + lcol]
+        products = semiring.mul(vals, xv)
+        semiring.scatter_merge(Y[b], grow, products)
+
+        # per-vector (non-shared) accounting
+        counters.l2_read_bytes += n_active * nt * 8.0
+        counters.shared_bytes += n_active * nt * 8.0
+        counters.flops += 2.0 * len(vals)
+        counters.word_ops += n_active * 5.0
+        counters.coalesced_write_bytes += \
+            len(np.unique(rowidx_act)) * nt * 8.0
+
+    counters.warps = float(max(1, A.n_occupied_tile_rows()))
+    counters.divergence = _lane_utilization(u_nnz_t)
     counters.check()
     return Y, counters
 

@@ -129,3 +129,15 @@ class KernelCounters:
         for rec in records:
             total = total.merged(rec)
         return total
+
+    def delta(self, other: "KernelCounters") -> dict:
+        """Field-wise ``self - other`` as a plain dict.
+
+        Differences may be negative, which a :class:`KernelCounters`
+        instance is not allowed to hold — so this returns a dict, not a
+        record.  Used to quantify the batched engine's shared-load
+        discount (bytes and launches a coalesced batch saves over
+        looping the single-vector kernel).
+        """
+        return {f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)}

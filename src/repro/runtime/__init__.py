@@ -20,8 +20,13 @@ every operator in the repo — core algorithms and baselines alike:
 * the operator registry — maps names like ``"tilespmspv"`` or
   ``"enterprise"`` to factories, so the bench harness and the CLI
   dispatch by name instead of hard-coded imports.
+* :class:`BatchQueue` — request coalescing in front of the batched
+  multi-vector engine: enqueue ``(vector, semiring)`` requests against
+  one matrix handle, dispatch compatible groups through a single
+  coalesced launch under size/latency budgets.
 """
 
+from .batch_queue import BatchQueue, BatchTicket
 from .context import ExecutionContext
 from .plan import (OperatorPlan, PlanCache, default_plan_cache,
                    matrix_token, plan_cache_stats, reset_plan_cache)
@@ -30,6 +35,7 @@ from .registry import (available_operators, create_operator,
 from .tracing import Tracer, TraceEvent
 
 __all__ = [
+    "BatchQueue", "BatchTicket",
     "ExecutionContext",
     "OperatorPlan", "PlanCache", "default_plan_cache", "matrix_token",
     "plan_cache_stats", "reset_plan_cache",

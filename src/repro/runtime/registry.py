@@ -118,6 +118,14 @@ def _make_tilespmspv(matrix, device=None, **kwargs):
     return TileSpMSpV(matrix, device=device, **kwargs)
 
 
+@register_operator("batched-spmspv", kind="spmspv",
+                   summary="batched multi-vector SpMSpV — one matrix "
+                           "against B sparse vectors per launch")
+def _make_batched_spmspv(matrix, device=None, **kwargs):
+    from ..core.batched import BatchedSpMSpV
+    return BatchedSpMSpV(matrix, device=device, **kwargs)
+
+
 @register_operator("tilebfs", kind="bfs",
                    summary="TileBFS (paper §3.4) — directional "
                            "optimization over bitmask tiles")

@@ -5,7 +5,7 @@ from repro.bench.wallclock import _speedup_entries, check_regression
 
 
 def report(multiply_speedup=10.0, kernel_speedup=5.0, tilebfs=6.0,
-           msbfs=1.0):
+           msbfs=1.0, batched=1.2):
     return {
         "multiply": [
             {"form": "csr", "density": 0.001,
@@ -18,6 +18,9 @@ def report(multiply_speedup=10.0, kernel_speedup=5.0, tilebfs=6.0,
         "bfs": {"speedup": 1.1},
         "tilebfs": {"speedup": tilebfs},
         "msbfs": {"speedup": msbfs},
+        "batched": [
+            {"batch": 4, "density": 0.01, "speedup": batched},
+        ],
     }
 
 
@@ -29,6 +32,7 @@ def test_speedup_entries_labels():
         "bfs": 1.1,
         "tilebfs": 6.0,
         "msbfs": 1.0,
+        "batched/b4@0.01": 1.2,
     }
 
 
@@ -63,6 +67,33 @@ def test_floor_is_configurable():
     current = report(tilebfs=5.0)               # 5/6 ~ 0.83
     assert check_regression(current, report(), floor=0.9) != []
     assert check_regression(current, report(), floor=0.8) == []
+
+
+def test_missing_section_fails():
+    """A whole section recorded in the committed baseline but absent
+    from the current report is a hard failure — the guard used to pass
+    silently on reports that dropped a workload."""
+    committed = report()
+    current = report()
+    del current["batched"]
+    failures = check_regression(current, committed)
+    assert failures == [{"label": "section:batched", "missing": True}]
+    # both sides missing the section: nothing to compare, no failure
+    committed2 = report()
+    del committed2["batched"]
+    assert check_regression(current, committed2) == []
+    # a section only in the current report is fine (new workloads land)
+    assert check_regression(report(), committed2) == []
+
+
+def test_empty_section_is_not_missing():
+    """An empty row list is still a present section (its labels are
+    simply gone, which per-label logic ignores); only a *removed*
+    section key trips the missing-section failure."""
+    committed = report()
+    current = report()
+    current["batched"] = []
+    assert check_regression(current, committed) == []
 
 
 def test_noise_floor_skips_micro_rows():

@@ -1,0 +1,254 @@
+"""The batched multi-vector engine: per-vector byte-identity with the
+single-vector path, and the shared-load counter discount.
+
+The oracle-style grid: for every (shape x density x semiring x
+batch-size) combination, :func:`batched_union_kernel` must produce,
+per vector, exactly the ``y`` the single-vector :func:`tiled_kernel`
+produces — bit-for-bit, including NaN positions — and its counters
+must equal the sum of the single-vector launches minus the documented
+shared-load discount, computed here independently from the matrix
+structure."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import (BatchedSpMSpV, TileSpMSpV, batched_union_kernel,
+                        tiled_kernel)
+from repro.core.spmspv import as_tiled_vector
+from repro.errors import ShapeError, TileError
+from repro.formats import COOMatrix
+from repro.gpusim import KernelCounters
+from repro.runtime import PlanCache
+from repro.semiring import MAX_TIMES, MIN_PLUS, PLUS_TIMES
+from repro.tiles import TiledMatrix
+from repro.vectors import SparseVector
+
+from ..conftest import random_dense
+from .test_kernel_equivalence import (assert_counters_identical,
+                                      assert_y_identical, frontier)
+
+SEMIRINGS = [PLUS_TIMES, MIN_PLUS, MAX_TIMES]
+DENSITIES = [0.0, 0.002, 0.01, 0.1, 1.0]
+SHAPES = [(64, 64, 4), (200, 120, 8), (333, 333, 16)]
+BATCH_SIZES = [1, 2, 5]
+
+
+def batch(n, nt, size, density, seed, fill=0.0):
+    return [frontier(n, density, seed=seed + b, nt=nt, fill=fill)
+            for b in range(size)]
+
+
+# ----------------------------------------------------------------------
+# the equivalence grid: per-vector results byte-identical to the
+# single-vector kernel
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("m,n,nt", SHAPES)
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("size", BATCH_SIZES)
+def test_union_kernel_matches_singles(m, n, nt, density, size):
+    A = TiledMatrix.from_dense(random_dense(m, n, 0.05, seed=m + nt), nt)
+    xs = batch(n, nt, size, density, seed=int(density * 1000) + n)
+    Y, _ = batched_union_kernel(A, xs)
+    assert Y.shape == (size, m)
+    for b, x in enumerate(xs):
+        y_ref, _ = tiled_kernel(A, x)
+        assert_y_identical(Y[b], y_ref)
+
+
+@pytest.mark.parametrize("semiring,fill", [
+    (PLUS_TIMES, 0.0), (MIN_PLUS, np.inf), (MAX_TIMES, -np.inf)])
+@pytest.mark.parametrize("density", [0.0, 0.05, 1.0])
+def test_union_kernel_semiring_grid(semiring, fill, density):
+    A = TiledMatrix.from_dense(random_dense(96, 80, 0.08, seed=31), 8)
+    xs = batch(80, 8, 4, density, seed=17, fill=fill)
+    Y, counters = batched_union_kernel(A, xs, semiring=semiring)
+    counters.check()
+    for b, x in enumerate(xs):
+        y_ref, _ = tiled_kernel(A, x, semiring=semiring)
+        assert_y_identical(Y[b], y_ref)
+
+
+def test_union_kernel_mixed_densities():
+    """Vectors of wildly different sparsity share one union launch and
+    each still gets its exact single-vector result."""
+    A = TiledMatrix.from_dense(random_dense(128, 144, 0.06, seed=5), 16)
+    xs = [frontier(144, d, seed=b, nt=16)
+          for b, d in enumerate([0.0, 0.002, 0.3, 1.0, 0.01])]
+    Y, _ = batched_union_kernel(A, xs)
+    for b, x in enumerate(xs):
+        y_ref, _ = tiled_kernel(A, x)
+        assert_y_identical(Y[b], y_ref)
+
+
+# ----------------------------------------------------------------------
+# the counter contract
+# ----------------------------------------------------------------------
+def test_batch_of_one_counters_byte_identical():
+    """With B=1 every shared-load discount is vacuous: the batched
+    launch must charge exactly what the single-vector kernel charges."""
+    A = TiledMatrix.from_dense(random_dense(200, 120, 0.05, seed=9), 8)
+    for density in DENSITIES:
+        x = frontier(120, density, seed=int(density * 100) + 3, nt=8)
+        Y, c_batch = batched_union_kernel(A, [x])
+        y_ref, c_single = tiled_kernel(A, x)
+        assert_y_identical(Y[0], y_ref)
+        assert_counters_identical(c_batch, c_single)
+
+
+def test_shared_load_discount_formula():
+    """The batch counters equal the summed single-vector counters minus
+    exactly the documented discount: (k-1) metadata scans, the payload
+    bytes of the duplicated (vector, entry) pairs, (k-1) launches, and
+    the extra per-vector grids (warps / divergence are per-launch)."""
+    A = TiledMatrix.from_dense(random_dense(160, 160, 0.07, seed=13), 8)
+    xs = batch(160, 8, 4, 0.2, seed=21)
+    _, c_batch = batched_union_kernel(A, xs)
+    singles = [tiled_kernel(A, x)[1] for x in xs]
+    c_loop = KernelCounters.sum(singles)
+    d = c_loop.delta(c_batch)
+    k = len(xs)
+
+    # metadata scan once per batch instead of once per vector
+    assert d["coalesced_read_bytes"] > 0
+    meta_saved = (k - 1) * A.n_nonempty_tiles * 16.0
+    # payload: union entries charged once; singles charge per active
+    # entry per vector
+    idx_bytes = A.index_bytes_per_entry()
+    union_active = np.zeros(A.n_tile_cols, dtype=bool)
+    per_vec_entries = 0
+    for x in xs:
+        active = x.x_ptr >= 0
+        union_active |= active
+        per_vec_entries += int(A.tile_nnz()[active[A.tile_colidx]].sum())
+    union_entries = int(A.tile_nnz()[union_active[A.tile_colidx]].sum())
+    payload_saved = (per_vec_entries - union_entries) * (8.0 + idx_bytes)
+    assert d["coalesced_read_bytes"] == pytest.approx(
+        meta_saved + payload_saved)
+    assert d["launches"] == k - 1
+    # every genuinely per-vector cost is unchanged
+    for f in ("l2_read_bytes", "shared_bytes", "flops", "word_ops",
+              "coalesced_write_bytes", "atomic_ops",
+              "random_read_count", "random_write_count"):
+        assert d[f] == pytest.approx(0.0), f
+
+
+@pytest.mark.parametrize("density", [0.05, 0.2, 1.0])
+def test_modeled_bytes_strictly_below_looped(density):
+    """The acceptance criterion: on workloads where vectors share
+    tiles, the batch moves strictly fewer modeled bytes than B times
+    the single-vector cost."""
+    A = TiledMatrix.from_dense(random_dense(256, 256, 0.05, seed=29), 16)
+    xs = batch(256, 16, 6, density, seed=41)
+    _, c_batch = batched_union_kernel(A, xs)
+    c_loop = KernelCounters.sum(tiled_kernel(A, x)[1] for x in xs)
+    assert c_batch.global_bytes < c_loop.global_bytes
+
+
+def test_empty_batch_rejected():
+    A = TiledMatrix.from_dense(random_dense(32, 32, 0.1, seed=1), 4)
+    with pytest.raises(ShapeError):
+        batched_union_kernel(A, [])
+
+
+def test_shape_and_tile_mismatch_rejected():
+    A = TiledMatrix.from_dense(random_dense(32, 32, 0.1, seed=1), 4)
+    good = frontier(32, 0.1, seed=2, nt=4)
+    with pytest.raises(ShapeError):
+        batched_union_kernel(A, [good, frontier(36, 0.1, seed=3, nt=4)])
+    with pytest.raises(ShapeError):
+        batched_union_kernel(A, [good, frontier(32, 0.1, seed=3, nt=8)])
+
+
+def test_all_empty_batch_is_cheap():
+    """A batch of empty vectors still launches one metadata-scan grid
+    and nothing else."""
+    A = TiledMatrix.from_dense(random_dense(64, 64, 0.1, seed=3), 8)
+    xs = batch(64, 8, 3, 0.0, seed=0)
+    Y, c = batched_union_kernel(A, xs)
+    assert not Y.any()
+    assert c.launches == 1
+    assert c.flops == 0.0
+
+
+# ----------------------------------------------------------------------
+# the BatchedSpMSpV operator
+# ----------------------------------------------------------------------
+def make_coo(m, n, seed, density=0.04):
+    return COOMatrix.from_dense(random_dense(m, n, density, seed=seed))
+
+
+def test_operator_matches_tilespmspv_including_coo_side():
+    """End to end through the hybrid plan: tiled part batched, very
+    sparse extracted side applied per vector — equal to the single
+    operator on every vector, sparse and dense output alike."""
+    coo = make_coo(180, 140, seed=51)
+    single = TileSpMSpV(coo, nt=16, extract_threshold=3)
+    engine = BatchedSpMSpV(coo, nt=16, extract_threshold=3)
+    assert engine.hybrid.side.nnz > 0   # the side path is exercised
+    xs = [SparseVector(140, np.sort(np.random.default_rng(s).choice(
+              140, 9, replace=False)),
+          1.0 + np.random.default_rng(s).random(9)) for s in range(4)]
+    Y = engine.multiply_batch(xs, output="dense")
+    ys = engine.multiply_batch(xs, output="sparse")
+    for b, x in enumerate(xs):
+        y_ref = single.multiply(x, output="dense")
+        assert_y_identical(Y[b], y_ref)
+        assert_y_identical(ys[b].to_dense(), y_ref)
+
+
+def test_operator_single_multiply_is_batch_of_one():
+    coo = make_coo(100, 100, seed=57)
+    engine = BatchedSpMSpV(coo, nt=8)
+    single = TileSpMSpV(coo, nt=8)
+    x = SparseVector(100, np.array([3, 40, 77]), np.array([1., 2., 3.]))
+    assert_y_identical(engine.multiply(x, output="dense"),
+                       single.multiply(x, output="dense"))
+
+
+def test_operator_shares_plan_with_tilespmspv():
+    """One tiling serves both operators: building the batched engine
+    after TileSpMSpV over the same matrix hits the plan cache."""
+    cache = PlanCache()
+    coo = make_coo(120, 120, seed=61)
+    single = TileSpMSpV(coo, nt=8, plan_cache=cache)
+    assert cache.stats()["misses"] == 1
+    engine = BatchedSpMSpV(coo, nt=8, plan_cache=cache)
+    stats = cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 1
+    assert engine.hybrid is single.hybrid
+
+
+def test_operator_validation():
+    coo = make_coo(64, 64, seed=63)
+    with pytest.raises(TileError):
+        BatchedSpMSpV(coo, nt=7)
+    engine = BatchedSpMSpV(coo, nt=8)
+    with pytest.raises(ShapeError):
+        engine.multiply_batch(
+            [SparseVector(32, np.array([1]), np.array([1.0]))])
+    with pytest.raises(ShapeError):
+        engine.multiply_batch(
+            [SparseVector(64, np.array([1]), np.array([1.0]))],
+            output="list")
+
+
+def test_operator_accepts_prebuilt_tiled_matrix():
+    d = random_dense(96, 96, 0.05, seed=67)
+    A = TiledMatrix.from_dense(d, 8)
+    engine = BatchedSpMSpV(A)
+    x = SparseVector(96, np.array([5, 50]), np.array([2.0, 3.0]))
+    y = engine.multiply(x, output="dense")
+    y_ref, _ = tiled_kernel(A, as_tiled_vector(x, 8, 0.0))
+    assert_y_identical(y, y_ref)
+
+
+def test_dataclass_delta_roundtrip():
+    """KernelCounters.delta is the field-wise difference used by the
+    discount tests (and may go negative, hence a dict)."""
+    a = KernelCounters(flops=10.0, launches=2)
+    b = KernelCounters(flops=25.0, launches=1)
+    d = a.delta(b)
+    assert d["flops"] == -15.0 and d["launches"] == 1
+    assert set(d) == {f.name for f in dataclasses.fields(a)}
