@@ -6,6 +6,10 @@ the extraction ablation) and prints the paper-style tables.
 ``python -m repro.bench trace`` instead runs a traced workload and
 writes the launch-by-launch record as Chrome ``trace_event`` JSON
 (default) or JSONL — see ``trace --help``.
+
+``python -m repro.bench verify`` runs the differential verification
+harness (oracles, sibling cross-checks, counter invariants, metamorphic
+relations) over the operator registry — see ``verify --help``.
 """
 
 from __future__ import annotations
@@ -58,10 +62,63 @@ def _run_trace(argv) -> int:
     return 0
 
 
+def _run_verify(argv) -> int:
+    from ..runtime import available_operators
+    from ..verify import replay_repro, run_verification
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench verify",
+        description="Differential verification: cross-check every "
+                    "registered operator against independent oracles, "
+                    "sibling operators, and gpusim counter invariants "
+                    "over a randomized case grid; failures shrink to "
+                    "replayable JSON repros.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized grid (default is the "
+                             "nightly full grid)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="grid seed; the same seed reproduces the "
+                             "same cases (default: 0)")
+    parser.add_argument("--operator", action="append", default=None,
+                        metavar="NAME",
+                        help="restrict to one registry operator (repeat "
+                             "for several; known: "
+                             f"{','.join(available_operators())})")
+    parser.add_argument("--replay", default=None, metavar="REPRO.json",
+                        help="re-run one serialized repro file instead "
+                             "of the grid")
+    parser.add_argument("--out", default="verify-failures",
+                        help="directory for shrunk failure repros "
+                             "(default: verify-failures)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="serialize failing cases without "
+                             "minimizing them first")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print each case as it runs")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        case, check, failure = replay_repro(args.replay)
+        if failure is None:
+            print(f"PASS {case.describe()} [{check}]")
+            return 0
+        print(f"FAIL {case.describe()} [{check}]: {failure}")
+        return 1
+
+    report = run_verification(
+        seed=args.seed, smoke=args.smoke, operators=args.operator,
+        out_dir=args.out, shrink_failures=not args.no_shrink,
+        verbose=args.verbose)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
         return _run_trace(argv[1:])
+    if argv and argv[0] == "verify":
+        return _run_verify(argv[1:])
     names = argv or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:

@@ -164,7 +164,8 @@ class BatchedSpMSpV:
         if output not in ("sparse", "dense"):
             raise ShapeError(f"unknown output mode {output!r}")
         fill = float(self.semiring.add_identity)
-        xts = [as_tiled_vector(x, self.nt, fill) for x in xs]
+        xts = [as_tiled_vector(x, self.nt, fill,
+                               dtype=self.semiring.dtype) for x in xs]
         for xt in xts:
             if xt.n != self.shape[1]:
                 raise ShapeError(

@@ -38,11 +38,14 @@ __all__ = ["TileSpMSpV", "tile_spmspv", "as_tiled_vector"]
 VectorLike = Union[SparseVector, TiledVector, np.ndarray]
 
 
-def as_tiled_vector(x: VectorLike, nt: int, fill: float) -> TiledVector:
+def as_tiled_vector(x: VectorLike, nt: int, fill: float,
+                    dtype=None) -> TiledVector:
     """Coerce any accepted vector form into a :class:`TiledVector`.
 
     ``fill`` is the semiring's additive identity (the "no entry"
-    sentinel of unoccupied tile slots).  Shared by every operator that
+    sentinel of unoccupied tile slots) and ``dtype`` the semiring's
+    computation dtype — integer algebras (``or_and`` bitmasks) must
+    not round-trip through float64.  Shared by every operator that
     feeds the tiled kernels — :class:`TileSpMSpV` and the batched
     engine in :mod:`repro.core.batched`.
     """
@@ -54,8 +57,9 @@ def as_tiled_vector(x: VectorLike, nt: int, fill: float) -> TiledVector:
         return x
     if isinstance(x, SparseVector):
         return TiledVector.from_sparse(x.indices, x.values, x.n, nt,
-                                       fill=fill)
-    return TiledVector.from_dense(np.asarray(x), nt, fill=fill)
+                                       fill=fill, dtype=dtype)
+    return TiledVector.from_dense(np.asarray(x), nt, fill=fill,
+                                  dtype=dtype)
 
 
 class TileSpMSpV:
@@ -165,7 +169,8 @@ class TileSpMSpV:
     # ------------------------------------------------------------------
     def _as_tiled_vector(self, x: VectorLike) -> TiledVector:
         return as_tiled_vector(x, self.nt,
-                               float(self.semiring.add_identity))
+                               float(self.semiring.add_identity),
+                               dtype=self.semiring.dtype)
 
     def _transposed(self) -> TiledMatrix:
         """The CSC-of-tiles view: the tiling of A^T (built lazily,
@@ -259,7 +264,8 @@ class TileSpMSpV:
             return sv
         return TiledVector.from_sparse(
             sv.indices, sv.values, sv.n, self.nt,
-            fill=float(self.semiring.add_identity))
+            fill=float(self.semiring.add_identity),
+            dtype=self.semiring.dtype)
 
     def multiply_transpose(self, x: VectorLike,
                            output: str = "sparse"
@@ -277,7 +283,7 @@ class TileSpMSpV:
             raise ShapeError(f"unknown output mode {output!r}")
         At = self._transposed_full()
         fill = float(self.semiring.add_identity)
-        xt = as_tiled_vector(x, self.nt, fill)
+        xt = as_tiled_vector(x, self.nt, fill, dtype=self.semiring.dtype)
         if xt.n != self.shape[0]:
             raise ShapeError(
                 f"transpose SpMSpV shape mismatch: A^T is "
@@ -294,7 +300,8 @@ class TileSpMSpV:
         if output == "sparse":
             return sv
         return TiledVector.from_sparse(sv.indices, sv.values, sv.n,
-                                       self.nt, fill=fill)
+                                       self.nt, fill=fill,
+                                       dtype=self.semiring.dtype)
 
     def _transposed_full(self) -> TiledMatrix:
         """Tiling of the full A^T (tiled part + side matrix), cached on

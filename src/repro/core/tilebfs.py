@@ -147,6 +147,9 @@ class TileBFS:
         self.A1 = data["A1"]
         #: Row-compressed bitmask tiles (the A2 of Fig. 5).
         self.A2 = data["A2"]
+        #: Whether the tiled pattern is symmetric — the validity
+        #: condition of Pull-CSC (see :meth:`run_multi`).
+        self.symmetric = data["symmetric"]
 
     # ------------------------------------------------------------------
     @property
@@ -213,6 +216,13 @@ class TileBFS:
                     frontier_sparsity=frontier_size / self.n,
                     unvisited_fraction=(self.n - visited_count) / self.n,
                 )
+                if kernel_name == PULL_CSC and not self.symmetric:
+                    # Pull-CSC (Alg. 7) reads a vertex's stored column
+                    # as its in-edges, which only holds when the tiled
+                    # pattern is symmetric; on a directed graph pulling
+                    # would traverse edges backwards, so fall back to
+                    # the matrix-driven push form for this layer
+                    kernel_name = PUSH_CSR
                 counters = self._launch(kernel_name, x, m, out=y)
                 if self.side.nnz:
                     side_counters = self._side_kernel(
@@ -359,13 +369,15 @@ def _build_bfs_plan(matrix, nt: Optional[int], extract_threshold: int,
     A1 = BitTiledMatrix.from_coo(dense_part, nt, "csc")
     # For an undirected graph A1 and A2 hold identical arrays (§3.2.3),
     # so the storage is shared — "about half" the footprint.
-    if pattern_is_symmetric(dense_part):
+    symmetric = pattern_is_symmetric(dense_part)
+    if symmetric:
         A2 = A1.as_reinterpreted("csr")
     else:
         A2 = BitTiledMatrix.from_coo(dense_part, nt, "csr")
     plan = OperatorPlan(kind="tilebfs", key=tuple(key),
                         data={"n": n, "nnz": coo.nnz, "nt": nt,
-                              "side": side, "A1": A1, "A2": A2})
+                              "side": side, "A1": A1, "A2": A2,
+                              "symmetric": symmetric})
     # A1 *is* the csc tiling of the same pattern, so Push-CSR's
     # active-column bit gather runs over it directly instead of
     # re-tiling A2 (both branches above build A1/A2 from dense_part).

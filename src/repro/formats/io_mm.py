@@ -76,24 +76,39 @@ def read_matrix_market(source: Union[str, Path, TextIO]) -> COOMatrix:
 
     body = source.read()
     tokens_per_entry = 2 if field == "pattern" else 3
-    try:
-        flat = np.array(body.split(), dtype=np.float64)
-    except ValueError as exc:
-        raise IOFormatError("non-numeric token in entry lines") from exc
-    if len(flat) != nnz * tokens_per_entry:
+    # parse straight from the token array: indices and integer values
+    # go through int64 directly (a float64 round-trip would corrupt
+    # integers >= 2^53), real values through float64
+    tokens = np.array(body.split())
+    if len(tokens) != nnz * tokens_per_entry:
         raise IOFormatError(
             f"expected {nnz} entries x {tokens_per_entry} tokens, "
-            f"got {len(flat)} tokens"
+            f"got {len(tokens)} tokens"
         )
-    flat = flat.reshape(nnz, tokens_per_entry)
-    rows = flat[:, 0].astype(np.int64) - 1
-    cols = flat[:, 1].astype(np.int64) - 1
-    if field == "pattern":
-        vals = np.ones(nnz, dtype=np.float64)
-    else:
-        vals = flat[:, 2]
-        if field == "integer":
-            vals = vals.astype(np.int64).astype(np.float64)
+    tokens = tokens.reshape(nnz, tokens_per_entry)
+    try:
+        rows = tokens[:, 0].astype(np.int64) - 1
+        cols = tokens[:, 1].astype(np.int64) - 1
+    except (ValueError, OverflowError) as exc:
+        raise IOFormatError("non-integer index token in entry lines") \
+            from exc
+    try:
+        if field == "pattern":
+            vals = np.ones(nnz, dtype=np.float64)
+        elif field == "integer":
+            vals = tokens[:, 2].astype(np.int64)
+        else:
+            vals = tokens[:, 2].astype(np.float64)
+    except (ValueError, OverflowError) as exc:
+        raise IOFormatError("non-numeric token in entry lines") from exc
+
+    if symmetry == "skew-symmetric" and np.any(rows == cols):
+        # the MM spec stores only the strictly lower triangle of a
+        # skew-symmetric matrix; a diagonal entry (necessarily zero)
+        # is malformed and would otherwise survive unmirrored
+        raise IOFormatError(
+            "skew-symmetric file contains an explicit diagonal entry"
+        )
 
     if symmetry in ("symmetric", "skew-symmetric"):
         off = rows != cols
@@ -112,8 +127,14 @@ def read_matrix_market(source: Union[str, Path, TextIO]) -> COOMatrix:
 def write_matrix_market(matrix, target: Union[str, Path, TextIO],
                         field: str = "real") -> None:
     """Write any :class:`~repro.formats.base.SparseMatrix` as a general
-    coordinate Matrix Market file."""
-    if field not in ("real", "pattern"):
+    coordinate Matrix Market file.
+
+    ``field="integer"`` writes values as exact decimal integers (the
+    matrix values must be of an integer dtype) — the lossless
+    counterpart of the reader's direct int64 parse; a ``%.17g`` float
+    round-trip would corrupt magnitudes at or above 2^53.
+    """
+    if field not in ("real", "integer", "pattern"):
         raise IOFormatError(f"unsupported output field {field!r}")
     if isinstance(target, (str, Path)):
         with open(target, "w", encoding="utf-8") as fh:
@@ -121,6 +142,11 @@ def write_matrix_market(matrix, target: Union[str, Path, TextIO],
             return
 
     coo = matrix.to_coo().canonicalize()
+    if field == "integer" and not np.issubdtype(coo.dtype, np.integer):
+        raise IOFormatError(
+            f"field 'integer' needs integer matrix values, "
+            f"got dtype {coo.dtype}"
+        )
     target.write(f"%%MatrixMarket matrix coordinate {field} general\n")
     target.write("% written by repro (TileSpMSpV reproduction)\n")
     target.write(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}\n")
@@ -128,6 +154,9 @@ def write_matrix_market(matrix, target: Union[str, Path, TextIO],
     if field == "pattern":
         for r, c in zip(coo.row + 1, coo.col + 1):
             buf.write(f"{r} {c}\n")
+    elif field == "integer":
+        for r, c, v in zip(coo.row + 1, coo.col + 1, coo.val):
+            buf.write(f"{r} {c} {int(v)}\n")
     else:
         for r, c, v in zip(coo.row + 1, coo.col + 1, coo.val):
             buf.write(f"{r} {c} {v:.17g}\n")

@@ -27,7 +27,15 @@ def pagerank(matrix, damping: float = 0.85, tol: float = 1e-10,
 
     Edge convention matches the library (``A[i, j]`` is ``j -> i``), so
     one iterate is ``r' = d * A D^{-1} r + (1 - d)/n`` with ``D`` the
-    out-degree matrix; dangling mass is redistributed uniformly.
+    diagonal of *column weight sums* (total out-edge weight per
+    vertex); dangling mass is redistributed uniformly.
+
+    Edge weights are respected: vertex ``j`` spreads its rank to its
+    out-neighbours proportionally to ``A[i, j]``, matching
+    ``networkx.pagerank`` on weighted digraphs.  The matrix is
+    canonicalized first, so duplicate COO entries merge into one edge
+    (instead of inflating the degree) and explicit-zero edges do not
+    make a dangling vertex look non-dangling.
 
     Returns ``(ranks, iterations)``; ``ranks`` sums to 1.
     """
@@ -47,12 +55,15 @@ def pagerank(matrix, damping: float = 0.85, tol: float = 1e-10,
     if n == 0:
         return np.zeros(0), 0
 
-    out_degree = np.bincount(coo.col, minlength=n).astype(np.float64)
-    dangling = out_degree == 0
-    inv_deg = np.where(dangling, 0.0, 1.0 / np.maximum(out_degree, 1.0))
+    coo = coo.canonicalize().drop_zeros()
+    out_weight = np.zeros(n, dtype=np.float64)
+    np.add.at(out_weight, coo.col, coo.val.astype(np.float64))
+    dangling = out_weight == 0
+    inv_weight = np.where(dangling, 0.0,
+                          1.0 / np.where(dangling, 1.0, out_weight))
     # column-normalised transition matrix P = A D^{-1}
     P = COOMatrix(coo.shape, coo.row, coo.col,
-                  coo.val * 0 + inv_deg[coo.col])
+                  coo.val * inv_weight[coo.col])
     op = TileSpMSpV(P, nt=nt, device=device)
 
     r = np.full(n, 1.0 / n)

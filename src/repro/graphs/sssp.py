@@ -64,7 +64,12 @@ def sssp(matrix, source: int, nt: int = 16,
     cap = max_rounds if max_rounds is not None else max(1, n - 1)
     for _ in range(cap):
         y = op.multiply(frontier)
-        improved = y.indices[y.values < dist[y.indices] - 1e-12]
+        # exact strict improvement: an absolute slack would make
+        # convergence scale-dependent (legitimately small improvements
+        # on large-weight graphs would be dropped); termination is
+        # still guaranteed because each vertex's distance can only
+        # strictly decrease, and the round cap bounds the loop anyway
+        improved = y.indices[y.values < dist[y.indices]]
         if len(improved) == 0:
             break
         new_dist = y.to_dense()[improved]

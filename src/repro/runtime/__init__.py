@@ -30,8 +30,9 @@ from .batch_queue import BatchQueue, BatchTicket
 from .context import ExecutionContext
 from .plan import (OperatorPlan, PlanCache, default_plan_cache,
                    matrix_token, plan_cache_stats, reset_plan_cache)
-from .registry import (available_operators, create_operator,
-                      operator_kind, register_operator, resolve_operator)
+from .registry import (OperatorEntry, available_operators,
+                      create_operator, operator_aliases, operator_kind,
+                      register_operator, resolve_operator)
 from .tracing import Tracer, TraceEvent
 
 __all__ = [
@@ -41,5 +42,6 @@ __all__ = [
     "plan_cache_stats", "reset_plan_cache",
     "Tracer", "TraceEvent",
     "register_operator", "create_operator", "resolve_operator",
-    "available_operators", "operator_kind",
+    "available_operators", "operator_aliases", "operator_kind",
+    "OperatorEntry",
 ]

@@ -23,17 +23,29 @@ operators) without cycles.
 ``kind`` groups operators by how they are driven: ``"spmspv"`` /
 ``"spmv"`` expose ``multiply(x)``, ``"bfs"`` exposes ``run(source)``,
 ``"msbfs"`` exposes ``run(sources)``.
+
+``capabilities`` describes the constructor/algebra surface the
+differential verification harness (:mod:`repro.verify`) needs to drive
+an operator generically:
+
+* ``"semiring"`` — the factory accepts a ``semiring=`` kwarg (without
+  it, the operator is verified under plus-times only);
+* ``"nt"`` — the factory accepts a tile-size ``nt=`` kwarg;
+* ``"rectangular"`` — non-square matrices are supported;
+* ``"batch"`` — the operator exposes ``multiply_batch(xs)``;
+* ``"dense-x"`` — ``multiply`` also accepts a dense ndarray input.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 
 __all__ = ["register_operator", "create_operator", "resolve_operator",
-           "available_operators", "operator_kind", "OperatorEntry"]
+           "available_operators", "operator_aliases", "operator_kind",
+           "OperatorEntry"]
 
 #: Operator groupings the drivers understand.
 KINDS = ("spmspv", "spmv", "bfs", "msbfs")
@@ -41,20 +53,32 @@ KINDS = ("spmspv", "spmv", "bfs", "msbfs")
 
 @dataclass(frozen=True)
 class OperatorEntry:
-    """One registered operator factory."""
+    """One registered operator factory.
+
+    ``name`` is always the canonical registration name, even when the
+    entry was resolved through an alias; ``aliases`` lists the other
+    names the entry answers to.
+    """
 
     name: str
     kind: str
     summary: str
     factory: Callable
+    aliases: Tuple[str, ...] = ()
+    capabilities: frozenset = field(default_factory=frozenset)
 
 
+#: Canonical name -> entry.
 _REGISTRY: Dict[str, OperatorEntry] = {}
+#: Alias -> canonical name (kept apart so enumeration never
+#: double-counts an operator registered under several names).
+_ALIASES: Dict[str, str] = {}
 
 
 def register_operator(name: str, kind: str = "spmspv",
                       summary: str = "",
-                      aliases: tuple = ()) -> Callable:
+                      aliases: tuple = (),
+                      capabilities=()) -> Callable:
     """Decorator registering ``factory(matrix, device=None, **kwargs)``
     under ``name`` (and ``aliases``)."""
     if kind not in KINDS:
@@ -62,25 +86,30 @@ def register_operator(name: str, kind: str = "spmspv",
                          f"expected one of {KINDS}")
 
     def _register(factory: Callable) -> Callable:
-        for alias in (name, *aliases):
-            if alias in _REGISTRY:
+        for n in (name, *aliases):
+            if n in _REGISTRY or n in _ALIASES:
                 raise ReproError(
-                    f"operator {alias!r} is already registered")
-            _REGISTRY[alias] = OperatorEntry(name=alias, kind=kind,
-                                             summary=summary,
-                                             factory=factory)
+                    f"operator {n!r} is already registered")
+        _REGISTRY[name] = OperatorEntry(
+            name=name, kind=kind, summary=summary, factory=factory,
+            aliases=tuple(aliases),
+            capabilities=frozenset(capabilities))
+        for alias in aliases:
+            _ALIASES[alias] = name
         return factory
 
     return _register
 
 
 def resolve_operator(name: str) -> OperatorEntry:
-    """The registry entry for ``name`` (raises with the known names)."""
-    entry = _REGISTRY.get(name)
+    """The registry entry for ``name`` (canonical or alias; raises with
+    the known names).  The returned entry always carries the canonical
+    ``name``."""
+    entry = _REGISTRY.get(_ALIASES.get(name, name))
     if entry is None:
         raise ReproError(
             f"unknown operator {name!r}; "
-            f"available: {sorted(_REGISTRY)}")
+            f"available: {sorted([*_REGISTRY, *_ALIASES])}")
     return entry
 
 
@@ -95,9 +124,16 @@ def create_operator(name: str, matrix, device=None, **kwargs):
 
 
 def available_operators(kind: Optional[str] = None) -> List[str]:
-    """Sorted registered names, optionally filtered by ``kind``."""
+    """Sorted *canonical* registered names, optionally filtered by
+    ``kind``.  Aliases are never listed here (each operator appears
+    exactly once); see :func:`operator_aliases` for the alias map."""
     return sorted(n for n, e in _REGISTRY.items()
                   if kind is None or e.kind == kind)
+
+
+def operator_aliases() -> Dict[str, str]:
+    """The alias map: alias name -> canonical operator name."""
+    return dict(_ALIASES)
 
 
 def operator_kind(name: str) -> str:
@@ -112,7 +148,10 @@ def operator_kind(name: str) -> str:
 # ----------------------------------------------------------------------
 @register_operator("tilespmspv", kind="spmspv",
                    summary="TileSpMSpV (paper §3.3) — the primary "
-                           "contribution")
+                           "contribution",
+                   aliases=("spmspv",),
+                   capabilities=("semiring", "nt", "rectangular",
+                                 "dense-x"))
 def _make_tilespmspv(matrix, device=None, **kwargs):
     from ..core.spmspv import TileSpMSpV
     return TileSpMSpV(matrix, device=device, **kwargs)
@@ -120,7 +159,9 @@ def _make_tilespmspv(matrix, device=None, **kwargs):
 
 @register_operator("batched-spmspv", kind="spmspv",
                    summary="batched multi-vector SpMSpV — one matrix "
-                           "against B sparse vectors per launch")
+                           "against B sparse vectors per launch",
+                   capabilities=("semiring", "nt", "rectangular",
+                                 "batch", "dense-x"))
 def _make_batched_spmspv(matrix, device=None, **kwargs):
     from ..core.batched import BatchedSpMSpV
     return BatchedSpMSpV(matrix, device=device, **kwargs)
@@ -128,14 +169,17 @@ def _make_batched_spmspv(matrix, device=None, **kwargs):
 
 @register_operator("tilebfs", kind="bfs",
                    summary="TileBFS (paper §3.4) — directional "
-                           "optimization over bitmask tiles")
+                           "optimization over bitmask tiles",
+                   aliases=("bfs",),
+                   capabilities=("nt",))
 def _make_tilebfs(matrix, device=None, **kwargs):
     from ..core.tilebfs import TileBFS
     return TileBFS(matrix, device=device, **kwargs)
 
 
 @register_operator("msbfs", kind="msbfs",
-                   summary="bit-parallel multi-source BFS extension")
+                   summary="bit-parallel multi-source BFS extension",
+                   capabilities=("nt",))
 def _make_msbfs(matrix, device=None, **kwargs):
     from ..core.msbfs import MultiSourceBFS
     return MultiSourceBFS(matrix, device=device, **kwargs)
@@ -143,21 +187,25 @@ def _make_msbfs(matrix, device=None, **kwargs):
 
 @register_operator("tilespmv", kind="spmv",
                    summary="TileSpMV baseline (IPDPS '21) — dense "
-                           "input vector")
+                           "input vector",
+                   capabilities=("semiring", "nt", "rectangular",
+                                 "dense-x"))
 def _make_tilespmv(matrix, device=None, **kwargs):
     from ..baselines.tilespmv import TileSpMV
     return TileSpMV(matrix, device=device, **kwargs)
 
 
 @register_operator("cusparse-bsr", kind="spmv",
-                   summary="cuSPARSE bsrmv stand-in — dense blocks")
+                   summary="cuSPARSE bsrmv stand-in — dense blocks",
+                   capabilities=("rectangular", "dense-x"))
 def _make_cusparse_bsr(matrix, device=None, **kwargs):
     from ..baselines.cusparse_bsr import CuSparseBSRMV
     return CuSparseBSRMV(matrix, device=device, **kwargs)
 
 
 @register_operator("combblas", kind="spmspv",
-                   summary="CombBLAS SpMSpV-bucket (IPDPS '17)")
+                   summary="CombBLAS SpMSpV-bucket (IPDPS '17)",
+                   capabilities=("semiring", "rectangular"))
 def _make_combblas(matrix, device=None, **kwargs):
     from ..baselines.combblas import CombBLASSpMSpV
     return CombBLASSpMSpV(matrix, device=device, **kwargs)
@@ -165,7 +213,8 @@ def _make_combblas(matrix, device=None, **kwargs):
 
 @register_operator("spmspv-via-spgemm", kind="spmspv",
                    summary="SpMSpV through a general SpGEMM — the §1 "
-                           "strawman")
+                           "strawman",
+                   capabilities=("rectangular",))
 def _make_spmspv_via_spgemm(matrix, device=None, **kwargs):
     from ..baselines.spmspv_via_spgemm import SpMSpVViaSpGEMM
     return SpMSpVViaSpGEMM(matrix, device=device, **kwargs)

@@ -92,12 +92,21 @@ class Semiring:
         performs on a zeroed slot, and untouched slots absorb an exact
         ``+0.0``.  Any other semiring, dtype, sparse update, or a
         non-zero base falls back to ``add.at``.
+
+        A ``-0.0`` base disqualifies the fast path too: ``bincount``
+        folds from ``+0.0`` where ``add.at`` folds from the slot, so a
+        ``-0.0`` slot receiving only ``-0.0`` addends would flip to
+        ``+0.0`` — and the full-length ``out += bincount`` adds ``+0.0``
+        even to *untouched* slots, erasing their ``-0.0`` the same way.
+        The guard therefore requires every zero in ``out`` (touched or
+        not) to be ``+0.0``.
         """
         if len(idx) == 0:
             return out
         if (self.add is np.add and out.dtype == np.float64
                 and values.dtype == np.float64
-                and 4 * len(idx) >= len(out) and not out[idx].any()):
+                and 4 * len(idx) >= len(out) and not out[idx].any()
+                and not np.signbit(out[out == 0.0]).any()):
             out += np.bincount(idx, weights=values, minlength=len(out))
             return out
         self.add.at(out, idx, values)

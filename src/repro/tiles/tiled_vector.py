@@ -86,20 +86,24 @@ class TiledVector:
     # ------------------------------------------------------------------
     @classmethod
     def from_dense(cls, x: np.ndarray, nt: int,
-                   fill: float = 0.0) -> "TiledVector":
+                   fill: float = 0.0, dtype=None) -> "TiledVector":
         """Tile a dense vector, dropping tiles that are entirely ``fill``.
 
         ``fill`` is the "no entry" sentinel — 0.0 for ordinary algebra,
         the additive identity of the semiring in general (e.g. ``inf``
-        for min-plus).
+        for min-plus).  ``dtype`` overrides the storage dtype — pass
+        the semiring dtype so integer algebras (``or_and`` bitmasks)
+        are not squeezed through float64 (which would corrupt values
+        above 2^53 and break bitwise kernels).
         """
         x = np.asarray(x)
         if x.ndim != 1:
             raise ShapeError(f"expected 1-D vector, got ndim={x.ndim}")
         n = len(x)
         n_tiles = ceil_div(n, nt)
-        padded = np.full(n_tiles * nt, fill,
-                         dtype=x.dtype if x.dtype.kind == "f" else np.float64)
+        if dtype is None:
+            dtype = x.dtype if x.dtype.kind == "f" else np.float64
+        padded = np.full(n_tiles * nt, fill, dtype=dtype)
         padded[:n] = x
         tiles = padded.reshape(n_tiles, nt)
         if np.isnan(fill):  # pragma: no cover - defensive
@@ -113,17 +117,21 @@ class TiledVector:
 
     @classmethod
     def from_sparse(cls, indices: np.ndarray, values: np.ndarray, n: int,
-                    nt: int, fill: float = 0.0) -> "TiledVector":
+                    nt: int, fill: float = 0.0, dtype=None) -> "TiledVector":
         """Tile a (indices, values) sparse vector without densifying it.
 
         Duplicate indices are summed.  This is the conversion a GPU
         implementation performs (scatter into compact tiles), so it is
         kept allocation-proportional to the number of *non-empty tiles*,
         not to ``n``.  ``fill`` is the "no entry" sentinel used for the
-        unoccupied slots of non-empty tiles.
+        unoccupied slots of non-empty tiles.  ``dtype`` overrides the
+        storage dtype (default float64) — integer semirings must pass
+        their own dtype or bitmask values get folded through float64.
         """
         indices = np.asarray(indices, dtype=np.int64)
         values = np.asarray(values)
+        if dtype is None:
+            dtype = np.float64
         if len(indices) != len(values):
             raise ShapeError("indices/values length mismatch")
         if len(indices) and (indices.min() < 0 or indices.max() >= n):
@@ -131,15 +139,15 @@ class TiledVector:
         n_tiles = ceil_div(n, nt)
         x_ptr = np.full(n_tiles, -1, dtype=np.int64)
         if len(indices) == 0:
-            return cls(n, nt, x_ptr, np.zeros(0, dtype=np.float64),
+            return cls(n, nt, x_ptr, np.zeros(0, dtype=dtype),
                        fill=fill)
         tile_ids = indices // nt
         unique_tiles = np.unique(tile_ids)
         x_ptr[unique_tiles] = np.arange(len(unique_tiles))
-        x_tile = np.full(len(unique_tiles) * nt, fill, dtype=np.float64)
+        x_tile = np.full(len(unique_tiles) * nt, fill, dtype=dtype)
         compact = x_ptr[tile_ids] * nt + indices % nt
-        x_tile[compact] = 0.0  # reset sentinel before accumulating
-        np.add.at(x_tile, compact, values.astype(np.float64, copy=False))
+        x_tile[compact] = 0  # reset sentinel before accumulating
+        np.add.at(x_tile, compact, values.astype(dtype, copy=False))
         return cls(n, nt, x_ptr, x_tile, fill=fill)
 
     @classmethod

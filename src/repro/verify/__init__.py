@@ -1,0 +1,27 @@
+"""Differential verification harness over the operator registry.
+
+Cross-checks every registered operator three ways — against
+independent SciPy/dense oracles, against sibling operators on
+identical inputs, and against gpusim counter/model invariants and
+metamorphic relations — over a randomized grid of (matrix family x
+shape x tile size x semiring x vector density x batch size).  Failing
+cases auto-shrink to minimal JSON repros replayable through
+``python -m repro.bench verify --replay``.
+"""
+
+from .cases import (Case, SEMIRINGS, case_from_json, case_to_json,
+                    generate_cases, load_repro, save_repro)
+from .checks import CHECK_NAMES, checks_for, run_check
+from .harness import (Failure, REPRO_DIR, VerifyReport,
+                      builtin_repro_paths, replay_repro,
+                      run_verification)
+from .shrink import shrink
+
+__all__ = [
+    "Case", "SEMIRINGS", "case_from_json", "case_to_json",
+    "generate_cases", "load_repro", "save_repro",
+    "CHECK_NAMES", "checks_for", "run_check",
+    "Failure", "REPRO_DIR", "VerifyReport", "builtin_repro_paths",
+    "replay_repro", "run_verification",
+    "shrink",
+]

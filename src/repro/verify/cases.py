@@ -1,0 +1,371 @@
+"""Verification cases: one concrete workload for one operator.
+
+A :class:`Case` bundles everything a check needs to run an operator —
+the matrix, the input vectors (or BFS sources), the semiring and tile
+size — plus a free-form ``data`` payload for primitive checks
+(``scatter-merge`` carries raw ``out``/``idx``/``values`` arrays
+instead of a matrix).  Cases serialize losslessly to JSON (including
+``-0.0`` and ``uint64`` bit patterns) so a shrunk failing case can be
+committed as a repro file and replayed byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..formats import COOMatrix
+from ..matrices import generators as gen
+from ..runtime import available_operators, resolve_operator
+from ..semiring import MAX_TIMES, MIN_PLUS, OR_AND, PLUS_TIMES, Semiring
+from ..vectors.generate import random_sparse_vector
+from ..vectors.sparse_vector import SparseVector
+
+__all__ = [
+    "Case", "SEMIRINGS", "case_from_json", "case_to_json",
+    "generate_cases", "load_repro", "save_repro",
+]
+
+SEMIRINGS: Dict[str, Semiring] = {
+    "plus_times": PLUS_TIMES,
+    "min_plus": MIN_PLUS,
+    "max_times": MAX_TIMES,
+    "or_and": OR_AND,
+}
+
+REPRO_VERSION = 1
+
+
+@dataclass
+class Case:
+    """One concrete verification workload.
+
+    ``operator`` is a registry name, or one of the primitive suite
+    names (``scatter-merge``, ``pagerank``, ``sssp``, ``mm-roundtrip``)
+    with ``kind="primitive"``.
+    """
+
+    operator: str
+    kind: str
+    matrix: Optional[COOMatrix] = None
+    vectors: Tuple[SparseVector, ...] = ()
+    sources: Tuple[int, ...] = ()
+    semiring: str = "plus_times"
+    nt: int = 16
+    data: Dict[str, np.ndarray] = field(default_factory=dict)
+    label: str = ""
+
+    @property
+    def sr(self) -> Semiring:
+        return SEMIRINGS[self.semiring]
+
+    def describe(self) -> str:
+        bits = [self.operator]
+        if self.matrix is not None:
+            bits.append(f"{self.matrix.shape[0]}x{self.matrix.shape[1]}"
+                        f" nnz={self.matrix.nnz}")
+        if self.vectors:
+            bits.append(f"B={len(self.vectors)}")
+        if self.sources:
+            bits.append(f"sources={list(self.sources)}")
+        if self.kind != "primitive":
+            bits.append(f"{self.semiring} nt={self.nt}")
+        if self.label:
+            bits.append(f"[{self.label}]")
+        return " ".join(bits)
+
+
+# ----------------------------------------------------------------------
+# JSON serialization — lossless for float64 (json round-trips -0.0 and
+# every finite double exactly) and int64/uint64 (stored as exact ints)
+# ----------------------------------------------------------------------
+def _array_to_json(a: np.ndarray) -> dict:
+    return {"dtype": str(a.dtype), "data": a.tolist()}
+
+
+def _array_from_json(obj: dict) -> np.ndarray:
+    return np.asarray(obj["data"], dtype=np.dtype(obj["dtype"]))
+
+
+def _matrix_to_json(coo: COOMatrix) -> dict:
+    return {
+        "shape": list(coo.shape),
+        "row": coo.row.tolist(),
+        "col": coo.col.tolist(),
+        "val": _array_to_json(coo.val),
+    }
+
+
+def _matrix_from_json(obj: dict) -> COOMatrix:
+    return COOMatrix(
+        tuple(obj["shape"]),
+        np.asarray(obj["row"], dtype=np.int64),
+        np.asarray(obj["col"], dtype=np.int64),
+        _array_from_json(obj["val"]),
+    )
+
+
+def _vector_to_json(v: SparseVector) -> dict:
+    return {"n": v.n, "indices": v.indices.tolist(),
+            "values": _array_to_json(v.values)}
+
+
+def _vector_from_json(obj: dict) -> SparseVector:
+    return SparseVector(obj["n"],
+                        np.asarray(obj["indices"], dtype=np.int64),
+                        _array_from_json(obj["values"]))
+
+
+def case_to_json(case: Case, check: str = "", note: str = "") -> dict:
+    """Serialize ``case`` (plus the check it failed) to a JSON dict."""
+    obj: dict = {
+        "version": REPRO_VERSION,
+        "operator": case.operator,
+        "kind": case.kind,
+        "check": check,
+        "semiring": case.semiring,
+        "nt": case.nt,
+        "label": case.label,
+    }
+    if note:
+        obj["note"] = note
+    if case.matrix is not None:
+        obj["matrix"] = _matrix_to_json(case.matrix)
+    if case.vectors:
+        obj["vectors"] = [_vector_to_json(v) for v in case.vectors]
+    if case.sources:
+        obj["sources"] = list(case.sources)
+    if case.data:
+        obj["data"] = {k: _array_to_json(v) for k, v in case.data.items()}
+    return obj
+
+
+def case_from_json(obj: dict) -> Tuple[Case, str]:
+    """Inverse of :func:`case_to_json`; returns ``(case, check)``."""
+    if obj.get("version") != REPRO_VERSION:
+        raise ValueError(
+            f"unsupported repro version {obj.get('version')!r}"
+        )
+    case = Case(
+        operator=obj["operator"],
+        kind=obj["kind"],
+        matrix=_matrix_from_json(obj["matrix"]) if "matrix" in obj
+        else None,
+        vectors=tuple(_vector_from_json(v)
+                      for v in obj.get("vectors", [])),
+        sources=tuple(int(s) for s in obj.get("sources", [])),
+        semiring=obj.get("semiring", "plus_times"),
+        nt=int(obj.get("nt", 16)),
+        data={k: _array_from_json(v)
+              for k, v in obj.get("data", {}).items()},
+        label=obj.get("label", ""),
+    )
+    return case, obj.get("check", "")
+
+
+def save_repro(case: Case, check: str, path: Union[str, Path],
+               note: str = "") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(case_to_json(case, check, note), indent=1)
+                    + "\n", encoding="utf-8")
+    return path
+
+
+def load_repro(path: Union[str, Path]) -> Tuple[Case, str]:
+    return case_from_json(
+        json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# ----------------------------------------------------------------------
+# Grid generation
+# ----------------------------------------------------------------------
+# (family name, builder) — size argument scaled for smoke vs full runs
+_FAMILIES_SMOKE = (
+    ("banded", lambda seed: gen.banded(48, bandwidth=3, seed=seed)),
+    ("erdos_renyi", lambda seed: gen.erdos_renyi(56, 4.0, seed=seed,
+                                                 symmetric=False)),
+    ("mesh2d", lambda seed: gen.mesh2d(7, seed=seed)),
+)
+_FAMILIES_FULL = _FAMILIES_SMOKE + (
+    ("rmat", lambda seed: gen.rmat(9, edge_factor=8, seed=seed)),
+    ("mesh3d", lambda seed: gen.mesh3d(7, seed=seed)),
+    ("block_diagonal", lambda seed: gen.block_diagonal(
+        16, 16, density=0.5, seed=seed)),
+    ("road_network", lambda seed: gen.road_network(16, seed=seed)),
+    ("fem_like", lambda seed: gen.fem_like(256, nnz_per_row=12,
+                                           seed=seed)),
+    ("erdos_renyi_large", lambda seed: gen.erdos_renyi(
+        400, 6.0, seed=seed, symmetric=False)),
+)
+
+_NT_CHOICES = (4, 8, 16)
+_DENSITIES = (0.02, 0.1, 0.4)
+
+
+def _as_uint64_matrix(coo: COOMatrix, rng: np.random.Generator
+                      ) -> COOMatrix:
+    """Re-value a matrix with nonzero uint64 bitmask words."""
+    vals = rng.integers(1, 1 << 16, size=coo.nnz).astype(np.uint64)
+    return COOMatrix(coo.shape, coo.row, coo.col, vals)
+
+
+def _uint64_vector(n: int, density: float, rng: np.random.Generator
+                   ) -> SparseVector:
+    base = random_sparse_vector(n, density,
+                                seed=int(rng.integers(1 << 30)))
+    vals = rng.integers(1, 1 << 16,
+                        size=len(base.indices)).astype(np.uint64)
+    return SparseVector(n, base.indices, vals)
+
+
+def _multiply_cases(entry, rng: np.random.Generator, families,
+                    samples: int) -> List[Case]:
+    cases: List[Case] = []
+    semirings = ["plus_times"]
+    if "semiring" in entry.capabilities:
+        semirings += ["min_plus", "max_times", "or_and"]
+    # every supported semiring appears at least once per operator,
+    # even in the small smoke grid
+    samples = max(samples, len(semirings))
+    for i in range(samples):
+        fam_name, fam = families[int(rng.integers(len(families)))]
+        seed = int(rng.integers(1 << 30))
+        coo = fam(seed)
+        n = coo.shape[1]
+        nt = int(rng.choice(_NT_CHOICES)) \
+            if "nt" in entry.capabilities else 16
+        semiring = semirings[i % len(semirings)]
+        density = float(rng.choice(_DENSITIES))
+        batch = 3 if ("batch" in entry.capabilities
+                      and rng.random() < 0.5) else 1
+        if semiring == "or_and":
+            coo = _as_uint64_matrix(coo, rng)
+            vectors = tuple(_uint64_vector(n, density, rng)
+                            for _ in range(batch))
+        elif semiring == "min_plus":
+            # non-negative weights: the oracle and kernels then agree
+            # on path algebra without overflow concerns
+            coo = COOMatrix(coo.shape, coo.row, coo.col,
+                            np.abs(coo.val) + 0.05)
+            vectors = tuple(
+                SparseVector(n, v.indices, np.abs(v.values))
+                for v in (random_sparse_vector(
+                    n, density, seed=int(rng.integers(1 << 30)))
+                    for _ in range(batch)))
+        else:
+            vectors = tuple(random_sparse_vector(
+                n, density, seed=int(rng.integers(1 << 30)))
+                for _ in range(batch))
+        cases.append(Case(entry.name, entry.kind, matrix=coo,
+                          vectors=vectors, semiring=semiring, nt=nt,
+                          label=fam_name))
+    if "rectangular" in entry.capabilities:
+        seed = int(rng.integers(1 << 30))
+        coo = gen.random_rectangular(40, 64, 0.08, seed=seed)
+        x = random_sparse_vector(64, 0.1,
+                                 seed=int(rng.integers(1 << 30)))
+        nt = 8 if "nt" in entry.capabilities else 16
+        cases.append(Case(entry.name, entry.kind, matrix=coo,
+                          vectors=(x,), nt=nt, label="rectangular"))
+    return cases
+
+
+def _graph_cases(entry, rng: np.random.Generator, families,
+                 samples: int) -> List[Case]:
+    cases: List[Case] = []
+    for _ in range(samples):
+        fam_name, fam = families[int(rng.integers(len(families)))]
+        seed = int(rng.integers(1 << 30))
+        coo = fam(seed)
+        n = coo.shape[0]
+        nt = int(rng.choice(_NT_CHOICES)) \
+            if "nt" in entry.capabilities else 16
+        k = 4 if entry.kind == "msbfs" else 1
+        sources = tuple(int(s) for s in rng.choice(
+            n, size=min(k, n), replace=False))
+        cases.append(Case(entry.name, entry.kind, matrix=coo,
+                          sources=sources, nt=nt, label=fam_name))
+    return cases
+
+
+def generate_cases(seed: int = 0, smoke: bool = True,
+                   operators: Optional[Sequence[str]] = None
+                   ) -> List[Case]:
+    """Build the randomized verification grid.
+
+    Every registered operator (optionally filtered to ``operators``)
+    gets ``samples`` cases drawn from (matrix family x tile size x
+    semiring x vector density x batch size); the draw is fully
+    determined by ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    families = _FAMILIES_SMOKE if smoke else _FAMILIES_FULL
+    samples = 2 if smoke else 8
+    names = list(operators) if operators else available_operators()
+    cases: List[Case] = []
+    for name in names:
+        entry = resolve_operator(name)
+        if entry is None:
+            raise ValueError(f"unknown operator {name!r}")
+        if entry.kind in ("spmspv", "spmv"):
+            cases.extend(_multiply_cases(entry, rng, families, samples))
+        else:
+            cases.extend(_graph_cases(entry, rng, families, samples))
+    if operators is None:
+        cases.extend(_primitive_cases(rng, smoke))
+    return cases
+
+
+def _primitive_cases(rng: np.random.Generator,
+                     smoke: bool) -> List[Case]:
+    """Cases for the non-registry suites: scatter-merge bit-identity,
+    pagerank vs the dense oracle, sssp vs dijkstra, Matrix Market
+    round-trips."""
+    cases: List[Case] = []
+    samples = 2 if smoke else 5
+    for _ in range(samples):
+        # scatter-merge: bases and addends mixing +-0.0 and normals —
+        # the regime where the bincount fast path used to flip signs
+        size = int(rng.integers(4, 40))
+        out = rng.choice([0.0, -0.0, 1.5, -2.5],
+                         size=size).astype(np.float64)
+        k = int(rng.integers(1, 3 * size))
+        idx = rng.integers(0, size, size=k).astype(np.int64)
+        values = rng.choice([0.0, -0.0, 1.0, -1.0, 0.25],
+                            size=k).astype(np.float64)
+        cases.append(Case("scatter-merge", "primitive",
+                          data={"out": out, "idx": idx,
+                                "values": values},
+                          label="signed-zero-mix"))
+    for _ in range(samples):
+        seed = int(rng.integers(1 << 30))
+        coo = gen.erdos_renyi(40, 3.0, seed=seed, symmetric=False)
+        coo = COOMatrix(coo.shape, coo.row, coo.col,
+                        np.abs(coo.val) + 0.1)
+        cases.append(Case("pagerank", "primitive", matrix=coo,
+                          label="weighted-digraph"))
+        src = int(rng.integers(coo.shape[0]))
+        cases.append(Case("sssp", "primitive", matrix=coo,
+                          sources=(src,), label="weighted-digraph"))
+    for _ in range(samples):
+        seed = int(rng.integers(1 << 30))
+        coo = gen.erdos_renyi(24, 3.0, seed=seed, symmetric=False)
+        cases.append(Case("mm-roundtrip", "primitive", matrix=coo,
+                          label="real"))
+        big = (1 << 53) + int(rng.integers(1, 1 << 20))
+        ints = COOMatrix(coo.shape, coo.row, coo.col,
+                         rng.integers(-big, big,
+                                      size=coo.nnz).astype(np.int64))
+        cases.append(Case("mm-roundtrip", "primitive", matrix=ints,
+                          label="integer"))
+    return cases
+
+
+def shrink_replace(case: Case, **kwargs) -> Case:
+    """`dataclasses.replace` re-export used by the shrinker."""
+    return replace(case, **kwargs)

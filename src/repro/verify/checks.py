@@ -1,0 +1,460 @@
+"""The differential checks the harness runs on each case.
+
+Three layers of cross-checking (the tentpole of the verification
+subsystem):
+
+1. **Oracles** — operator results against the independent SciPy /
+   dense-NumPy references in :mod:`repro.verify.oracles`.
+2. **Siblings** — every operator against other registered operators of
+   the same interface on the identical inputs.
+3. **Model invariants & metamorphic relations** — counter sanity from
+   the simulated device (non-negative counters, batched-union traffic
+   no worse than looped singles, active-set payload no worse than a
+   full scan, plan-cache hits leaving counters byte-identical) and
+   algebraic relations (row permutations permute results, scaling the
+   input scales the output, a batch of one equals a single multiply).
+
+Every check takes a :class:`~repro.verify.cases.Case` and returns
+``None`` on success or a human-readable failure message.  The message
+(not an exception) is what feeds the shrinker: shrinking needs to
+re-evaluate "does this smaller case still fail" cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..formats import COOMatrix
+from ..gpusim import Device
+from ..runtime import available_operators, create_operator, \
+    resolve_operator
+from ..semiring import PLUS_TIMES, Semiring
+from ..vectors.sparse_vector import SparseVector
+from .cases import Case
+from .oracles import (bfs_levels_oracle, dense_semiring_multiply,
+                      dijkstra_oracle, pagerank_oracle, scipy_matvec)
+
+__all__ = ["checks_for", "run_check", "CHECK_NAMES"]
+
+_MULTIPLY_KINDS = ("spmspv", "spmv")
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _build(case: Case, name: Optional[str] = None,
+           device: Optional[Device] = None):
+    entry = resolve_operator(name or case.operator)
+    kwargs = {}
+    if "nt" in entry.capabilities:
+        kwargs["nt"] = case.nt
+    if "semiring" in entry.capabilities:
+        kwargs["semiring"] = case.sr
+    return create_operator(entry.name, case.matrix, device=device,
+                           **kwargs)
+
+
+def _sibling_supports(case: Case, name: str) -> bool:
+    entry = resolve_operator(name)
+    if case.semiring != "plus_times" \
+            and "semiring" not in entry.capabilities:
+        return False
+    if case.matrix.shape[0] != case.matrix.shape[1] \
+            and "rectangular" not in entry.capabilities:
+        return False
+    return True
+
+
+def _densify(v: SparseVector, n: int, semiring: Semiring) -> np.ndarray:
+    out = np.full(n, semiring.add_identity, dtype=semiring.dtype)
+    out[v.indices] = v.values
+    return out
+
+
+def _dense_x(v: SparseVector, semiring: Semiring) -> np.ndarray:
+    return _densify(v, v.n, semiring)
+
+
+def _compare(got: np.ndarray, want: np.ndarray, semiring: Semiring,
+             what: str, rtol: float = 1e-9,
+             atol: float = 1e-12) -> Optional[str]:
+    if semiring.dtype.kind in "ui":
+        if np.array_equal(got, want):
+            return None
+        bad = np.flatnonzero(got != want)
+        return (f"{what}: {len(bad)} mismatched slots, first at "
+                f"{bad[0]}: got {got[bad[0]]}, want {want[bad[0]]}")
+    if np.allclose(got, want, rtol=rtol, atol=atol, equal_nan=True):
+        return None
+    diff = np.abs(np.where(np.isfinite(got) & np.isfinite(want),
+                           got - want, np.where(got == want, 0.0,
+                                                np.inf)))
+    bad = int(np.argmax(diff))
+    return (f"{what}: max |diff| {diff[bad]:.3e} at slot {bad} "
+            f"(got {got[bad]!r}, want {want[bad]!r})")
+
+
+def _multiply_results(case: Case, device: Optional[Device] = None
+                      ) -> List[np.ndarray]:
+    """Run the case's operator over its vectors, densified results."""
+    op = _build(case, device=device)
+    n_out = case.matrix.shape[0]
+    entry = resolve_operator(case.operator)
+    if "batch" in entry.capabilities and len(case.vectors) > 1:
+        ys = op.multiply_batch(list(case.vectors))
+        return [_densify(y, n_out, case.sr) for y in ys]
+    return [_densify(op.multiply(x), n_out, case.sr)
+            for x in case.vectors]
+
+
+# ----------------------------------------------------------------------
+# multiply-kind checks
+# ----------------------------------------------------------------------
+def check_oracle_multiply(case: Case) -> Optional[str]:
+    got = _multiply_results(case)
+    for b, (x, y) in enumerate(zip(case.vectors, got)):
+        want = dense_semiring_multiply(case.matrix,
+                                       _dense_x(x, case.sr), case.sr)
+        err = _compare(y, want, case.sr,
+                       f"vs dense {case.semiring} oracle (vector {b})")
+        if err:
+            return err
+        if case.semiring == "plus_times":
+            want2 = scipy_matvec(case.matrix, _dense_x(x, case.sr))
+            err = _compare(y, want2, case.sr,
+                           f"vs scipy CSR matvec (vector {b})",
+                           rtol=1e-9, atol=1e-11)
+            if err:
+                return err
+    return None
+
+
+def check_siblings_multiply(case: Case) -> Optional[str]:
+    got = _multiply_results(case)
+    n_out = case.matrix.shape[0]
+    pool = [n for k in _MULTIPLY_KINDS for n in available_operators(
+        kind=k) if n != case.operator and _sibling_supports(case, n)]
+    for name in pool:
+        sib = _build(case, name=name)
+        for b, (x, y) in enumerate(zip(case.vectors, got)):
+            ys = _densify(sib.multiply(x), n_out, case.sr)
+            err = _compare(y, ys, case.sr,
+                           f"vs sibling {name} (vector {b})")
+            if err:
+                return err
+    return None
+
+
+def check_counters(case: Case) -> Optional[str]:
+    device = Device()
+    if case.kind in _MULTIPLY_KINDS:
+        _multiply_results(case, device=device)
+    else:
+        op = _build(case, device=device)
+        if case.kind == "msbfs":
+            op.run(list(case.sources))
+        else:
+            for s in case.sources:
+                op.run(s)
+    if not device.timeline:
+        return "operator issued no launches on the attached device"
+    for rec in device.timeline:
+        try:
+            rec.counters.check()
+        except Exception as exc:
+            return f"launch {rec.name!r}: invalid counters: {exc}"
+    return None
+
+
+def check_batched_union_bytes(case: Case) -> Optional[str]:
+    """Batched multi-vector traffic must not exceed looped singles —
+    coalescing shared tile reads is the whole point of the batch
+    engine."""
+    dev_b = Device()
+    op_b = _build(case, device=dev_b)
+    op_b.multiply_batch(list(case.vectors))
+    bytes_b = sum(r.counters.global_bytes for r in dev_b.timeline)
+    dev_l = Device()
+    op_l = _build(case, name="tilespmspv", device=dev_l)
+    for x in case.vectors:
+        op_l.multiply(x)
+    bytes_l = sum(r.counters.global_bytes for r in dev_l.timeline)
+    if bytes_b > bytes_l * (1.0 + 1e-9):
+        return (f"batched union traffic {bytes_b:.0f} B exceeds "
+                f"looped singles {bytes_l:.0f} B")
+    return None
+
+
+def check_active_set_payload(case: Case) -> Optional[str]:
+    """A sparse input must never cost more modeled traffic than the
+    same multiply with a fully dense input (the active-set machinery
+    can only skip work, not add it)."""
+    n = case.matrix.shape[1]
+    dev_s = Device()
+    _build(case, device=dev_s).multiply(case.vectors[0])
+    sparse_bytes = sum(r.counters.global_bytes for r in dev_s.timeline)
+    dense_case = Case(case.operator, case.kind, matrix=case.matrix,
+                      vectors=(SparseVector(
+                          n, np.arange(n),
+                          np.ones(n, dtype=case.sr.dtype)),),
+                      semiring=case.semiring, nt=case.nt)
+    dev_d = Device()
+    _build(dense_case, device=dev_d).multiply(dense_case.vectors[0])
+    dense_bytes = sum(r.counters.global_bytes for r in dev_d.timeline)
+    if sparse_bytes > dense_bytes * (1.0 + 1e-9):
+        return (f"sparse-input traffic {sparse_bytes:.0f} B exceeds "
+                f"dense-input scan {dense_bytes:.0f} B")
+    return None
+
+
+def check_plan_cache_replay(case: Case) -> Optional[str]:
+    """Rebuilding the operator (a plan-cache hit) must reproduce a
+    byte-identical launch timeline — cached plans may never change
+    what the kernels charge."""
+    timelines = []
+    for _ in range(2):
+        dev = Device()
+        op = _build(case, device=dev)
+        op.multiply(case.vectors[0])
+        timelines.append(dev.timeline)
+    t1, t2 = timelines
+    if len(t1) != len(t2):
+        return (f"plan-cache replay changed launch count: "
+                f"{len(t1)} vs {len(t2)}")
+    for a, b in zip(t1, t2):
+        if a.name != b.name or a.counters != b.counters:
+            return (f"plan-cache replay diverged at launch "
+                    f"{a.name!r}: counters differ")
+    return None
+
+
+def check_permute_rows(case: Case) -> Optional[str]:
+    """Permuting the matrix rows must permute the result the same way
+    (plus_times only; a pure structural relation)."""
+    coo = case.matrix
+    m = coo.shape[0]
+    perm = np.random.default_rng(0).permutation(m)
+    permuted = COOMatrix(coo.shape, perm[coo.row], coo.col, coo.val)
+    pcase = Case(case.operator, case.kind, matrix=permuted,
+                 vectors=case.vectors, semiring=case.semiring,
+                 nt=case.nt)
+    base = _multiply_results(case)
+    moved = _multiply_results(pcase)
+    for b, (y, yp) in enumerate(zip(base, moved)):
+        err = _compare(yp[perm], y, case.sr,
+                       f"row permutation not equivariant (vector {b})")
+        if err:
+            return err
+    return None
+
+
+def check_scale_linearity(case: Case) -> Optional[str]:
+    """``A (2x) == 2 (A x)`` bit-exactly under plus_times: doubling is
+    exact in IEEE-754 and commutes with every rounding step."""
+    base = _multiply_results(case)
+    scaled_vecs = tuple(SparseVector(x.n, x.indices, 2.0 * x.values)
+                        for x in case.vectors)
+    scase = Case(case.operator, case.kind, matrix=case.matrix,
+                 vectors=scaled_vecs, semiring=case.semiring,
+                 nt=case.nt)
+    for b, (y, y2) in enumerate(zip(base, _multiply_results(scase))):
+        if not np.array_equal(2.0 * y, y2):
+            bad = int(np.argmax(2.0 * y != y2))
+            return (f"scaling x by 2 not exactly linear (vector {b}, "
+                    f"slot {bad}: {2.0 * y[bad]!r} vs {y2[bad]!r})")
+    return None
+
+
+def check_batch_of_one(case: Case) -> Optional[str]:
+    """A batch of one must agree with the single-vector engine."""
+    op = _build(case)
+    single = _build(case, name="tilespmspv")
+    n_out = case.matrix.shape[0]
+    x = case.vectors[0]
+    yb = _densify(op.multiply_batch([x])[0], n_out, case.sr)
+    ys = _densify(single.multiply(x), n_out, case.sr)
+    return _compare(yb, ys, case.sr, "batch of one vs single multiply")
+
+
+# ----------------------------------------------------------------------
+# graph-kind checks
+# ----------------------------------------------------------------------
+def check_oracle_bfs(case: Case) -> Optional[str]:
+    op = _build(case)
+    if case.kind == "msbfs":
+        levels = op.run(list(case.sources)).levels
+        rows = zip(case.sources, levels)
+    else:
+        rows = [(s, op.run(s).levels) for s in case.sources]
+    for s, got in rows:
+        want = bfs_levels_oracle(case.matrix, int(s))
+        if not np.array_equal(got, want):
+            bad = int(np.argmax(got != want))
+            return (f"levels from source {s} disagree with csgraph "
+                    f"oracle at vertex {bad}: got {got[bad]}, "
+                    f"want {want[bad]}")
+    return None
+
+
+def check_siblings_bfs(case: Case) -> Optional[str]:
+    op = _build(case)
+    if case.kind == "msbfs":
+        mine = dict(zip(case.sources,
+                        op.run(list(case.sources)).levels))
+        pool = available_operators(kind="bfs")
+    else:
+        mine = {s: op.run(s).levels for s in case.sources}
+        pool = [n for n in available_operators(kind="bfs")
+                if n != case.operator]
+    for name in pool:
+        sib = _build(case, name=name)
+        for s, got in mine.items():
+            ref = sib.run(int(s)).levels
+            if not np.array_equal(got, ref):
+                bad = int(np.argmax(np.asarray(got) != ref))
+                return (f"levels from source {s} disagree with "
+                        f"sibling {name} at vertex {bad}: "
+                        f"got {got[bad]}, want {ref[bad]}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# primitive checks (injectable impls so tests can demonstrate the
+# pre-fix bugs failing and the committed repros passing)
+# ----------------------------------------------------------------------
+def check_scatter_merge(case: Case,
+                        merge: Optional[Callable] = None
+                        ) -> Optional[str]:
+    """The plus_times scatter-merge must be bit-identical (signed
+    zeros included) to the canonical ``np.add.at`` fold."""
+    out = case.data["out"]
+    idx = case.data["idx"]
+    values = case.data["values"]
+    got = np.array(out, dtype=np.float64)
+    if merge is None:
+        got = PLUS_TIMES.scatter_merge(got, idx, values)
+    else:
+        got = merge(got, idx, values)
+    want = np.array(out, dtype=np.float64)
+    np.add.at(want, idx, values)
+    if np.array_equal(got.view(np.uint64), want.view(np.uint64)):
+        return None
+    bad = int(np.argmax(got.view(np.uint64) != want.view(np.uint64)))
+    return (f"scatter_merge not bit-identical to add.at at slot "
+            f"{bad}: got {got[bad]!r}, want {want[bad]!r}")
+
+
+def check_pagerank(case: Case,
+                   impl: Optional[Callable] = None) -> Optional[str]:
+    from ..graphs import pagerank
+    ranks, _ = (impl or pagerank)(case.matrix, tol=1e-14)
+    want = pagerank_oracle(case.matrix)
+    if np.allclose(ranks, want, atol=1e-8):
+        return None
+    bad = int(np.argmax(np.abs(ranks - want)))
+    return (f"pagerank disagrees with dense linear-solve oracle at "
+            f"vertex {bad}: got {ranks[bad]:.12f}, "
+            f"want {want[bad]:.12f}")
+
+
+def check_sssp(case: Case,
+               impl: Optional[Callable] = None) -> Optional[str]:
+    from ..graphs import sssp
+    src = int(case.sources[0])
+    got = (impl or sssp)(case.matrix, src, nt=case.nt)
+    want = dijkstra_oracle(case.matrix, src)
+    if np.allclose(got, want, rtol=1e-12, atol=0):
+        return None
+    finite = np.isfinite(want)
+    if not np.array_equal(np.isfinite(got), finite):
+        bad = int(np.argmax(np.isfinite(got) != finite))
+        return (f"sssp reachability from {src} disagrees with "
+                f"dijkstra at vertex {bad}")
+    bad = int(np.argmax(np.abs(np.where(finite, got - want, 0.0))))
+    return (f"sssp distance from {src} at vertex {bad}: "
+            f"got {got[bad]!r}, want {want[bad]!r}")
+
+
+def check_mm_roundtrip(case: Case) -> Optional[str]:
+    import io as _io
+
+    from ..formats import read_matrix_market, write_matrix_market
+    coo = case.matrix.canonicalize()
+    field = "integer" if np.issubdtype(coo.dtype, np.integer) \
+        else "real"
+    buf = _io.StringIO()
+    write_matrix_market(coo, buf, field=field)
+    buf.seek(0)
+    back = read_matrix_market(buf).canonicalize()
+    if back.shape != coo.shape:
+        return f"round-trip changed shape {coo.shape} -> {back.shape}"
+    for name, a, b in (("row", coo.row, back.row),
+                       ("col", coo.col, back.col),
+                       ("val", coo.val, back.val)):
+        if not np.array_equal(a, b):
+            bad = int(np.argmax(a != b))
+            return (f"{field} round-trip corrupted {name}[{bad}]: "
+                    f"{a[bad]!r} -> {b[bad]!r}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+_PRIMITIVE_CHECKS: Dict[str, Callable[[Case], Optional[str]]] = {
+    "scatter-merge": check_scatter_merge,
+    "pagerank": check_pagerank,
+    "sssp": check_sssp,
+    "mm-roundtrip": check_mm_roundtrip,
+}
+
+
+def checks_for(case: Case
+               ) -> List[Tuple[str, Callable[[Case], Optional[str]]]]:
+    """The (name, fn) checks applicable to ``case``."""
+    if case.kind == "primitive":
+        return [(case.operator, _PRIMITIVE_CHECKS[case.operator])]
+    entry = resolve_operator(case.operator)
+    if case.kind in _MULTIPLY_KINDS:
+        out = [("oracle", check_oracle_multiply),
+               ("siblings", check_siblings_multiply),
+               ("counters", check_counters)]
+        if case.semiring == "plus_times":
+            out.append(("permute-rows", check_permute_rows))
+            out.append(("scale-linearity", check_scale_linearity))
+        if entry.name == "tilespmspv":
+            out.append(("plan-cache-replay", check_plan_cache_replay))
+            out.append(("active-set-payload",
+                        check_active_set_payload))
+        if "batch" in entry.capabilities:
+            out.append(("batch-of-one", check_batch_of_one))
+            if len(case.vectors) > 1:
+                out.append(("batched-union-bytes",
+                            check_batched_union_bytes))
+        return out
+    return [("oracle", check_oracle_bfs),
+            ("siblings", check_siblings_bfs),
+            ("counters", check_counters)]
+
+
+CHECK_NAMES = sorted({
+    "oracle", "siblings", "counters", "permute-rows",
+    "scale-linearity", "plan-cache-replay", "active-set-payload",
+    "batch-of-one", "batched-union-bytes",
+    *_PRIMITIVE_CHECKS,
+})
+
+
+def run_check(name: str, case: Case) -> Optional[str]:
+    """Run one named check on ``case``; exceptions become failures so
+    the shrinker can minimize crashing cases too."""
+    for check_name, fn in checks_for(case):
+        if check_name == name:
+            try:
+                return fn(case)
+            except Exception as exc:
+                return f"{type(exc).__name__}: {exc}"
+    raise ValueError(
+        f"check {name!r} not applicable to {case.describe()}")

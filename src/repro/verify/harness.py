@@ -1,0 +1,151 @@
+"""Top-level differential verification driver.
+
+``run_verification`` replays the committed repro corpus (regression
+cases earlier harness runs shrank out of real bugs), then sweeps the
+randomized case grid, running every applicable check from
+:mod:`repro.verify.checks` on every case.  Each failure is shrunk to a
+minimal still-failing case and serialized to a JSON repro that
+``python -m repro.bench verify --replay <file>`` (or a committed copy
+under ``src/repro/verify/repros/``) reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .cases import (Case, case_to_json, generate_cases, load_repro,
+                    save_repro)
+from .checks import checks_for, run_check
+from .shrink import shrink
+
+__all__ = ["Failure", "VerifyReport", "run_verification",
+           "replay_repro", "builtin_repro_paths", "REPRO_DIR"]
+
+REPRO_DIR = Path(__file__).parent / "repros"
+
+
+@dataclass
+class Failure:
+    operator: str
+    check: str
+    message: str
+    case: Case
+    repro_path: Optional[Path] = None
+
+    def describe(self) -> str:
+        where = f" -> {self.repro_path}" if self.repro_path else ""
+        return (f"{self.operator} [{self.check}] "
+                f"{self.case.describe()}: {self.message}{where}")
+
+
+@dataclass
+class VerifyReport:
+    cases_run: int = 0
+    checks_run: int = 0
+    replayed: int = 0
+    failures: List[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"verify: {self.cases_run} cases, {self.checks_run} "
+            f"checks, {self.replayed} repros replayed, "
+            f"{len(self.failures)} failures"
+        ]
+        for f in self.failures:
+            lines.append("  FAIL " + f.describe())
+        return "\n".join(lines)
+
+
+def builtin_repro_paths() -> List[Path]:
+    """The committed regression corpus, replayed on every run."""
+    if not REPRO_DIR.is_dir():
+        return []
+    return sorted(REPRO_DIR.glob("*.json"))
+
+
+def replay_repro(path: Union[str, Path]) -> Tuple[Case, str,
+                                                  Optional[str]]:
+    """Re-run one serialized repro; returns (case, check, failure)."""
+    case, check = load_repro(path)
+    return case, check, run_check(check, case)
+
+
+def _out_path(out_dir: Path, failure_idx: int, case: Case,
+              check: str) -> Path:
+    safe_op = case.operator.replace("/", "-")
+    return out_dir / f"repro-{failure_idx:03d}-{safe_op}-{check}.json"
+
+
+def run_verification(seed: int = 0, smoke: bool = True,
+                     operators: Optional[Sequence[str]] = None,
+                     out_dir: Union[str, Path, None] = None,
+                     replay_builtin: bool = True,
+                     shrink_failures: bool = True,
+                     verbose: bool = False) -> VerifyReport:
+    """Run the full differential sweep.
+
+    Parameters
+    ----------
+    seed:
+        Determines the whole case grid (same seed, same cases).
+    smoke:
+        Small grid for CI; ``False`` runs the nightly-sized grid.
+    operators:
+        Restrict to these registry names (primitive suites are then
+        skipped too).
+    out_dir:
+        Where shrunk failure repros are written (default
+        ``verify-failures/`` under the current directory); only
+        created when something fails.
+    replay_builtin:
+        Replay the committed corpus in ``src/repro/verify/repros/``
+        first.
+    shrink_failures:
+        Minimize failing cases before serializing them.
+    """
+    report = VerifyReport()
+    out_dir = Path(out_dir) if out_dir is not None \
+        else Path("verify-failures")
+
+    def record(case: Case, check: str, message: str) -> None:
+        if shrink_failures:
+            case = shrink(case, lambda c: run_check(check, c))
+            message = run_check(check, case) or message
+        path = save_repro(case, check,
+                          _out_path(out_dir, len(report.failures),
+                                    case, check),
+                          note=message)
+        report.failures.append(Failure(case.operator, check, message,
+                                       case, path))
+
+    if replay_builtin and operators is None:
+        for path in builtin_repro_paths():
+            case, check, failure = replay_repro(path)
+            report.replayed += 1
+            report.checks_run += 1
+            if failure is not None:
+                report.failures.append(Failure(
+                    case.operator, check,
+                    f"committed repro {path.name} failing: {failure}",
+                    case, None))
+
+    for case in generate_cases(seed=seed, smoke=smoke,
+                               operators=operators):
+        report.cases_run += 1
+        if verbose:
+            print(f"  case {case.describe()}")
+        for check_name, fn in checks_for(case):
+            report.checks_run += 1
+            try:
+                failure = fn(case)
+            except Exception as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+            if failure is not None:
+                record(case, check_name, failure)
+    return report

@@ -1,0 +1,153 @@
+"""Greedy case shrinking: minimize a failing case while it still fails.
+
+The shrinker repeatedly proposes structurally smaller variants of a
+failing :class:`~repro.verify.cases.Case` — dropping batch members,
+halving the matrix nnz, shrinking the shape, thinning the input
+vectors, truncating primitive payload arrays — and keeps any variant
+on which the failing predicate still reports a failure.  It stops at a
+fixpoint (no proposal still fails) or after ``max_evals`` predicate
+evaluations, so a slow check cannot stall the harness.
+
+The result is what gets serialized as the replayable JSON repro: small
+enough to read, exact enough (bit-level value preservation) to still
+trigger the bug.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from ..formats import COOMatrix
+from ..vectors.sparse_vector import SparseVector
+from .cases import Case, shrink_replace
+
+__all__ = ["shrink"]
+
+Predicate = Callable[[Case], Optional[str]]
+
+
+def _halves(n: int):
+    """(start, stop) index windows: first half, second half."""
+    if n < 2:
+        return []
+    h = n // 2
+    return [(0, h), (h, n)]
+
+
+def _matrix_entry_subsets(case: Case) -> Iterator[Case]:
+    coo = case.matrix
+    if coo is None:
+        return
+    for lo, hi in _halves(coo.nnz):
+        sub = COOMatrix(coo.shape, coo.row[lo:hi], coo.col[lo:hi],
+                        coo.val[lo:hi])
+        yield shrink_replace(case, matrix=sub)
+
+
+def _shape_shrinks(case: Case) -> Iterator[Case]:
+    coo = case.matrix
+    if coo is None:
+        return
+    m, n = coo.shape
+    square = m == n
+    for new_m, new_n in ((max(1, m // 2), max(1, n // 2)),):
+        if square:
+            new_m = new_n = max(new_m, new_n)
+        if (new_m, new_n) == (m, n):
+            continue
+        keep = (coo.row < new_m) & (coo.col < new_n)
+        sub = COOMatrix((new_m, new_n), coo.row[keep], coo.col[keep],
+                        coo.val[keep])
+        vectors = []
+        ok = True
+        for v in case.vectors:
+            inside = v.indices < new_n
+            vectors.append(SparseVector(new_n, v.indices[inside],
+                                        v.values[inside]))
+        sources = tuple(s for s in case.sources if s < new_m)
+        if case.sources and not sources:
+            ok = False
+        if ok:
+            yield shrink_replace(case, matrix=sub,
+                                 vectors=tuple(vectors),
+                                 sources=sources)
+
+
+def _vector_thins(case: Case) -> Iterator[Case]:
+    # drop whole batch members first — the cheapest big win
+    if len(case.vectors) > 1:
+        for i in range(len(case.vectors)):
+            yield shrink_replace(
+                case, vectors=case.vectors[:i] + case.vectors[i + 1:])
+    # then halve each vector's nnz
+    for i, v in enumerate(case.vectors):
+        for lo, hi in _halves(len(v.indices)):
+            thinned = SparseVector(v.n, v.indices[lo:hi],
+                                   v.values[lo:hi])
+            vecs = (case.vectors[:i] + (thinned,)
+                    + case.vectors[i + 1:])
+            yield shrink_replace(case, vectors=vecs)
+
+
+def _source_drops(case: Case) -> Iterator[Case]:
+    if len(case.sources) > 1:
+        for i in range(len(case.sources)):
+            yield shrink_replace(
+                case, sources=case.sources[:i] + case.sources[i + 1:])
+
+
+def _data_shrinks(case: Case) -> Iterator[Case]:
+    """Primitive payloads: halve idx/values together, then shorten the
+    base array (dropping updates that fall out of range)."""
+    if "idx" not in case.data:
+        return
+    idx = case.data["idx"]
+    values = case.data["values"]
+    out = case.data["out"]
+    for lo, hi in _halves(len(idx)):
+        yield shrink_replace(case, data={"out": out,
+                                         "idx": idx[lo:hi],
+                                         "values": values[lo:hi]})
+    if len(out) > 1:
+        half = max(1, len(out) // 2)
+        keep = idx < half
+        yield shrink_replace(case, data={"out": out[:half],
+                                         "idx": idx[keep],
+                                         "values": values[keep]})
+
+
+def _proposals(case: Case) -> Iterator[Case]:
+    yield from _vector_thins(case)
+    yield from _source_drops(case)
+    yield from _matrix_entry_subsets(case)
+    yield from _shape_shrinks(case)
+    yield from _data_shrinks(case)
+
+
+def shrink(case: Case, fails: Predicate,
+           max_evals: int = 200) -> Case:
+    """Greedily minimize ``case`` while ``fails(case)`` keeps returning
+    a failure message.  The input case is assumed failing."""
+    evals = 0
+    current = case
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for candidate in _proposals(current):
+            evals += 1
+            if evals > max_evals:
+                break
+            try:
+                still_failing = fails(candidate) is not None
+            except Exception:
+                # a shrunk variant that crashes the predicate itself
+                # (not the check — run_check converts check crashes to
+                # messages) is not a valid repro; skip it
+                continue
+            if still_failing:
+                current = candidate
+                progress = True
+                break
+    return current

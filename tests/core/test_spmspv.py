@@ -158,6 +158,31 @@ class TestSemirings:
         op = TileSpMSpV(np.eye(4), nt=4)
         assert op.semiring is PLUS_TIMES
 
+    def test_or_and_uint64_end_to_end(self):
+        """Bitmask semiring through the full tiled pipeline: the input
+        conversion must keep uint64 words instead of folding them
+        through the float64 default (the TiledVector dtype bug)."""
+        from repro.semiring import OR_AND
+        rng = np.random.default_rng(4)
+        n = 24
+        row = rng.integers(0, n, 60)
+        col = rng.integers(0, n, 60)
+        val = rng.integers(1, 1 << 16, 60).astype(np.uint64)
+        coo = COOMatrix((n, n), row, col, val).canonicalize()
+        xi = np.sort(rng.choice(n, size=6, replace=False))
+        xv = rng.integers(1, 1 << 16, 6).astype(np.uint64)
+        x = SparseVector(n, xi, xv)
+
+        y = TileSpMSpV(coo, nt=4, semiring=OR_AND).multiply(x)
+        assert y.values.dtype == np.uint64
+
+        want = np.zeros(n, dtype=np.uint64)
+        xd = np.zeros(n, dtype=np.uint64)
+        xd[xi] = xv
+        for i, j, a in zip(coo.row, coo.col, coo.val):
+            want[i] |= a & xd[j]
+        assert np.array_equal(y.to_dense(), want)
+
 
 class TestErrors:
     def test_shape_mismatch(self):

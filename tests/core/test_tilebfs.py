@@ -184,3 +184,44 @@ class TestTraceAndDevice:
         coo = random_graph_coo(80, 4.0, seed=16)
         res = tile_bfs(coo, 0, nt=4)
         assert np.array_equal(res.levels, nx_levels(coo, 0))
+
+
+class TestDirectedGraphs:
+    """Pull-CSC reads a vertex's stored column as its in-edges, which
+    only holds on symmetric patterns; directed graphs must gate it off
+    (the bug behind verify/repros/tilebfs_pull_direction.json)."""
+
+    def test_plan_records_pattern_symmetry(self):
+        und = random_graph_coo(80, 4.0, seed=2)
+        assert TileBFS(und, nt=8).symmetric is True
+        digraph = erdos_renyi(80, 4.0, seed=2, symmetric=False)
+        assert TileBFS(digraph, nt=8).symmetric is False
+
+    def test_pull_never_traced_on_directed_pattern(self):
+        from repro.graphs import bfs_levels
+        coo = erdos_renyi(120, 6.0, seed=1, symmetric=False)
+        bfs = TileBFS(coo, nt=16, selector=KernelSelector.k1_k2_k3())
+        for src in (0, 45, 119):
+            res = bfs.run(src)
+            assert "pull_csc" not in {it.kernel for it in res.iterations}
+            assert np.array_equal(res.levels, bfs_levels(coo, src))
+
+    @pytest.mark.parametrize("nt", [4, 16])
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_directed_levels_match_reference(self, nt, seed):
+        from repro.graphs import bfs_levels
+        coo = erdos_renyi(64, 4.0, seed=seed, symmetric=False)
+        res = TileBFS(coo, nt=nt).run(0)
+        assert np.array_equal(res.levels, bfs_levels(coo, 0))
+
+    def test_symmetric_pattern_still_allowed_to_pull(self):
+        # the gate must not forbid Pull-CSC where it is valid: on a
+        # dense symmetric pattern the K1K2K3 policy still reaches it
+        coo = random_graph_coo(200, 12.0, seed=6)
+        bfs = TileBFS(coo, nt=16, selector=KernelSelector.k1_k2_k3())
+        kernels = set()
+        for src in range(6):
+            res = bfs.run(src)
+            kernels |= {it.kernel for it in res.iterations}
+            assert np.array_equal(res.levels, nx_levels(coo, src))
+        assert "pull_csc" in kernels

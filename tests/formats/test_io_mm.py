@@ -70,6 +70,41 @@ class TestParsing:
         m = read_matrix_market(io.StringIO(text))
         assert m.to_dense()[0, 1] == 42.0
 
+    def test_integer_values_above_2_53_exact(self):
+        # 2^53 + 1 is not representable in float64; a float round-trip
+        # would silently land on 2^53
+        big = (1 << 53) + 1
+        text = ("%%MatrixMarket matrix coordinate integer general\n"
+                f"2 2 2\n"
+                f"1 1 {big}\n"
+                f"2 2 {-big}\n")
+        m = read_matrix_market(io.StringIO(text))
+        assert np.issubdtype(m.dtype, np.integer)
+        assert m.val.tolist() == [big, -big]
+
+    def test_integer_roundtrip_above_2_53(self):
+        big = (1 << 53) + 1
+        coo = COOMatrix((3, 3), np.array([0, 2]), np.array([1, 2]),
+                        np.array([big, big + 2], dtype=np.int64))
+        back = roundtrip(coo, field="integer")
+        assert back.val.tolist() == [big, big + 2]
+
+    def test_integer_write_rejects_float_values(self):
+        coo = COOMatrix((2, 2), np.array([0]), np.array([1]),
+                        np.array([1.5]))
+        with pytest.raises(IOFormatError):
+            write_matrix_market(coo, io.StringIO(), field="integer")
+
+    def test_skew_symmetric_rejects_explicit_diagonal(self):
+        # the spec stores only the strict lower triangle; a diagonal
+        # entry in a skew-symmetric file is malformed
+        text = ("%%MatrixMarket matrix coordinate real skew-symmetric\n"
+                "2 2 2\n"
+                "2 1 4.0\n"
+                "1 1 0.0\n")
+        with pytest.raises(IOFormatError, match="diagonal"):
+            read_matrix_market(io.StringIO(text))
+
     def test_pattern_field(self):
         text = ("%%MatrixMarket matrix coordinate pattern general\n"
                 "2 2 2\n"

@@ -97,6 +97,70 @@ class TestPageRank:
         _, iters = pagerank(coo, tol=1e-10, max_iter=300)
         assert iters < 300
 
+    # weighted 4-node example, hand-checkable (A[i, j] is edge j -> i):
+    #   0 -> 1 (w=3), 0 -> 2 (w=1), 1 -> 3 (w=2), 2 -> 3 (w=1); 3 dangling
+    WEIGHTED4 = COOMatrix(
+        (4, 4),
+        np.array([1, 2, 3, 3]),
+        np.array([0, 0, 1, 2]),
+        np.array([3.0, 1.0, 2.0, 1.0]))
+
+    def test_weighted_4node_matches_hand_solution(self):
+        # vertex 0 spreads 3/4 of its rank to 1 and 1/4 to 2 (weight
+        # proportional, not 1/2 each); the exact stationary vector
+        # solves (I - d*(P + dangling/n)) r = (1-d)/n * 1
+        d = 0.85
+        P = np.zeros((4, 4))
+        P[1, 0], P[2, 0] = 3 / 4, 1 / 4
+        P[3, 1] = 1.0
+        P[3, 2] = 1.0
+        E = np.zeros((4, 4))
+        E[:, 3] = 1.0 / 4                      # dangling redistribution
+        want = np.linalg.solve(np.eye(4) - d * (P + E),
+                               np.full(4, (1 - d) / 4))
+        want /= want.sum()
+        r, _ = pagerank(self.WEIGHTED4, damping=d, tol=1e-14)
+        assert np.allclose(r, want, atol=1e-10)
+        # weight-proportional split: r1/r2 reflects the 3:1 edge weights
+        assert r[1] > r[2]
+
+    def test_weighted_matches_networkx(self):
+        import networkx as nx
+
+        coo = self.WEIGHTED4
+        G = nx.DiGraph()
+        G.add_nodes_from(range(4))
+        for i, j, w in zip(coo.row, coo.col, coo.val):
+            G.add_edge(int(j), int(i), weight=float(w))
+        ref = nx.pagerank(G, alpha=0.85, tol=1e-12, max_iter=500)
+        refv = np.array([ref[i] for i in range(4)])
+        r, _ = pagerank(coo, tol=1e-14)
+        assert np.allclose(r, refv, atol=1e-8)
+
+    def test_duplicate_entries_merge_not_inflate(self):
+        # the same edge stored twice (1.5 + 1.5) must equal one 3.0
+        # edge — duplicates used to inflate the out-degree count
+        dup = COOMatrix(
+            (4, 4),
+            np.array([1, 1, 2, 3, 3]),
+            np.array([0, 0, 0, 1, 2]),
+            np.array([1.5, 1.5, 1.0, 2.0, 1.0]))
+        r_dup, _ = pagerank(dup, tol=1e-14)
+        r_ref, _ = pagerank(self.WEIGHTED4, tol=1e-14)
+        assert np.allclose(r_dup, r_ref, atol=1e-12)
+
+    def test_explicit_zero_edge_keeps_vertex_dangling(self):
+        # a weight-0 edge is no edge: vertex 3 stays dangling, so the
+        # ranks match the matrix without the explicit zero
+        withzero = COOMatrix(
+            (4, 4),
+            np.array([1, 2, 3, 3, 0]),
+            np.array([0, 0, 1, 2, 3]),
+            np.array([3.0, 1.0, 2.0, 1.0, 0.0]))
+        r_zero, _ = pagerank(withzero, tol=1e-14)
+        r_ref, _ = pagerank(self.WEIGHTED4, tol=1e-14)
+        assert np.allclose(r_zero, r_ref, atol=1e-12)
+
     def test_bad_damping(self):
         with pytest.raises(ShapeError):
             pagerank(COOMatrix.empty((2, 2)), damping=1.0)
@@ -158,6 +222,44 @@ class TestSSSP:
     def test_nonsquare_rejected(self):
         with pytest.raises(ShapeError):
             sssp(COOMatrix.empty((3, 4)), 0, nt=2)
+
+    def test_tiny_improvement_not_dropped(self):
+        # direct edge 0->2 costs 4096; the two-hop path costs one ulp
+        # less (2^-41).  The old absolute 1e-12 slack dropped the
+        # improvement; exact strict comparison must take it.
+        shorter = np.nextafter(4096.0, 0.0)        # 4096 - 2^-41
+        coo = COOMatrix(
+            (3, 3),
+            np.array([2, 1, 2]),
+            np.array([0, 0, 1]),
+            np.array([4096.0, 2048.0, shorter - 2048.0]))
+        d = sssp(coo, 0, nt=2)
+        assert d[2] == shorter
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("scale", [1.0, 1e9])
+    def test_property_matches_scipy_dijkstra(self, seed, scale):
+        # random directed non-negative weighted graphs, small and
+        # large weight scales, vs the independent csgraph oracle
+        from scipy.sparse import csr_array
+        from scipy.sparse.csgraph import dijkstra
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(20, 70))
+        n_edges = int(rng.integers(n, 4 * n))
+        rows = rng.integers(0, n, n_edges)
+        cols = rng.integers(0, n, n_edges)
+        keep = rows != cols
+        vals = (rng.random(keep.sum()) + 0.05) * scale
+        coo = COOMatrix((n, n), rows[keep], cols[keep],
+                        vals).sum_duplicates()
+        d = sssp(coo, 0, nt=4)
+        # csgraph reads G[i, j] as edge i -> j; our convention is the
+        # transpose (A[i, j] is j -> i)
+        at = coo.transpose()
+        G = csr_array((at.val, (at.row, at.col)), shape=(n, n))
+        want = dijkstra(G, directed=True, indices=0)
+        assert np.allclose(d, want, rtol=1e-12, atol=0)
 
     def test_max_rounds_caps_work(self):
         # a path graph needs n-1 rounds; capping at 1 leaves the tail inf

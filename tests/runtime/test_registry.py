@@ -6,7 +6,8 @@ import pytest
 from repro.errors import ReproError
 from repro.gpusim import Device, RTX3090
 from repro.runtime import (available_operators, create_operator,
-                           operator_kind, resolve_operator)
+                           operator_aliases, operator_kind,
+                           resolve_operator)
 from repro.vectors import random_sparse_vector
 
 from ..conftest import random_coo, random_graph_coo
@@ -40,6 +41,45 @@ class TestLookup:
             resolve_operator("nope")
         with pytest.raises(ReproError, match="unknown operator"):
             create_operator("nope", None)
+
+    def test_alias_resolves_to_canonical_entry(self):
+        # an alias resolves to the same entry, carrying the *canonical*
+        # name (an alias must never masquerade as its own operator)
+        via_alias = resolve_operator("spmspv")
+        assert via_alias.name == "tilespmspv"
+        assert via_alias is resolve_operator("tilespmspv")
+        assert "spmspv" in via_alias.aliases
+
+    def test_aliases_not_double_counted(self):
+        # enumeration lists canonical names only: each operator once
+        names = available_operators()
+        assert len(names) == len(set(names))
+        for alias in operator_aliases():
+            assert alias not in names
+
+    def test_alias_map(self):
+        amap = operator_aliases()
+        assert amap["spmspv"] == "tilespmspv"
+        assert amap["bfs"] == "tilebfs"
+        for alias, canonical in amap.items():
+            assert resolve_operator(alias).name == canonical
+
+    def test_capabilities_metadata(self):
+        assert "semiring" in resolve_operator("tilespmspv").capabilities
+        assert "batch" in resolve_operator("batched-spmspv").capabilities
+        assert "semiring" not in resolve_operator(
+            "spmspv-via-spgemm").capabilities
+
+    def test_alias_collision_rejected(self):
+        from repro.runtime import register_operator
+
+        # an alias that collides with an existing name must be rejected
+        # atomically (no partial registration)
+        with pytest.raises(ReproError, match="already registered"):
+            register_operator("x-fresh-name", kind="spmspv",
+                              aliases=("tilespmspv",))(lambda m: m)
+        with pytest.raises(ReproError, match="unknown operator"):
+            resolve_operator("x-fresh-name")
 
 
 class TestCreate:

@@ -92,3 +92,48 @@ class TestIsIdentity:
     def test_max_times(self):
         mask = MAX_TIMES.is_identity(np.array([0.0, 0.5]))
         assert mask.tolist() == [True, False]
+
+
+class TestScatterMergeSignedZero:
+    """The bincount fast path must stay bit-identical to ``np.add.at``
+    in the presence of negative zeros (the first bug the differential
+    verification harness caught; its shrunk repro ships in
+    ``src/repro/verify/repros/scatter_merge_signed_zero.json``)."""
+
+    @staticmethod
+    def bits(a):
+        return np.asarray(a, dtype=np.float64).view(np.uint64)
+
+    def test_negative_zero_base_receiving_negative_zero(self):
+        # minimal shrunk repro: -0.0 slot, one -0.0 addend; add.at
+        # keeps -0.0, the old bincount path flipped it to +0.0
+        out = np.array([-0.0])
+        ref = out.copy()
+        PLUS_TIMES.scatter_merge(out, np.array([0]), np.array([-0.0]))
+        np.add.at(ref, np.array([0]), np.array([-0.0]))
+        assert np.array_equal(self.bits(out), self.bits(ref))
+        assert np.signbit(out[0])
+
+    def test_untouched_negative_zero_slot_preserved(self):
+        # the full-length `out += bincount` must not add +0.0 to an
+        # untouched -0.0 slot
+        out = np.array([0.0, -0.0, 0.0, 0.0])
+        ref = out.copy()
+        idx = np.array([0, 2, 3, 0])
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        PLUS_TIMES.scatter_merge(out, idx, vals)
+        np.add.at(ref, idx, vals)
+        assert np.array_equal(self.bits(out), self.bits(ref))
+        assert np.signbit(ref[1]) and np.signbit(out[1])
+
+    def test_fast_path_still_taken_for_plain_zeros(self):
+        # dense update over a +0.0 base: bit-identical and still exact
+        r = np.random.default_rng(99)
+        idx = r.integers(0, 16, size=200)
+        vals = r.standard_normal(200)
+        vals[::7] = -0.0
+        out = np.zeros(16)
+        ref = np.zeros(16)
+        PLUS_TIMES.scatter_merge(out, idx, vals)
+        np.add.at(ref, idx, vals)
+        assert np.array_equal(self.bits(out), self.bits(ref))

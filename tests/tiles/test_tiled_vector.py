@@ -162,3 +162,34 @@ class TestStats:
 
     def test_len(self):
         assert len(TiledVector.empty(42, 2)) == 42
+
+
+class TestStorageDtype:
+    """Integer semirings need their dtype threaded through construction
+    — folding uint64 bitmasks through the float64 default corrupts
+    words above 2^53 and breaks bitwise kernels."""
+
+    def test_from_sparse_uint64_exact(self):
+        word = np.uint64((1 << 60) + 1)   # not representable in f64
+        tv = TiledVector.from_sparse(
+            np.array([5]), np.array([word], dtype=np.uint64), 16, 4,
+            dtype=np.uint64)
+        assert tv.x_tile.dtype == np.uint64
+        assert tv.get(5) == word
+
+    def test_from_sparse_defaults_to_float64(self):
+        tv = TiledVector.from_sparse(np.array([0]),
+                                     np.array([3], dtype=np.int32),
+                                     8, 4)
+        assert tv.x_tile.dtype == np.float64
+
+    def test_from_dense_dtype_override(self):
+        x = np.zeros(8, dtype=np.uint64)
+        x[2] = np.uint64(0xF0)
+        tv = TiledVector.from_dense(x, 4, dtype=np.uint64)
+        assert tv.x_tile.dtype == np.uint64
+        assert np.array_equal(tv.to_dense(), x)
+
+    def test_from_dense_default_float_kept(self):
+        tv = TiledVector.from_dense(np.ones(8, dtype=np.float32), 4)
+        assert tv.x_tile.dtype == np.float32

@@ -1,0 +1,83 @@
+"""Case model: lossless serialization and grid generation."""
+
+import json
+
+import numpy as np
+
+from repro.formats import COOMatrix
+from repro.runtime import available_operators
+from repro.vectors.sparse_vector import SparseVector
+from repro.verify import (Case, case_from_json, case_to_json,
+                          generate_cases)
+
+
+def bits(x):
+    return np.asarray(x, dtype=np.float64).view(np.uint64)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_signed_zero_bits(self):
+        case = Case("scatter-merge", "primitive",
+                    data={"out": np.array([-0.0, 0.0, 1.5]),
+                          "idx": np.array([0], dtype=np.int64),
+                          "values": np.array([-0.0])})
+        back, check = case_from_json(json.loads(json.dumps(
+            case_to_json(case, check="scatter-merge"))))
+        assert check == "scatter-merge"
+        assert np.array_equal(bits(back.data["out"]),
+                              bits(case.data["out"]))
+        assert np.array_equal(bits(back.data["values"]),
+                              bits(case.data["values"]))
+
+    def test_roundtrip_uint64_and_int64_exact(self):
+        big = (1 << 53) + 1
+        m = COOMatrix((3, 3), np.array([0, 2]), np.array([1, 2]),
+                      np.array([big, 3], dtype=np.int64))
+        x = SparseVector(3, np.array([1]),
+                         np.array([0xDEADBEEF], dtype=np.uint64))
+        case = Case("tilespmspv", "spmspv", matrix=m, vectors=(x,),
+                    semiring="or_and", nt=8)
+        back, _ = case_from_json(case_to_json(case))
+        assert back.matrix.val.dtype == np.int64
+        assert back.matrix.val.tolist() == [big, 3]
+        assert back.vectors[0].values.dtype == np.uint64
+        assert back.vectors[0].values.tolist() == [0xDEADBEEF]
+        assert back.semiring == "or_and" and back.nt == 8
+
+    def test_roundtrip_sources(self):
+        m = COOMatrix((4, 4), np.array([1]), np.array([0]))
+        case = Case("msbfs", "msbfs", matrix=m, sources=(0, 2))
+        back, _ = case_from_json(case_to_json(case))
+        assert back.sources == (0, 2)
+
+
+class TestGrid:
+    def test_deterministic(self):
+        a = generate_cases(seed=3, smoke=True)
+        b = generate_cases(seed=3, smoke=True)
+        assert [c.describe() for c in a] == [c.describe() for c in b]
+
+    def test_every_operator_covered(self):
+        cases = generate_cases(seed=0, smoke=True)
+        covered = {c.operator for c in cases}
+        for name in available_operators():
+            assert name in covered
+
+    def test_semiring_capable_operators_cover_all_semirings(self):
+        cases = generate_cases(seed=0, smoke=True)
+        for name in ("tilespmspv", "combblas", "tilespmv"):
+            seen = {c.semiring for c in cases if c.operator == name}
+            assert seen >= {"plus_times", "min_plus", "max_times",
+                            "or_and"}
+
+    def test_or_and_cases_are_uint64(self):
+        for c in generate_cases(seed=0, smoke=True):
+            if c.semiring == "or_and":
+                assert c.matrix.val.dtype == np.uint64
+                for v in c.vectors:
+                    assert v.values.dtype == np.uint64
+
+    def test_operator_filter(self):
+        cases = generate_cases(seed=0, smoke=True,
+                               operators=["tilebfs"])
+        assert cases and all(c.operator == "tilebfs" for c in cases)

@@ -1,0 +1,183 @@
+"""The differential checks: green on correct code, red on (injected)
+buggy implementations — including the actual pre-fix bugs this PR
+fixed."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.vectors import random_sparse_vector
+from repro.verify import Case, checks_for, run_check
+from repro.verify.checks import (check_pagerank, check_scatter_merge,
+                                 check_sssp)
+
+from ..conftest import random_graph_coo
+
+
+def multiply_case(operator="tilespmspv", semiring="plus_times",
+                  nt=8, seed=0):
+    coo = random_graph_coo(40, 4.0, seed=seed)
+    x = random_sparse_vector(40, 0.2, seed=seed + 1)
+    return Case(operator, "spmspv", matrix=coo, vectors=(x,),
+                semiring=semiring, nt=nt)
+
+
+class TestMultiplyChecks:
+    def test_all_checks_pass_on_correct_operator(self):
+        case = multiply_case()
+        for name, fn in checks_for(case):
+            assert fn(case) is None, f"{name} failed unexpectedly"
+
+    def test_checks_cover_three_layers(self):
+        names = {n for n, _ in checks_for(multiply_case())}
+        assert {"oracle", "siblings", "counters"} <= names
+        assert {"permute-rows", "scale-linearity"} <= names
+        assert {"plan-cache-replay", "active-set-payload"} <= names
+
+    def test_batched_gets_batch_checks(self):
+        coo = random_graph_coo(40, 4.0, seed=3)
+        xs = tuple(random_sparse_vector(40, 0.2, seed=s)
+                   for s in (1, 2))
+        case = Case("batched-spmspv", "spmspv", matrix=coo,
+                    vectors=xs, nt=8)
+        names = {n for n, _ in checks_for(case)}
+        assert {"batch-of-one", "batched-union-bytes"} <= names
+        for name, fn in checks_for(case):
+            assert fn(case) is None, f"{name} failed unexpectedly"
+
+    def test_bfs_checks_pass(self):
+        coo = random_graph_coo(50, 3.0, seed=5)
+        case = Case("tilebfs", "bfs", matrix=coo, sources=(0,), nt=8)
+        for name, fn in checks_for(case):
+            assert fn(case) is None, f"{name} failed unexpectedly"
+
+    def test_msbfs_checks_pass(self):
+        coo = random_graph_coo(50, 3.0, seed=6)
+        case = Case("msbfs", "msbfs", matrix=coo, sources=(0, 7),
+                    nt=8)
+        for name, fn in checks_for(case):
+            assert fn(case) is None, f"{name} failed unexpectedly"
+
+
+class TestPrimitiveChecksCatchPreFixBugs:
+    SIGNED_ZERO = {"out": np.array([-0.0]),
+                   "idx": np.array([0], dtype=np.int64),
+                   "values": np.array([-0.0])}
+
+    def test_scatter_merge_check_passes_fixed_impl(self):
+        case = Case("scatter-merge", "primitive",
+                    data=dict(self.SIGNED_ZERO))
+        assert check_scatter_merge(case) is None
+
+    def test_scatter_merge_check_fails_prefix_fast_path(self):
+        # the pre-fix fast path: bincount whenever the touched bases
+        # read as zero, with no signbit guard — bincount accumulates
+        # from +0.0, so a -0.0 base merged with -0.0 flips to +0.0
+        def buggy_merge(out, idx, values):
+            if not out[idx].any():
+                out[:] += np.bincount(idx, weights=values,
+                                      minlength=len(out))
+                return out
+            np.add.at(out, idx, values)
+            return out
+
+        case = Case("scatter-merge", "primitive",
+                    data=dict(self.SIGNED_ZERO))
+        msg = check_scatter_merge(case, merge=buggy_merge)
+        assert msg is not None and "bit-identical" in msg
+
+    WEIGHTED4 = COOMatrix((4, 4), np.array([1, 2, 3, 3]),
+                          np.array([0, 0, 1, 2]),
+                          np.array([3.0, 1.0, 2.0, 1.0]))
+
+    def test_pagerank_check_passes_fixed_impl(self):
+        case = Case("pagerank", "primitive", matrix=self.WEIGHTED4)
+        assert check_pagerank(case) is None
+
+    def test_pagerank_check_fails_prefix_degree_counting(self):
+        # the pre-fix normalization divided by out-degree *count*,
+        # ignoring edge weights, so the transition matrix is not
+        # column-stochastic on weighted graphs
+        def buggy_pagerank(matrix, tol=1e-14, damping=0.85):
+            coo = matrix.to_coo().canonicalize()
+            n = coo.shape[0]
+            deg = np.bincount(coo.col, minlength=n).astype(float)
+            P = np.zeros((n, n))
+            np.add.at(P, (coo.row, coo.col), coo.val)
+            has_out = deg > 0
+            P[:, has_out] /= deg[has_out]
+            r = np.full(n, 1.0 / n)
+            for it in range(1, 501):
+                r_new = damping * (P @ r + r[~has_out].sum() / n) \
+                    + (1 - damping) / n
+                delta = np.abs(r_new - r).sum()
+                r = r_new
+                if delta < tol:
+                    break
+            return r / r.sum(), it
+
+        case = Case("pagerank", "primitive", matrix=self.WEIGHTED4)
+        msg = check_pagerank(case, impl=buggy_pagerank)
+        assert msg is not None and "oracle" in msg
+
+    def test_sssp_check_passes_fixed_impl(self):
+        coo = random_graph_coo(40, 4.0, seed=7)
+        coo = COOMatrix(coo.shape, coo.row, coo.col,
+                        np.abs(coo.val) + 0.05)
+        case = Case("sssp", "primitive", matrix=coo, sources=(0,))
+        assert check_sssp(case) is None
+
+    # A two-hop path 0 -> 1 -> 2 that beats the direct edge 0 -> 2 by
+    # exactly 2^-41 (~4.5e-13): below the old absolute relaxation
+    # slack of 1e-12 but a relative error above the check's 1e-12
+    # rtol at distance 0.25.  All sums are exact in float64.
+    ULP_GRAPH = COOMatrix(
+        (3, 3), np.array([2, 1, 2]), np.array([0, 0, 1]),
+        np.array([0.25, 0.125, 0.125 - 2.0 ** -41]))
+
+    def test_sssp_check_passes_sub_slack_improvement(self):
+        # the fixed exact-strict relaxation takes the one-ulp-scale
+        # improvement the old slack would have dropped
+        case = Case("sssp", "primitive", matrix=self.ULP_GRAPH,
+                    sources=(0,))
+        assert check_sssp(case) is None
+
+    def test_sssp_check_fails_prefix_slack(self):
+        def slack_sssp(matrix, source, nt=16):
+            coo = matrix.to_coo()
+            n = coo.shape[0]
+            d = np.full(n, np.inf)
+            d[source] = 0.0
+            for _ in range(n):
+                for i, j, w in zip(coo.row, coo.col, coo.val):
+                    # pre-fix relaxation: absolute 1e-12 slack
+                    if d[j] + w < d[i] - 1e-12:
+                        d[i] = d[j] + w
+            return d
+
+        case = Case("sssp", "primitive", matrix=self.ULP_GRAPH,
+                    sources=(0,))
+        msg = check_sssp(case, impl=slack_sssp)
+        assert msg is not None
+
+    def test_mm_roundtrip_check(self):
+        big = (1 << 53) + 1
+        m = COOMatrix((3, 3), np.array([0, 2]), np.array([1, 2]),
+                      np.array([big, -big], dtype=np.int64))
+        case = Case("mm-roundtrip", "primitive", matrix=m)
+        assert run_check("mm-roundtrip", case) is None
+
+
+class TestDispatch:
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ValueError, match="not applicable"):
+            run_check("nonsense", multiply_case())
+
+    def test_run_check_converts_crashes_to_messages(self):
+        # pagerank raises ShapeError on a rectangular matrix; run_check
+        # must hand the shrinker a failure message, not propagate
+        rect = COOMatrix((2, 3), np.array([0]), np.array([2]),
+                         np.array([1.0]))
+        bad = Case("pagerank", "primitive", matrix=rect)
+        msg = run_check("pagerank", bad)
+        assert msg is not None and "ShapeError" in msg

@@ -1,0 +1,114 @@
+"""End-to-end harness: clean sweeps pass, injected bugs produce
+shrunk, replayable JSON repros."""
+
+import json
+
+import pytest
+
+from repro.runtime import register_operator
+from repro.runtime.registry import _ALIASES, _REGISTRY
+from repro.verify import (load_repro, replay_repro, run_verification)
+from repro.verify.harness import Failure, VerifyReport
+
+
+@pytest.fixture
+def broken_operator():
+    """Temporarily register an spmspv operator whose results are
+    scaled by 1 + 1e-3 — wrong against every oracle and sibling."""
+    name = "broken-scaled-spmspv"
+
+    @register_operator(name, kind="spmspv",
+                       summary="deliberately wrong (tests only)",
+                       capabilities=("nt",))
+    def _make_broken(matrix, device=None, **kwargs):
+        from repro.core.spmspv import TileSpMSpV
+        from repro.vectors.sparse_vector import SparseVector
+
+        class Broken:
+            def __init__(self):
+                self._op = TileSpMSpV(matrix, device=device, **kwargs)
+
+            def multiply(self, x):
+                y = self._op.multiply(x)
+                return SparseVector(y.n, y.indices,
+                                    y.values * (1.0 + 1e-3))
+
+        return Broken()
+
+    try:
+        yield name
+    finally:
+        del _REGISTRY[name]
+        for alias in [a for a, c in _ALIASES.items() if c == name]:
+            del _ALIASES[alias]
+
+
+class TestReport:
+    def test_summary_counts_and_failures(self):
+        rep = VerifyReport(cases_run=3, checks_run=9, replayed=2)
+        assert rep.ok
+        assert "3 cases" in rep.summary()
+        rep.failures.append(Failure("op", "oracle", "boom", None))
+        assert not rep.ok
+
+
+class TestRunVerification:
+    def test_clean_subset_passes(self, tmp_path):
+        report = run_verification(seed=0, smoke=True,
+                                  operators=["tilespmspv"],
+                                  out_dir=tmp_path)
+        assert report.ok, report.summary()
+        assert report.cases_run > 0
+        assert report.checks_run > report.cases_run
+        # operator filters skip the committed corpus replay
+        assert report.replayed == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_broken_operator_yields_shrunk_replayable_repro(
+            self, tmp_path, broken_operator):
+        report = run_verification(seed=0, smoke=True,
+                                  operators=[broken_operator],
+                                  out_dir=tmp_path)
+        assert not report.ok
+        fail = report.failures[0]
+        assert fail.operator == broken_operator
+        assert fail.repro_path is not None \
+            and fail.repro_path.is_file()
+
+        # the shrunk case must still be a genuine failure on replay
+        case, check, message = replay_repro(fail.repro_path)
+        assert case.operator == broken_operator
+        assert message is not None
+
+        # shrinking happened: the repro is no larger than the grid's
+        # smallest generated matrix and carries exactly one vector
+        assert case.matrix.nnz <= 8
+        assert len(case.vectors) == 1
+        assert len(case.vectors[0].indices) <= 2
+
+        # the on-disk artifact is valid JSON with the failure note
+        payload = json.loads(fail.repro_path.read_text())
+        assert payload["check"] == check
+        assert payload["note"]
+
+    def test_no_shrink_flag_keeps_original_case(self, tmp_path,
+                                                broken_operator):
+        report = run_verification(seed=0, smoke=True,
+                                  operators=[broken_operator],
+                                  out_dir=tmp_path,
+                                  shrink_failures=False)
+        assert not report.ok
+        case, _ = load_repro(report.failures[0].repro_path)
+        # un-shrunk grid cases are full-sized
+        assert case.matrix.nnz > 8
+
+
+class TestBuiltinCorpus:
+    def test_committed_repros_replay_clean(self):
+        from repro.verify import builtin_repro_paths
+        paths = builtin_repro_paths()
+        assert len(paths) >= 3
+        for path in paths:
+            case, check, failure = replay_repro(path)
+            assert failure is None, \
+                f"{path.name}: {case.describe()}: {failure}"

@@ -1,0 +1,78 @@
+"""The oracles must agree with known references (they arbitrate every
+operator, so they get their own cross-checks)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import bfs_levels
+from repro.semiring import MIN_PLUS, OR_AND, PLUS_TIMES
+from repro.verify.oracles import (bfs_levels_oracle,
+                                  dense_semiring_multiply,
+                                  dijkstra_oracle, pagerank_oracle,
+                                  scipy_matvec)
+
+from ..conftest import random_coo, random_graph_coo
+
+
+class TestMultiplyOracles:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_dense_oracle_matches_scipy_plus_times(self, seed):
+        coo = random_coo(30, 40, 0.1, seed=seed)
+        x = np.random.default_rng(seed).random(40)
+        got = dense_semiring_multiply(coo, x, PLUS_TIMES)
+        assert np.allclose(got, scipy_matvec(coo, x))
+
+    def test_min_plus_identity_slots_skipped(self):
+        coo = random_coo(10, 10, 0.3, seed=2)
+        x = np.full(10, np.inf)
+        x[3] = 1.0
+        got = dense_semiring_multiply(coo, x, MIN_PLUS)
+        # only column 3 contributes; everything else stays inf
+        rows3 = set(coo.row[coo.col == 3].tolist())
+        assert set(np.flatnonzero(np.isfinite(got)).tolist()) == rows3
+
+    def test_or_and_bitmask(self):
+        from repro.formats import COOMatrix
+        m = COOMatrix((2, 2), np.array([0, 1]), np.array([1, 1]),
+                      np.array([0b1100, 0b1010], dtype=np.uint64))
+        x = np.zeros(2, dtype=np.uint64)
+        x[1] = np.uint64(0b0110)
+        got = dense_semiring_multiply(m, x, OR_AND)
+        assert got.tolist() == [0b0100, 0b0010]
+
+
+class TestGraphOracles:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_bfs_oracle_matches_reference(self, seed):
+        coo = random_graph_coo(60, 3.0, seed=seed)
+        assert np.array_equal(bfs_levels_oracle(coo, 0),
+                              bfs_levels(coo, 0))
+
+    def test_dijkstra_oracle_simple_path(self):
+        from repro.formats import COOMatrix
+        # 0 -> 1 (2.0) -> 2 (3.0), edge convention A[i, j] = j -> i
+        coo = COOMatrix((3, 3), np.array([1, 2]), np.array([0, 1]),
+                        np.array([2.0, 3.0]))
+        assert dijkstra_oracle(coo, 0).tolist() == [0.0, 2.0, 5.0]
+
+    def test_pagerank_oracle_ring_uniform(self):
+        from repro.formats import COOMatrix
+        n = 8
+        coo = COOMatrix((n, n), np.arange(n),
+                        np.roll(np.arange(n), 1))
+        assert np.allclose(pagerank_oracle(coo), 1.0 / n)
+
+    def test_pagerank_oracle_matches_networkx_weighted(self):
+        import networkx as nx
+
+        from repro.formats import COOMatrix
+        coo = COOMatrix((4, 4), np.array([1, 2, 3, 3]),
+                        np.array([0, 0, 1, 2]),
+                        np.array([3.0, 1.0, 2.0, 1.0]))
+        G = nx.DiGraph()
+        G.add_nodes_from(range(4))
+        for i, j, w in zip(coo.row, coo.col, coo.val):
+            G.add_edge(int(j), int(i), weight=float(w))
+        ref = nx.pagerank(G, alpha=0.85, tol=1e-12, max_iter=500)
+        refv = np.array([ref[i] for i in range(4)])
+        assert np.allclose(pagerank_oracle(coo), refv, atol=1e-8)

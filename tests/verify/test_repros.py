@@ -1,0 +1,89 @@
+"""The committed repro corpus: each file is a shrunk case from a real
+bug this PR fixed.  Fixed code passes every one; re-injecting the
+pre-fix behaviour makes the same case fail again."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import create_operator
+from repro.verify import REPRO_DIR, load_repro, run_check
+from repro.verify.checks import check_pagerank, check_scatter_merge
+from repro.verify.oracles import bfs_levels_oracle
+
+SCATTER = REPRO_DIR / "scatter_merge_signed_zero.json"
+PAGERANK = REPRO_DIR / "pagerank_weighted.json"
+TILEBFS = REPRO_DIR / "tilebfs_pull_direction.json"
+
+
+class TestCorpusFiles:
+    def test_corpus_present(self):
+        names = {p.name for p in REPRO_DIR.glob("*.json")}
+        assert {SCATTER.name, PAGERANK.name, TILEBFS.name} <= names
+
+    @pytest.mark.parametrize("path", [SCATTER, PAGERANK, TILEBFS],
+                             ids=lambda p: p.stem)
+    def test_fixed_code_passes(self, path):
+        case, check = load_repro(path)
+        assert run_check(check, case) is None
+
+
+class TestPreFixBehaviourStillFails:
+    def test_scatter_merge_bincount_without_signbit_guard(self):
+        case, _ = load_repro(SCATTER)
+
+        def prefix_merge(out, idx, values):
+            # pre-fix: take the bincount fast path whenever the bases
+            # compare equal to zero — loses the sign of -0.0
+            if not out[idx].any():
+                out[:] = out + np.bincount(idx, weights=values,
+                                           minlength=len(out))
+                return out
+            np.add.at(out, idx, values)
+            return out
+
+        assert check_scatter_merge(case, merge=prefix_merge) \
+            is not None
+
+    def test_pagerank_degree_count_normalization(self):
+        case, _ = load_repro(PAGERANK)
+
+        def prefix_pagerank(matrix, tol=1e-14, damping=0.85):
+            coo = matrix.to_coo().canonicalize()
+            n = coo.shape[0]
+            # pre-fix: divide by out-degree count, not weight sum
+            deg = np.bincount(coo.col, minlength=n).astype(float)
+            P = np.zeros((n, n))
+            np.add.at(P, (coo.row, coo.col), coo.val)
+            has_out = deg > 0
+            P[:, has_out] /= deg[has_out]
+            r = np.full(n, 1.0 / n)
+            for it in range(1, 501):
+                r_new = damping * (P @ r + r[~has_out].sum() / n) \
+                    + (1 - damping) / n
+                delta = np.abs(r_new - r).sum()
+                r = r_new
+                if delta < tol:
+                    break
+            return r / r.sum(), it
+
+        assert check_pagerank(case, impl=prefix_pagerank) is not None
+
+    def test_tilebfs_pull_on_directed_pattern(self):
+        case, _ = load_repro(TILEBFS)
+        op = create_operator("tilebfs", case.matrix, nt=case.nt)
+        # the fixed plan records the pattern as asymmetric, which is
+        # what gates the Pull-CSC kernel off for this graph
+        assert op.symmetric is False
+
+        source = int(case.sources[0])
+        want = bfs_levels_oracle(case.matrix, source)
+        assert np.array_equal(op.run(source).levels, want)
+
+        # pre-fix behaviour: claim symmetry so the selector may pick
+        # Pull-CSC, which walks this directed graph's edges backwards
+        op_prefix = create_operator("tilebfs", case.matrix,
+                                    nt=case.nt)
+        op_prefix.symmetric = True
+        got = op_prefix.run(source).levels
+        assert not np.array_equal(got, want), \
+            "expected the pre-fix pull path to mis-traverse this graph"

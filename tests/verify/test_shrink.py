@@ -1,0 +1,100 @@
+"""Greedy shrinking: failing cases minimize to readable repros."""
+
+import numpy as np
+
+from repro.formats import COOMatrix
+from repro.vectors.sparse_vector import SparseVector
+from repro.verify import Case, shrink
+
+
+def big_matrix_with_poison(n=32, nnz=64, seed=0):
+    rng = np.random.default_rng(seed)
+    row = rng.integers(0, n, nnz)
+    col = rng.integers(0, n, nnz)
+    val = rng.random(nnz)
+    val[5] = 7.0  # the single entry the predicate keys on
+    row[5], col[5] = 3, 2
+    return COOMatrix((n, n), row, col, val)
+
+
+def poisoned(case):
+    if case.matrix is not None and np.any(case.matrix.val == 7.0):
+        return "poison entry present"
+    return None
+
+
+class TestShrink:
+    def test_matrix_shrinks_to_poison_entry(self):
+        case = Case("tilespmspv", "spmspv",
+                    matrix=big_matrix_with_poison())
+        small = shrink(case, poisoned)
+        assert poisoned(small) is not None
+        assert small.matrix.nnz <= 2
+        # shape halves until the poison entry at (3, 2) would fall off
+        assert small.matrix.shape[0] <= 4
+
+    def test_batch_members_dropped(self):
+        vecs = tuple(SparseVector(16, np.array([i]), np.array([1.0]))
+                     for i in range(3))
+
+        def needs_index_one(case):
+            hit = any(1 in v.indices for v in case.vectors)
+            return "index 1 present" if hit else None
+
+        case = Case("batched-spmspv", "spmspv",
+                    matrix=COOMatrix.empty((16, 16)), vectors=vecs)
+        small = shrink(case, needs_index_one)
+        assert len(small.vectors) == 1
+        assert small.vectors[0].indices.tolist() == [1]
+
+    def test_vector_nnz_halved(self):
+        v = SparseVector(64, np.arange(16), np.ones(16))
+
+        def needs_index_nine(case):
+            hit = any(9 in x.indices for x in case.vectors)
+            return "index 9 present" if hit else None
+
+        case = Case("tilespmspv", "spmspv",
+                    matrix=COOMatrix.empty((64, 64)), vectors=(v,))
+        small = shrink(case, needs_index_nine)
+        assert len(small.vectors[0].indices) <= 2
+        assert 9 in small.vectors[0].indices
+
+    def test_primitive_payload_shrinks(self):
+        data = {"out": np.zeros(8),
+                "idx": np.arange(8, dtype=np.int64),
+                "values": np.where(np.arange(8) == 6, -0.0, 1.0)}
+
+        def has_negative_zero(case):
+            v = case.data["values"]
+            hit = np.any((v == 0.0) & np.signbit(v))
+            return "-0.0 present" if hit else None
+
+        case = Case("scatter-merge", "primitive", data=data)
+        small = shrink(case, has_negative_zero)
+        assert has_negative_zero(small) is not None
+        assert len(small.data["values"]) == 1
+
+    def test_eval_budget_respected(self):
+        calls = []
+
+        def always_fails(case):
+            calls.append(1)
+            return "always"
+
+        case = Case("tilespmspv", "spmspv",
+                    matrix=big_matrix_with_poison())
+        shrink(case, always_fails, max_evals=5)
+        assert len(calls) <= 5
+
+    def test_crashing_candidates_skipped(self):
+        original = Case("tilespmspv", "spmspv",
+                        matrix=big_matrix_with_poison())
+
+        def brittle(case):
+            if case.matrix.nnz != original.matrix.nnz:
+                raise RuntimeError("predicate cannot handle variant")
+            return "fails on the original"
+
+        small = shrink(original, brittle)
+        assert small.matrix.nnz == original.matrix.nnz
