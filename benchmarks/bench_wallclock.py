@@ -88,6 +88,14 @@ def main(argv=None) -> int:
         print(f"{r['batch']:>6} {r['density']:>9g} {r['ref_ms']:>9.3f} "
               f"{r['new_ms']:>9.3f} {r['speedup']:>7.1f}x "
               f"{r['bytes_ratio']:>6.2f}x")
+    print("Sharded out-of-core engine (row strips vs one in-core tiling):")
+    print(f"{'shards':>7} {'density':>9} {'ref ms':>9} {'new ms':>9} "
+          f"{'speedup':>8} {'exec':>5} {'skip':>5}")
+    for r in result["sharded"]:
+        print(f"{r['n_shards']:>7} {r['density']:>9g} "
+              f"{r['ref_ms']:>9.3f} {r['new_ms']:>9.3f} "
+              f"{r['speedup']:>7.1f}x {r['shards_executed']:>5} "
+              f"{r['shards_skipped']:>5}")
     print(f"wrote {args.out}")
     return 0
 

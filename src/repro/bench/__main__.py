@@ -42,6 +42,10 @@ def _run_trace(argv) -> int:
     parser.add_argument("--format", choices=("chrome", "jsonl"),
                         default="chrome",
                         help="output format (default: chrome)")
+    parser.add_argument("--shard", type=int, default=None, metavar="SID",
+                        help="keep only launches tagged shard=SID "
+                             "(sharded operators tag every per-shard "
+                             "launch)")
     parser.add_argument("--out", default=None,
                         help="output path (default: trace.json / "
                              "trace.jsonl by format)")
@@ -51,6 +55,11 @@ def _run_trace(argv) -> int:
     tracer, device = run_traced_workload(
         matrix=args.matrix, operators=operators,
         sparsity=args.sparsity, source=args.source)
+    total_launches = len(tracer)
+    if args.shard is not None:
+        tracer = tracer.filtered_by_shard(args.shard)
+        print(f"shard={args.shard}: {len(tracer)} of "
+              f"{total_launches} launches kept")
     out = args.out or ("trace.json" if args.format == "chrome"
                        else "trace.jsonl")
     if args.format == "chrome":

@@ -23,7 +23,7 @@ __all__ = ["DEFAULT_TRACE_OPERATORS", "run_traced_workload"]
 #: Operators the ``trace`` subcommand drives when none are named:
 #: every registered algorithm that works on a square matrix.
 DEFAULT_TRACE_OPERATORS = (
-    "tilespmspv", "combblas", "spmspv-via-spgemm",
+    "tilespmspv", "sharded-spmspv", "combblas", "spmspv-via-spgemm",
     "tilespmv", "cusparse-bsr",
     "tilebfs", "gunrock", "gswitch", "enterprise",
     "msbfs",

@@ -38,11 +38,12 @@ from ..core.spmspv_kernels import (batched_tiled_kernel,
 from ..core.tilebfs import TileBFS
 from ..gpusim import KernelCounters
 from ..matrices.generators import rmat
+from ..shards.engine import ShardedSpMSpV
 from ..tiles.bitmask import BitVector
 from ..tiles.tiled_matrix import TiledMatrix
 from ..tiles.tiled_vector import TiledVector
 
-__all__ = ["run_wallclock", "check_regression"]
+__all__ = ["run_wallclock", "check_regression", "known_sections"]
 
 
 def _best_ms(fn: Callable[[], object], repeats: int) -> float:
@@ -360,6 +361,36 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
                                 if looped_bytes > 0 else 1.0),
             })
 
+    say("sharded engine: row-strip shards vs single tiling")
+    shard_counts = (4,) if smoke else (4, 8)
+    sharded_rows = []
+    for n_shards in shard_counts:
+        sharded_op = ShardedSpMSpV(coo, nt=nt, n_shards=n_shards)
+        for density in densities:
+            x = _frontier(n, density, nt, rng)
+            before = sharded_op.scheduler.stats()
+            y_sharded = sharded_op.multiply(x, output="dense")
+            after = sharded_op.scheduler.stats()
+            y_ref, _ = tiled_kernel(A, x)
+            assert np.allclose(y_sharded, y_ref), "sharded != tiled"
+            say(f"sharded s={sharded_op.matrix.n_shards} "
+                f"density={density:g}")
+            new_ms = _best_ms(
+                lambda: sharded_op.multiply(x, output="dense"), repeats)
+            ref_ms = _best_ms(lambda: tiled_kernel(A, x), repeats)
+            sharded_rows.append({
+                "n_shards": sharded_op.matrix.n_shards,
+                "density": density,
+                "ref_ms": ref_ms,
+                "new_ms": new_ms,
+                "speedup": ref_ms / new_ms if new_ms > 0
+                           else float("inf"),
+                "shards_executed": (after["shards_executed"]
+                                    - before["shards_executed"]),
+                "shards_skipped": (after["shards_skipped"]
+                                   - before["shards_skipped"]),
+            })
+
     say("MS-BFS end to end")
     ms_op = MultiSourceBFS(coo)
     ms_sources = rng.choice(A.shape[0], size=min(64, A.shape[0]),
@@ -407,6 +438,7 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
                         if msbfs_new > 0 else float("inf")),
         },
         "batched": batched_rows,
+        "sharded": sharded_rows,
     }
 
 
@@ -416,13 +448,18 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
 #: them rather than flake.
 NOISE_FLOOR_MS = 0.25
 
-#: Report sections the regression guard knows about.  A section present
-#: in the committed baseline but absent from the current report is a
-#: hard failure: the guard used to pass silently on such reports, which
-#: let a bench run that lost a whole workload (crash, harness rename)
-#: look like a clean bill of health.
-KNOWN_SECTIONS = ("multiply", "bfs", "bfs_kernels", "tilebfs", "msbfs",
-                  "batched")
+#: Report keys that are metadata, not benchmark sections.  Everything
+#: else recorded in the committed baseline is a workload the current
+#: report must also carry — derived from the baseline rather than a
+#: hard-coded section list, so a newly added section (``sharded``) is
+#: covered by the missing-section guard the moment it lands in the
+#: baseline instead of silently bypassing it.
+_META_KEYS = ("meta",)
+
+
+def known_sections(committed: Dict) -> tuple:
+    """The benchmark sections of a committed baseline report."""
+    return tuple(k for k in committed if k not in _META_KEYS)
 
 
 def _speedup_entries(report: Dict) -> Dict[str, tuple]:
@@ -447,6 +484,9 @@ def _speedup_entries(report: Dict) -> Dict[str, tuple]:
     for row in report.get("batched", ()):
         entries[f"batched/b{row['batch']}@{row['density']:g}"] = \
             (row["speedup"], min_ms(row))
+    for row in report.get("sharded", ()):
+        entries[f"sharded/s{row['n_shards']}@{row['density']:g}"] = \
+            (row["speedup"], min_ms(row))
     for section in ("bfs", "tilebfs", "msbfs"):
         if section in report:
             entries[section] = (report[section]["speedup"],
@@ -466,16 +506,16 @@ def check_regression(current: Dict, committed: Dict, floor: float = 0.6,
     speedups are compared rather than raw milliseconds so the guard is
     stable across host machines of different speed.
 
-    A whole :data:`KNOWN_SECTIONS` section recorded in ``committed``
-    but missing from ``current`` is itself a failure (entry
-    ``{"label": "section:<name>", "missing": True}``): a report that
-    silently dropped a workload must not pass the guard.
+    Any section recorded in ``committed`` (every non-meta key; see
+    :func:`known_sections`) but missing from ``current`` is itself a
+    failure (entry ``{"label": "section:<name>", "missing": True}``):
+    a report that silently dropped a workload must not pass the guard.
     """
     cur = _speedup_entries(current)
     ref = _speedup_entries(committed)
     failures = []
-    for section in KNOWN_SECTIONS:
-        if section in committed and section not in current:
+    for section in known_sections(committed):
+        if section not in current:
             failures.append({"label": f"section:{section}",
                              "missing": True})
     for label in sorted(set(cur) & set(ref)):

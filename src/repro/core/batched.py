@@ -84,6 +84,18 @@ class BatchedSpMSpV:
             )
         self.semiring = semiring
         self.ctx = ExecutionContext.wrap(device, operator="batched_spmspv")
+        # deferred import: repro.shards imports core.spmspv helpers
+        from ..shards.sharded_matrix import ShardedTiledMatrix
+        if isinstance(matrix, ShardedTiledMatrix):
+            from ..shards.engine import ShardedSpMSpV
+            self._sharded: Optional[ShardedSpMSpV] = ShardedSpMSpV(
+                matrix, semiring=semiring, device=self.ctx,
+                plan_cache=plan_cache)
+            self._plan = None
+            self.hybrid = None
+            self._side_index = None
+            return
+        self._sharded = None
         if isinstance(matrix, HybridTiledMatrix):
             self._plan = _spmspv_plan(matrix)
         elif isinstance(matrix, TiledMatrix):
@@ -118,17 +130,25 @@ class BatchedSpMSpV:
             self.ctx = device.scoped("batched_spmspv")
         else:
             self.ctx.device = device
+        if self._sharded is not None:
+            self._sharded.device = device
 
     @property
     def shape(self):
+        if self._sharded is not None:
+            return self._sharded.shape
         return self.hybrid.shape
 
     @property
     def nt(self) -> int:
+        if self._sharded is not None:
+            return self._sharded.nt
         return self.hybrid.nt
 
     @property
     def nnz(self) -> int:
+        if self._sharded is not None:
+            return self._sharded.nnz
         return self.hybrid.nnz
 
     # ------------------------------------------------------------------
@@ -163,6 +183,9 @@ class BatchedSpMSpV:
         """
         if output not in ("sparse", "dense"):
             raise ShapeError(f"unknown output mode {output!r}")
+        if self._sharded is not None:
+            return self._sharded.multiply_batch(xs, output=output,
+                                                tag=tag)
         fill = float(self.semiring.add_identity)
         xts = [as_tiled_vector(x, self.nt, fill,
                                dtype=self.semiring.dtype) for x in xs]
@@ -201,6 +224,10 @@ class BatchedSpMSpV:
         return result[0]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self._sharded is not None:
+            return (f"<BatchedSpMSpV {self.shape} nt={self.nt} "
+                    f"shards={self._sharded.matrix.n_shards} "
+                    f"semiring={self.semiring.name}>")
         return (f"<BatchedSpMSpV {self.shape} nt={self.nt} "
                 f"tiles={self.hybrid.tiled.n_nonempty_tiles} "
                 f"side_nnz={self.hybrid.side.nnz} "

@@ -33,7 +33,8 @@ from ..tiles.tiled_vector import SUPPORTED_TILE_SIZES, TiledVector
 from ..vectors.sparse_vector import SparseVector
 from .spmspv_kernels import coo_side_kernel, csc_tiled_kernel, tiled_kernel
 
-__all__ = ["TileSpMSpV", "tile_spmspv", "as_tiled_vector"]
+__all__ = ["TileSpMSpV", "tile_spmspv", "as_tiled_vector",
+           "apply_output_mask"]
 
 VectorLike = Union[SparseVector, TiledVector, np.ndarray]
 
@@ -116,6 +117,23 @@ class TileSpMSpV:
         self.mode = mode
         self.adaptive_threshold = float(adaptive_threshold)
         self.ctx = ExecutionContext.wrap(device, operator="tilespmspv")
+        # deferred import: repro.shards imports this module for the
+        # shared vector coercion / mask helpers
+        from ..shards.sharded_matrix import ShardedTiledMatrix
+        if isinstance(matrix, ShardedTiledMatrix):
+            from ..shards.engine import ShardedSpMSpV
+            # out-of-core path: the engine owns scheduling, streaming
+            # and per-shard plans; this operator is a thin front.  The
+            # sharded matrix's own tiling parameters win over the
+            # constructor defaults, as with a prebuilt TiledMatrix.
+            self._sharded: Optional[ShardedSpMSpV] = ShardedSpMSpV(
+                matrix, semiring=semiring, device=self.ctx,
+                plan_cache=plan_cache)
+            self._plan = None
+            self.hybrid = None
+            self._side_index = None
+            return
+        self._sharded = None
         if isinstance(matrix, HybridTiledMatrix):
             # preprocessing already done by the caller: private plan
             self._plan = _spmspv_plan(matrix)
@@ -153,17 +171,25 @@ class TileSpMSpV:
             self.ctx = device.scoped("tilespmspv")
         else:
             self.ctx.device = device
+        if self._sharded is not None:
+            self._sharded.device = device
 
     @property
     def shape(self):
+        if self._sharded is not None:
+            return self._sharded.shape
         return self.hybrid.shape
 
     @property
     def nt(self) -> int:
+        if self._sharded is not None:
+            return self._sharded.nt
         return self.hybrid.nt
 
     @property
     def nnz(self) -> int:
+        if self._sharded is not None:
+            return self._sharded.nnz
         return self.hybrid.nnz
 
     # ------------------------------------------------------------------
@@ -229,6 +255,9 @@ class TileSpMSpV:
         """
         if output not in ("sparse", "tiled", "dense"):
             raise ShapeError(f"unknown output mode {output!r}")
+        if self._sharded is not None:
+            return self._sharded.multiply(x, output=output, mask=mask,
+                                          mask_complement=mask_complement)
         xt = self._as_tiled_vector(x)
         if xt.n != self.shape[1]:
             raise ShapeError(
@@ -281,6 +310,11 @@ class TileSpMSpV:
         """
         if output not in ("sparse", "tiled", "dense"):
             raise ShapeError(f"unknown output mode {output!r}")
+        if self._sharded is not None:
+            raise TileError(
+                "transpose multiply is not supported over a sharded "
+                "matrix (row strips do not partition A^T by rows)"
+            )
         At = self._transposed_full()
         fill = float(self.semiring.add_identity)
         xt = as_tiled_vector(x, self.nt, fill, dtype=self.semiring.dtype)
@@ -330,6 +364,8 @@ class TileSpMSpV:
 
         if output not in ("sparse", "dense"):
             raise ShapeError(f"unknown output mode {output!r}")
+        if self._sharded is not None:
+            return self._sharded.multiply_batch(xs, output=output)
         xts = [self._as_tiled_vector(x) for x in xs]
         Y, counters = batched_tiled_kernel(self.hybrid.tiled, xts,
                                            semiring=self.semiring)
@@ -353,42 +389,8 @@ class TileSpMSpV:
     def _apply_mask(self, y_dense: np.ndarray, mask: VectorLike,
                     complement: bool) -> np.ndarray:
         """Force non-kept positions of ``y`` to the additive identity."""
-        if isinstance(mask, SparseVector):
-            if mask.n != self.shape[0]:
-                raise ShapeError(
-                    f"mask length {mask.n} != output length "
-                    f"{self.shape[0]}"
-                )
-            keep = np.zeros(self.shape[0], dtype=bool)
-            keep[mask.indices] = True
-        elif isinstance(mask, TiledVector):
-            if mask.n != self.shape[0]:
-                raise ShapeError(
-                    f"mask length {mask.n} != output length "
-                    f"{self.shape[0]}"
-                )
-            dense = mask.to_dense()
-            if np.isnan(mask.fill):  # pragma: no cover - defensive
-                keep = ~np.isnan(dense)
-            else:
-                keep = dense != mask.fill
-        else:
-            m = np.asarray(mask)
-            if m.shape != (self.shape[0],):
-                raise ShapeError(
-                    f"mask shape {m.shape} != ({self.shape[0]},)"
-                )
-            keep = m.astype(bool)
-        if complement:
-            keep = ~keep
-        y_dense = y_dense.copy()
-        y_dense[~keep] = self.semiring.add_identity
-        c = KernelCounters(launches=1)
-        c.coalesced_read_bytes += self.shape[0] / 8.0   # mask bits
-        c.coalesced_write_bytes += self.shape[0] * 8.0
-        c.warps = max(1.0, self.shape[0] / (32.0 * 32.0))
-        self.ctx.launch("tile_spmspv_mask", c, phase="mask")
-        return y_dense
+        return apply_output_mask(y_dense, mask, complement,
+                                 self.semiring, self.ctx)
 
     def flops_useful(self, x: VectorLike) -> int:
         """Number of useful multiply-adds for this input (2 * matched
@@ -399,13 +401,62 @@ class TileSpMSpV:
             mask = ~np.isinf(dense_x)
         else:
             mask = dense_x != self.semiring.add_identity
-        coo = self.hybrid.to_coo()
+        coo = (self._sharded.matrix.to_coo() if self._sharded is not None
+               else self.hybrid.to_coo())
         return int(2 * np.count_nonzero(mask[coo.col]))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self._sharded is not None:
+            return (f"<TileSpMSpV {self.shape} nt={self.nt} "
+                    f"shards={self._sharded.matrix.n_shards}>")
         return (f"<TileSpMSpV {self.shape} nt={self.nt} "
                 f"tiles={self.hybrid.tiled.n_nonempty_tiles} "
                 f"side_nnz={self.hybrid.side.nnz}>")
+
+
+def apply_output_mask(y_dense: np.ndarray, mask: VectorLike,
+                      complement: bool, semiring: Semiring,
+                      ctx: ExecutionContext) -> np.ndarray:
+    """Force non-kept positions of a dense result to the additive
+    identity (the GraphBLAS output mask).  Shared by every operator
+    with dense accumulators — :class:`TileSpMSpV` and the sharded
+    engine in :mod:`repro.shards.engine` — so masked semantics cannot
+    drift between the in-core and out-of-core paths."""
+    n_out = y_dense.shape[0]
+    if isinstance(mask, SparseVector):
+        if mask.n != n_out:
+            raise ShapeError(
+                f"mask length {mask.n} != output length {n_out}"
+            )
+        keep = np.zeros(n_out, dtype=bool)
+        keep[mask.indices] = True
+    elif isinstance(mask, TiledVector):
+        if mask.n != n_out:
+            raise ShapeError(
+                f"mask length {mask.n} != output length {n_out}"
+            )
+        dense = mask.to_dense()
+        if np.isnan(mask.fill):  # pragma: no cover - defensive
+            keep = ~np.isnan(dense)
+        else:
+            keep = dense != mask.fill
+    else:
+        m = np.asarray(mask)
+        if m.shape != (n_out,):
+            raise ShapeError(
+                f"mask shape {m.shape} != ({n_out},)"
+            )
+        keep = m.astype(bool)
+    if complement:
+        keep = ~keep
+    y_dense = y_dense.copy()
+    y_dense[~keep] = semiring.add_identity
+    c = KernelCounters(launches=1)
+    c.coalesced_read_bytes += n_out / 8.0   # mask bits
+    c.coalesced_write_bytes += n_out * 8.0
+    c.warps = max(1.0, n_out / (32.0 * 32.0))
+    ctx.launch("tile_spmspv_mask", c, phase="mask")
+    return y_dense
 
 
 def _warm_active_set(tiled: TiledMatrix) -> TiledMatrix:

@@ -129,6 +129,30 @@ class TileBFS:
                  plan_cache: Optional[PlanCache] = None):
         self.selector = selector or KernelSelector()
         self.ctx = ExecutionContext.wrap(device, operator="tilebfs")
+        # deferred import: repro.shards imports core modules
+        from ..shards.sharded_matrix import ShardedTiledMatrix
+        if isinstance(matrix, ShardedTiledMatrix):
+            if matrix.shape[0] != matrix.shape[1]:
+                raise ShapeError(
+                    f"BFS needs a square matrix, got {matrix.shape}"
+                )
+            from ..shards.engine import ShardedSpMSpV
+            # out-of-core traversal: a level-synchronous loop over the
+            # sharded engine's pattern view (per-shard all-ones tiling,
+            # cached on the shard plans) — the bitmask A1/A2 forms stay
+            # an in-core specialisation.
+            self._sharded: Optional[ShardedSpMSpV] = ShardedSpMSpV(
+                matrix, device=self.ctx, plan_cache=plan_cache,
+                pattern_only=True)
+            self.n = matrix.shape[0]
+            self.nnz = matrix.nnz
+            self.nt = matrix.nt
+            self.side = COOMatrix.empty(matrix.shape)
+            self.A1 = self.A2 = None
+            self.symmetric = False
+            self._plan = None
+            return
+        self._sharded = None
         cache = plan_cache if plan_cache is not None \
             else default_plan_cache()
         key = ("tilebfs", matrix_token(matrix), nt, extract_threshold)
@@ -163,6 +187,8 @@ class TileBFS:
             self.ctx = device.scoped("tilebfs")
         else:
             self.ctx.device = device
+        if self._sharded is not None:
+            self._sharded.device = device
 
     # ------------------------------------------------------------------
     def run(self, source: int, max_depth: Optional[int] = None) -> BFSResult:
@@ -180,6 +206,8 @@ class TileBFS:
             raise ShapeError(
                 f"source vertex out of range for n={self.n}"
             )
+        if self._sharded is not None:
+            return self._run_sharded(sources, max_depth)
         levels = np.full(self.n, -1, dtype=np.int64)
         levels[sources] = 0
 
@@ -255,6 +283,48 @@ class TileBFS:
                 plan.release_scratch("bitvector", ws)
 
     # ------------------------------------------------------------------
+    def _run_sharded(self, sources: np.ndarray,
+                     max_depth: Optional[int]) -> BFSResult:
+        """Level-synchronous BFS over the sharded engine.
+
+        Each layer is one sharded multiply of the frontier indicator
+        under plus_times over the pattern view: the result's support is
+        exactly the frontier's out-neighbourhood, shards whose row
+        strip holds no active tile column are skipped (and never
+        loaded), and the visited filter runs on the host like the
+        paper's ``y & ~visited``.
+        """
+        from ..vectors.sparse_vector import SparseVector
+        engine = self._sharded
+        levels = np.full(self.n, -1, dtype=np.int64)
+        levels[sources] = 0
+        visited = np.zeros(self.n, dtype=bool)
+        visited[sources] = True
+        result = BFSResult(levels=levels)
+        frontier = sources
+        depth = 0
+        while len(frontier):
+            if max_depth is not None and depth >= max_depth:
+                break
+            depth += 1
+            dev = self.ctx.device
+            t0 = dev.elapsed_ms if dev is not None else 0.0
+            y = engine.multiply(SparseVector(
+                self.n, frontier, np.ones(len(frontier))))
+            ms = (dev.elapsed_ms - t0) if dev is not None else 0.0
+            new_idx = y.indices[~visited[y.indices]]
+            result.iterations.append(IterationRecord(
+                depth=depth, kernel="sharded_push",
+                frontier_size=len(frontier),
+                new_vertices=len(new_idx), simulated_ms=ms))
+            result.simulated_ms += ms
+            if len(new_idx) == 0:
+                break
+            levels[new_idx] = depth
+            visited[new_idx] = True
+            frontier = new_idx
+        return result
+
     def _launch(self, kernel_name: str, x: BitVector, m: BitVector,
                 out: Optional[BitVector] = None) -> KernelCounters:
         if kernel_name == PUSH_CSC:
@@ -312,7 +382,11 @@ class TileBFS:
         """
         levels = result.levels
         parents = np.full(self.n, -1, dtype=np.int64)
-        coo_parts = [self.A1.to_coo()]
+        if self._sharded is not None:
+            # same edge rule, sourced from the shards (loads each once)
+            coo_parts = [self._sharded.matrix.to_coo()]
+        else:
+            coo_parts = [self.A1.to_coo()]
         if self.side.nnz:
             coo_parts.append(self.side)
         sentinel = np.iinfo(np.int64).max
@@ -331,12 +405,17 @@ class TileBFS:
     def format_nbytes(self) -> int:
         """Footprint of the BFS storage (A1 + A2 + side COO); shared
         A1/A2 storage (symmetric patterns) is counted once."""
+        if self._sharded is not None:
+            return self._sharded.matrix.total_tile_bytes
         side = (self.side.row.nbytes + self.side.col.nbytes)
         a2 = 0 if self.A2.shares_storage_with(self.A1) \
             else self.A2.nbytes()
         return self.A1.nbytes() + a2 + side
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self._sharded is not None:
+            return (f"<TileBFS n={self.n} nnz={self.nnz} nt={self.nt} "
+                    f"shards={self._sharded.matrix.n_shards}>")
         return (f"<TileBFS n={self.n} nnz={self.nnz} nt={self.nt} "
                 f"tiles={self.A1.n_nonempty_tiles}>")
 

@@ -129,12 +129,13 @@ class PlanCache:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
-        self._entries: "OrderedDict[Hashable, Tuple[OperatorPlan, Any]]" \
-            = OrderedDict()
+        # key -> [plan, pin object, pinned flag]
+        self._entries: "OrderedDict[Hashable, list]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.removals = 0
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> Optional[OperatorPlan]:
@@ -150,31 +151,87 @@ class PlanCache:
             return entry[0]
 
     def put(self, key: Hashable, plan: OperatorPlan,
-            pin: Any = None) -> OperatorPlan:
+            pin: Any = None, pinned: bool = False) -> OperatorPlan:
         """Store ``plan`` under ``key``; ``pin`` keeps the keyed matrix
-        alive for the lifetime of the entry."""
+        alive for the lifetime of the entry; ``pinned`` additionally
+        exempts the entry from LRU eviction (see :meth:`pin`)."""
         with self._lock:
-            self._entries[key] = (plan, pin)
+            self._entries[key] = [plan, pin, bool(pinned)]
             self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._evict_locked()
         return plan
+
+    def _evict_locked(self) -> None:
+        """Evict unpinned entries LRU-first until within ``maxsize``.
+
+        Pinned entries (a shard plan whose kernel is mid-flight) are
+        skipped; when everything over budget is pinned, the cache runs
+        over ``maxsize`` rather than drop a plan in use.
+        """
+        if len(self._entries) <= self.maxsize:
+            return
+        for key in [k for k, e in self._entries.items() if not e[2]]:
+            if len(self._entries) <= self.maxsize:
+                return
+            del self._entries[key]
+            self.evictions += 1
+
+    def pin(self, key: Hashable) -> bool:
+        """Exempt ``key`` from eviction until :meth:`unpin`; ``False``
+        if the key is absent."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            entry[2] = True
+            return True
+
+    def unpin(self, key: Hashable) -> bool:
+        """Make ``key`` evictable again (evicting immediately if the
+        cache is over budget); ``False`` if the key is absent."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            entry[2] = False
+            self._evict_locked()
+            return True
+
+    def is_pinned(self, key: Hashable) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            return bool(entry and entry[2])
+
+    def remove(self, key: Hashable) -> bool:
+        """Drop ``key`` explicitly (plan invalidation — e.g. the
+        resident-set manager evicted the shard the plan indexes).
+        Counted under ``removals``, not ``evictions``; ``False`` if the
+        key was absent."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.removals += 1
+            return True
 
     def get_or_build(self, key: Hashable,
                      builder: Callable[[], OperatorPlan],
-                     pin: Any = None) -> OperatorPlan:
+                     pin: Any = None,
+                     pinned: bool = False) -> OperatorPlan:
         """The cached plan, or ``builder()`` stored under ``key``."""
         plan = self.get(key)
         if plan is not None:
             return plan
-        return self.put(key, builder(), pin=pin)
+        return self.put(key, builder(), pin=pin, pinned=pinned)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
                     "evictions": self.evictions,
+                    "removals": self.removals,
+                    "pinned": sum(1 for e in self._entries.values()
+                                  if e[2]),
                     "size": len(self._entries),
                     "maxsize": self.maxsize}
 
@@ -189,6 +246,7 @@ class PlanCache:
         with self._lock:
             self._entries.clear()
             self.hits = self.misses = self.evictions = 0
+            self.removals = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -167,6 +167,17 @@ def _make_batched_spmspv(matrix, device=None, **kwargs):
     return BatchedSpMSpV(matrix, device=device, **kwargs)
 
 
+@register_operator("sharded-spmspv", kind="spmspv",
+                   summary="row-strip sharded out-of-core SpMSpV — "
+                           "mmap-backed shards, schedule/skip, "
+                           "scatter-gather combine",
+                   capabilities=("semiring", "nt", "rectangular",
+                                 "dense-x"))
+def _make_sharded_spmspv(matrix, device=None, **kwargs):
+    from ..shards.engine import ShardedSpMSpV
+    return ShardedSpMSpV(matrix, device=device, **kwargs)
+
+
 @register_operator("tilebfs", kind="bfs",
                    summary="TileBFS (paper §3.4) — directional "
                            "optimization over bitmask tiles",

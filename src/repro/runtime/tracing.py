@@ -94,6 +94,32 @@ class Tracer:
         self.events.clear()
         self._clock_ms = 0.0
 
+    def filtered(self, predicate) -> "Tracer":
+        """A new tracer holding only the events ``predicate`` keeps.
+
+        Events retain their original ``seq`` and ``start_ms`` so a
+        filtered export still cross-references the full timeline; the
+        clock keeps the original total.
+        """
+        out = Tracer()
+        out.events = [ev for ev in self.events if predicate(ev)]
+        out._clock_ms = self._clock_ms
+        return out
+
+    def filtered_by_shard(self, shard_id: int) -> "Tracer":
+        """Only the launches tagged ``shard=<shard_id>``.
+
+        Sharded operators tag every per-shard launch ``shard=<id>``
+        (possibly ``;``-joined with a caller tag); this slices one
+        shard's traffic out of the timeline.
+        """
+        want = f"shard={int(shard_id)}"
+
+        def _match(ev: TraceEvent) -> bool:
+            return ev.tag is not None and want in ev.tag.split(";")
+
+        return self.filtered(_match)
+
     # ------------------------------------------------------------------
     @property
     def total_ms(self) -> float:

@@ -1,0 +1,20 @@
+"""Sharded out-of-core execution (ROADMAP open item 3).
+
+The paper's skipping argument lifted one level: a matrix partitioned
+into tile-row-aligned row strips (:class:`ShardedTiledMatrix`), each an
+independent :class:`~repro.tiles.TiledMatrix` behind a shard store with
+a byte-budgeted resident set (:mod:`repro.shards.store`), a scheduler
+that skips shards intersecting no active tile column
+(:class:`ShardScheduler`), and the engine that streams, executes and
+combines per-shard results (:class:`ShardedSpMSpV`).
+"""
+
+from .engine import ShardedSpMSpV
+from .scheduler import ShardScheduler
+from .sharded_matrix import ShardedTiledMatrix
+from .store import (DirectoryShardStore, InMemoryShardStore,
+                    ResidentSetManager)
+
+__all__ = ["ShardedTiledMatrix", "ShardedSpMSpV", "ShardScheduler",
+           "InMemoryShardStore", "DirectoryShardStore",
+           "ResidentSetManager"]

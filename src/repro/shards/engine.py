@@ -1,0 +1,349 @@
+"""The sharded SpMSpV engine: schedule, stream, execute, combine.
+
+One multiply over a :class:`~repro.shards.sharded_matrix.ShardedTiledMatrix`
+runs four modeled stages, all visible on the device timeline:
+
+1. ``sharded_schedule`` — the scheduler ANDs every shard's tile-column
+   occupancy bitmap against the input's active tile columns (per-shard
+   metadata read charge);
+2. ``shard_load`` (per executed shard, only when the resident set
+   faulted) — the load/evict byte traffic of the resident-set manager,
+   tagged ``shard=<id>``;
+3. ``sharded_spmspv_shard`` (per executed shard) — Algorithm 4 over the
+   shard's own tiling via :func:`~repro.core.spmspv_kernels.tiled_kernel`,
+   plus the shard's metadata charge, tagged ``shard=<id>``;
+4. ``sharded_combine`` — the scatter-gather combiner merging the strip
+   outputs through :meth:`~repro.semiring.Semiring.scatter_merge`;
+   modeled bytes are exactly ``2 * itemsize * sum(executed strip
+   rows)`` (read every strip accumulator once, write it into the global
+   result once).  The shard-count-invariance check recomputes this
+   formula from the timeline tags and asserts equality.
+
+Per-shard preprocessing (the warmed active-set accessors) is cached in
+the plan cache under ``("sharded-spmspv", matrix-id, shard-id)``; the
+entry is pinned while the shard's kernel is in flight and invalidated
+when the resident-set manager evicts the shard.
+
+Row strips are tile-row aligned, so each output row is produced by
+exactly one shard and the combiner merges disjoint ranges into an
+identity-filled accumulator — which is why 1-shard and N-shard
+execution are bit-identical, not merely numerically close.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..core.spmspv import (_warm_active_set, apply_output_mask,
+                           as_tiled_vector)
+from ..core.spmspv_kernels import batched_union_kernel, tiled_kernel
+from ..errors import ShapeError
+from ..gpusim import Device, KernelCounters
+from ..runtime import (ExecutionContext, OperatorPlan, PlanCache,
+                       default_plan_cache, matrix_token)
+from ..semiring import PLUS_TIMES, Semiring
+from ..tiles.tiled_matrix import TiledMatrix
+from ..tiles.tiled_vector import TiledVector
+from ..vectors.sparse_vector import SparseVector
+from .scheduler import ShardScheduler
+from .sharded_matrix import ShardedTiledMatrix
+
+__all__ = ["ShardedSpMSpV"]
+
+VectorLike = Union[SparseVector, TiledVector, np.ndarray]
+
+
+def _load_counters(loaded_bytes: int, evicted_bytes: int
+                   ) -> KernelCounters:
+    """Resident-set traffic of one shard fault: bytes paged in for the
+    shard, bytes written back out for whatever its arrival evicted."""
+    c = KernelCounters(launches=1)
+    c.coalesced_read_bytes += float(loaded_bytes)
+    c.coalesced_write_bytes += float(evicted_bytes)
+    c.warps = max(1.0, loaded_bytes / (32.0 * 128.0))
+    return c
+
+
+def _combine_counters(merged_rows: int, itemsize: int) -> KernelCounters:
+    """The combiner's exact byte formula: every executed strip's
+    accumulator is read once and written into the global result once —
+    ``2 * itemsize * merged_rows`` total."""
+    c = KernelCounters(launches=1)
+    c.coalesced_read_bytes += float(merged_rows * itemsize)
+    c.coalesced_write_bytes += float(merged_rows * itemsize)
+    c.warps = max(1.0, merged_rows / (32.0 * 32.0))
+    return c
+
+
+def _pattern_view(tiled: TiledMatrix) -> TiledMatrix:
+    """The shard's tiling with all-ones values (same index arrays): a
+    multiply under plus_times then counts matched edges per row, which
+    is the exact reachability BFS needs regardless of the stored
+    values.  ``validate=False`` — the index arrays are the already
+    validated ones of the source tiling."""
+    return _warm_active_set(TiledMatrix(
+        tiled.shape, tiled.nt, tiled.tile_ptr, tiled.tile_colidx,
+        tiled.tile_nnz_ptr, tiled.local_row, tiled.local_col,
+        np.ones(tiled.nnz, dtype=np.float64), validate=False))
+
+
+class ShardedSpMSpV:
+    """SpMSpV over row-strip shards with out-of-core tile storage.
+
+    Parameters
+    ----------
+    matrix:
+        A prebuilt :class:`~repro.shards.sharded_matrix.ShardedTiledMatrix`
+        (its own ``nt`` and sharding win), or any library sparse matrix
+        / ndarray, sharded here via
+        :meth:`~repro.shards.sharded_matrix.ShardedTiledMatrix.from_coo`.
+    nt, n_shards, rows_per_shard, store_dir, budget_bytes:
+        Forwarded to ``from_coo`` when ``matrix`` is not already
+        sharded.
+    semiring:
+        The ``(add, mul)`` algebra; default ordinary ``(+, *)``.
+    device:
+        Optional simulated GPU (or shared
+        :class:`~repro.runtime.ExecutionContext`).
+    pattern_only:
+        Execute each shard over its all-ones pattern view instead of
+        its stored values (cached per shard plan).  The BFS loop sets
+        this: reachability must not depend on stored values cancelling.
+    """
+
+    def __init__(self, matrix, nt: int = 16,
+                 semiring: Semiring = PLUS_TIMES,
+                 device: Optional[Device] = None,
+                 n_shards: int = 2,
+                 rows_per_shard: Optional[int] = None,
+                 store_dir=None,
+                 budget_bytes: Optional[int] = None,
+                 plan_cache: Optional[PlanCache] = None,
+                 pattern_only: bool = False):
+        self.semiring = semiring
+        self.pattern_only = bool(pattern_only)
+        self.ctx = ExecutionContext.wrap(device,
+                                         operator="sharded-spmspv")
+        if isinstance(matrix, ShardedTiledMatrix):
+            self.matrix = matrix
+        else:
+            self.matrix = ShardedTiledMatrix.from_coo(
+                matrix, nt=nt,
+                n_shards=None if rows_per_shard is not None else n_shards,
+                rows_per_shard=rows_per_shard, store_dir=store_dir,
+                budget_bytes=budget_bytes)
+        self.cache = plan_cache if plan_cache is not None \
+            else default_plan_cache()
+        self.scheduler = ShardScheduler(self.matrix)
+        self.matrix.resident.evict_callbacks.append(
+            self._invalidate_plan)
+
+    # ------------------------------------------------------------------
+    @property
+    def device(self) -> Optional[Device]:
+        return self.ctx.device
+
+    @device.setter
+    def device(self, device) -> None:
+        if isinstance(device, ExecutionContext):
+            self.ctx = device.scoped("sharded-spmspv")
+        else:
+            self.ctx.device = device
+
+    @property
+    def shape(self):
+        return self.matrix.shape
+
+    @property
+    def nt(self) -> int:
+        return self.matrix.nt
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    # ------------------------------------------------------------------
+    def _plan_key(self, sid: int):
+        return ("sharded-spmspv", matrix_token(self.matrix), sid)
+
+    def _invalidate_plan(self, sid: int) -> None:
+        self.cache.remove(self._plan_key(sid))
+
+    def _shard_plan(self, sid: int, tiled: TiledMatrix) -> OperatorPlan:
+        key = self._plan_key(sid)
+        return self.cache.get_or_build(
+            key,
+            lambda: OperatorPlan(
+                kind="sharded-spmspv", key=key,
+                data={"tiled": _warm_active_set(tiled)}),
+            pin=self.matrix)
+
+    def _execution_tiling(self, plan: OperatorPlan) -> TiledMatrix:
+        if not self.pattern_only:
+            return plan.data["tiled"]
+        return plan.lazy_get(
+            "pattern", lambda: _pattern_view(plan.data["tiled"]))
+
+    def _fault_shard(self, sid: int, tag: str) -> TiledMatrix:
+        """Bring the shard resident, charging any load/evict traffic."""
+        tiled, loaded, evicted = self.matrix.shard(sid)
+        if loaded or evicted:
+            self.ctx.launch("shard_load",
+                            _load_counters(loaded, evicted),
+                            tag=tag, phase="load")
+        return tiled
+
+    def _as_tiled_vector(self, x: VectorLike) -> TiledVector:
+        return as_tiled_vector(x, self.matrix.nt,
+                               float(self.semiring.add_identity),
+                               dtype=self.semiring.dtype)
+
+    # ------------------------------------------------------------------
+    def multiply(self, x: VectorLike, output: str = "sparse",
+                 mask: Optional[VectorLike] = None,
+                 mask_complement: bool = False,
+                 ) -> Union[SparseVector, TiledVector, np.ndarray]:
+        """Compute ``y = A x`` across the executed shards.
+
+        Same contract as :meth:`repro.core.TileSpMSpV.multiply`
+        (output modes, masking) — callers switch matrix type, not API.
+        """
+        if output not in ("sparse", "tiled", "dense"):
+            raise ShapeError(f"unknown output mode {output!r}")
+        sr = self.semiring
+        m, n = self.matrix.shape
+        xt = self._as_tiled_vector(x)
+        if xt.n != n:
+            raise ShapeError(
+                f"SpMSpV shape mismatch: A is {self.matrix.shape}, "
+                f"x has length {xt.n}"
+            )
+        executed = self.scheduler.schedule(
+            np.flatnonzero(xt.x_ptr >= 0))
+        self.ctx.launch("sharded_schedule",
+                        self.scheduler.schedule_counters(),
+                        phase="schedule")
+
+        y = np.full(m, sr.add_identity, dtype=sr.dtype)
+        merged_rows = 0
+        for sid in executed:
+            sid = int(sid)
+            tag = f"shard={sid}"
+            tiled = self._fault_shard(sid, tag)
+            key = self._plan_key(sid)
+            plan = self._shard_plan(sid, tiled)
+            self.cache.pin(key)
+            self.matrix.resident.pin(sid)
+            try:
+                A = self._execution_tiling(plan)
+                y_strip, counters = tiled_kernel(A, xt, semiring=sr)
+                counters.coalesced_read_bytes += float(
+                    self.matrix.metadata_nbytes_per_shard())
+                self.ctx.launch("sharded_spmspv_shard", counters,
+                                tag=tag, phase="multiply")
+            finally:
+                self.matrix.resident.unpin(sid)
+                self.cache.unpin(key)
+            lo, hi = self.matrix.strips[sid]
+            merged_rows += hi - lo
+            idx = np.flatnonzero(~sr.is_identity(y_strip))
+            if idx.size:
+                sr.scatter_merge(y, idx + lo, y_strip[idx])
+        self.ctx.launch("sharded_combine",
+                        _combine_counters(merged_rows, y.dtype.itemsize),
+                        phase="combine")
+
+        if mask is not None:
+            y = apply_output_mask(y, mask, mask_complement, sr, self.ctx)
+        if output == "dense":
+            return y
+        idx = np.flatnonzero(~sr.is_identity(y))
+        sv = SparseVector(m, idx, y[idx])
+        if output == "sparse":
+            return sv
+        return TiledVector.from_sparse(sv.indices, sv.values, sv.n,
+                                       self.matrix.nt,
+                                       fill=float(sr.add_identity),
+                                       dtype=sr.dtype)
+
+    def multiply_batch(self, xs, output: str = "sparse",
+                       tag: Optional[str] = None):
+        """Batched multiply: one scheduling pass over the *union* of
+        the batch's active tile columns, one
+        :func:`~repro.core.spmspv_kernels.batched_union_kernel` launch
+        per executed shard, one combiner for the whole batch."""
+        if output not in ("sparse", "dense"):
+            raise ShapeError(f"unknown output mode {output!r}")
+        sr = self.semiring
+        m, n = self.matrix.shape
+        xts = [self._as_tiled_vector(x) for x in xs]
+        if not xts:
+            raise ShapeError("batched SpMSpV needs at least one vector")
+        for xt in xts:
+            if xt.n != n:
+                raise ShapeError(
+                    f"SpMSpV shape mismatch: A is {self.matrix.shape}, "
+                    f"x has length {xt.n}"
+                )
+        union_active = np.zeros(xts[0].x_ptr.shape[0], dtype=bool)
+        for xt in xts:
+            union_active |= xt.x_ptr >= 0
+        executed = self.scheduler.schedule(np.flatnonzero(union_active))
+        self.ctx.launch("sharded_schedule",
+                        self.scheduler.schedule_counters(), tag=tag,
+                        phase="schedule")
+
+        k = len(xts)
+        Y = np.full((k, m), sr.add_identity, dtype=sr.dtype)
+        merged_rows = 0
+        for sid in executed:
+            sid = int(sid)
+            shard_tag = (f"shard={sid}" if tag is None
+                         else f"{tag};shard={sid}")
+            tiled = self._fault_shard(sid, shard_tag)
+            key = self._plan_key(sid)
+            plan = self._shard_plan(sid, tiled)
+            self.cache.pin(key)
+            self.matrix.resident.pin(sid)
+            try:
+                A = self._execution_tiling(plan)
+                Ys, counters = batched_union_kernel(A, xts, semiring=sr)
+                counters.coalesced_read_bytes += float(
+                    self.matrix.metadata_nbytes_per_shard())
+                self.ctx.launch("sharded_spmspv_batch", counters,
+                                tag=shard_tag, phase="batch")
+            finally:
+                self.matrix.resident.unpin(sid)
+                self.cache.unpin(key)
+            lo, hi = self.matrix.strips[sid]
+            merged_rows += hi - lo
+            for b in range(k):
+                idx = np.flatnonzero(~sr.is_identity(Ys[b]))
+                if idx.size:
+                    sr.scatter_merge(Y[b], idx + lo, Ys[b][idx])
+        self.ctx.launch(
+            "sharded_combine",
+            _combine_counters(merged_rows * k, Y.dtype.itemsize),
+            tag=tag, phase="combine")
+
+        if output == "dense":
+            return Y
+        out: List[SparseVector] = []
+        for b in range(k):
+            idx = np.flatnonzero(~sr.is_identity(Y[b]))
+            out.append(SparseVector(m, idx, Y[b][idx]))
+        return out
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Scheduler skip counts and resident-set traffic, merged."""
+        out = dict(self.scheduler.stats())
+        out.update(self.matrix.resident.stats())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ShardedSpMSpV {self.matrix.shape} "
+                f"nt={self.matrix.nt} "
+                f"shards={self.matrix.n_shards}>")

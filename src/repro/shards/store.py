@@ -1,0 +1,221 @@
+"""Shard storage backends and the byte-budgeted resident-set manager.
+
+A :class:`ShardStore` owns the per-shard :class:`~repro.tiles.TiledMatrix`
+payloads of a :class:`~repro.shards.sharded_matrix.ShardedTiledMatrix`.
+Two backends:
+
+* :class:`InMemoryShardStore` — a dict; shards never leave RAM.  The
+  backend tests and the verify harness use, and the default when no
+  ``store_dir`` is given.
+* :class:`DirectoryShardStore` — one mmap tile directory per shard
+  (:func:`~repro.tiles.io.save_tiled_mmap` format) under a root
+  directory.  ``get`` re-opens the shard as memmap views, so a load
+  costs no read I/O until a kernel touches the payload.
+
+On top of either sits the :class:`ResidentSetManager`: an LRU over
+loaded shards with an optional byte budget.  Loading a shard that would
+push the resident set over budget evicts least-recently-used shards
+first (never a pinned one, never the shard being loaded); every load
+and eviction is reported in bytes so the engine can charge the
+simulated device for the traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import IOFormatError
+from ..tiles.io import load_tiled_mmap, read_mmap_manifest, save_tiled_mmap
+from ..tiles.tiled_matrix import TiledMatrix
+
+__all__ = ["InMemoryShardStore", "DirectoryShardStore",
+           "ResidentSetManager"]
+
+PathLike = Union[str, Path]
+
+
+class InMemoryShardStore:
+    """Shard payloads held in a plain dict (nothing is out of core).
+
+    The semantics-only backend: resident-set accounting still works
+    (the manager tracks what it *considers* loaded), which is what the
+    shard-count-invariance checks exercise without touching disk.
+    """
+
+    def __init__(self) -> None:
+        self._shards: Dict[int, TiledMatrix] = {}
+        self._nbytes: Dict[int, int] = {}
+
+    def put(self, sid: int, tiled: TiledMatrix) -> None:
+        self._shards[sid] = tiled
+        self._nbytes[sid] = tiled.nbytes()
+
+    def get(self, sid: int) -> TiledMatrix:
+        return self._shards[sid]
+
+    def nbytes(self, sid: int) -> int:
+        return self._nbytes[sid]
+
+    @property
+    def shard_ids(self) -> List[int]:
+        return sorted(self._shards)
+
+
+class DirectoryShardStore:
+    """One mmap tile directory per shard under ``root``.
+
+    ``put`` writes ``root/shard_NNNN/`` with
+    :func:`~repro.tiles.io.save_tiled_mmap` and drops the in-memory
+    object; ``get`` re-opens it with ``np.load(mmap_mode="r")`` views.
+    Shard byte sizes come from the manifests, read once and cached —
+    sizing the resident set never pages tile payload in.
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._nbytes: Dict[int, int] = {}
+
+    def shard_dir(self, sid: int) -> Path:
+        return self.root / f"shard_{sid:04d}"
+
+    def put(self, sid: int, tiled: TiledMatrix) -> None:
+        save_tiled_mmap(tiled, self.shard_dir(sid))
+        self._nbytes[sid] = tiled.nbytes()
+
+    def get(self, sid: int) -> TiledMatrix:
+        return load_tiled_mmap(self.shard_dir(sid))
+
+    def nbytes(self, sid: int) -> int:
+        if sid not in self._nbytes:
+            manifest = read_mmap_manifest(self.shard_dir(sid))
+            self._nbytes[sid] = int(manifest["nbytes"])
+        return self._nbytes[sid]
+
+    @property
+    def shard_ids(self) -> List[int]:
+        ids = []
+        for child in sorted(self.root.glob("shard_*")):
+            try:
+                ids.append(int(child.name.split("_", 1)[1]))
+            except ValueError:
+                raise IOFormatError(
+                    f"unexpected entry {child} in shard store"
+                ) from None
+        return ids
+
+
+class ResidentSetManager:
+    """LRU resident set of loaded shards under an optional byte budget.
+
+    Parameters
+    ----------
+    store:
+        The backing :class:`InMemoryShardStore` /
+        :class:`DirectoryShardStore`.
+    budget_bytes:
+        Resident-set ceiling; ``None`` means unlimited (nothing is ever
+        evicted).  A single shard larger than the budget still loads —
+        the budget bounds the *set*, it cannot make progress
+        impossible.
+    """
+
+    def __init__(self, store, budget_bytes: Optional[int] = None):
+        self.store = store
+        self.budget_bytes = budget_bytes
+        self._resident: "OrderedDict[int, TiledMatrix]" = OrderedDict()
+        self._pinned: set = set()
+        #: Called with the shard id on every eviction — the engine hooks
+        #: plan invalidation here (an evicted shard's tiles are gone, so
+        #: the per-shard plan indexing them must go too).
+        self.evict_callbacks: List[Callable[[int], None]] = []
+        self.loads = 0
+        self.hits = 0
+        self.evictions = 0
+        self.loaded_bytes = 0
+        self.evicted_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_ids(self) -> List[int]:
+        return list(self._resident)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(self.store.nbytes(sid) for sid in self._resident)
+
+    def get(self, sid: int) -> Tuple[TiledMatrix, int, int]:
+        """The shard, loading it if necessary.
+
+        Returns ``(tiled, loaded_bytes, evicted_bytes)`` — the I/O this
+        call caused, both zero on a resident hit.  The loaded shard is
+        the most-recently-used and is never chosen for eviction by its
+        own load.
+        """
+        if sid in self._resident:
+            self._resident.move_to_end(sid)
+            self.hits += 1
+            return self._resident[sid], 0, 0
+        tiled = self.store.get(sid)
+        nbytes = self.store.nbytes(sid)
+        self._resident[sid] = tiled
+        self.loads += 1
+        self.loaded_bytes += nbytes
+        evicted = self._enforce_budget(keep=sid)
+        return tiled, nbytes, evicted
+
+    def pin(self, sid: int) -> None:
+        """Exempt a resident shard from eviction (kernel in flight)."""
+        self._pinned.add(sid)
+
+    def unpin(self, sid: int) -> None:
+        self._pinned.discard(sid)
+        self._enforce_budget(keep=None)
+
+    def evict(self, sid: int) -> int:
+        """Drop ``sid`` from the resident set; returns bytes freed."""
+        if sid not in self._resident:
+            return 0
+        del self._resident[sid]
+        nbytes = self.store.nbytes(sid)
+        self.evictions += 1
+        self.evicted_bytes += nbytes
+        for callback in self.evict_callbacks:
+            callback(sid)
+        return nbytes
+
+    def _enforce_budget(self, keep: Optional[int]) -> int:
+        """Evict LRU-first until within budget; returns bytes evicted.
+
+        Pinned shards and ``keep`` (the shard whose load triggered the
+        enforcement) are skipped — when only those remain over budget,
+        the set runs over rather than stall.
+        """
+        if self.budget_bytes is None:
+            return 0
+        freed = 0
+        for sid in list(self._resident):
+            if self.resident_bytes <= self.budget_bytes:
+                break
+            if sid == keep or sid in self._pinned:
+                continue
+            freed += self.evict(sid)
+        return freed
+
+    def clear(self) -> None:
+        """Drop every resident shard (evictions counted normally)."""
+        for sid in list(self._resident):
+            if sid not in self._pinned:
+                self.evict(sid)
+
+    def stats(self) -> Dict[str, int]:
+        return {"loads": self.loads, "hits": self.hits,
+                "evictions": self.evictions,
+                "loaded_bytes": self.loaded_bytes,
+                "evicted_bytes": self.evicted_bytes,
+                "resident_shards": len(self._resident),
+                "resident_bytes": self.resident_bytes,
+                "budget_bytes": (self.budget_bytes
+                                 if self.budget_bytes is not None else 0)}

@@ -12,7 +12,8 @@ from .bitmask import (BitTiledMatrix, BitVector, bit_positions, pack_bits,
                       pattern_is_symmetric, unpack_words)
 from .extraction import (HybridTiledMatrix, split_very_sparse_tiles,
                          suggest_extract_threshold)
-from .io import load_tiled, save_tiled
+from .io import (load_tiled, load_tiled_mmap, read_mmap_manifest,
+                 save_tiled, save_tiled_mmap)
 from .stats import (TileStats, count_nonempty_tiles, tile_nnz_histogram,
                     tile_stats, tile_stats_sweep)
 from .tiled_matrix import ColumnGather, TiledMatrix
@@ -24,7 +25,8 @@ __all__ = [
     "unpack_words", "pattern_is_symmetric",
     "HybridTiledMatrix", "split_very_sparse_tiles",
     "suggest_extract_threshold",
-    "save_tiled", "load_tiled",
+    "save_tiled", "load_tiled", "save_tiled_mmap", "load_tiled_mmap",
+    "read_mmap_manifest",
     "TileStats", "count_nonempty_tiles", "tile_nnz_histogram",
     "tile_stats", "tile_stats_sweep",
 ]

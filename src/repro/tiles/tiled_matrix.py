@@ -112,7 +112,8 @@ class TiledMatrix:
     def __init__(self, shape: Tuple[int, int], nt: int,
                  tile_ptr: np.ndarray, tile_colidx: np.ndarray,
                  tile_nnz_ptr: np.ndarray, local_row: np.ndarray,
-                 local_col: np.ndarray, values: np.ndarray):
+                 local_col: np.ndarray, values: np.ndarray,
+                 validate: bool = True):
         if nt not in SUPPORTED_TILE_SIZES:
             raise TileError(
                 f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
@@ -125,7 +126,11 @@ class TiledMatrix:
         self.local_row = np.ascontiguousarray(local_row, dtype=np.uint8)
         self.local_col = np.ascontiguousarray(local_col, dtype=np.uint8)
         self.values = np.ascontiguousarray(values)
-        self.validate()
+        # ``validate=False`` is for trusted producers over lazy storage
+        # (the mmap loader in ``tiles.io``): a full validate pages every
+        # array in, defeating the point of memory-mapping the payload.
+        if validate:
+            self.validate()
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -218,6 +223,13 @@ class TiledMatrix:
     def n_nonempty_tiles(self) -> int:
         """Number of stored tiles."""
         return len(self.tile_colidx)
+
+    def nbytes(self) -> int:
+        """Bytes of the stored format arrays (the quantity the sharded
+        resident-set budget is expressed in)."""
+        return int(self.tile_ptr.nbytes + self.tile_colidx.nbytes
+                   + self.tile_nnz_ptr.nbytes + self.local_row.nbytes
+                   + self.local_col.nbytes + self.values.nbytes)
 
     @property
     def nnz(self) -> int:

@@ -401,6 +401,93 @@ def check_mm_roundtrip(case: Case) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# sharded execution checks
+# ----------------------------------------------------------------------
+def _shard_bytes_identity(op, window) -> Optional[str]:
+    """Assert one multiply's modeled bytes decompose exactly.
+
+    ``window`` is the timeline slice of a single sharded multiply.  The
+    contract: one schedule launch, per-shard launches all tagged
+    ``shard=<id>``, one combiner whose bytes equal the exact formula
+    ``2 * itemsize * sum(executed strip rows)`` — and nothing else, so
+    the device total is per-shard sums plus schedule plus combine.
+    """
+    sched = [r for r in window if r.name == "sharded_schedule"]
+    combine = [r for r in window if r.name == "sharded_combine"]
+    if len(sched) != 1 or len(combine) != 1:
+        return (f"expected one schedule and one combine launch, got "
+                f"{len(sched)} and {len(combine)}")
+    tagged = [r for r in window if r.tag and "shard=" in r.tag]
+    known = {id(r) for r in sched + combine + tagged}
+    stray = [r.name for r in window if id(r) not in known]
+    if stray:
+        return f"untagged launches inside a sharded multiply: {stray}"
+    executed = sorted({int(r.tag.split("shard=")[1]) for r in tagged
+                       if r.name == "sharded_spmspv_shard"})
+    itemsize = op.semiring.dtype.itemsize
+    expect = 2.0 * itemsize * sum(op.matrix.strip_rows(s)
+                                  for s in executed)
+    got = combine[0].counters.global_bytes
+    if got != expect:
+        return (f"combiner bytes {got} != exact formula {expect} "
+                f"(2*{itemsize}*rows of executed shards {executed})")
+    total = sum(r.counters.global_bytes for r in window)
+    parts = (sched[0].counters.global_bytes
+             + sum(r.counters.global_bytes for r in tagged) + got)
+    if total != parts:
+        return (f"modeled bytes {total} != per-shard sums + schedule "
+                f"+ combine = {parts}")
+    return None
+
+
+def check_shard_invariance(case: Case) -> Optional[str]:
+    """1-shard and N-shard execution are bit-identical, and each
+    multiply's modeled bytes equal per-shard sums plus the combiner's
+    exact merge cost (N ∈ {2, 4, 7}; clamped to the tile-row count on
+    small cases)."""
+    from ..shards.engine import ShardedSpMSpV
+    sr = case.sr
+
+    def run(n_shards):
+        dev = Device()
+        op = ShardedSpMSpV(case.matrix, nt=case.nt, semiring=sr,
+                           device=dev, n_shards=n_shards)
+        outs = []
+        for x in case.vectors:
+            start = len(dev.timeline)
+            outs.append(op.multiply(x, output="dense"))
+            err = _shard_bytes_identity(op, dev.timeline[start:])
+            if err:
+                return None, f"{n_shards}-shard: {err}"
+        return outs, None
+
+    base, err = run(1)
+    if err:
+        return err
+    for n in (2, 4, 7):
+        outs, err = run(n)
+        if err:
+            return err
+        for i, (got, want) in enumerate(zip(outs, base)):
+            if sr.dtype.kind in "ui":
+                same = np.array_equal(got, want)
+            else:
+                # bit-level view: catches sign-of-zero / NaN drift an
+                # allclose would wave through
+                same = np.array_equal(got.view(np.uint64),
+                                      want.view(np.uint64))
+            if not same:
+                bad = int(np.flatnonzero(
+                    got.view(np.uint64) != want.view(np.uint64))[0]) \
+                    if sr.dtype.kind not in "ui" else \
+                    int(np.flatnonzero(got != want)[0])
+                return (f"shard-count variance: N={n} vector {i} "
+                        f"differs from 1-shard at slot {bad}: "
+                        f"got {got[bad]!r}, want {want[bad]!r}")
+    return None
+
+
+# ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
 _PRIMITIVE_CHECKS: Dict[str, Callable[[Case], Optional[str]]] = {
@@ -428,6 +515,8 @@ def checks_for(case: Case
             out.append(("plan-cache-replay", check_plan_cache_replay))
             out.append(("active-set-payload",
                         check_active_set_payload))
+        if entry.name == "sharded-spmspv":
+            out.append(("shard-invariance", check_shard_invariance))
         if "batch" in entry.capabilities:
             out.append(("batch-of-one", check_batch_of_one))
             if len(case.vectors) > 1:
@@ -442,7 +531,7 @@ def checks_for(case: Case
 CHECK_NAMES = sorted({
     "oracle", "siblings", "counters", "permute-rows",
     "scale-linearity", "plan-cache-replay", "active-set-payload",
-    "batch-of-one", "batched-union-bytes",
+    "batch-of-one", "batched-union-bytes", "shard-invariance",
     *_PRIMITIVE_CHECKS,
 })
 

@@ -1,11 +1,12 @@
 """The wall-clock regression guard: speedup-ratio comparison between a
 fresh report and the committed baseline."""
 
-from repro.bench.wallclock import _speedup_entries, check_regression
+from repro.bench.wallclock import (_speedup_entries, check_regression,
+                                   known_sections)
 
 
 def report(multiply_speedup=10.0, kernel_speedup=5.0, tilebfs=6.0,
-           msbfs=1.0, batched=1.2):
+           msbfs=1.0, batched=1.2, sharded=0.9):
     return {
         "multiply": [
             {"form": "csr", "density": 0.001,
@@ -21,6 +22,10 @@ def report(multiply_speedup=10.0, kernel_speedup=5.0, tilebfs=6.0,
         "batched": [
             {"batch": 4, "density": 0.01, "speedup": batched},
         ],
+        "sharded": [
+            {"n_shards": 4, "density": 0.01, "speedup": sharded,
+             "shards_executed": 3, "shards_skipped": 1},
+        ],
     }
 
 
@@ -33,7 +38,24 @@ def test_speedup_entries_labels():
         "tilebfs": 6.0,
         "msbfs": 1.0,
         "batched/b4@0.01": 1.2,
+        "sharded/s4@0.01": 0.9,
     }
+
+
+def test_known_sections_derived_from_baseline():
+    """Sections come from the committed report's keys (minus meta), so
+    a new workload committed to the baseline is guarded without
+    touching any hard-coded list."""
+    committed = report()
+    committed["meta"] = {"smoke": True}
+    assert set(known_sections(committed)) == {
+        "multiply", "bfs_kernels", "bfs", "tilebfs", "msbfs",
+        "batched", "sharded"}
+    committed["brand_new_workload"] = [{"speedup": 2.0}]
+    current = report()
+    failures = check_regression(current, committed)
+    assert {"label": "section:brand_new_workload",
+            "missing": True} in failures
 
 
 def test_no_regression_on_identical_reports():

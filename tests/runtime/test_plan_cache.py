@@ -48,6 +48,73 @@ class TestPlanCachePrimitive:
         assert matrix_token(a) == matrix_token(a)
 
 
+class TestPinningUnderPressure:
+    """Sharded execution pins the plan of the shard currently running a
+    kernel; a flood of plans for other matrices must never evict it."""
+
+    @staticmethod
+    def _plan(key):
+        return OperatorPlan(kind="t", key=key, data={})
+
+    def test_pinned_entries_survive_eviction_pressure(self):
+        cache = PlanCache(maxsize=4)
+        pinned_keys = [("shard", "mat-a", sid) for sid in range(3)]
+        for key in pinned_keys:
+            cache.put(key, self._plan(key), pinned=True)
+        # flood: many distinct matrix ids, far beyond maxsize
+        flood_keys = [("shard", f"mat-{i}", 0) for i in range(40)]
+        for key in flood_keys:
+            cache.put(key, self._plan(key))
+        for key in pinned_keys:
+            assert cache.is_pinned(key)
+            assert cache.get(key) is not None
+        # only unpinned entries were evicted, LRU-first
+        survivors = [k for k in flood_keys if k in cache]
+        assert survivors == flood_keys[-1:]
+        assert len(cache) == 4
+        assert cache.stats()["pinned"] == 3
+        assert cache.stats()["evictions"] == 39
+
+    def test_all_pinned_cache_runs_over_budget(self):
+        cache = PlanCache(maxsize=2)
+        keys = [("shard", "m", sid) for sid in range(5)]
+        for key in keys:
+            cache.put(key, self._plan(key), pinned=True)
+        assert len(cache) == 5                    # over budget, no evictions
+        assert cache.stats()["evictions"] == 0
+        # unpinning brings it back under budget on the next insert
+        for key in keys[:4]:
+            assert cache.unpin(key)
+        cache.put(("shard", "m", 5), self._plan(("shard", "m", 5)))
+        assert len(cache) == 2
+        assert keys[4] in cache                   # still-pinned survivor
+
+    def test_hit_rate_unaffected_by_pin_state(self):
+        cache = PlanCache(maxsize=8)
+        key = ("shard", "m", 0)
+        cache.get_or_build(key, lambda: self._plan(key), pinned=True)
+        for _ in range(3):
+            cache.get_or_build(key, lambda: self._plan(key))
+        s = cache.stats()
+        assert (s["hits"], s["misses"]) == (3, 1)
+        assert cache.hit_rate == 0.75
+
+    def test_pin_unpin_remove_bookkeeping(self):
+        cache = PlanCache(maxsize=4)
+        key = ("shard", "m", 0)
+        assert not cache.pin(key)                 # absent: no-op
+        cache.put(key, self._plan(key))
+        assert cache.pin(key)
+        assert cache.is_pinned(key)
+        assert cache.unpin(key)
+        assert not cache.is_pinned(key)
+        assert cache.remove(key)
+        assert not cache.remove(key)
+        s = cache.stats()
+        assert s["removals"] == 1
+        assert s["evictions"] == 0
+
+
 class TestSpMSpVPlanReuse:
     def test_second_construction_hits_and_shares_plan(self):
         cache = PlanCache()

@@ -125,3 +125,35 @@ class TestCli:
         rows = [json.loads(line) for line in
                 out.read_text().splitlines()]
         assert rows and all(r["operator"] == "tilebfs" for r in rows)
+
+    def test_trace_shard_filter(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "s.jsonl"
+        rc = main(["trace", "--matrix", "cant",
+                   "--operators", "sharded-spmspv",
+                   "--shard", "1", "--format", "jsonl",
+                   "--out", str(out)])
+        assert rc == 0
+        rows = [json.loads(line) for line in
+                out.read_text().splitlines()]
+        assert rows
+        assert all("shard=1" in r["tag"].split(";") for r in rows)
+        assert "of" in capsys.readouterr().out
+
+
+class TestShardFilter:
+    def test_filtered_by_shard_splits_tags(self):
+        from repro.gpusim import KernelCounters
+
+        tracer = Tracer()
+        ctx = ExecutionContext(device=Device(RTX3090), tracer=tracer)
+        ctx.launch("a", KernelCounters(launches=1), tag="shard=1")
+        ctx.launch("b", KernelCounters(launches=1), tag="bfs;shard=12")
+        ctx.launch("c", KernelCounters(launches=1), tag="shard=12")
+        ctx.launch("d", KernelCounters(launches=1))
+        kept = tracer.filtered_by_shard(12)
+        assert [ev.name for ev in kept.events] == ["b", "c"]
+        # original seq and the full-timeline clock are retained
+        assert [ev.seq for ev in kept.events] == [1, 2]
+        assert kept.total_ms == tracer.total_ms

@@ -1,0 +1,85 @@
+"""The whole stack accepts ShardedTiledMatrix: TileSpMSpV,
+BatchedSpMSpV and TileBFS dispatch to the sharded engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchedSpMSpV, TileBFS, TileSpMSpV
+from repro.errors import ShapeError, TileError
+from repro.shards import ShardedTiledMatrix
+from repro.vectors import random_sparse_vector
+
+from ..conftest import random_coo, random_graph_coo
+
+
+@pytest.fixture
+def coo():
+    return random_coo(70, 70, 0.08, seed=25)
+
+
+@pytest.fixture
+def sharded(coo):
+    return ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=3)
+
+
+class TestTileSpMSpVDispatch:
+    def test_multiply_matches_in_core(self, coo, sharded):
+        x = random_sparse_vector(70, 0.2, seed=26)
+        y = TileSpMSpV(sharded).multiply(x, output="dense")
+        y_ref = TileSpMSpV(coo).multiply(x, output="dense")
+        assert np.allclose(y, y_ref)
+
+    def test_properties_and_repr(self, coo, sharded):
+        op = TileSpMSpV(sharded)
+        assert op.shape == (70, 70)
+        assert op.nnz == coo.sum_duplicates().nnz
+        assert "shards=3" in repr(op)
+
+    def test_transpose_rejected(self, sharded):
+        op = TileSpMSpV(sharded)
+        with pytest.raises(TileError):
+            op.multiply_transpose(random_sparse_vector(70, 0.2))
+
+    def test_flops_useful(self, coo, sharded):
+        x = random_sparse_vector(70, 0.2, seed=27)
+        assert TileSpMSpV(sharded).flops_useful(x) == \
+            TileSpMSpV(coo).flops_useful(x)
+
+
+class TestBatchedDispatch:
+    def test_batch_matches_in_core(self, coo, sharded):
+        xs = [random_sparse_vector(70, s, seed=28 + i)
+              for i, s in enumerate((0.1, 0.25))]
+        ys = BatchedSpMSpV(sharded).multiply_batch(xs, output="dense")
+        ys_ref = BatchedSpMSpV(coo).multiply_batch(xs, output="dense")
+        assert np.allclose(ys, ys_ref)
+
+    def test_repr(self, sharded):
+        assert "shards=3" in repr(BatchedSpMSpV(sharded))
+
+
+class TestTileBFSDispatch:
+    def test_levels_match_in_core(self):
+        g = random_graph_coo(120, avg_degree=3.0, seed=29)
+        sm = ShardedTiledMatrix.from_coo(g, nt=16, n_shards=4)
+        res = TileBFS(sm).run(0)
+        ref = TileBFS(g).run(0)
+        assert np.array_equal(res.levels, ref.levels)
+
+    def test_multi_source(self):
+        g = random_graph_coo(90, avg_degree=3.0, seed=30)
+        sm = ShardedTiledMatrix.from_coo(g, nt=16, n_shards=3)
+        for src in (0, 17, 55):
+            assert np.array_equal(TileBFS(sm).run(src).levels,
+                                  TileBFS(g).run(src).levels)
+
+    def test_rectangular_rejected(self):
+        rect = ShardedTiledMatrix.from_coo(
+            random_coo(60, 40, 0.1, seed=31), nt=16, n_shards=2)
+        with pytest.raises(ShapeError):
+            TileBFS(rect)
+
+    def test_format_nbytes_reports_tile_bytes(self):
+        g = random_graph_coo(90, avg_degree=3.0, seed=30)
+        sm = ShardedTiledMatrix.from_coo(g, nt=16, n_shards=3)
+        assert TileBFS(sm).format_nbytes() == sm.total_tile_bytes

@@ -1,0 +1,166 @@
+"""ShardedSpMSpV: equivalence, shard-count invariance, modeled bytes."""
+
+import numpy as np
+import pytest
+
+from repro.core import TileSpMSpV
+from repro.gpusim import Device, RTX3090
+from repro.runtime import PlanCache, create_operator
+from repro.semiring import MAX_TIMES, MIN_PLUS, OR_AND, PLUS_TIMES
+from repro.shards import ShardedSpMSpV, ShardedTiledMatrix
+from repro.vectors import SparseVector, random_sparse_vector
+
+from ..conftest import random_coo
+
+
+@pytest.fixture
+def coo():
+    return random_coo(70, 70, 0.08, seed=5)
+
+
+def or_and_inputs(coo, x):
+    bits = coo.val.copy().view(np.uint64)
+    coo2 = type(coo)(coo.shape, coo.row, coo.col, bits)
+    x2 = SparseVector(x.n, x.indices, x.values.view(np.uint64))
+    return coo2, x2
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "sr", [PLUS_TIMES, OR_AND, MIN_PLUS, MAX_TIMES],
+        ids=lambda s: s.name)
+    def test_matches_tilespmspv(self, coo, sr):
+        x = random_sparse_vector(70, 0.2, seed=6)
+        if sr.dtype.kind == "u":
+            coo, x = or_and_inputs(coo, x)
+        y_ref = TileSpMSpV(coo, semiring=sr).multiply(
+            x, output="dense")
+        y = ShardedSpMSpV(coo, semiring=sr, n_shards=3).multiply(
+            x, output="dense")
+        if sr.dtype.kind == "u":
+            assert np.array_equal(y, y_ref)
+        else:
+            assert np.allclose(y, y_ref)
+
+    def test_sparse_output_and_dense_input(self, coo):
+        xd = np.zeros(70)
+        xd[[3, 10, 42]] = [1.0, 2.0, 0.5]
+        op = ShardedSpMSpV(coo, n_shards=4)
+        y = op.multiply(xd)
+        y_ref = TileSpMSpV(coo).multiply(xd)
+        assert np.allclose(y.to_dense(), y_ref.to_dense())
+
+    def test_mask_and_complement(self, coo):
+        x = random_sparse_vector(70, 0.2, seed=7)
+        mask = np.zeros(70, dtype=bool)
+        mask[::3] = True
+        for comp in (False, True):
+            y = ShardedSpMSpV(coo, n_shards=3).multiply(
+                x, output="dense", mask=mask, mask_complement=comp)
+            y_ref = TileSpMSpV(coo).multiply(
+                x, output="dense", mask=mask, mask_complement=comp)
+            assert np.allclose(y, y_ref)
+
+    def test_batch_matches_looped(self, coo):
+        xs = [random_sparse_vector(70, s, seed=8 + i)
+              for i, s in enumerate((0.1, 0.3, 0.02))]
+        op = ShardedSpMSpV(coo, n_shards=3)
+        ys = op.multiply_batch(xs, output="dense")   # (B, m)
+        for x, y in zip(xs, ys):
+            assert np.allclose(y, TileSpMSpV(coo).multiply(
+                x, output="dense"))
+
+    def test_rectangular(self):
+        coo = random_coo(90, 40, 0.1, seed=9)
+        x = random_sparse_vector(40, 0.3, seed=10)
+        y = ShardedSpMSpV(coo, n_shards=4).multiply(x, output="dense")
+        y_ref = TileSpMSpV(coo).multiply(x, output="dense")
+        assert np.allclose(y, y_ref)
+
+
+class TestShardCountInvariance:
+    @pytest.mark.parametrize("n_shards", [2, 4, 7])
+    def test_bit_identical_to_single_shard(self, coo, n_shards):
+        x = random_sparse_vector(70, 0.2, seed=11)
+        y1 = ShardedSpMSpV(coo, n_shards=1).multiply(x, output="dense")
+        yn = ShardedSpMSpV(coo, n_shards=n_shards).multiply(
+            x, output="dense")
+        assert np.array_equal(y1.view(np.uint64), yn.view(np.uint64))
+
+
+class TestModeledBytes:
+    def test_combine_bytes_formula(self, coo):
+        dev = Device(RTX3090)
+        op = ShardedSpMSpV(coo, n_shards=4, device=dev)
+        op.multiply(random_sparse_vector(70, 0.2, seed=12))
+        executed = [int(r.tag.split("=")[1]) for r in dev.timeline
+                    if r.name == "sharded_spmspv_shard"]
+        combine = [r for r in dev.timeline
+                   if r.name == "sharded_combine"]
+        assert len(combine) == 1
+        expect = 2.0 * 8 * sum(op.matrix.strip_rows(s)
+                               for s in executed)
+        assert combine[0].counters.global_bytes == expect
+
+    def test_schedule_launch_present(self, coo):
+        dev = Device(RTX3090)
+        ShardedSpMSpV(coo, n_shards=4, device=dev).multiply(
+            random_sparse_vector(70, 0.2, seed=12))
+        names = [r.name for r in dev.timeline]
+        assert names[0] == "sharded_schedule"
+        assert names[-1] == "sharded_combine"
+
+    def test_shard_launches_tagged(self, coo):
+        dev = Device(RTX3090)
+        ShardedSpMSpV(coo, n_shards=4, device=dev).multiply(
+            random_sparse_vector(70, 0.2, seed=12))
+        for r in dev.timeline:
+            if r.name in ("sharded_spmspv_shard", "shard_load"):
+                assert r.tag and r.tag.startswith("shard=")
+
+
+class TestResidencyAndPlans:
+    def test_evicted_shard_invalidates_plan(self, coo):
+        cache = PlanCache(maxsize=32)
+        op = ShardedSpMSpV(coo, n_shards=4, budget_bytes=1,
+                           plan_cache=cache)
+        x = random_sparse_vector(70, 0.3, seed=13)
+        y1 = op.multiply(x, output="dense")
+        assert cache.stats()["removals"] > 0      # evictions drop plans
+        y2 = op.multiply(x, output="dense")       # rebuilt, same result
+        assert np.array_equal(y1, y2)
+        s = op.stats()
+        assert s["evictions"] > 0
+        assert s["loaded_bytes"] > 0
+
+    def test_warm_resident_set_hits(self, coo):
+        op = ShardedSpMSpV(coo, n_shards=3)      # unbudgeted
+        x = random_sparse_vector(70, 0.3, seed=13)
+        op.multiply(x)
+        op.multiply(x)
+        s = op.stats()
+        assert s["hits"] >= 3
+        assert s["evictions"] == 0
+
+    def test_stats_merge_scheduler_and_resident(self, coo):
+        op = ShardedSpMSpV(coo, n_shards=3)
+        op.multiply(random_sparse_vector(70, 0.2, seed=14))
+        s = op.stats()
+        for key in ("schedule_calls", "shards_executed",
+                    "shards_skipped", "loads", "resident_bytes"):
+            assert key in s
+
+
+class TestRegistry:
+    def test_create_operator(self, coo):
+        op = create_operator("sharded-spmspv", coo)
+        assert isinstance(op, ShardedSpMSpV)
+        x = random_sparse_vector(70, 0.2, seed=15)
+        assert np.allclose(
+            op.multiply(x, output="dense"),
+            TileSpMSpV(coo).multiply(x, output="dense"))
+
+    def test_accepts_prebuilt_sharded_matrix(self, coo):
+        sm = ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=3)
+        op = ShardedSpMSpV(sm)
+        assert op.matrix is sm

@@ -1,0 +1,68 @@
+"""The shard scheduler: occupancy-bitmap intersection and skip counts."""
+
+import numpy as np
+
+from repro.formats import COOMatrix
+from repro.shards import ShardedTiledMatrix, ShardScheduler
+
+
+def block_diag_matrix(nt=16, blocks=4):
+    """Block-diagonal: shard s only touches tile column s."""
+    rows, cols = [], []
+    for b in range(blocks):
+        base = b * nt
+        rows += [base, base + 1]
+        cols += [base, base + 2]
+    n = blocks * nt
+    return COOMatrix((n, n),
+                     np.asarray(rows, dtype=np.int64),
+                     np.asarray(cols, dtype=np.int64),
+                     np.ones(len(rows)))
+
+
+class TestSkipRule:
+    def test_only_intersecting_shards_execute(self):
+        sm = ShardedTiledMatrix.from_coo(block_diag_matrix(), nt=16,
+                                         n_shards=4)
+        sched = ShardScheduler(sm)
+        # frontier active in tile column 2 only -> only shard 2 runs
+        executed = sched.schedule(np.array([2]))
+        assert list(executed) == [2]
+        s = sched.stats()
+        assert s["shards_executed"] == 1
+        assert s["shards_skipped"] == 3
+
+    def test_all_columns_active_runs_everything(self):
+        sm = ShardedTiledMatrix.from_coo(block_diag_matrix(), nt=16,
+                                         n_shards=4)
+        sched = ShardScheduler(sm)
+        executed = sched.schedule(np.arange(4))
+        assert list(executed) == [0, 1, 2, 3]
+        assert sched.stats()["shards_skipped"] == 0
+
+    def test_empty_frontier_skips_everything(self):
+        sm = ShardedTiledMatrix.from_coo(block_diag_matrix(), nt=16,
+                                         n_shards=4)
+        sched = ShardScheduler(sm)
+        executed = sched.schedule(np.array([], dtype=np.int64))
+        assert executed.size == 0
+        assert sched.stats()["shards_skipped"] == 4
+
+    def test_stats_accumulate_across_calls(self):
+        sm = ShardedTiledMatrix.from_coo(block_diag_matrix(), nt=16,
+                                         n_shards=4)
+        sched = ShardScheduler(sm)
+        sched.schedule(np.array([0]))
+        sched.schedule(np.array([1, 3]))
+        s = sched.stats()
+        assert s["schedule_calls"] == 2
+        assert s["shards_executed"] == 3
+        assert s["shards_skipped"] == 5
+
+    def test_schedule_counters_charge_metadata(self):
+        sm = ShardedTiledMatrix.from_coo(block_diag_matrix(), nt=16,
+                                         n_shards=4)
+        c = ShardScheduler(sm).schedule_counters()
+        assert c.coalesced_read_bytes == \
+            4 * sm.metadata_nbytes_per_shard()
+        assert c.word_ops == sm.occupancy.size

@@ -1,0 +1,105 @@
+"""Row-strip partitioning: structure, alignment, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TileError
+from repro.shards import DirectoryShardStore, ShardedTiledMatrix
+
+from ..conftest import random_coo
+
+
+@pytest.fixture
+def coo():
+    return random_coo(70, 50, 0.1, seed=3)
+
+
+class TestPartitioning:
+    def test_default_two_shards(self, coo):
+        sm = ShardedTiledMatrix.from_coo(coo, nt=16)
+        assert sm.n_shards == 2
+        assert sm.shape == (70, 50)
+        assert sm.nnz == coo.sum_duplicates().nnz
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 7])
+    def test_strips_cover_all_rows(self, coo, n_shards):
+        sm = ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=n_shards)
+        assert sum(sm.strip_rows(s) for s in range(sm.n_shards)) == 70
+
+    def test_strips_are_tile_row_aligned(self, coo):
+        sm = ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=3)
+        for sid in range(sm.n_shards - 1):
+            assert sm.strip_rows(sid) % 16 == 0
+
+    def test_n_shards_clamped_to_tile_rows(self, coo):
+        # 70 rows / nt=16 -> 5 tile rows; 100 strips is impossible
+        sm = ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=100)
+        assert sm.n_shards <= 5
+
+    def test_rows_per_shard(self, coo):
+        sm = ShardedTiledMatrix.from_coo(coo, nt=16, rows_per_shard=32)
+        assert sm.n_shards == 3             # ceil(70 / 32)
+        assert sm.strip_rows(0) == 32
+        assert sm.strip_rows(2) == 70 - 64  # ragged tail strip
+
+    def test_to_coo_round_trip(self, coo):
+        sm = ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=4)
+        assert np.allclose(sm.to_coo().to_dense(), coo.to_dense())
+
+    def test_duplicates_canonicalized_before_split(self):
+        # same (row, col) twice: every shard count must see the sum
+        from repro.formats import COOMatrix
+        coo = COOMatrix((32, 32),
+                        np.array([3, 3, 20], dtype=np.int64),
+                        np.array([5, 5, 7], dtype=np.int64),
+                        np.array([1.0, 2.0, 4.0]))
+        for n in (1, 2):
+            sm = ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=n)
+            assert sm.nnz == 2
+            assert sm.to_coo().to_dense()[3, 5] == 3.0
+
+
+class TestValidation:
+    def test_both_split_args_rejected(self, coo):
+        with pytest.raises(TileError):
+            ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=2,
+                                        rows_per_shard=32)
+
+    def test_unaligned_rows_per_shard_rejected(self, coo):
+        with pytest.raises(TileError):
+            ShardedTiledMatrix.from_coo(coo, nt=16, rows_per_shard=20)
+
+    def test_bad_tile_size_rejected(self, coo):
+        with pytest.raises(TileError):
+            ShardedTiledMatrix.from_coo(coo, nt=13)
+
+
+class TestPersistence:
+    def test_open_reattaches(self, coo, tmp_path):
+        sm = ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=3,
+                                         store_dir=tmp_path)
+        back = ShardedTiledMatrix.open(tmp_path)
+        assert back.n_shards == 3
+        assert back.shape == sm.shape
+        assert back.nnz == sm.nnz
+        assert isinstance(back.store, DirectoryShardStore)
+        assert np.array_equal(back.occupancy, sm.occupancy)
+        assert np.allclose(back.to_coo().to_dense(), coo.to_dense())
+
+    def test_open_honors_budget(self, coo, tmp_path):
+        ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=3,
+                                    store_dir=tmp_path)
+        back = ShardedTiledMatrix.open(tmp_path, budget_bytes=1)
+        back.shard(0)
+        back.shard(1)
+        assert len(back.resident.resident_ids) == 1
+
+    def test_metadata_charge_covers_occupancy_and_record(self, coo):
+        sm = ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=3)
+        words = sm.occupancy.shape[1]
+        assert sm.metadata_nbytes_per_shard() == words * 8 + 32
+
+    def test_total_tile_bytes_sums_shards(self, coo):
+        sm = ShardedTiledMatrix.from_coo(coo, nt=16, n_shards=3)
+        per_shard = [sm.store.nbytes(s) for s in range(3)]
+        assert sm.total_tile_bytes == sum(per_shard)

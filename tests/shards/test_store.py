@@ -1,0 +1,100 @@
+"""Shard stores and the byte-budgeted resident-set manager."""
+
+import numpy as np
+
+from repro.shards import (DirectoryShardStore, InMemoryShardStore,
+                          ResidentSetManager)
+from repro.tiles import TiledMatrix
+
+from ..conftest import random_coo
+
+
+def tiled(seed, m=48, n=48):
+    return TiledMatrix.from_coo(random_coo(m, n, 0.1, seed=seed), 16)
+
+
+class TestInMemoryStore:
+    def test_put_get_nbytes(self):
+        store = InMemoryShardStore()
+        t = tiled(1)
+        store.put(0, t)
+        assert store.get(0) is t
+        assert store.nbytes(0) == t.nbytes()
+        assert store.shard_ids == [0]
+
+
+class TestDirectoryStore:
+    def test_round_trip(self, tmp_path):
+        store = DirectoryShardStore(tmp_path)
+        a, b = tiled(1), tiled(2)
+        store.put(0, a)
+        store.put(3, b)
+        assert store.shard_ids == [0, 3]
+        assert store.nbytes(0) == a.nbytes()
+        back = store.get(3)
+        assert np.allclose(back.to_dense(), b.to_dense())
+
+    def test_reattach_fresh_instance(self, tmp_path):
+        DirectoryShardStore(tmp_path).put(0, tiled(1))
+        fresh = DirectoryShardStore(tmp_path)
+        assert fresh.shard_ids == [0]
+        assert np.allclose(fresh.get(0).to_dense(), tiled(1).to_dense())
+
+
+class TestResidentSetManager:
+    def _manager(self, n_shards=4, budget_shards=2):
+        store = InMemoryShardStore()
+        tiles = [tiled(s) for s in range(n_shards)]
+        for sid, t in enumerate(tiles):
+            store.put(sid, t)
+        budget = None
+        if budget_shards is not None:
+            budget = sum(t.nbytes() for t in tiles[:budget_shards])
+        return ResidentSetManager(store, budget), tiles
+
+    def test_miss_then_hit(self):
+        rsm, tiles = self._manager()
+        t, loaded, evicted = rsm.get(0)
+        assert loaded == tiles[0].nbytes() and evicted == 0
+        t2, loaded2, _ = rsm.get(0)
+        assert t2 is t and loaded2 == 0
+        s = rsm.stats()
+        assert (s["loads"], s["hits"]) == (1, 1)
+
+    def test_budget_evicts_lru_first(self):
+        rsm, tiles = self._manager(n_shards=3, budget_shards=2)
+        rsm.get(0)
+        rsm.get(1)
+        rsm.get(0)                      # refresh 0: now 1 is the LRU
+        _, _, evicted = rsm.get(2)
+        assert evicted == tiles[1].nbytes()
+        assert rsm.resident_ids == [0, 2]
+        assert rsm.resident_bytes <= rsm.budget_bytes
+
+    def test_pinned_shard_never_evicted(self):
+        rsm, tiles = self._manager(n_shards=4, budget_shards=1)
+        rsm.get(0)
+        rsm.pin(0)
+        rsm.get(1)
+        rsm.get(2)
+        assert 0 in rsm.resident_ids   # over budget but pinned
+        rsm.unpin(0)                     # unpin re-enforces the budget
+        assert 0 not in rsm.resident_ids
+
+    def test_evict_callbacks_fire(self):
+        rsm, _ = self._manager(n_shards=2, budget_shards=None)
+        seen = []
+        rsm.evict_callbacks.append(seen.append)
+        rsm.get(0)
+        rsm.get(1)
+        rsm.evict(0)
+        rsm.clear()
+        assert seen == [0, 1]
+
+    def test_unbudgeted_keeps_everything(self):
+        rsm, tiles = self._manager(n_shards=4, budget_shards=None)
+        for sid in range(4):
+            rsm.get(sid)
+        assert rsm.resident_ids == [0, 1, 2, 3]
+        assert rsm.stats()["evictions"] == 0
+        assert rsm.resident_bytes == sum(t.nbytes() for t in tiles)

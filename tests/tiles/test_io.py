@@ -5,8 +5,11 @@ import pytest
 
 from repro.errors import IOFormatError
 from repro.formats import COOMatrix
+from repro.semiring import MAX_TIMES, MIN_PLUS, OR_AND, PLUS_TIMES
 from repro.tiles import (BitTiledMatrix, TiledMatrix, TiledVector,
-                         load_tiled, save_tiled, split_very_sparse_tiles)
+                         load_tiled, load_tiled_mmap, read_mmap_manifest,
+                         save_tiled, save_tiled_mmap,
+                         split_very_sparse_tiles)
 
 from ..conftest import random_dense
 
@@ -88,3 +91,90 @@ class TestErrors:
         np.savez(p, kind="tiled_matrix", version=999)
         with pytest.raises(IOFormatError):
             load_tiled(p)
+
+
+class TestDtypePreservation:
+    """Satellite: save/load must preserve tile dtypes *exactly* — a
+    uint64 or_and matrix that silently came back float64 would corrupt
+    every bit-pattern value in it."""
+
+    @pytest.mark.parametrize(
+        "sr", [PLUS_TIMES, OR_AND, MIN_PLUS, MAX_TIMES],
+        ids=lambda s: s.name)
+    def test_round_trip_preserves_semiring_dtype(self, tmp_path, sr):
+        rng = np.random.default_rng(11)
+        nnz = 80
+        row = rng.integers(0, 48, nnz).astype(np.int64)
+        col = rng.integers(0, 48, nnz).astype(np.int64)
+        if sr.dtype.kind == "u":
+            val = rng.integers(1, 2 ** 63, nnz).astype(sr.dtype)
+        else:
+            val = rng.standard_normal(nnz).astype(sr.dtype)
+            val[::7] = -0.0          # signed zero must survive intact
+        tm = TiledMatrix.from_coo(COOMatrix((48, 48), row, col, val), 16)
+        p = tmp_path / f"{sr.name}.npz"
+        save_tiled(tm, p)
+        back = load_tiled(p)
+        assert back.values.dtype == tm.values.dtype == sr.dtype
+        # bit-level comparison: array_equal would equate -0.0 and 0.0
+        assert np.array_equal(back.values.view(np.uint64),
+                              tm.values.view(np.uint64))
+
+    def test_dtype_tag_mismatch_rejected(self, coo, tmp_path):
+        tm = TiledMatrix.from_coo(coo, 16)
+        p = tmp_path / "m.npz"
+        save_tiled(tm, p)
+        with np.load(p, allow_pickle=False) as z:
+            payload = {k: z[k] for k in z.files}
+        payload["values_dtype"] = np.asarray("float32")
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, **payload)
+        with pytest.raises(IOFormatError):
+            load_tiled(bad)
+
+
+class TestMmapRoundTrip:
+    def test_round_trip_bit_exact(self, coo, tmp_path):
+        tm = TiledMatrix.from_coo(coo, 16)
+        d = save_tiled_mmap(tm, tmp_path / "shard")
+        manifest = read_mmap_manifest(d)
+        assert manifest["nnz"] == tm.nnz
+        assert manifest["nbytes"] == tm.nbytes()
+        back = load_tiled_mmap(d)
+
+        def mmap_backed(a):
+            while a is not None:
+                if isinstance(a, np.memmap):
+                    return True
+                a = a.base
+            return False
+
+        assert mmap_backed(back.values)
+        assert back.values.dtype == tm.values.dtype
+        assert np.array_equal(np.asarray(back.values), tm.values)
+        assert np.allclose(back.to_dense(), tm.to_dense())
+
+    def test_mmap_arrays_usable_in_kernel(self, coo, tmp_path):
+        from repro.core.spmspv import as_tiled_vector
+        from repro.core.spmspv_kernels import tiled_kernel
+        from repro.vectors import random_sparse_vector
+
+        tm = TiledMatrix.from_coo(coo, 16)
+        back = load_tiled_mmap(save_tiled_mmap(tm, tmp_path / "s"))
+        x = random_sparse_vector(50, 0.2)
+        xt = as_tiled_vector(x, 16, 0.0)
+        y_mmap, _ = tiled_kernel(back, xt)
+        y_ref, _ = tiled_kernel(tm, xt)
+        assert np.array_equal(y_mmap, y_ref)
+
+    def test_manifest_dtype_mismatch_rejected(self, coo, tmp_path):
+        tm = TiledMatrix.from_coo(coo, 16)
+        d = save_tiled_mmap(tm, tmp_path / "shard")
+        np.save(d / "values.npy",
+                np.zeros(tm.values.shape, dtype=np.float32))
+        with pytest.raises(IOFormatError):
+            load_tiled_mmap(d)
+
+    def test_non_directory_rejected(self, tmp_path):
+        with pytest.raises(IOFormatError):
+            read_mmap_manifest(tmp_path / "nope")
