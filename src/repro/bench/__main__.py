@@ -10,6 +10,10 @@ writes the launch-by-launch record as Chrome ``trace_event`` JSON
 ``python -m repro.bench verify`` runs the differential verification
 harness (oracles, sibling cross-checks, counter invariants, metamorphic
 relations) over the operator registry — see ``verify --help``.
+
+``python -m repro.bench profile`` prints a per-layer host-time
+breakdown of the BFS hot loop (reference loop vs. the compiled fast
+path) and can dump cProfile captures — see ``profile --help``.
 """
 
 from __future__ import annotations
@@ -128,6 +132,9 @@ def main(argv=None) -> int:
         return _run_trace(argv[1:])
     if argv and argv[0] == "verify":
         return _run_verify(argv[1:])
+    if argv and argv[0] == "profile":
+        from .profile import main as profile_main
+        return profile_main(argv[1:])
     names = argv or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:

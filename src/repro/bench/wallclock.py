@@ -32,10 +32,12 @@ from ..core.reference_bfs_kernels import (reference_msbfs_expand,
 from ..core.reference_kernels import (reference_batched_tiled_kernel,
                                       reference_csc_tiled_kernel,
                                       reference_tiled_kernel)
+from ..core.selection import KernelSelector
 from ..core.spmspv_kernels import (batched_tiled_kernel,
                                    batched_union_kernel,
                                    csc_tiled_kernel, tiled_kernel)
 from ..core.tilebfs import TileBFS
+from ..fastpath import fastpath_tier
 from ..gpusim import KernelCounters
 from ..matrices.generators import rmat
 from ..shards.engine import ShardedSpMSpV
@@ -319,7 +321,10 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
     assert new_bfs["reached"] == ref_bfs["reached"]
 
     say("TileBFS (bitmask) per-kernel breakdown")
-    bfs_op = TileBFS(coo)
+    # the "tilebfs" section measures the classic per-kernel loop (its
+    # committed baselines predate the fused tier), so pin the tier;
+    # the fused tier gets its own section below
+    bfs_op = TileBFS(coo, selector=KernelSelector(tier="kernels"))
     visited_fractions = (0.9, 0.98) if smoke else (0.5, 0.9, 0.98)
     kernel_rows = _bfs_kernel_rows(bfs_op, densities, visited_fractions,
                                    repeats, rng, say)
@@ -329,6 +334,20 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
     res = bfs_op.run(0)
     seed_run = _seed_tilebfs_ms(bfs_op, source=0, repeats=repeats)
     assert np.array_equal(res.levels, seed_run["levels"])
+
+    say("TileBFS fused fast path vs classic kernel loop")
+    fast_op = TileBFS(coo, selector=KernelSelector(tier="fastpath"))
+    fast_res = fast_op.run(0)
+    assert np.array_equal(fast_res.levels, res.levels)
+    # the quantity under test is the ratio, so interleave the two
+    # timings: ambient load perturbs both sides equally instead of
+    # whichever side happened to run during a noisy window
+    fastpath_ref_ms = fastpath_ms = float("inf")
+    for _ in range(repeats):
+        fastpath_ref_ms = min(fastpath_ref_ms,
+                              _best_ms(lambda: bfs_op.run(0), 1))
+        fastpath_ms = min(fastpath_ms,
+                          _best_ms(lambda: fast_op.run(0), 1))
 
     say("batched engine: coalesced union launch vs looped singles")
     batch_sizes = (batch,) if smoke else (batch, batch * 4)
@@ -430,6 +449,16 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
             "iterations": len(res.iterations),
             "reached": res.n_reached,
         },
+        "fastpath": {
+            "tier": fastpath_tier(),
+            "nt": fast_op.nt,
+            "ref_ms": fastpath_ref_ms,
+            "new_ms": fastpath_ms,
+            "speedup": (fastpath_ref_ms / fastpath_ms
+                        if fastpath_ms > 0 else float("inf")),
+            "iterations": len(fast_res.iterations),
+            "reached": fast_res.n_reached,
+        },
         "msbfs": {
             "sources": int(len(ms_sources)),
             "ref_ms": msbfs_ref,
@@ -487,7 +516,7 @@ def _speedup_entries(report: Dict) -> Dict[str, tuple]:
     for row in report.get("sharded", ()):
         entries[f"sharded/s{row['n_shards']}@{row['density']:g}"] = \
             (row["speedup"], min_ms(row))
-    for section in ("bfs", "tilebfs", "msbfs"):
+    for section in ("bfs", "tilebfs", "fastpath", "msbfs"):
         if section in report:
             entries[section] = (report[section]["speedup"],
                                 min_ms(report[section]))
@@ -495,7 +524,9 @@ def _speedup_entries(report: Dict) -> Dict[str, tuple]:
 
 
 def check_regression(current: Dict, committed: Dict, floor: float = 0.6,
-                     noise_floor_ms: float = NOISE_FLOOR_MS) -> list:
+                     noise_floor_ms: float = NOISE_FLOOR_MS,
+                     section_floors: Optional[Dict[str, float]] = None
+                     ) -> list:
     """Compare two wall-clock reports; list every regression.
 
     A regression is a speedup in ``current`` below ``floor`` times the
@@ -505,6 +536,12 @@ def check_regression(current: Dict, committed: Dict, floor: float = 0.6,
     either report (micro rows whose speedup is timer noise); ratios of
     speedups are compared rather than raw milliseconds so the guard is
     stable across host machines of different speed.
+
+    ``section_floors`` overrides ``floor`` per section (a label's
+    section is its prefix before the first ``/``, or the whole label
+    for scalar sections) — e.g. ``{"fastpath": 0.6}`` pins the fused
+    tier's end-to-end speedup to 60% of its committed value even when
+    the global floor is looser.
 
     Any section recorded in ``committed`` (every non-meta key; see
     :func:`known_sections`) but missing from ``current`` is itself a
@@ -523,11 +560,15 @@ def check_regression(current: Dict, committed: Dict, floor: float = 0.6,
         ref_s, ref_ms = ref[label]
         if min(cur_ms, ref_ms) < noise_floor_ms:
             continue
-        if ref_s > 0 and cur_s < floor * ref_s:
+        label_floor = floor
+        if section_floors:
+            label_floor = section_floors.get(label.split("/", 1)[0],
+                                             floor)
+        if ref_s > 0 and cur_s < label_floor * ref_s:
             failures.append({
                 "label": label,
                 "committed_speedup": ref_s,
                 "current_speedup": cur_s,
-                "floor": floor * ref_s,
+                "floor": label_floor * ref_s,
             })
     return failures

@@ -32,6 +32,7 @@ import numpy as np
 
 from .._util import concat_ranges
 from ..errors import ShapeError
+from ..fastpath import fastpath_tier
 from ..formats.coo import COOMatrix
 from ..gpusim import Device, KernelCounters
 from ..runtime import ExecutionContext
@@ -42,6 +43,10 @@ __all__ = ["MultiSourceBFS", "MSBFSResult", "msbfs_expand"]
 _U64 = np.uint64
 #: Sources packed per state word.
 WORD_SOURCES = 64
+
+#: Newly-visited vertices per level-recording block: the bit-spread
+#: matrix is ``chunk x 64`` words, so 8192 keeps it ~4 MB.
+_LEVEL_CHUNK = 8192
 
 
 def msbfs_expand(csc, frontier: np.ndarray
@@ -56,15 +61,23 @@ def msbfs_expand(csc, frontier: np.ndarray
     idempotent, so the result is byte-identical to the preserved seed
     expansion in
     :func:`~repro.core.reference_bfs_kernels.reference_msbfs_expand`).
+    With the ``fastpath`` extra installed the whole expansion runs as
+    one compiled loop instead.
 
     Returns ``(next_words, n_active, n_edges)``.
     """
+    next_words = np.zeros(len(frontier), dtype=_U64)
+    if fastpath_tier() == "numba":  # pragma: no cover - fastpath extra
+        from ..fastpath import numba_kernels as nb
+
+        n_active, n_edges = nb.msbfs_expand_words(
+            csc.indptr, csc.indices, frontier, next_words)
+        return next_words, n_active, n_edges
     active = np.flatnonzero(frontier)
     lengths = csc.indptr[active + 1] - csc.indptr[active]
     gather = concat_ranges(csc.indptr[active], lengths)
     dst = csc.indices[gather]
     contrib = np.repeat(frontier[active], lengths)
-    next_words = np.zeros(len(frontier), dtype=_U64)
     if len(dst):
         segmented_scatter_or(next_words, dst, contrib)
     return next_words, len(active), len(dst)
@@ -202,6 +215,8 @@ class MultiSourceBFS:
         levels[np.arange(k), sources] = 0
 
         depth = 0
+        inv = np.empty_like(visited)
+        shifts = np.arange(k, dtype=_U64)
         result = MSBFSResult(sources=sources, levels=levels)
         while True:
             if max_depth is not None and depth >= max_depth:
@@ -213,18 +228,24 @@ class MultiSourceBFS:
             # u contributes its word to v
             next_words, n_active, n_edges = msbfs_expand(self.csc,
                                                          frontier)
-            new = next_words & ~visited
-            ms = self._account(n_active, n_edges,
-                               int(np.count_nonzero(new)))
+            np.invert(visited, out=inv)
+            np.bitwise_and(next_words, inv, out=next_words)
+            new = next_words
+            ms = self._account(n_active, n_edges)
             result.simulated_ms += ms
             result.iterations += 1
-            if not new.any():
-                break
             newly = np.flatnonzero(new)
-            # record levels per source bit
-            for b in range(k):
-                hit = newly[(new[newly] >> _U64(b)) & _U64(1) == 1]
-                levels[b, hit] = depth
+            if not len(newly):
+                break
+            # record levels per source bit: spread each new word over
+            # its source bits in blocks and scatter the hits — one
+            # vectorized pass, not one frontier-sized index array per
+            # source
+            for s in range(0, len(newly), _LEVEL_CHUNK):
+                chunk = newly[s:s + _LEVEL_CHUNK]
+                hits = (new[chunk, None] >> shifts) & _U64(1)
+                vi, bi = np.nonzero(hits)
+                levels[bi, chunk[vi]] = depth
             visited |= new
             frontier = new
         return result
@@ -274,7 +295,7 @@ class MultiSourceBFS:
         return result
 
     # ------------------------------------------------------------------
-    def _account(self, n_active: int, edges: int, n_new: int) -> float:
+    def _layer_counters(self, n_active: int, edges: int) -> KernelCounters:
         c = KernelCounters(launches=1)
         c.coalesced_read_bytes += self.n * 8.0          # frontier scan
         c.l2_read_bytes += n_active * 16.0              # column pointers
@@ -285,7 +306,22 @@ class MultiSourceBFS:
         c.coalesced_write_bytes += self.n * 8.0         # next/visited
         c.word_ops += 3.0 * self.n
         c.warps = max(1.0, edges / 32.0)
-        return self.ctx.launch("msbfs_expand", c, phase="iteration")
+        return c
+
+    def _account(self, n_active: int, edges: int) -> float:
+        ctx = self.ctx
+        if not ctx.accounting:
+            return 0.0
+        if ctx.production:
+            # counters compile out of the round: the closure captures
+            # the two determinants and prices the launch at replay time
+            ctx.defer("msbfs_expand",
+                      lambda: self._layer_counters(n_active, edges),
+                      phase="iteration")
+            return 0.0
+        return ctx.launch("msbfs_expand",
+                          self._layer_counters(n_active, edges),
+                          phase="iteration")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<MultiSourceBFS n={self.n} nnz={self.nnz}>"

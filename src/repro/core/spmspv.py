@@ -38,6 +38,11 @@ __all__ = ["TileSpMSpV", "tile_spmspv", "as_tiled_vector",
 
 VectorLike = Union[SparseVector, TiledVector, np.ndarray]
 
+# launch names precomputed per kernel form — the multiply path must not
+# build format strings per call (cheap-when-off tracing)
+_MULTIPLY_LAUNCH_NAMES = {"csr": "tile_spmspv_csr",
+                          "csc": "tile_spmspv_csc"}
+
 
 def as_tiled_vector(x: VectorLike, nt: int, fill: float,
                     dtype=None) -> TiledVector:
@@ -267,19 +272,43 @@ class TileSpMSpV:
 
         kernel = self._pick_kernel(xt)
         if kernel == "csc":
-            y_dense, counters = csc_tiled_kernel(self._transposed(), xt,
-                                                 semiring=self.semiring)
+            fn, mat = csc_tiled_kernel, self._transposed()
         else:
-            y_dense, counters = tiled_kernel(self.hybrid.tiled, xt,
-                                             semiring=self.semiring)
-        self.ctx.launch(f"tile_spmspv_{kernel}", counters,
-                        phase="multiply")
-        if self.hybrid.side.nnz:
-            y_dense, side_counters = coo_side_kernel(
-                self._side_index, xt, semiring=self.semiring,
-                y_dense=y_dense)
-            self.ctx.launch("tile_spmspv_coo_side", side_counters,
+            fn, mat = tiled_kernel, self.hybrid.tiled
+        if self.ctx.active:
+            # modeled, device attached: price the launch inline
+            y_dense, counters = fn(mat, xt, semiring=self.semiring)
+            self.ctx.launch(_MULTIPLY_LAUNCH_NAMES[kernel], counters,
                             phase="multiply")
+        else:
+            # accounting compiles out of the multiply; production mode
+            # replays it later by re-running the kernel counters-on
+            # (fresh accumulator — counters don't depend on it)
+            y_dense, _ = fn(mat, xt, semiring=self.semiring,
+                            with_counters=False)
+            if self.ctx.production:
+                self.ctx.defer(
+                    _MULTIPLY_LAUNCH_NAMES[kernel],
+                    lambda: fn(mat, xt, semiring=self.semiring)[1],
+                    phase="multiply")
+        if self.hybrid.side.nnz:
+            if self.ctx.active:
+                y_dense, side_counters = coo_side_kernel(
+                    self._side_index, xt, semiring=self.semiring,
+                    y_dense=y_dense)
+                self.ctx.launch("tile_spmspv_coo_side", side_counters,
+                                phase="multiply")
+            else:
+                y_dense, _ = coo_side_kernel(
+                    self._side_index, xt, semiring=self.semiring,
+                    y_dense=y_dense, with_counters=False)
+                if self.ctx.production:
+                    self.ctx.defer(
+                        "tile_spmspv_coo_side",
+                        lambda: coo_side_kernel(
+                            self._side_index, xt,
+                            semiring=self.semiring)[1],
+                        phase="multiply")
 
         if mask is not None:
             y_dense = self._apply_mask(y_dense, mask, mask_complement)
@@ -451,11 +480,14 @@ def apply_output_mask(y_dense: np.ndarray, mask: VectorLike,
         keep = ~keep
     y_dense = y_dense.copy()
     y_dense[~keep] = semiring.add_identity
-    c = KernelCounters(launches=1)
-    c.coalesced_read_bytes += n_out / 8.0   # mask bits
-    c.coalesced_write_bytes += n_out * 8.0
-    c.warps = max(1.0, n_out / (32.0 * 32.0))
-    ctx.launch("tile_spmspv_mask", c, phase="mask")
+    if ctx.accounting:
+        # counters are analytic in n_out, so building them eagerly is
+        # fine even in production (launch auto-defers the record)
+        c = KernelCounters(launches=1)
+        c.coalesced_read_bytes += n_out / 8.0   # mask bits
+        c.coalesced_write_bytes += n_out * 8.0
+        c.warps = max(1.0, n_out / (32.0 * 32.0))
+        ctx.launch("tile_spmspv_mask", c, phase="mask")
     return y_dense
 
 

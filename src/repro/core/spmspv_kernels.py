@@ -68,7 +68,8 @@ def _lane_utilization(nnz_per_active_tile: np.ndarray, warp: int = 32) -> float:
 def tiled_kernel(A: TiledMatrix, x: TiledVector,
                  semiring: Semiring = PLUS_TIMES,
                  y_dense: Optional[np.ndarray] = None,
-                 ) -> Tuple[np.ndarray, KernelCounters]:
+                 with_counters: bool = True,
+                 ) -> Tuple[np.ndarray, Optional[KernelCounters]]:
     """Algorithm 4: row-tile warp kernel with x-tile skipping.
 
     Parameters
@@ -84,12 +85,17 @@ def tiled_kernel(A: TiledMatrix, x: TiledVector,
         Optional preallocated dense accumulator of length ``A.shape[0]``
         initialised to the additive identity (reused across BFS
         iterations); a fresh one is allocated when omitted.
+    with_counters:
+        ``False`` skips all accounting work (including the result-tile
+        dedup and lane-utilization statistics) and returns ``None``
+        counters — the production-mode path, which replays the launch
+        by re-running the kernel with counters on afterwards.
 
     Returns
     -------
     (y_dense, counters):
         The dense accumulator holding the result and the hardware
-        counters of the launch.
+        counters of the launch (``None`` with ``with_counters=False``).
     """
     if x.n != A.shape[1]:
         raise ShapeError(
@@ -104,11 +110,12 @@ def tiled_kernel(A: TiledMatrix, x: TiledVector,
     if y_dense is None:
         y_dense = np.full(m, semiring.add_identity, dtype=semiring.dtype)
 
-    counters = KernelCounters(launches=1)
-    # every stored tile's metadata is read once (coalesced stream):
-    # tile_colidx (8B) + its x_ptr entry + nnz offsets (8B)
-    counters.coalesced_read_bytes += A.n_nonempty_tiles * 16.0
-    counters.l2_read_bytes += A.n_nonempty_tiles * 8.0  # x_ptr lookups
+    counters = KernelCounters(launches=1) if with_counters else None
+    if counters is not None:
+        # every stored tile's metadata is read once (coalesced stream):
+        # tile_colidx (8B) + its x_ptr entry + nnz offsets (8B)
+        counters.coalesced_read_bytes += A.n_nonempty_tiles * 16.0
+        counters.l2_read_bytes += A.n_nonempty_tiles * 8.0  # x_ptr
 
     # --- tile activity, active-set style (Alg.4 l.2-5): the non-empty
     # vector tiles name A's active tile columns; the plan-time column
@@ -119,8 +126,9 @@ def tiled_kernel(A: TiledMatrix, x: TiledVector,
     n_active = int((ptr[active_cols + 1] - ptr[active_cols]).sum())
 
     if n_active == 0:
-        # warps still launch to discover there is nothing to do
-        counters.warps = max(1.0, A.n_tile_rows)
+        if counters is not None:
+            # warps still launch to discover there is nothing to do
+            counters.warps = max(1.0, A.n_tile_rows)
         return y_dense, counters
 
     # --- gather the entries of active tiles (stored order preserved).
@@ -155,6 +163,8 @@ def tiled_kernel(A: TiledMatrix, x: TiledVector,
     xv = x.x_tile[np.repeat(x_off_tiles, nnz_t) * nt + lcol]
     products = semiring.mul(vals, xv)
     semiring.scatter_merge(y_dense, grow, products)
+    if counters is None:
+        return y_dense, None
 
     # --- accounting
     nnz_active = len(vals)
@@ -427,7 +437,8 @@ def batched_union_kernel(A: TiledMatrix, xs, semiring: Semiring = PLUS_TIMES
 def csc_tiled_kernel(At: TiledMatrix, x: TiledVector,
                      semiring: Semiring = PLUS_TIMES,
                      y_dense: Optional[np.ndarray] = None,
-                     ) -> Tuple[np.ndarray, KernelCounters]:
+                     with_counters: bool = True,
+                     ) -> Tuple[np.ndarray, Optional[KernelCounters]]:
     """The CSC-form TileSpMSpV kernel (vector-driven; paper §3.2.3).
 
     Works on the *transposed* tiling ``At = tiled(A^T)``: A^T's tile
@@ -444,7 +455,9 @@ def csc_tiled_kernel(At: TiledMatrix, x: TiledVector,
     (the trade-off the adaptive mode arbitrates; cf. Li et al. [31] in
     the paper's related work).
 
-    Returns ``(y_dense, counters)`` like :func:`tiled_kernel`.
+    Returns ``(y_dense, counters)`` like :func:`tiled_kernel`
+    (``with_counters=False`` skips accounting and returns ``None``
+    counters).
     """
     # At is tiled(A^T): its shape is (n, m) for A of shape (m, n)
     n, m = At.shape
@@ -460,13 +473,15 @@ def csc_tiled_kernel(At: TiledMatrix, x: TiledVector,
     if y_dense is None:
         y_dense = np.full(m, semiring.add_identity, dtype=semiring.dtype)
 
-    counters = KernelCounters(launches=1)
+    counters = KernelCounters(launches=1) if with_counters else None
     active_cols = np.flatnonzero(x.x_ptr >= 0)          # A's tile columns
-    # the compact tiled vector carries its non-empty tile list, so the
-    # kernel reads exactly that (no scan over all tile slots)
-    counters.coalesced_read_bytes += len(active_cols) * 8.0
+    if counters is not None:
+        # the compact tiled vector carries its non-empty tile list, so
+        # the kernel reads exactly that (no scan over all tile slots)
+        counters.coalesced_read_bytes += len(active_cols) * 8.0
     if len(active_cols) == 0:
-        counters.warps = 1.0
+        if counters is not None:
+            counters.warps = 1.0
         return y_dense, counters
 
     # At's tile rows are A's tile columns: the active tile list falls
@@ -474,8 +489,9 @@ def csc_tiled_kernel(At: TiledMatrix, x: TiledVector,
     n_active = int((At.tile_ptr[active_cols + 1]
                     - At.tile_ptr[active_cols]).sum())
     if n_active == 0:
-        counters.warps = max(1.0, len(active_cols) / 32.0)
-        counters.l2_read_bytes += len(active_cols) * 16.0
+        if counters is not None:
+            counters.warps = max(1.0, len(active_cols) / 32.0)
+            counters.l2_read_bytes += len(active_cols) * 16.0
         return y_dense, counters
 
     # gather the entries of the touched tiles — same three regimes as
@@ -507,6 +523,8 @@ def csc_tiled_kernel(At: TiledMatrix, x: TiledVector,
     grow = gcols[occupied]                               # A's global row
     if len(grow):
         semiring.scatter_merge(y_dense, grow, products)
+    if counters is None:
+        return y_dense, None
 
     # accounting: only the touched tile columns are read; the merge
     # into y is a global atomic scatter (the CSC form's cost).
@@ -530,7 +548,8 @@ def csc_tiled_kernel(At: TiledMatrix, x: TiledVector,
 def coo_side_kernel(side, x: TiledVector,
                     semiring: Semiring = PLUS_TIMES,
                     y_dense: Optional[np.ndarray] = None,
-                    ) -> Tuple[np.ndarray, KernelCounters]:
+                    with_counters: bool = True,
+                    ) -> Tuple[np.ndarray, Optional[KernelCounters]]:
     """Kernel for the extracted very-sparse COO side matrix.
 
     Accepts either an :class:`~repro.tiles.extraction.IndexedSideMatrix`
@@ -560,7 +579,7 @@ def coo_side_kernel(side, x: TiledVector,
     if y_dense is None:
         y_dense = np.full(side.shape[0], semiring.add_identity,
                           dtype=semiring.dtype)
-    counters = KernelCounters(launches=1)
+    counters = KernelCounters(launches=1) if with_counters else None
     if side.nnz == 0:
         return y_dense, counters
 
@@ -574,8 +593,9 @@ def coo_side_kernel(side, x: TiledVector,
         # vector's non-empty tiles probe the side index, or the side's
         # non-empty column tiles probe x_ptr — a kernel picks the
         # cheaper direction.
-        counters.l2_read_bytes += min(
-            side.n_index_tiles(), x.n_nonempty_tiles) * 16.0
+        if counters is not None:
+            counters.l2_read_bytes += min(
+                side.n_index_tiles(), x.n_nonempty_tiles) * 16.0
         scanned = len(sel)
     else:
         rows_all, cols_all, vals_all = side.row, side.col, side.val
@@ -592,6 +612,8 @@ def coo_side_kernel(side, x: TiledVector,
     products = semiring.mul(vals_all[hit][occupied], xv[occupied])
     if len(rows):
         semiring.scatter_merge(y_dense, rows, products)
+    if counters is None:
+        return y_dense, None
 
     # accounting: touched triplets stream in coalesced; x lookups and y
     # updates are data-dependent scatters.

@@ -41,6 +41,12 @@ from .selection import (PULL_CSC, PUSH_CSC, PUSH_CSR, KernelSelector,
 
 __all__ = ["TileBFS", "BFSResult", "IterationRecord", "tile_bfs"]
 
+#: Launch names precomputed per kernel — the hot loop must not build
+#: format strings per layer (cheap-when-off tracing).
+_LAUNCH_NAMES = {PUSH_CSC: "tilebfs_push_csc",
+                 PUSH_CSR: "tilebfs_push_csr",
+                 PULL_CSC: "tilebfs_pull_csc"}
+
 
 @dataclass(frozen=True)
 class IterationRecord:
@@ -191,6 +197,31 @@ class TileBFS:
             self._sharded.device = device
 
     # ------------------------------------------------------------------
+    def _use_fused(self) -> bool:
+        """Whether this traversal routes through the compiled fast path.
+
+        The fused kernels are result-only, so the tier engages exactly
+        when no counters are needed inline: functional runs (no device)
+        and production mode (accounting deferred to replay).  Modeled
+        counters-on execution always uses the reference kernels — that
+        is what keeps counters byte-identical by construction.
+        ``selector.tier`` pins the choice ("kernels" disables,
+        "fastpath" overrides the ``REPRO_FASTPATH=off`` env kill
+        switch); sharded matrices run their own level loop either way.
+        """
+        if self._sharded is not None:
+            return False
+        tier = self.selector.tier
+        if tier == "kernels":
+            return False
+        if not (self.ctx.device is None or self.ctx.production):
+            return False
+        if tier == "fastpath":
+            return True
+        from ..fastpath import fastpath_tier
+        return fastpath_tier() != "off"
+
+    # ------------------------------------------------------------------
     def run(self, source: int, max_depth: Optional[int] = None) -> BFSResult:
         """Traverse from ``source``; returns levels and the iteration
         trace."""
@@ -208,6 +239,9 @@ class TileBFS:
             )
         if self._sharded is not None:
             return self._run_sharded(sources, max_depth)
+        if self._use_fused():
+            from ..fastpath.fused_bfs import run_fused
+            return run_fused(self, sources, max_depth)
         levels = np.full(self.n, -1, dtype=np.int64)
         levels[sources] = 0
 
@@ -256,7 +290,7 @@ class TileBFS:
                     side_counters = self._side_kernel(
                         frontier_idx, visited_bool, in_frontier, y)
                     counters = counters.merged(side_counters)
-                ms = self.ctx.launch(f"tilebfs_{kernel_name}", counters,
+                ms = self.ctx.launch(_LAUNCH_NAMES[kernel_name], counters,
                                      phase="iteration")
 
                 n_new = y.count()

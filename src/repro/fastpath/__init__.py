@@ -1,0 +1,28 @@
+"""Compiled per-layer fast path (ROADMAP item 4).
+
+The wallclock benchmarks showed the kernels winning their battles while
+BFS end-to-end stalled: per-layer Python dispatch — kernel selection,
+counter tallies, launch bookkeeping, small-array launches — dominated
+the hot loop.  This package collapses one whole BFS layer into a single
+call:
+
+* :mod:`~repro.fastpath.numba_kernels` — loop-level fused kernels,
+  ``@njit(cache=True)``-compiled when the ``fastpath`` extra is
+  installed;
+* :mod:`~repro.fastpath.fused_layers` — the plan-time
+  :class:`~repro.fastpath.fused_layers.FusedBFSLayout` (compressed
+  word-level sweep, side-edge CSC index, reusable buffers) and the
+  mega-batched vectorized NumPy tier;
+* :mod:`~repro.fastpath.fused_bfs` — the fused traversal driver
+  :meth:`~repro.core.tilebfs.TileBFS.run_multi` routes through;
+* :mod:`~repro.fastpath.counter_model` — production-mode counter
+  replay, keeping the modeled timeline byte-identical on demand.
+
+Tier selection lives in :func:`fastpath_tier` (``REPRO_FASTPATH`` env:
+``auto`` / ``numba`` / ``numpy`` / ``off``) and can be pinned per
+operator with ``KernelSelector(tier=...)``.
+"""
+
+from .runtime import FASTPATH_ENV, fastpath_tier, numba_available
+
+__all__ = ["FASTPATH_ENV", "fastpath_tier", "numba_available"]

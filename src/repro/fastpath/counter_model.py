@@ -1,0 +1,78 @@
+"""Production-mode counter replay for the fused BFS tier.
+
+The fused layer kernels compute no counters — in production mode each
+layer instead defers a zero-argument closure built here into the
+context's replay log.  The closure captures the layer's *inputs* (one
+frontier-word and one mask-word snapshot, ~16 KB each at scale 17, plus
+two side-kernel integers the fused side traversal produces for free)
+and, at :meth:`~repro.runtime.context.ExecutionContext.replay` time,
+runs the preserved reference kernel on them to obtain the counters.
+
+Exactness is structural, not re-derived: the modeled counters are a
+pure function of the kernel inputs — the paper's cost model never
+depends on host execution strategy — so feeding the reference kernel
+identical inputs yields identical counters, launch for launch, to a
+counters-on run.  The production-replay verify check enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..core.bfs_kernels import (pull_csc_kernel, push_csc_kernel,
+                                push_csr_kernel)
+from ..core.selection import PULL_CSC, PUSH_CSC, PUSH_CSR
+from ..gpusim import KernelCounters
+from ..tiles.bitmask import BitVector
+
+__all__ = ["layer_counter_closure", "side_counters"]
+
+
+def side_counters(side_nnz: int, n_src_active: int,
+                  n_claimed: int) -> KernelCounters:
+    """The side-edge kernel's counters from its three determinants:
+    stored edges, edges leaving the frontier, and unvisited
+    destinations claimed (:meth:`TileBFS._side_kernel`'s exact math).
+    """
+    c = KernelCounters(launches=1)
+    c.coalesced_read_bytes += side_nnz * 16.0
+    c.random_read_count += float(n_src_active)
+    c.atomic_ops += float(n_claimed)
+    c.random_write_count += float(n_claimed)
+    c.warps = max(1.0, side_nnz / 32.0)
+    return c
+
+
+def layer_counter_closure(op, kernel_name: str, x_words: np.ndarray,
+                          m_words: np.ndarray,
+                          side_stats: Optional[Tuple[int, int]]
+                          ) -> Callable[[], KernelCounters]:
+    """A deferred computation of one fused BFS layer's merged counters.
+
+    ``x_words`` / ``m_words`` are this layer's input snapshots (copies
+    — the live vectors ping-pong); ``side_stats`` is the
+    ``(n_src_active, n_claimed)`` pair from :func:`fused_side`, or
+    ``None`` when the plan has no extracted side edges.
+    """
+    A1, A2, side_nnz = op.A1, op.A2, op.side.nnz
+    n, nt = op.n, op.nt
+
+    def compute() -> KernelCounters:
+        x = BitVector(n, nt, x_words)
+        m = BitVector(n, nt, m_words)
+        if kernel_name == PUSH_CSC:
+            counters = push_csc_kernel(A1, x, m)[1]
+        elif kernel_name == PUSH_CSR:
+            counters = push_csr_kernel(A2, x, m)[1]
+        elif kernel_name == PULL_CSC:
+            counters = pull_csc_kernel(A1, x, m)[1]
+        else:  # pragma: no cover - dispatch is exhaustive
+            raise ValueError(f"unknown kernel {kernel_name!r}")
+        if side_stats is not None:
+            counters = counters.merged(side_counters(side_nnz,
+                                                     *side_stats))
+        return counters
+
+    return compute

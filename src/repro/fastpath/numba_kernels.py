@@ -1,0 +1,156 @@
+"""Loop-level fused BFS kernels, Numba-compiled when available.
+
+Each kernel is written once as a plain-Python loop (the ``_py``
+suffix), operating on the raw arrays of the bitmask structures — no
+object attributes, no allocation — and wrapped with
+``numba.njit(cache=True)`` at import time when the optional
+``fastpath`` extra is installed.  The ``_py`` originals stay exported
+so the loop *logic* is testable on tiny inputs even where Numba is
+absent; the vectorized NumPy tier in :mod:`repro.fastpath.fused_layers`
+never calls them.
+
+All kernels are result-only: they produce exactly the words the
+reference kernels in :mod:`repro.core.bfs_kernels` produce (OR is
+commutative and idempotent, so visit order is irrelevant) and compute
+no counters — production-mode accounting is replayed afterwards by
+:mod:`repro.fastpath.counter_model`.
+
+One loop serves both push directions: within one row tile the visited
+mask word is constant, so ``OR(words) & ~m == OR(words & ~m)`` — the
+masked gather over the column-compressed tiles *is* Push-CSC, and it
+is also the bit-gather regime of Push-CSR run through the plan's
+attached column view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NUMBA_COMPILED",
+           "push_gather_masked", "push_sweep", "pull_columns",
+           "side_push", "msbfs_expand_words",
+           "_push_gather_masked_py", "_push_sweep_py",
+           "_pull_columns_py", "_side_push_py",
+           "_msbfs_expand_words_py"]
+
+_U64 = np.uint64
+_ONE = _U64(1)
+
+
+def _push_gather_masked_py(tile_ptr, tile_otheridx, words, nt,
+                           frontier, m_words, y_words):
+    """Vector-driven push over column-compressed tiles, mask fused in.
+
+    For each frontier vertex, OR its local column word of every stored
+    tile in its tile column — already ANDed with the inverted visited
+    word — into the result.  Serves Push-CSC (K1) directly and the
+    bit-gather regime of Push-CSR (K2) via the column view.
+    """
+    for i in range(len(frontier)):
+        j = frontier[i]
+        jt = j // nt
+        lc = j % nt
+        for t in range(tile_ptr[jt], tile_ptr[jt + 1]):
+            rt = tile_otheridx[t]
+            w = words[t, lc] & ~m_words[rt]
+            if w:
+                y_words[rt] |= w
+
+
+def _push_sweep_py(words, tile_otheridx, tile_majoridx, nt,
+                   x_words, y_words):
+    """Matrix-driven Push-CSR sweep: stream the row-compressed tiles,
+    AND each stored row word with its column's frontier word, and pack
+    hit rows into the result row-tile word.  ``y_words`` accumulates
+    unmasked; the caller applies ``~m`` once (as the reference does).
+    """
+    for t in range(len(tile_otheridx)):
+        xw = x_words[tile_otheridx[t]]
+        if xw == 0:
+            continue
+        acc = _U64(0)
+        for r in range(nt):
+            if words[t, r] & xw:
+                acc |= _ONE << _U64(nt - 1 - r)
+        if acc:
+            y_words[tile_majoridx[t]] |= acc
+
+
+def _pull_columns_py(tile_ptr, tile_otheridx, words, nt,
+                     m_words, inv_words, y_words):
+    """Pull-CSC over the unvisited tile columns with the per-vertex
+    early exit of Alg. 7: a lane stops scanning its column's tiles the
+    moment a visited parent appears."""
+    for c in range(len(inv_words)):
+        rem = inv_words[c]
+        if rem == 0:
+            continue
+        acc = _U64(0)
+        for t in range(tile_ptr[c], tile_ptr[c + 1]):
+            if rem == 0:
+                break
+            mw = m_words[tile_otheridx[t]]
+            if mw == 0:
+                continue
+            for lc in range(nt):
+                b = _ONE << _U64(nt - 1 - lc)
+                if (rem & b) and (words[t, lc] & mw):
+                    acc |= b
+                    rem &= ~b
+        y_words[c] = acc
+
+
+def _side_push_py(indptr, dst_word, dst_bit, frontier, m_words, y_words):
+    """Per-edge traversal of the extracted side COO over its CSC
+    index: claim the unvisited destination bit of every edge leaving a
+    frontier vertex."""
+    for i in range(len(frontier)):
+        j = frontier[i]
+        for e in range(indptr[j], indptr[j + 1]):
+            w = dst_word[e]
+            b = dst_bit[e] & ~m_words[w]
+            if b:
+                y_words[w] |= b
+
+
+def _msbfs_expand_words_py(indptr, indices, frontier, next_words):
+    """One MS-BFS expansion: every vertex with a non-empty frontier
+    word pushes it along its out-edges.  Returns ``(n_active,
+    n_edges)`` — the two quantities the modeled counters need."""
+    n_active = 0
+    n_edges = 0
+    for v in range(len(frontier)):
+        w = frontier[v]
+        if w == 0:
+            continue
+        n_active += 1
+        start, end = indptr[v], indptr[v + 1]
+        for e in range(start, end):
+            next_words[indices[e]] |= w
+        n_edges += end - start
+    return n_active, n_edges
+
+
+try:
+    from numba import njit
+except ImportError:
+    njit = None
+
+#: Whether the exported kernels below are Numba-compiled (the Numba CI
+#: leg asserts this); without the ``fastpath`` extra they alias the
+#: plain-Python loops, which only the tiny-input logic tests should
+#: ever call — the vectorized NumPy tier handles real sizes.
+NUMBA_COMPILED = njit is not None
+
+if NUMBA_COMPILED:  # pragma: no cover - requires the fastpath extra
+    push_gather_masked = njit(cache=True)(_push_gather_masked_py)
+    push_sweep = njit(cache=True)(_push_sweep_py)
+    pull_columns = njit(cache=True)(_pull_columns_py)
+    side_push = njit(cache=True)(_side_push_py)
+    msbfs_expand_words = njit(cache=True)(_msbfs_expand_words_py)
+else:
+    push_gather_masked = _push_gather_masked_py
+    push_sweep = _push_sweep_py
+    pull_columns = _pull_columns_py
+    side_push = _side_push_py
+    msbfs_expand_words = _msbfs_expand_words_py

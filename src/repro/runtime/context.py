@@ -18,16 +18,29 @@ historical API, still supported everywhere) or an
 two.  Passing one shared context to several operators is how a traced
 multi-operator workload is assembled — each operator scopes the context
 with its own tag, while the device timeline and the tracer are shared.
+
+Production mode
+---------------
+``ExecutionContext(device, mode="production")`` compiles gpusim
+accounting out of the hot path: :meth:`launch` stops submitting to the
+device (and the compiled fast path skips building counters at all) and
+instead appends the launch — or a zero-argument *counter closure* via
+:meth:`defer` — to a replay log shared by every scoped view.
+:meth:`replay` prices that log into a modeled timeline on demand, so
+the full trace stays available after the fact and matches a
+counters-on run launch for launch.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from ..gpusim import Device, KernelCounters, KernelTime
 from .tracing import Tracer
 
 __all__ = ["ExecutionContext"]
+
+_MODES = ("modeled", "production")
 
 
 class ExecutionContext:
@@ -44,14 +57,28 @@ class ExecutionContext:
     operator:
         Tag naming the operator this context is scoped to (e.g.
         ``"tilespmspv"``); recorded on trace events.
+    mode:
+        ``"modeled"`` (default) prices every launch inline;
+        ``"production"`` records launches (or deferred counter
+        closures) into a replay log instead — see :meth:`replay`.
     """
 
     def __init__(self, device: Optional[Device] = None,
                  tracer: Optional[Tracer] = None,
-                 operator: Optional[str] = None):
+                 operator: Optional[str] = None,
+                 mode: str = "modeled",
+                 _replay_log: Optional[list] = None):
+        if mode not in _MODES:
+            raise ValueError(f"unknown execution mode {mode!r}; "
+                             f"expected one of {_MODES}")
         self.device = device
         self.tracer = tracer
         self.operator = operator
+        self.mode = mode
+        # shared across every scoped view so one replay covers a whole
+        # multi-operator workload in launch order
+        self._replay_log: List[Tuple] = ([] if _replay_log is None
+                                         else _replay_log)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -61,17 +88,39 @@ class ExecutionContext:
 
         A raw :class:`Device` (or ``None``) gets a fresh private
         context; an existing context is scoped to ``operator`` while
-        sharing its device and tracer.
+        sharing its device, tracer, mode, and replay log.
         """
         if isinstance(device, ExecutionContext):
             return device.scoped(operator)
         return cls(device, operator=operator)
 
     def scoped(self, operator: Optional[str]) -> "ExecutionContext":
-        """A view of this context tagged with ``operator`` (device and
-        tracer shared)."""
+        """A view of this context tagged with ``operator`` (device,
+        tracer, mode, and replay log shared)."""
         return ExecutionContext(self.device, tracer=self.tracer,
-                                operator=operator or self.operator)
+                                operator=operator or self.operator,
+                                mode=self.mode,
+                                _replay_log=self._replay_log)
+
+    # ------------------------------------------------------------------
+    @property
+    def production(self) -> bool:
+        """True when accounting is deferred to :meth:`replay`."""
+        return self.mode == "production"
+
+    @property
+    def active(self) -> bool:
+        """True when launches are priced inline right now — the guard
+        hot loops test *before* building counters, tags, or launch
+        names (the cheap-when-off contract)."""
+        return self.device is not None and self.mode == "modeled"
+
+    @property
+    def accounting(self) -> bool:
+        """True when a launch leaves any record at all (inline pricing
+        or the production replay log) — the guard for building launch
+        *metadata* such as shard tags."""
+        return self.active or self.mode == "production"
 
     # ------------------------------------------------------------------
     def launch(self, name: str, counters: KernelCounters,
@@ -80,10 +129,17 @@ class ExecutionContext:
         """Submit one kernel launch; returns its priced time in ms.
 
         With no device attached this is a no-op returning ``0.0`` — the
-        functional result of the caller is identical either way.  The
-        launch record appended to the device timeline is exactly what a
-        direct ``device.submit(name, counters, tag)`` would append.
+        functional result of the caller is identical either way.  In
+        production mode the launch is appended to the replay log (the
+        counters are kept as-is, not priced) and ``0.0`` is returned.
+        The launch record appended to the device timeline is exactly
+        what a direct ``device.submit(name, counters, tag)`` would
+        append.
         """
+        if self.mode == "production":
+            self._replay_log.append((name, counters, tag, phase,
+                                     self.operator))
+            return 0.0
         if self.device is None:
             return 0.0
         t: KernelTime = self.device.submit(name, counters, tag)
@@ -92,6 +148,55 @@ class ExecutionContext:
                                operator=self.operator, phase=phase,
                                tag=tag)
         return t.total_ms
+
+    def defer(self, name: str,
+              counter_fn: Callable[[], KernelCounters],
+              tag: Optional[str] = None,
+              phase: Optional[str] = None) -> None:
+        """Record a production-mode launch whose counters are computed
+        lazily at :meth:`replay` time.
+
+        The fast path uses this to compile accounting out entirely:
+        ``counter_fn`` captures the (cheap, immutable) inputs the
+        modeled counters are a pure function of, and nothing counter-
+        related runs until someone asks for the timeline.  No-op
+        outside production mode.
+        """
+        if self.mode == "production":
+            self._replay_log.append((name, counter_fn, tag, phase,
+                                     self.operator))
+
+    # ------------------------------------------------------------------
+    @property
+    def deferred_launches(self) -> int:
+        """Entries currently in the production replay log."""
+        return len(self._replay_log)
+
+    def replay(self, device: Optional[Device] = None,
+               tracer: Optional[Tracer] = None) -> Device:
+        """Price the production replay log into a modeled timeline.
+
+        Walks the log in launch order, resolving deferred counter
+        closures, and submits each launch to ``device`` (a fresh
+        :class:`~repro.gpusim.Device` when omitted) exactly as a
+        counters-on run would have; ``tracer`` observes every replayed
+        launch with its original operator tag and phase.  The log is
+        left intact so the timeline can be re-derived; call
+        :meth:`clear_replay` to start a new measurement window.
+        """
+        if device is None:
+            device = Device()
+        for name, counters, tag, phase, operator in list(self._replay_log):
+            c = counters() if callable(counters) else counters
+            t = device.submit(name, c, tag)
+            if tracer is not None:
+                tracer.record(name=name, counters=c, time=t,
+                              operator=operator, phase=phase, tag=tag)
+        return device
+
+    def clear_replay(self) -> None:
+        """Drop the production replay log."""
+        self._replay_log.clear()
 
     # ------------------------------------------------------------------
     @property

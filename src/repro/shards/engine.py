@@ -77,6 +77,15 @@ def _combine_counters(merged_rows: int, itemsize: int) -> KernelCounters:
     return c
 
 
+def _shard_tag(sid: int, caller_tag: Optional[str] = None) -> str:
+    """Launch tag of one shard's work.  Callers build it only when the
+    context is accounting — the hot loop must not format tag strings
+    that no tracer or device will ever see."""
+    if caller_tag is None:
+        return f"shard={sid}"
+    return f"{caller_tag};shard={sid}"
+
+
 def _pattern_view(tiled: TiledMatrix) -> TiledMatrix:
     """The shard's tiling with all-ones values (same index arrays): a
     multiply under plus_times then counts matched edges per row, which
@@ -186,7 +195,8 @@ class ShardedSpMSpV:
         return plan.lazy_get(
             "pattern", lambda: _pattern_view(plan.data["tiled"]))
 
-    def _fault_shard(self, sid: int, tag: str) -> TiledMatrix:
+    def _fault_shard(self, sid: int,
+                     tag: Optional[str]) -> TiledMatrix:
         """Bring the shard resident, charging any load/evict traffic."""
         tiled, loaded, evicted = self.matrix.shard(sid)
         if loaded or evicted:
@@ -220,17 +230,22 @@ class ShardedSpMSpV:
                 f"SpMSpV shape mismatch: A is {self.matrix.shape}, "
                 f"x has length {xt.n}"
             )
+        accounting = self.ctx.accounting
         executed = self.scheduler.schedule(
             np.flatnonzero(xt.x_ptr >= 0))
-        self.ctx.launch("sharded_schedule",
-                        self.scheduler.schedule_counters(),
-                        phase="schedule")
+        if accounting:
+            self.ctx.launch("sharded_schedule",
+                            self.scheduler.schedule_counters(),
+                            phase="schedule")
 
         y = np.full(m, sr.add_identity, dtype=sr.dtype)
         merged_rows = 0
         for sid in executed:
             sid = int(sid)
-            tag = f"shard={sid}"
+            # counters stay inline even in production (launch defers
+            # the priced record): replaying them later would have to
+            # re-fault evicted shards
+            tag = _shard_tag(sid) if accounting else None
             tiled = self._fault_shard(sid, tag)
             key = self._plan_key(sid)
             plan = self._shard_plan(sid, tiled)
@@ -238,11 +253,13 @@ class ShardedSpMSpV:
             self.matrix.resident.pin(sid)
             try:
                 A = self._execution_tiling(plan)
-                y_strip, counters = tiled_kernel(A, xt, semiring=sr)
-                counters.coalesced_read_bytes += float(
-                    self.matrix.metadata_nbytes_per_shard())
-                self.ctx.launch("sharded_spmspv_shard", counters,
-                                tag=tag, phase="multiply")
+                y_strip, counters = tiled_kernel(
+                    A, xt, semiring=sr, with_counters=accounting)
+                if accounting:
+                    counters.coalesced_read_bytes += float(
+                        self.matrix.metadata_nbytes_per_shard())
+                    self.ctx.launch("sharded_spmspv_shard", counters,
+                                    tag=tag, phase="multiply")
             finally:
                 self.matrix.resident.unpin(sid)
                 self.cache.unpin(key)
@@ -251,9 +268,11 @@ class ShardedSpMSpV:
             idx = np.flatnonzero(~sr.is_identity(y_strip))
             if idx.size:
                 sr.scatter_merge(y, idx + lo, y_strip[idx])
-        self.ctx.launch("sharded_combine",
-                        _combine_counters(merged_rows, y.dtype.itemsize),
-                        phase="combine")
+        if accounting:
+            self.ctx.launch(
+                "sharded_combine",
+                _combine_counters(merged_rows, y.dtype.itemsize),
+                phase="combine")
 
         if mask is not None:
             y = apply_output_mask(y, mask, mask_complement, sr, self.ctx)
@@ -290,18 +309,19 @@ class ShardedSpMSpV:
         union_active = np.zeros(xts[0].x_ptr.shape[0], dtype=bool)
         for xt in xts:
             union_active |= xt.x_ptr >= 0
+        accounting = self.ctx.accounting
         executed = self.scheduler.schedule(np.flatnonzero(union_active))
-        self.ctx.launch("sharded_schedule",
-                        self.scheduler.schedule_counters(), tag=tag,
-                        phase="schedule")
+        if accounting:
+            self.ctx.launch("sharded_schedule",
+                            self.scheduler.schedule_counters(), tag=tag,
+                            phase="schedule")
 
         k = len(xts)
         Y = np.full((k, m), sr.add_identity, dtype=sr.dtype)
         merged_rows = 0
         for sid in executed:
             sid = int(sid)
-            shard_tag = (f"shard={sid}" if tag is None
-                         else f"{tag};shard={sid}")
+            shard_tag = _shard_tag(sid, tag) if accounting else None
             tiled = self._fault_shard(sid, shard_tag)
             key = self._plan_key(sid)
             plan = self._shard_plan(sid, tiled)
@@ -310,10 +330,11 @@ class ShardedSpMSpV:
             try:
                 A = self._execution_tiling(plan)
                 Ys, counters = batched_union_kernel(A, xts, semiring=sr)
-                counters.coalesced_read_bytes += float(
-                    self.matrix.metadata_nbytes_per_shard())
-                self.ctx.launch("sharded_spmspv_batch", counters,
-                                tag=shard_tag, phase="batch")
+                if accounting:
+                    counters.coalesced_read_bytes += float(
+                        self.matrix.metadata_nbytes_per_shard())
+                    self.ctx.launch("sharded_spmspv_batch", counters,
+                                    tag=shard_tag, phase="batch")
             finally:
                 self.matrix.resident.unpin(sid)
                 self.cache.unpin(key)
@@ -323,10 +344,11 @@ class ShardedSpMSpV:
                 idx = np.flatnonzero(~sr.is_identity(Ys[b]))
                 if idx.size:
                     sr.scatter_merge(Y[b], idx + lo, Ys[b][idx])
-        self.ctx.launch(
-            "sharded_combine",
-            _combine_counters(merged_rows * k, Y.dtype.itemsize),
-            tag=tag, phase="combine")
+        if accounting:
+            self.ctx.launch(
+                "sharded_combine",
+                _combine_counters(merged_rows * k, Y.dtype.itemsize),
+                tag=tag, phase="combine")
 
         if output == "dense":
             return Y

@@ -28,8 +28,8 @@ import numpy as np
 
 from ..formats import COOMatrix
 from ..gpusim import Device
-from ..runtime import available_operators, create_operator, \
-    resolve_operator
+from ..runtime import ExecutionContext, available_operators, \
+    create_operator, resolve_operator
 from ..semiring import PLUS_TIMES, Semiring
 from ..vectors.sparse_vector import SparseVector
 from .cases import Case
@@ -401,6 +401,73 @@ def check_mm_roundtrip(case: Case) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# compiled fast-path checks
+# ----------------------------------------------------------------------
+def check_fastpath_equivalence(case: Case) -> Optional[str]:
+    """The fused per-layer fast path must be byte-identical to the
+    reference kernel loop: same levels, same per-layer kernel
+    selections, same newly-claimed vertex counts."""
+    from ..core.selection import KernelSelector
+    from ..core.tilebfs import TileBFS
+    classic = TileBFS(case.matrix, nt=case.nt,
+                      selector=KernelSelector(tier="kernels"))
+    fused = TileBFS(case.matrix, nt=case.nt,
+                    selector=KernelSelector(tier="fastpath"))
+    for s in case.sources:
+        ref = classic.run(int(s))
+        got = fused.run(int(s))
+        if not np.array_equal(got.levels, ref.levels):
+            bad = int(np.argmax(got.levels != ref.levels))
+            return (f"fused levels from source {s} diverge at vertex "
+                    f"{bad}: got {got.levels[bad]}, "
+                    f"want {ref.levels[bad]}")
+        want = [(it.kernel, it.new_vertices) for it in ref.iterations]
+        have = [(it.kernel, it.new_vertices) for it in got.iterations]
+        if have != want:
+            return (f"fused layer trace from source {s} diverges: "
+                    f"got {have}, want {want}")
+    return None
+
+
+def check_production_replay(case: Case) -> Optional[str]:
+    """Production mode (accounting compiled out, counters deferred)
+    must replay into a timeline identical launch-for-launch to a
+    counters-on modeled run — names, tags, and counter values."""
+    def drive(op) -> None:
+        if case.kind in _MULTIPLY_KINDS:
+            for x in case.vectors:
+                op.multiply(x)
+        elif case.kind == "msbfs":
+            op.run(list(case.sources))
+        else:
+            for s in case.sources:
+                op.run(int(s))
+
+    dev_ref = Device()
+    drive(_build(case, device=dev_ref))
+
+    ctx = ExecutionContext(mode="production")
+    op = _build(case, device=ctx)
+    drive(op)
+    if op.ctx.deferred_launches == 0:
+        return "production run recorded no deferred launches"
+    dev_got = op.ctx.replay()
+
+    ref, got = dev_ref.timeline, dev_got.timeline
+    if len(ref) != len(got):
+        return (f"replayed timeline has {len(got)} launches, the "
+                f"counters-on run has {len(ref)}")
+    for i, (a, b) in enumerate(zip(ref, got)):
+        if a.name != b.name or a.tag != b.tag:
+            return (f"replay launch {i} is {b.name!r}/{b.tag!r}, "
+                    f"counters-on run has {a.name!r}/{a.tag!r}")
+        if a.counters != b.counters:
+            return (f"replayed counters for launch {i} ({a.name!r}) "
+                    f"differ from the counters-on run")
+    return None
+
+
+# ----------------------------------------------------------------------
 # sharded execution checks
 # ----------------------------------------------------------------------
 def _shard_bytes_identity(op, window) -> Optional[str]:
@@ -517,21 +584,29 @@ def checks_for(case: Case
                         check_active_set_payload))
         if entry.name == "sharded-spmspv":
             out.append(("shard-invariance", check_shard_invariance))
+        if entry.name in ("tilespmspv", "sharded-spmspv"):
+            out.append(("production-replay", check_production_replay))
         if "batch" in entry.capabilities:
             out.append(("batch-of-one", check_batch_of_one))
             if len(case.vectors) > 1:
                 out.append(("batched-union-bytes",
                             check_batched_union_bytes))
         return out
-    return [("oracle", check_oracle_bfs),
-            ("siblings", check_siblings_bfs),
-            ("counters", check_counters)]
+    out = [("oracle", check_oracle_bfs),
+           ("siblings", check_siblings_bfs),
+           ("counters", check_counters)]
+    if entry.name == "tilebfs":
+        out.append(("fastpath-equivalence", check_fastpath_equivalence))
+    if entry.name in ("tilebfs", "msbfs"):
+        out.append(("production-replay", check_production_replay))
+    return out
 
 
 CHECK_NAMES = sorted({
     "oracle", "siblings", "counters", "permute-rows",
     "scale-linearity", "plan-cache-replay", "active-set-payload",
     "batch-of-one", "batched-union-bytes", "shard-invariance",
+    "fastpath-equivalence", "production-replay",
     *_PRIMITIVE_CHECKS,
 })
 

@@ -159,3 +159,17 @@ class TestBatchingAdvantage:
         worst = max(res.levels_from(s).max() for s in srcs)
         # rounds = deepest level (+1 final probe at most)
         assert res.iterations <= worst + 1
+
+
+class TestChunkedLevelRecording:
+    def test_levels_invariant_to_chunk_size(self, monkeypatch):
+        """The blocked level scatter (bounded bit-unpack working set)
+        must be a pure memory optimisation: shrinking the chunk to a
+        degenerate size changes nothing."""
+        import repro.core.msbfs as msbfs_mod
+        coo = random_graph_coo(300, 5.0, seed=31)
+        srcs = [0, 50, 150, 299]
+        want = MultiSourceBFS(coo).run(srcs).levels
+        monkeypatch.setattr(msbfs_mod, "_LEVEL_CHUNK", 3)
+        got = MultiSourceBFS(coo).run(srcs).levels
+        assert np.array_equal(got, want)

@@ -1,0 +1,120 @@
+"""Cheap-when-off accounting: no counters, tags, or format strings
+when nothing records them.
+
+The contract (satellite of the compiled fast path): with no device
+attached and production mode off, the hot loops must not construct
+``KernelCounters``, shard-tag strings, or deferred closures at all —
+not build-and-discard them.  These tests count the constructions
+directly by monkeypatching the construction sites.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.spmspv_kernels as spmspv_kernels
+import repro.fastpath.fused_bfs as fused_bfs
+import repro.shards.engine as shards_engine
+from repro.core.spmspv import TileSpMSpV
+from repro.core.spmspv_kernels import (coo_side_kernel, csc_tiled_kernel,
+                                       tiled_kernel)
+from repro.core.tilebfs import TileBFS
+from repro.gpusim import Device
+from repro.runtime import ExecutionContext
+from repro.shards.engine import ShardedSpMSpV
+from repro.vectors.sparse_vector import SparseVector
+
+from ..conftest import random_coo, random_graph_coo
+
+
+def sparse_x(n, k, seed=1):
+    rng = np.random.default_rng(seed)
+    idx = np.sort(rng.choice(n, size=k, replace=False))
+    return SparseVector(n, idx, rng.random(k) + 0.5)
+
+
+def counting(monkeypatch, module, name):
+    """Replace ``module.name`` with a call-counting wrapper."""
+    calls = []
+    orig = getattr(module, name)
+
+    def wrapper(*args, **kwargs):
+        calls.append(args)
+        return orig(*args, **kwargs)
+
+    monkeypatch.setattr(module, name, wrapper)
+    return calls
+
+
+# ----------------------------------------------------------------------
+# kernel-level: with_counters=False skips the accounting block
+# ----------------------------------------------------------------------
+def test_with_counters_off_returns_none_same_result():
+    coo = random_coo(120, 120, density=0.05, seed=4)
+    op = TileSpMSpV(coo, nt=16)
+    xt = op._as_tiled_vector(sparse_x(120, 20))
+    y_on, c_on = tiled_kernel(op.hybrid.tiled, xt)
+    y_off, c_off = tiled_kernel(op.hybrid.tiled, xt, with_counters=False)
+    assert c_on is not None and c_off is None
+    assert np.array_equal(y_on, y_off)
+
+    yc_on, cc_on = csc_tiled_kernel(op._transposed(), xt)
+    yc_off, cc_off = csc_tiled_kernel(op._transposed(), xt,
+                                      with_counters=False)
+    assert cc_on is not None and cc_off is None
+    assert np.array_equal(yc_on, yc_off)
+
+    if op.hybrid.side.nnz:
+        ys_on, cs_on = coo_side_kernel(op._side_index, xt)
+        ys_off, cs_off = coo_side_kernel(op._side_index, xt,
+                                         with_counters=False)
+        assert cs_on is not None and cs_off is None
+        assert np.array_equal(ys_on, ys_off)
+
+
+def test_multiply_builds_no_counters_when_off(monkeypatch):
+    coo = random_coo(120, 120, density=0.05, seed=4)
+    x = sparse_x(120, 20)
+    op_off = TileSpMSpV(coo, nt=16)
+    op_on = TileSpMSpV(coo, nt=16, device=Device())
+    # count after construction: preprocessing is not under test
+    calls = counting(monkeypatch, spmspv_kernels, "KernelCounters")
+    op_off.multiply(x)
+    assert not calls, "counters built with no device attached"
+    op_on.multiply(x)
+    assert calls, "counters-on run must construct counters"
+
+
+def test_fused_bfs_defers_closures_only_in_production(monkeypatch):
+    monkeypatch.setenv("REPRO_FASTPATH", "numpy")
+    coo = random_graph_coo(150, avg_degree=4.0, seed=5)
+    calls = counting(monkeypatch, fused_bfs, "layer_counter_closure")
+
+    res = TileBFS(coo, nt=16).run(0)          # functional: nothing built
+    assert not calls
+    op = TileBFS(coo, nt=16, device=ExecutionContext(mode="production"))
+    got = op.run(0)
+    assert len(calls) == len(got.iterations)
+    assert np.array_equal(got.levels, res.levels)
+
+
+def test_shard_tags_not_built_when_off(monkeypatch, tmp_path):
+    coo = random_coo(160, 160, density=0.05, seed=7)
+    x = sparse_x(160, 25)
+    calls = counting(monkeypatch, shards_engine, "_shard_tag")
+
+    off = ShardedSpMSpV(coo, nt=16, n_shards=3,
+                        store_dir=tmp_path / "off")
+    y_off = off.multiply(x, output="dense")
+    off.multiply_batch([x, sparse_x(160, 40, seed=2)])
+    assert not calls, "shard tag strings built with accounting off"
+
+    on = ShardedSpMSpV(coo, nt=16, n_shards=3, device=Device(),
+                       store_dir=tmp_path / "on")
+    y_on = on.multiply(x, output="dense")
+    assert calls, "counters-on run must tag per-shard launches"
+    assert np.array_equal(y_off, y_on)
+
+
+def test_shard_tag_formats():
+    assert shards_engine._shard_tag(3) == "shard=3"
+    assert shards_engine._shard_tag(3, "batch=2") == "batch=2;shard=3"

@@ -1,0 +1,45 @@
+"""The ``python -m repro.bench profile`` per-layer breakdown CLI."""
+
+import json
+
+from repro.bench.profile import main, profile_bfs
+
+
+def test_profile_document_shape():
+    doc = profile_bfs(scale=8, edge_factor=4, nt=16, repeats=1)
+    assert set(doc["sections"]) == {"kernels", "fastpath"}
+    k, f = doc["sections"]["kernels"], doc["sections"]["fastpath"]
+    for section in (k, f):
+        assert section["iterations"] == len(section["layers"])
+        assert section["total_ms"] > 0
+    # both tiers traverse the same graph: identical per-layer traces
+    assert k["reached"] == f["reached"]
+    assert [(r["kernel"], r["frontier_size"], r["new_vertices"])
+            for r in k["layers"]] == \
+           [(r["kernel"], r["frontier_size"], r["new_vertices"])
+            for r in f["layers"]]
+    assert doc["speedup"] is not None
+    assert doc["meta"]["fastpath_tier"] in ("numba", "numpy", "off")
+
+
+def test_profile_cli_json_and_pstats(tmp_path, capsys):
+    out = tmp_path / "prof.json"
+    rc = main(["--scale", "8", "--edge-factor", "4", "--nt", "16",
+               "--repeats", "1", "--out", str(out),
+               "--pstats-out", str(tmp_path / "prof")])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["meta"]["scale"] == 8
+    for tier in ("kernels", "fastpath"):
+        assert (tmp_path / f"prof.{tier}.pstats").exists()
+    text = capsys.readouterr().out
+    assert "TileBFS profile" in text
+    assert "fastpath speedup" in text
+
+
+def test_profile_dispatch_via_bench_main(tmp_path, capsys):
+    from repro.bench.__main__ import main as bench_main
+    rc = bench_main(["profile", "--scale", "7", "--edge-factor", "4",
+                     "--nt", "16", "--repeats", "1"])
+    assert rc == 0
+    assert "TileBFS profile" in capsys.readouterr().out
