@@ -14,7 +14,12 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_sharded_streaming.py \
         [--scale 20] [--edge-factor 8] [--shards 16] \
-        [--budget-fraction 0.25] [--store DIR]
+        [--budget-fraction 0.25] [--store DIR] [--workers 1,2,4]
+
+With ``--workers`` the whole workload repeats per worker count (each
+count reopens the store cold): multi-worker runs execute shards on the
+parallel pool and additionally report the modeled multi-device
+critical-path speedup from the replayed timeline.
 """
 
 import argparse
@@ -32,6 +37,8 @@ except ImportError:  # direct invocation without PYTHONPATH=src
     from repro.core import TileBFS, TileSpMSpV
 
 from repro.matrices.generators import rmat
+from repro.parallel import ParallelConfig
+from repro.runtime import ExecutionContext
 from repro.shards import ShardedTiledMatrix
 from repro.vectors import random_sparse_vector
 
@@ -61,7 +68,11 @@ def main(argv=None) -> int:
                              "SpMSpV sweep")
     parser.add_argument("--source", type=int, default=0,
                         help="BFS source vertex")
+    parser.add_argument("--workers", default="1",
+                        help="comma-separated worker counts to sweep "
+                             "(default 1; e.g. 1,2,4)")
     args = parser.parse_args(argv)
+    worker_counts = [max(1, int(w)) for w in args.workers.split(",")]
 
     n = 1 << args.scale
     dense_bytes = float(n) * n * 8
@@ -84,50 +95,64 @@ def main(argv=None) -> int:
             store_dir=store_dir)
         total = sm.total_tile_bytes
         budget = max(1, int(total * args.budget_fraction))
-        sm = ShardedTiledMatrix.open(store_dir, budget_bytes=budget)
-        print(f"partitioned into {sm.n_shards} shards "
+        print(f"partitioned into {args.shards} shards "
               f"({fmt_bytes(total)} on disk) in "
               f"{time.perf_counter() - t0:.1f}s; resident budget "
               f"{fmt_bytes(budget)} "
               f"({100 * args.budget_fraction:.0f}% of tile bytes)")
 
-        # ---- SpMSpV sweep --------------------------------------------
-        op = TileSpMSpV(sm)
-        print(f"{'sparsity':>10} {'nnz(y)':>9} {'ms':>9} "
-              f"{'exec':>5} {'skip':>5} {'loaded':>10} {'evicted':>10}")
-        for s in (float(f) for f in args.sparsities.split(",")):
-            before = op._sharded.stats()
-            x = random_sparse_vector(n, s, seed=11)
-            t0 = time.perf_counter()
-            y = op.multiply(x)
-            ms = (time.perf_counter() - t0) * 1e3
-            after = op._sharded.stats()
-            print(f"{s:>10g} {y.nnz:>9} {ms:>9.1f} "
-                  f"{after['shards_executed'] - before['shards_executed']:>5} "
-                  f"{after['shards_skipped'] - before['shards_skipped']:>5} "
-                  f"{fmt_bytes(after['loaded_bytes'] - before['loaded_bytes']):>10} "
-                  f"{fmt_bytes(after['evicted_bytes'] - before['evicted_bytes']):>10}")
+        for w in worker_counts:
+            # reopen per worker count: every sweep streams from cold
+            sm = ShardedTiledMatrix.open(store_dir, budget_bytes=budget)
+            cfg = ParallelConfig(workers=w)
+            backend = cfg.resolved_backend(sm.store)
+            print(f"-- workers={w} (backend={backend}) --")
 
-        # ---- BFS end-to-end ------------------------------------------
-        bfs = TileBFS(sm)
-        t0 = time.perf_counter()
-        res = bfs.run(args.source)
-        ms = (time.perf_counter() - t0) * 1e3
-        reached = int((res.levels >= 0).sum())
-        stats = bfs._sharded.stats()
-        print(f"BFS from {args.source}: {reached}/{n} reached in "
-              f"{len(res.iterations)} layers, {ms:.1f} ms host")
-        print(f"  scheduler: {stats['schedule_calls']} passes, "
-              f"{stats['shards_executed']} shard executions, "
-              f"{stats['shards_skipped']} skipped")
-        print(f"  resident set: {stats['loads']} loads "
-              f"({fmt_bytes(stats['loaded_bytes'])}), "
-              f"{stats['hits']} hits, {stats['evictions']} evictions "
-              f"({fmt_bytes(stats['evicted_bytes'])}), "
-              f"{fmt_bytes(stats['resident_bytes'])} resident of "
-              f"{fmt_bytes(stats['budget_bytes'])} budget")
-        assert stats["evictions"] > 0, \
-            "budget never bound — not an out-of-core run"
+            # ---- SpMSpV sweep ----------------------------------------
+            op = TileSpMSpV(sm, parallel=cfg)
+            print(f"{'sparsity':>10} {'nnz(y)':>9} {'ms':>9} "
+                  f"{'exec':>5} {'skip':>5} {'loaded':>10} "
+                  f"{'evicted':>10}")
+            for s in (float(f) for f in args.sparsities.split(",")):
+                before = op._sharded.stats()
+                x = random_sparse_vector(n, s, seed=11)
+                t0 = time.perf_counter()
+                y = op.multiply(x)
+                ms = (time.perf_counter() - t0) * 1e3
+                after = op._sharded.stats()
+                print(f"{s:>10g} {y.nnz:>9} {ms:>9.1f} "
+                      f"{after['shards_executed'] - before['shards_executed']:>5} "
+                      f"{after['shards_skipped'] - before['shards_skipped']:>5} "
+                      f"{fmt_bytes(after['loaded_bytes'] - before['loaded_bytes']):>10} "
+                      f"{fmt_bytes(after['evicted_bytes'] - before['evicted_bytes']):>10}")
+
+            # ---- BFS end-to-end --------------------------------------
+            ctx = ExecutionContext(mode="production")
+            bfs = TileBFS(sm, device=ctx, parallel=cfg)
+            t0 = time.perf_counter()
+            res = bfs.run(args.source)
+            ms = (time.perf_counter() - t0) * 1e3
+            reached = int((res.levels >= 0).sum())
+            stats = bfs._sharded.stats()
+            print(f"BFS from {args.source}: {reached}/{n} reached in "
+                  f"{len(res.iterations)} layers, {ms:.1f} ms host")
+            print(f"  scheduler: {stats['schedule_calls']} passes, "
+                  f"{stats['shards_executed']} shard executions, "
+                  f"{stats['shards_skipped']} skipped")
+            print(f"  resident set: {stats['loads']} loads "
+                  f"({fmt_bytes(stats['loaded_bytes'])}), "
+                  f"{stats['hits']} hits, {stats['evictions']} evictions "
+                  f"({fmt_bytes(stats['evicted_bytes'])}), "
+                  f"{fmt_bytes(stats['resident_bytes'])} resident of "
+                  f"{fmt_bytes(stats['budget_bytes'])} budget")
+            if w > 1:
+                mt = bfs._sharded.multi_timeline(w)
+                print(f"  modeled: critical path "
+                      f"{mt.critical_path_ms:.3f} ms of "
+                      f"{mt.sum_of_work_ms:.3f} ms total work = "
+                      f"{mt.modeled_speedup:.2f}x on {w} devices")
+            assert stats["evictions"] > 0, \
+                "budget never bound — not an out-of-core run"
     finally:
         if store_ctx is not None:
             store_ctx.cleanup()

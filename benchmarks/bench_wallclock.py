@@ -101,6 +101,19 @@ def main(argv=None) -> int:
               f"{r['ref_ms']:>9.3f} {r['new_ms']:>9.3f} "
               f"{r['speedup']:>7.1f}x {r['shards_executed']:>5} "
               f"{r['shards_skipped']:>5}")
+    print("Parallel shard execution (worker sweep, modeled multi-device "
+          "critical path):")
+    print(f"{'workers':>8} {'shards':>7} {'wall ms':>9} {'wall x':>7} "
+          f"{'crit ms':>9} {'work ms':>9} {'pred x':>7} {'model x':>8} "
+          f"{'agree':>6}")
+    for r in result["parallel"]:
+        print(f"{r['workers']:>8} {r['n_shards']:>7} "
+              f"{r['wall_ms']:>9.3f} {r['wall_speedup']:>6.1f}x "
+              f"{r['critical_path_ms']:>9.4f} "
+              f"{r['sum_of_work_ms']:>9.4f} "
+              f"{r['predicted_speedup']:>6.1f}x "
+              f"{r['speedup']:>7.1f}x "
+              f"{r['model_agreement']:>6.3f}")
     print(f"wrote {args.out}")
     return 0
 

@@ -46,13 +46,21 @@ def main(argv=None) -> int:
                              "(fails when its end-to-end speedup drops "
                              "below this fraction of the committed "
                              "value; default 0.6)")
+    parser.add_argument("--parallel-floor", type=float, default=0.8,
+                        help="floor for the parallel worker-sweep "
+                             "section; its guarded speedup is the "
+                             "modeled multi-device critical-path "
+                             "ratio — deterministic, so it gets a "
+                             "tighter floor than timed sections "
+                             "(default 0.8)")
     args = parser.parse_args(argv)
 
     current = json.loads(args.current.read_text(encoding="utf-8"))
     committed = json.loads(args.committed.read_text(encoding="utf-8"))
     failures = check_regression(
         current, committed, floor=args.floor,
-        section_floors={"fastpath": args.fastpath_floor})
+        section_floors={"fastpath": args.fastpath_floor,
+                        "parallel": args.parallel_floor})
     if failures:
         print(f"wall-clock regression: {len(failures)} failure(s) vs "
               f"the committed baseline (floor {args.floor:g}x)")

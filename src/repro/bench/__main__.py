@@ -50,19 +50,48 @@ def _run_trace(argv) -> int:
                         help="keep only launches tagged shard=SID "
                              "(sharded operators tag every per-shard "
                              "launch)")
+    parser.add_argument("--device", type=int, default=None,
+                        metavar="DID",
+                        help="keep only launches tagged device=DID "
+                             "(parallel shard execution tags every "
+                             "worker launch shard=S;device=D;worker=W)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run the workload with N shard workers "
+                             "(sets REPRO_WORKERS for this run)")
     parser.add_argument("--out", default=None,
                         help="output path (default: trace.json / "
                              "trace.jsonl by format)")
     args = parser.parse_args(argv)
 
     operators = (args.operators.split(",") if args.operators else None)
-    tracer, device = run_traced_workload(
-        matrix=args.matrix, operators=operators,
-        sparsity=args.sparsity, source=args.source)
+    if args.workers is not None:
+        # scope the override to this workload: main() also runs
+        # in-process (tests, notebooks), so the variable must not leak
+        import os
+        from ..parallel import WORKERS_ENV
+        prev = os.environ.get(WORKERS_ENV)
+        os.environ[WORKERS_ENV] = str(args.workers)
+        try:
+            tracer, device = run_traced_workload(
+                matrix=args.matrix, operators=operators,
+                sparsity=args.sparsity, source=args.source)
+        finally:
+            if prev is None:
+                os.environ.pop(WORKERS_ENV, None)
+            else:
+                os.environ[WORKERS_ENV] = prev
+    else:
+        tracer, device = run_traced_workload(
+            matrix=args.matrix, operators=operators,
+            sparsity=args.sparsity, source=args.source)
     total_launches = len(tracer)
     if args.shard is not None:
         tracer = tracer.filtered_by_shard(args.shard)
         print(f"shard={args.shard}: {len(tracer)} of "
+              f"{total_launches} launches kept")
+    if args.device is not None:
+        tracer = tracer.filtered_by_device(args.device)
+        print(f"device={args.device}: {len(tracer)} of "
               f"{total_launches} launches kept")
     out = args.out or ("trace.json" if args.format == "chrome"
                        else "trace.jsonl")

@@ -77,7 +77,8 @@ class BatchedSpMSpV:
     def __init__(self, matrix, nt: int = 16, extract_threshold: int = 2,
                  semiring: Semiring = PLUS_TIMES,
                  device: Optional[Device] = None,
-                 plan_cache: Optional[PlanCache] = None):
+                 plan_cache: Optional[PlanCache] = None,
+                 parallel=None):
         if nt not in SUPPORTED_TILE_SIZES:
             raise TileError(
                 f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
@@ -90,7 +91,7 @@ class BatchedSpMSpV:
             from ..shards.engine import ShardedSpMSpV
             self._sharded: Optional[ShardedSpMSpV] = ShardedSpMSpV(
                 matrix, semiring=semiring, device=self.ctx,
-                plan_cache=plan_cache)
+                plan_cache=plan_cache, parallel=parallel)
             self._plan = None
             self.hybrid = None
             self._side_index = None

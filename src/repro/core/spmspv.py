@@ -108,7 +108,8 @@ class TileSpMSpV:
                  device: Optional[Device] = None,
                  mode: str = "csr",
                  adaptive_threshold: float = 0.02,
-                 plan_cache: Optional[PlanCache] = None):
+                 plan_cache: Optional[PlanCache] = None,
+                 parallel=None):
         if nt not in SUPPORTED_TILE_SIZES:
             raise TileError(
                 f"unsupported tile size {nt}; allowed: {SUPPORTED_TILE_SIZES}"
@@ -133,7 +134,7 @@ class TileSpMSpV:
             # constructor defaults, as with a prebuilt TiledMatrix.
             self._sharded: Optional[ShardedSpMSpV] = ShardedSpMSpV(
                 matrix, semiring=semiring, device=self.ctx,
-                plan_cache=plan_cache)
+                plan_cache=plan_cache, parallel=parallel)
             self._plan = None
             self.hybrid = None
             self._side_index = None

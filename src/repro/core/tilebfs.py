@@ -132,7 +132,8 @@ class TileBFS:
                  selector: Optional[KernelSelector] = None,
                  extract_threshold: int = 2,
                  device: Optional[Device] = None,
-                 plan_cache: Optional[PlanCache] = None):
+                 plan_cache: Optional[PlanCache] = None,
+                 parallel=None):
         self.selector = selector or KernelSelector()
         self.ctx = ExecutionContext.wrap(device, operator="tilebfs")
         # deferred import: repro.shards imports core modules
@@ -149,7 +150,7 @@ class TileBFS:
             # an in-core specialisation.
             self._sharded: Optional[ShardedSpMSpV] = ShardedSpMSpV(
                 matrix, device=self.ctx, plan_cache=plan_cache,
-                pattern_only=True)
+                pattern_only=True, parallel=parallel)
             self.n = matrix.shape[0]
             self.nnz = matrix.nnz
             self.nt = matrix.nt

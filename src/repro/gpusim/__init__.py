@@ -10,6 +10,7 @@ with a :class:`CostModel` that is identical for every algorithm.
 from .cost import CostModel, KernelTime
 from .counters import SECTOR_BYTES, KernelCounters
 from .device import Device, LaunchRecord
+from .multi_device import MultiDeviceTimeline, device_of_tag
 from .profile import (KernelProfile, format_profile, profile_device,
                       timeline_csv)
 from .spec import RTX3060, RTX3090, GPUSpec, get_spec
@@ -19,5 +20,6 @@ __all__ = [
     "KernelCounters", "SECTOR_BYTES",
     "CostModel", "KernelTime",
     "Device", "LaunchRecord",
+    "MultiDeviceTimeline", "device_of_tag",
     "KernelProfile", "profile_device", "format_profile", "timeline_csv",
 ]

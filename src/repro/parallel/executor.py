@@ -1,0 +1,476 @@
+"""The worker-pool shard executor: slices, backends, prefetch.
+
+Each worker owns a :class:`WorkerSlice` — a private attachment of the
+shard store (:meth:`~repro.shards.store.DirectoryShardStore.attach`),
+its own byte-budgeted :class:`~repro.shards.store.ResidentSetManager`
+(``engine budget // workers``), and its own warmed per-shard plans — so
+workers share *no* mutable state and a shard's pages stay hot on the
+worker that keeps running it (see sticky affinity in
+:mod:`repro.parallel.work`).
+
+Three backends behind one ``run()`` generator:
+
+* ``serial`` — the chunks execute on the calling thread in dispatch
+  order; the reference the pools are checked against, and what a
+  single worker uses.
+* ``thread`` — a process-wide shared
+  :class:`~concurrent.futures.ThreadPoolExecutor`; chunk results are
+  yielded as futures land (the asynchronous combine).
+* ``process`` — a ``fork``-context ``multiprocessing.Pool``; each
+  worker process lazily builds its slices from a pickled descriptor
+  (the directory store ships as its root path and re-attaches), and
+  chunk results stream back through ``imap_unordered``.
+
+Whatever the backend, results are **bit-identical** to the sequential
+engine: row strips are disjoint, so the combine order cannot change a
+single output bit, and each shard's kernel runs on the same warmed
+tiling the sequential path would use.  The coordinator re-emits launch
+records in ascending shard order, so the modeled timeline (and the
+production replay log) is deterministic too — only the ``device=`` /
+``worker=`` tag parts say where a shard actually ran.
+
+Prefetch: while a chunk computes shard *i*, a lookahead walker touches
+the mmap pages of shards ``i+1 .. i+depth`` of the same chunk, so the
+page-in cost overlaps the current kernel.  Load/evict bytes caused by
+a prefetch are parked per shard and claimed by the compute that
+consumes it — the launch record stream is identical with prefetch on
+or off.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.spmspv_kernels import batched_union_kernel, tiled_kernel
+from ..gpusim import KernelCounters
+from ..runtime import OperatorPlan, PlanCache
+from ..semiring import Semiring
+from ..shards.store import ResidentSetManager
+from ..tiles.tiled_matrix import TiledMatrix
+from .config import ParallelConfig
+from .work import WorkChunk, WorkPlan
+
+__all__ = ["ShardResult", "WorkerSlice", "ParallelExecutor"]
+
+#: The arrays of a tiled shard whose pages the prefetcher touches.
+_TILED_ARRAYS = ("tile_ptr", "tile_colidx", "tile_nnz_ptr",
+                 "local_row", "local_col", "values")
+
+_PAGE = 4096
+
+
+def _touch_pages(tiled: TiledMatrix) -> int:
+    """Read one byte per page of every payload array (best effort).
+
+    Forces the OS to fault mmap pages in ahead of the kernel; on an
+    in-memory store it is a cheap strided read.  Returns pages touched.
+    """
+    touched = 0
+    for name in _TILED_ARRAYS:
+        arr = np.ascontiguousarray(getattr(tiled, name)) \
+            if not getattr(tiled, name).flags["C_CONTIGUOUS"] \
+            else getattr(tiled, name)
+        raw = arr.view(np.uint8).reshape(-1)
+        if raw.size:
+            touched += int(raw[::_PAGE].size)
+            # the sum forces the reads; the value is irrelevant
+            int(raw[::_PAGE].sum())
+    return touched
+
+
+@dataclass
+class ShardResult:
+    """One shard's finished work, as shipped back to the coordinator.
+
+    ``outs`` holds one ``(local_row_idx, values)`` pair per input
+    vector — already compressed to non-identity rows, so a process
+    backend pickles the strip's answer, not the strip.
+    """
+
+    sid: int
+    device: int                     # planned worker (the model's clock)
+    worker: str                     # who actually ran it (pid / index)
+    outs: List[Tuple[np.ndarray, np.ndarray]]
+    counters: Optional[KernelCounters]
+    loaded: int = 0
+    evicted: int = 0
+    prefetched: bool = False
+
+
+class WorkerSlice:
+    """One worker's private store attachment, resident slice, plans."""
+
+    def __init__(self, wid: int, store, budget_bytes: Optional[int],
+                 semiring: Semiring, pattern_only: bool,
+                 plan_cache: Optional[PlanCache] = None,
+                 plan_token=None):
+        self.wid = int(wid)
+        self.store = store
+        self.resident = ResidentSetManager(store, budget_bytes)
+        self.resident.evict_callbacks.append(self._drop_plan)
+        self.semiring = semiring
+        self.pattern_only = bool(pattern_only)
+        self.cache = plan_cache
+        self.plan_token = plan_token
+        self._plans: Dict[int, OperatorPlan] = {}
+        self._lock = threading.Lock()
+        # load/evict bytes a prefetch caused, claimed by the compute
+        # that consumes the shard (keeps the launch stream identical
+        # with prefetch on or off)
+        self._pending_loads: Dict[int, int] = {}
+        self._pending_evicts: Dict[int, int] = {}
+        self._was_prefetched: set = set()
+        self.prefetches = 0
+
+    # ------------------------------------------------------------------
+    def _plan_key(self, sid: int):
+        return ("sharded-spmspv", self.plan_token, sid, "w", self.wid)
+
+    def _drop_plan(self, sid: int) -> None:
+        self._plans.pop(sid, None)
+        if self.cache is not None:
+            self.cache.remove(self._plan_key(sid))
+
+    def _get_plan(self, sid: int, tiled: TiledMatrix) -> OperatorPlan:
+        from ..shards.engine import _warm_active_set
+
+        def build() -> OperatorPlan:
+            return OperatorPlan(
+                kind="sharded-spmspv", key=self._plan_key(sid),
+                data={"tiled": _warm_active_set(tiled)})
+
+        if self.cache is not None:
+            plan = self.cache.get_or_build(self._plan_key(sid), build,
+                                           pin=self.store)
+        else:
+            plan = self._plans.get(sid)
+            if plan is None:
+                plan = build()
+        self._plans[sid] = plan
+        return plan
+
+    def _execution_tiling(self, plan: OperatorPlan) -> TiledMatrix:
+        from ..shards.engine import _pattern_view
+        if not self.pattern_only:
+            return plan.data["tiled"]
+        return plan.lazy_get(
+            "pattern", lambda: _pattern_view(plan.data["tiled"]))
+
+    # ------------------------------------------------------------------
+    def prefetch(self, sid: int) -> None:
+        """Fault the shard into this slice and touch its pages; the
+        I/O bytes are parked for the compute that will claim them."""
+        sid = int(sid)
+        with self._lock:
+            if sid in self.resident.resident_ids:
+                return
+            tiled, loaded, evicted = self.resident.get(sid)
+            if loaded:
+                self._pending_loads[sid] = \
+                    self._pending_loads.get(sid, 0) + loaded
+            if evicted:
+                self._pending_evicts[sid] = \
+                    self._pending_evicts.get(sid, 0) + evicted
+            self._was_prefetched.add(sid)
+        _touch_pages(tiled)
+        self.prefetches += 1
+
+    def run_shard(self, sid: int, xts, batched: bool,
+                  with_counters: bool, worker_label: str
+                  ) -> ShardResult:
+        """Execute one shard exactly as the sequential engine would."""
+        sid = int(sid)
+        sr = self.semiring
+        with self._lock:
+            tiled, loaded, evicted = self.resident.get(sid)
+            loaded += self._pending_loads.pop(sid, 0)
+            evicted += self._pending_evicts.pop(sid, 0)
+            prefetched = sid in self._was_prefetched
+            self._was_prefetched.discard(sid)
+            self.resident.pin(sid)
+        key = self._plan_key(sid)
+        try:
+            plan = self._get_plan(sid, tiled)
+            if self.cache is not None:
+                self.cache.pin(key)
+            try:
+                A = self._execution_tiling(plan)
+                if batched:
+                    Ys, counters = batched_union_kernel(
+                        A, xts, semiring=sr)
+                else:
+                    y, counters = tiled_kernel(
+                        A, xts[0], semiring=sr,
+                        with_counters=with_counters)
+                    Ys = [y]
+            finally:
+                if self.cache is not None:
+                    self.cache.unpin(key)
+        finally:
+            with self._lock:
+                self.resident.unpin(sid)
+        outs = []
+        for y_strip in Ys:
+            idx = np.flatnonzero(~sr.is_identity(y_strip))
+            outs.append((idx, y_strip[idx]))
+        return ShardResult(
+            sid=sid, device=self.wid, worker=worker_label, outs=outs,
+            counters=counters if with_counters else None,
+            loaded=loaded, evicted=evicted, prefetched=prefetched)
+
+    def stats(self) -> Dict[str, int]:
+        out = self.resident.stats()
+        out["prefetches"] = self.prefetches
+        return out
+
+
+# ----------------------------------------------------------------------
+# chunk execution (shared by every backend; runs where the slice lives)
+# ----------------------------------------------------------------------
+def _run_chunk(slc: WorkerSlice, sids, xts, batched: bool,
+               with_counters: bool, depth: int, overlap: bool,
+               worker_label: str) -> List[ShardResult]:
+    """Run one chunk's shards in order, with lookahead prefetch.
+
+    ``overlap=True`` (pool backends) walks the prefetcher on a short-
+    lived background thread so page-in overlaps the current kernel;
+    ``overlap=False`` (serial backend) touches the lookahead window
+    synchronously — no overlap to model, but the same launch stream.
+    """
+    progress = {"done": 0}
+    walker = None
+    if depth > 0 and len(sids) > 1 and overlap:
+        def _walk():
+            for j in range(1, len(sids)):
+                while j > progress["done"] + depth:
+                    time.sleep(0.0005)
+                try:
+                    slc.prefetch(sids[j])
+                except Exception:      # prefetch is best-effort only
+                    return
+        walker = threading.Thread(target=_walk, daemon=True)
+        walker.start()
+    results = []
+    for i, sid in enumerate(sids):
+        if depth > 0 and not overlap:
+            for nxt in sids[i + 1:i + 1 + depth]:
+                slc.prefetch(nxt)
+        results.append(slc.run_shard(sid, xts, batched, with_counters,
+                                     worker_label))
+        progress["done"] = i + 1
+    if walker is not None:
+        walker.join(timeout=10.0)
+    return results
+
+
+# ----------------------------------------------------------------------
+# shared thread pool (thread backend)
+# ----------------------------------------------------------------------
+#: One process-wide pool serves every thread-backend executor.  Worker
+#: identity lives in the WorkerSlice an executor hands each chunk, not
+#: in which OS thread runs it, so sharing threads is semantically
+#: neutral — and it avoids spawning (then GC-finalizing) a pool per
+#: engine, which under an env-wide REPRO_WORKERS setting meant
+#: thousands of short-lived threads per test run and a rare
+#: Thread.start()-during-GC deadlock.
+_THREAD_POOL = None
+_THREAD_POOL_SIZE = 16
+_THREAD_POOL_GUARD = threading.Lock()
+
+
+def _shared_thread_pool():
+    global _THREAD_POOL
+    with _THREAD_POOL_GUARD:
+        if _THREAD_POOL is None:
+            from concurrent.futures import ThreadPoolExecutor
+            _THREAD_POOL = ThreadPoolExecutor(
+                max_workers=_THREAD_POOL_SIZE,
+                thread_name_prefix="repro-shard")
+        return _THREAD_POOL
+
+
+# ----------------------------------------------------------------------
+# process backend plumbing (module-level for picklability)
+# ----------------------------------------------------------------------
+_PROC_PAYLOAD: Optional[dict] = None
+_PROC_SLICES: Dict[int, WorkerSlice] = {}
+
+
+def _process_init(payload: dict) -> None:
+    global _PROC_PAYLOAD
+    _PROC_PAYLOAD = payload
+    _PROC_SLICES.clear()
+
+
+def _process_slice(wid: int) -> WorkerSlice:
+    slc = _PROC_SLICES.get(wid)
+    if slc is None:
+        p = _PROC_PAYLOAD
+        slc = WorkerSlice(wid, p["store"].attach(), p["budget"],
+                          p["semiring"], p["pattern_only"],
+                          plan_cache=None, plan_token=p["plan_token"])
+        _PROC_SLICES[wid] = slc
+    return slc
+
+
+def _process_chunk(task) -> Tuple[List[ShardResult], Tuple[int, int],
+                                  Dict[str, int]]:
+    wid, sids, xts, batched, with_counters, depth = task
+    slc = _process_slice(wid)
+    # the worker label is the stable scheduler worker id, not the OS
+    # pid: launch tags must be deterministic run to run so production
+    # replay and the parallel-invariance check can compare them; the
+    # real pid travels back in the snapshot key below.
+    results = _run_chunk(slc, sids, xts, batched, with_counters, depth,
+                         overlap=True, worker_label=str(wid))
+    return results, (os.getpid(), wid), slc.stats()
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class _ExecStats:
+    chunks: int = 0
+    results: int = 0
+    slice_snapshots: Dict[Tuple[int, int], Dict[str, int]] = \
+        field(default_factory=dict)
+
+
+class ParallelExecutor:
+    """Dispatches a :class:`~repro.parallel.work.WorkPlan` over a pool.
+
+    Owns the worker slices (in-process backends) or the process pool
+    and its slice descriptors (process backend).  ``run()`` is a
+    generator yielding :class:`ShardResult` in **completion order** —
+    the coordinator merges each result into the output accumulator the
+    moment it lands (the asynchronous scatter-gather combine) and
+    re-orders only the *launch records*, never the data.
+    """
+
+    def __init__(self, matrix, config: ParallelConfig,
+                 semiring: Semiring, pattern_only: bool,
+                 plan_cache: Optional[PlanCache] = None,
+                 plan_token=None):
+        self.matrix = matrix
+        self.config = config
+        self.workers = config.workers
+        self.backend = config.resolved_backend(matrix.store)
+        self.semiring = semiring
+        self.pattern_only = bool(pattern_only)
+        budget = config.slice_budget(matrix.resident.budget_bytes)
+        self._budget = budget
+        self._stats = _ExecStats()
+        self._pools: List = []
+        self.slices: List[WorkerSlice] = []
+        if self.backend != "process":
+            self.slices = [
+                WorkerSlice(w, matrix.store.attach(), budget, semiring,
+                            pattern_only, plan_cache=plan_cache,
+                            plan_token=plan_token)
+                for w in range(self.workers)]
+        else:
+            self._payload = {"store": matrix.store, "budget": budget,
+                             "semiring": semiring,
+                             "pattern_only": bool(pattern_only),
+                             "plan_token": plan_token}
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self.backend == "process" and not self._pools:
+            import multiprocessing
+            ctx = multiprocessing.get_context("fork")
+            # one dedicated single-process pool per worker id: a
+            # shared pool would hand chunks to arbitrary processes, so
+            # which slice's resident set a shard warms (and hence the
+            # shard_load launch stream) would vary run to run.  Pinning
+            # chunk ``c.worker`` to pool ``c.worker`` makes residency —
+            # and every counter downstream of it — deterministic, same
+            # as the thread backend's stable in-process slices.
+            self._pools = [ctx.Pool(1, initializer=_process_init,
+                                    initargs=(self._payload,))
+                           for _ in range(self.workers)]
+
+    def run(self, plan: WorkPlan, xts, batched: bool,
+            with_counters: bool) -> Iterator[ShardResult]:
+        """Execute the plan; yield results as they complete."""
+        depth = self.config.prefetch_depth
+        chunks: List[WorkChunk] = plan.chunks
+        self._stats.chunks += len(chunks)
+        if self.backend == "serial":
+            for c in chunks:
+                for res in _run_chunk(self.slices[c.worker], c.sids,
+                                      xts, batched, with_counters,
+                                      depth, overlap=False,
+                                      worker_label=str(c.worker)):
+                    self._stats.results += 1
+                    yield res
+        elif self.backend == "thread":
+            from concurrent.futures import as_completed
+            spawn = _shared_thread_pool().submit
+            futs = [spawn(_run_chunk, self.slices[c.worker], c.sids, xts,
+                          batched, with_counters, depth, True,
+                          str(c.worker))
+                    for c in chunks]
+            for fut in as_completed(futs):
+                for res in fut.result():
+                    self._stats.results += 1
+                    yield res
+        else:
+            self._ensure_pool()
+            pending = [self._pools[c.worker].apply_async(
+                           _process_chunk,
+                           ((c.worker, c.sids, xts, batched,
+                             with_counters, depth),))
+                       for c in chunks]
+            while pending:
+                still = []
+                for ar in pending:
+                    if ar.ready():
+                        results, key, snap = ar.get()
+                        self._stats.slice_snapshots[key] = snap
+                        for res in results:
+                            self._stats.results += 1
+                            yield res
+                    else:
+                        still.append(ar)
+                pending = still
+                if pending:
+                    pending[0].wait(0.002)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Aggregated slice traffic (summed across workers)."""
+        snaps = ([s.stats() for s in self.slices]
+                 or list(self._stats.slice_snapshots.values()))
+        keys = ("loads", "hits", "evictions", "loaded_bytes",
+                "evicted_bytes", "resident_shards", "resident_bytes",
+                "prefetches")
+        out = {k: sum(int(s.get(k, 0)) for s in snaps) for k in keys}
+        out["chunks"] = self._stats.chunks
+        out["results"] = self._stats.results
+        pids = sorted({pid for pid, _ in
+                       self._stats.slice_snapshots})
+        if pids:
+            out["worker_pids"] = pids
+        return out
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.terminate()
+            pool.join()
+        self._pools = []
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ParallelExecutor backend={self.backend} "
+                f"workers={self.workers}>")

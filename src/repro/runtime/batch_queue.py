@@ -110,13 +110,25 @@ class BatchQueue:
         defaults to :func:`time.monotonic`.
     plan_cache:
         Forwarded to the engine.
+    shard_affinity:
+        When the matrix is sharded and running multi-worker
+        (``REPRO_WORKERS``/:class:`~repro.parallel.ParallelConfig`),
+        seed the work scheduler's sticky shard→worker map from each
+        worker's current resident set right before every dispatch, so
+        a batch's shards route to the workers that already hold them
+        resident.  On by default; harmless (a no-op) for unsharded
+        matrices and single-worker runs.
+    parallel:
+        Optional :class:`~repro.parallel.ParallelConfig` forwarded to
+        the engine (``None`` reads ``REPRO_WORKERS`` per dispatch).
     """
 
     def __init__(self, matrix, nt: int = 16, extract_threshold: int = 2,
                  device=None, max_batch: int = 32,
                  max_delay_ms: Optional[float] = None,
                  clock: Callable[[], float] = time.monotonic,
-                 plan_cache=None):
+                 plan_cache=None, shard_affinity: bool = True,
+                 parallel=None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay_ms is not None and max_delay_ms < 0:
@@ -126,6 +138,9 @@ class BatchQueue:
         self._nt = nt
         self._extract_threshold = extract_threshold
         self._plan_cache = plan_cache
+        self.shard_affinity = bool(shard_affinity)
+        self._parallel = parallel
+        self._affinity_seeded = 0
         self.max_batch = int(max_batch)
         self.max_delay_ms = max_delay_ms
         self._clock = clock
@@ -147,7 +162,8 @@ class BatchQueue:
                 self._matrix, nt=self._nt,
                 extract_threshold=self._extract_threshold,
                 semiring=semiring, device=self.ctx,
-                plan_cache=self._plan_cache)
+                plan_cache=self._plan_cache,
+                parallel=self._parallel)
             self._engines[semiring] = engine
         return engine
 
@@ -198,6 +214,7 @@ class BatchQueue:
             "pending": self.pending,
             "mean_batch_size": (self._dispatched / self._batches
                                 if self._batches else 0.0),
+            "affinity_seeded": self._affinity_seeded,
         }
 
     # ------------------------------------------------------------------
@@ -220,6 +237,11 @@ class BatchQueue:
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         engine = self._engine(semiring)
+        if self.shard_affinity:
+            sharded = getattr(engine, "_sharded", None)
+            if sharded is not None:
+                self._affinity_seeded += \
+                    sharded.seed_affinity_from_residency()
         Y = engine.multiply_batch([t._x for t in group], output="dense",
                                   tag=f"batch={batch_id} "
                                       f"size={len(group)}")

@@ -120,6 +120,21 @@ class Tracer:
 
         return self.filtered(_match)
 
+    def filtered_by_device(self, device_id: int) -> "Tracer":
+        """Only the launches tagged ``device=<device_id>``.
+
+        Parallel shard execution tags every worker launch
+        ``shard=<S>;device=<D>;worker=<W>``; this slices one simulated
+        device's lane out of the timeline (the same partition
+        :meth:`~repro.gpusim.MultiDeviceTimeline.from_device` uses).
+        """
+        want = f"device={int(device_id)}"
+
+        def _match(ev: TraceEvent) -> bool:
+            return ev.tag is not None and want in ev.tag.split(";")
+
+        return self.filtered(_match)
+
     # ------------------------------------------------------------------
     @property
     def total_ms(self) -> float:

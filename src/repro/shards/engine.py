@@ -28,6 +28,18 @@ Row strips are tile-row aligned, so each output row is produced by
 exactly one shard and the combiner merges disjoint ranges into an
 identity-filled accumulator — which is why 1-shard and N-shard
 execution are bit-identical, not merely numerically close.
+
+With ``REPRO_WORKERS=N`` (or an explicit
+:class:`~repro.parallel.ParallelConfig`) the per-shard stage runs on
+the worker-pool executor instead of the sequential loop: a cost-model
+work scheduler places shards on workers, each worker executes its
+chunk against its private resident-set slice, and the combiner merges
+results as they land.  Launch records are re-emitted in ascending
+shard order with ``device=<id>;worker=<id>`` tag parts, so the
+timeline (and the production replay log) stays deterministic and
+bit-identical to sequential execution modulo those tag parts —
+:meth:`ShardedSpMSpV.multi_timeline` re-partitions it into per-device
+clocks to price the overlap.
 """
 
 from __future__ import annotations
@@ -120,6 +132,13 @@ class ShardedSpMSpV:
         Execute each shard over its all-ones pattern view instead of
         its stored values (cached per shard plan).  The BFS loop sets
         this: reachability must not depend on stored values cancelling.
+    parallel:
+        ``None`` (default) reads ``REPRO_WORKERS`` /
+        ``REPRO_WORKERS_BACKEND`` on every multiply; an ``int`` is a
+        fixed worker count; a
+        :class:`~repro.parallel.ParallelConfig` pins everything.
+        Worker counts above 1 route the per-shard stage through the
+        pool executor — results stay bit-identical to sequential.
     """
 
     def __init__(self, matrix, nt: int = 16,
@@ -130,7 +149,8 @@ class ShardedSpMSpV:
                  store_dir=None,
                  budget_bytes: Optional[int] = None,
                  plan_cache: Optional[PlanCache] = None,
-                 pattern_only: bool = False):
+                 pattern_only: bool = False,
+                 parallel=None):
         self.semiring = semiring
         self.pattern_only = bool(pattern_only)
         self.ctx = ExecutionContext.wrap(device,
@@ -148,6 +168,16 @@ class ShardedSpMSpV:
         self.scheduler = ShardScheduler(self.matrix)
         self.matrix.resident.evict_callbacks.append(
             self._invalidate_plan)
+        if parallel is not None:
+            # validate eagerly; None stays None so the env is re-read
+            # on every multiply (tests monkeypatch REPRO_WORKERS)
+            from ..parallel.config import ParallelConfig
+            parallel = ParallelConfig.coerce(parallel)
+        self._parallel_arg = parallel
+        self._pcfg = None
+        self._work = None
+        self._executor = None
+        self._last_plan = None
 
     # ------------------------------------------------------------------
     @property
@@ -211,6 +241,108 @@ class ShardedSpMSpV:
                                dtype=self.semiring.dtype)
 
     # ------------------------------------------------------------------
+    # parallel execution
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self):
+        """The resolved :class:`~repro.parallel.ParallelConfig` for the
+        next multiply (reads the environment when none was pinned)."""
+        from ..parallel.config import ParallelConfig
+        return (self._parallel_arg if self._parallel_arg is not None
+                else ParallelConfig.from_env())
+
+    def _ensure_parallel(self, cfg):
+        """(Re)build the work scheduler and pool executor for ``cfg``."""
+        if self._executor is not None and self._pcfg == cfg:
+            return
+        if self._executor is not None:
+            self._executor.close()
+        from ..parallel.executor import ParallelExecutor
+        from ..parallel.work import WorkScheduler
+        self._work = WorkScheduler(self.matrix, cfg.workers,
+                                   affinity=cfg.affinity,
+                                   steal_chunks=cfg.steal_chunks)
+        self._executor = ParallelExecutor(
+            self.matrix, cfg, self.semiring, self.pattern_only,
+            plan_cache=self.cache,
+            plan_token=matrix_token(self.matrix))
+        self._pcfg = cfg
+
+    def seed_affinity_from_residency(self) -> int:
+        """Seed the planner's sticky map from current slice residency,
+        so the next plan routes shards to the workers already holding
+        their pages (the BatchQueue's shard-affinity routing hook).
+        Returns how many shard→worker preferences were seeded."""
+        if self._executor is None or self._work is None:
+            return 0
+        seeded = 0
+        for slc in self._executor.slices:
+            for sid in slc.resident.resident_ids:
+                self._work.seed_affinity(sid, slc.wid)
+                seeded += 1
+        return seeded
+
+    def _execute_parallel(self, executed, active_tile_cols, xts,
+                          targets, batched: bool, accounting: bool,
+                          caller_tag: Optional[str]) -> None:
+        """Run the per-shard stage on the worker pool.
+
+        Results merge into ``targets`` (one accumulator per input
+        vector) the moment they land — order-independent because row
+        strips are disjoint.  Launch records are then re-emitted in
+        ascending shard order, so the timeline is deterministic and
+        identical to the sequential engine's modulo the ``device=`` /
+        ``worker=`` tag parts.
+        """
+        sr = self.semiring
+        plan = self._work.plan(executed, active_tile_cols)
+        self._last_plan = plan
+        results = {}
+        for res in self._executor.run(plan, xts, batched,
+                                      with_counters=accounting):
+            lo, _hi = self.matrix.strips[res.sid]
+            for b, (idx, vals) in enumerate(res.outs):
+                if idx.size:
+                    sr.scatter_merge(targets[b], idx + lo, vals)
+            results[res.sid] = res
+        if not accounting:
+            return
+        name = "sharded_spmspv_batch" if batched else \
+            "sharded_spmspv_shard"
+        phase = "batch" if batched else "multiply"
+        meta_bytes = float(self.matrix.metadata_nbytes_per_shard())
+        for sid in sorted(results):
+            res = results[sid]
+            tag = (f"{_shard_tag(sid, caller_tag)}"
+                   f";device={res.device};worker={res.worker}")
+            if res.loaded or res.evicted:
+                self.ctx.launch("shard_load",
+                                _load_counters(res.loaded, res.evicted),
+                                tag=tag, phase="load")
+            counters = res.counters
+            counters.coalesced_read_bytes += meta_bytes
+            self.ctx.launch(name, counters, tag=tag, phase=phase)
+
+    def multi_timeline(self, n_devices: Optional[int] = None):
+        """The multi-device view of the recorded timeline.
+
+        Re-partitions the context's launch records by their
+        ``device=`` tags (see
+        :meth:`~repro.gpusim.MultiDeviceTimeline.from_device`); in
+        production mode the replay log is priced first, so deferred
+        per-worker counters land on the merged timeline identically.
+        """
+        from ..gpusim import MultiDeviceTimeline
+        if self.ctx.production:
+            dev = self.ctx.replay()
+        else:
+            dev = self.ctx.device
+        if dev is None:
+            raise ValueError("multi_timeline needs a device-attached "
+                             "or production context")
+        return MultiDeviceTimeline.from_device(dev, n_devices)
+
+    # ------------------------------------------------------------------
     def multiply(self, x: VectorLike, output: str = "sparse",
                  mask: Optional[VectorLike] = None,
                  mask_complement: bool = False,
@@ -231,43 +363,53 @@ class ShardedSpMSpV:
                 f"x has length {xt.n}"
             )
         accounting = self.ctx.accounting
-        executed = self.scheduler.schedule(
-            np.flatnonzero(xt.x_ptr >= 0))
+        active_cols = np.flatnonzero(xt.x_ptr >= 0)
+        executed = self.scheduler.schedule(active_cols)
         if accounting:
             self.ctx.launch("sharded_schedule",
                             self.scheduler.schedule_counters(),
                             phase="schedule")
 
         y = np.full(m, sr.add_identity, dtype=sr.dtype)
-        merged_rows = 0
-        for sid in executed:
-            sid = int(sid)
-            # counters stay inline even in production (launch defers
-            # the priced record): replaying them later would have to
-            # re-fault evicted shards
-            tag = _shard_tag(sid) if accounting else None
-            tiled = self._fault_shard(sid, tag)
-            key = self._plan_key(sid)
-            plan = self._shard_plan(sid, tiled)
-            self.cache.pin(key)
-            self.matrix.resident.pin(sid)
-            try:
-                A = self._execution_tiling(plan)
-                y_strip, counters = tiled_kernel(
-                    A, xt, semiring=sr, with_counters=accounting)
-                if accounting:
-                    counters.coalesced_read_bytes += float(
-                        self.matrix.metadata_nbytes_per_shard())
-                    self.ctx.launch("sharded_spmspv_shard", counters,
-                                    tag=tag, phase="multiply")
-            finally:
-                self.matrix.resident.unpin(sid)
-                self.cache.unpin(key)
-            lo, hi = self.matrix.strips[sid]
-            merged_rows += hi - lo
-            idx = np.flatnonzero(~sr.is_identity(y_strip))
-            if idx.size:
-                sr.scatter_merge(y, idx + lo, y_strip[idx])
+        merged_rows = int(sum(hi - lo for lo, hi in
+                              (self.matrix.strips[int(s)]
+                               for s in executed)))
+        cfg = self.parallel
+        if cfg.workers > 1 and executed.size:
+            self._ensure_parallel(cfg)
+            self._execute_parallel(executed, active_cols, [xt], [y],
+                                   batched=False,
+                                   accounting=accounting,
+                                   caller_tag=None)
+        else:
+            for sid in executed:
+                sid = int(sid)
+                # counters stay inline even in production (launch
+                # defers the priced record): replaying them later would
+                # have to re-fault evicted shards
+                tag = _shard_tag(sid) if accounting else None
+                tiled = self._fault_shard(sid, tag)
+                key = self._plan_key(sid)
+                plan = self._shard_plan(sid, tiled)
+                self.cache.pin(key)
+                self.matrix.resident.pin(sid)
+                try:
+                    A = self._execution_tiling(plan)
+                    y_strip, counters = tiled_kernel(
+                        A, xt, semiring=sr, with_counters=accounting)
+                    if accounting:
+                        counters.coalesced_read_bytes += float(
+                            self.matrix.metadata_nbytes_per_shard())
+                        self.ctx.launch("sharded_spmspv_shard",
+                                        counters, tag=tag,
+                                        phase="multiply")
+                finally:
+                    self.matrix.resident.unpin(sid)
+                    self.cache.unpin(key)
+                lo, _hi = self.matrix.strips[sid]
+                idx = np.flatnonzero(~sr.is_identity(y_strip))
+                if idx.size:
+                    sr.scatter_merge(y, idx + lo, y_strip[idx])
         if accounting:
             self.ctx.launch(
                 "sharded_combine",
@@ -318,32 +460,44 @@ class ShardedSpMSpV:
 
         k = len(xts)
         Y = np.full((k, m), sr.add_identity, dtype=sr.dtype)
-        merged_rows = 0
-        for sid in executed:
-            sid = int(sid)
-            shard_tag = _shard_tag(sid, tag) if accounting else None
-            tiled = self._fault_shard(sid, shard_tag)
-            key = self._plan_key(sid)
-            plan = self._shard_plan(sid, tiled)
-            self.cache.pin(key)
-            self.matrix.resident.pin(sid)
-            try:
-                A = self._execution_tiling(plan)
-                Ys, counters = batched_union_kernel(A, xts, semiring=sr)
-                if accounting:
-                    counters.coalesced_read_bytes += float(
-                        self.matrix.metadata_nbytes_per_shard())
-                    self.ctx.launch("sharded_spmspv_batch", counters,
-                                    tag=shard_tag, phase="batch")
-            finally:
-                self.matrix.resident.unpin(sid)
-                self.cache.unpin(key)
-            lo, hi = self.matrix.strips[sid]
-            merged_rows += hi - lo
-            for b in range(k):
-                idx = np.flatnonzero(~sr.is_identity(Ys[b]))
-                if idx.size:
-                    sr.scatter_merge(Y[b], idx + lo, Ys[b][idx])
+        merged_rows = int(sum(hi - lo for lo, hi in
+                              (self.matrix.strips[int(s)]
+                               for s in executed)))
+        cfg = self.parallel
+        if cfg.workers > 1 and executed.size:
+            self._ensure_parallel(cfg)
+            self._execute_parallel(executed,
+                                   np.flatnonzero(union_active),
+                                   xts, [Y[b] for b in range(k)],
+                                   batched=True, accounting=accounting,
+                                   caller_tag=tag)
+        else:
+            for sid in executed:
+                sid = int(sid)
+                shard_tag = _shard_tag(sid, tag) if accounting else None
+                tiled = self._fault_shard(sid, shard_tag)
+                key = self._plan_key(sid)
+                plan = self._shard_plan(sid, tiled)
+                self.cache.pin(key)
+                self.matrix.resident.pin(sid)
+                try:
+                    A = self._execution_tiling(plan)
+                    Ys, counters = batched_union_kernel(A, xts,
+                                                        semiring=sr)
+                    if accounting:
+                        counters.coalesced_read_bytes += float(
+                            self.matrix.metadata_nbytes_per_shard())
+                        self.ctx.launch("sharded_spmspv_batch",
+                                        counters, tag=shard_tag,
+                                        phase="batch")
+                finally:
+                    self.matrix.resident.unpin(sid)
+                    self.cache.unpin(key)
+                lo, _hi = self.matrix.strips[sid]
+                for b in range(k):
+                    idx = np.flatnonzero(~sr.is_identity(Ys[b]))
+                    if idx.size:
+                        sr.scatter_merge(Y[b], idx + lo, Ys[b][idx])
         if accounting:
             self.ctx.launch(
                 "sharded_combine",
@@ -360,9 +514,25 @@ class ShardedSpMSpV:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Scheduler skip counts and resident-set traffic, merged."""
+        """Scheduler skip counts and resident-set traffic, merged.
+
+        When the pool executor is active, worker-slice traffic (loads,
+        hits, evictions, bytes) is summed into the resident-set keys,
+        and the work scheduler's placement counters ride along.
+        """
         out = dict(self.scheduler.stats())
-        out.update(self.matrix.resident.stats())
+        res = dict(self.matrix.resident.stats())
+        if self._executor is not None:
+            ex = self._executor.stats()
+            for key in ("loads", "hits", "evictions", "loaded_bytes",
+                        "evicted_bytes", "resident_shards",
+                        "resident_bytes"):
+                res[key] = res.get(key, 0) + ex.get(key, 0)
+            out["prefetches"] = ex["prefetches"]
+            out["workers"] = self._executor.workers
+            out["backend"] = self._executor.backend
+            out.update(self._work.stats())
+        out.update(res)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -22,6 +22,7 @@ simulated device for the traffic.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -58,6 +59,15 @@ class InMemoryShardStore:
     def nbytes(self, sid: int) -> int:
         return self._nbytes[sid]
 
+    def attach(self) -> "InMemoryShardStore":
+        """A read view for one worker: shares the (immutable) shard
+        payloads but owns its bookkeeping dicts, so concurrent workers
+        never write a common mutable structure."""
+        view = InMemoryShardStore()
+        view._shards = dict(self._shards)
+        view._nbytes = dict(self._nbytes)
+        return view
+
     @property
     def shard_ids(self) -> List[int]:
         return sorted(self._shards)
@@ -71,28 +81,60 @@ class DirectoryShardStore:
     object; ``get`` re-opens it with ``np.load(mmap_mode="r")`` views.
     Shard byte sizes come from the manifests, read once and cached —
     sizing the resident set never pages tile payload in.
+
+    Safe for concurrent readers: every ``get`` opens its *own* file
+    handles and read-only memmap views (nothing shared between calls),
+    and the only mutable state — the manifest-size cache — is guarded
+    by a per-instance lock.  Parallel workers call :meth:`attach` for a
+    private re-attachment over the same directory, so no two workers
+    touch a common Python object at all.
     """
 
     def __init__(self, root: PathLike):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._nbytes: Dict[int, int] = {}
+        self._meta_lock = threading.Lock()
 
     def shard_dir(self, sid: int) -> Path:
         return self.root / f"shard_{sid:04d}"
 
     def put(self, sid: int, tiled: TiledMatrix) -> None:
         save_tiled_mmap(tiled, self.shard_dir(sid))
-        self._nbytes[sid] = tiled.nbytes()
+        with self._meta_lock:
+            self._nbytes[sid] = tiled.nbytes()
 
     def get(self, sid: int) -> TiledMatrix:
+        # a fresh load_tiled_mmap per call: independent read-only
+        # memmaps, never a shared mutable view
         return load_tiled_mmap(self.shard_dir(sid))
 
     def nbytes(self, sid: int) -> int:
-        if sid not in self._nbytes:
-            manifest = read_mmap_manifest(self.shard_dir(sid))
-            self._nbytes[sid] = int(manifest["nbytes"])
-        return self._nbytes[sid]
+        with self._meta_lock:
+            cached = self._nbytes.get(sid)
+        if cached is not None:
+            return cached
+        manifest = read_mmap_manifest(self.shard_dir(sid))
+        nbytes = int(manifest["nbytes"])
+        with self._meta_lock:
+            self._nbytes[sid] = nbytes
+        return nbytes
+
+    def attach(self) -> "DirectoryShardStore":
+        """A fresh store over the same directory (per-worker handles,
+        private size cache) — the worker-pool re-attachment path."""
+        return DirectoryShardStore(self.root)
+
+    def __getstate__(self):
+        # pickled into process-pool workers: ship the root only; the
+        # worker re-attaches (locks and mmap handles don't cross fork
+        # boundaries usefully)
+        return {"root": self.root}
+
+    def __setstate__(self, state):
+        self.root = state["root"]
+        self._nbytes = {}
+        self._meta_lock = threading.Lock()
 
     @property
     def shard_ids(self) -> List[int]:

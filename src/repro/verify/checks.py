@@ -489,7 +489,15 @@ def _shard_bytes_identity(op, window) -> Optional[str]:
     stray = [r.name for r in window if id(r) not in known]
     if stray:
         return f"untagged launches inside a sharded multiply: {stray}"
-    executed = sorted({int(r.tag.split("shard=")[1]) for r in tagged
+    def shard_of(tag: str) -> int:
+        # tags are ;-joined key=value parts, possibly with a caller
+        # prefix and device=/worker= suffixes under parallel execution
+        for part in tag.split(";"):
+            if part.startswith("shard="):
+                return int(part[len("shard="):])
+        raise ValueError(f"no shard= part in tag {tag!r}")
+
+    executed = sorted({shard_of(r.tag) for r in tagged
                        if r.name == "sharded_spmspv_shard"})
     itemsize = op.semiring.dtype.itemsize
     expect = 2.0 * itemsize * sum(op.matrix.strip_rows(s)
@@ -554,6 +562,89 @@ def check_shard_invariance(case: Case) -> Optional[str]:
     return None
 
 
+def check_parallel_invariance(case: Case) -> Optional[str]:
+    """Multi-worker shard execution is an implementation detail.
+
+    For workers ∈ {1, 2, 4}: results are bit-identical to the
+    sequential sharded engine AND to the unsharded operator; the
+    launch stream (names, shard tags, every counter field) matches the
+    sequential stream exactly once device=/worker= annotations are
+    stripped; and the merged multi-device timeline decomposes exactly
+    into its per-device lanes, with the critical path never exceeding
+    the sum of work.  Engines are rebuilt per vector so both sides run
+    cold — warm-residency traffic depends on placement history, which
+    is exactly what this check must not let leak into the model.
+    """
+    from ..core.spmspv import TileSpMSpV
+    from ..parallel import ParallelConfig
+    from ..shards.engine import ShardedSpMSpV
+    sr = case.sr
+    n_shards = 4
+
+    def norm_tag(tag):
+        if tag is None:
+            return None
+        kept = [p for p in tag.split(";")
+                if not p.startswith(("device=", "worker="))]
+        return ";".join(kept)
+
+    def stream(dev):
+        return [(r.name, norm_tag(r.tag), r.counters)
+                for r in dev.timeline]
+
+    for i, x in enumerate(case.vectors):
+        dev_seq = Device()
+        y_seq = ShardedSpMSpV(case.matrix, nt=case.nt, semiring=sr,
+                              device=dev_seq, n_shards=n_shards
+                              ).multiply(x, output="dense")
+        y_flat = TileSpMSpV(case.matrix, nt=case.nt, semiring=sr
+                            ).multiply(x, output="dense")
+        if not np.array_equal(y_seq.view(np.uint8),
+                              y_flat.view(np.uint8)):
+            return (f"vector {i}: sequential sharded result differs "
+                    f"from the unsharded operator")
+        ref_stream = stream(dev_seq)
+        for w in (1, 2, 4):
+            dev = Device()
+            cfg = ParallelConfig(
+                workers=w, backend="serial" if w == 1 else "thread")
+            op = ShardedSpMSpV(case.matrix, nt=case.nt, semiring=sr,
+                               device=dev, n_shards=n_shards,
+                               parallel=cfg)
+            y = op.multiply(x, output="dense")
+            if not np.array_equal(y.view(np.uint8),
+                                  y_seq.view(np.uint8)):
+                bad = int(np.flatnonzero(
+                    y.view(np.uint8) != y_seq.view(np.uint8))[0])
+                return (f"vector {i}: workers={w} result differs from "
+                        f"sequential near byte {bad}")
+            got_stream = stream(dev)
+            if len(got_stream) != len(ref_stream):
+                return (f"vector {i}: workers={w} launched "
+                        f"{len(got_stream)} kernels, sequential "
+                        f"launched {len(ref_stream)}")
+            for j, (a, b) in enumerate(zip(ref_stream, got_stream)):
+                if a[:2] != b[:2]:
+                    return (f"vector {i}: workers={w} launch {j} is "
+                            f"{b[0]!r}/{b[1]!r}, sequential has "
+                            f"{a[0]!r}/{a[1]!r}")
+                if a[2] != b[2]:
+                    return (f"vector {i}: workers={w} launch {j} "
+                            f"({a[0]!r}) counters differ from "
+                            f"sequential")
+            if w > 1:
+                mt = op.multi_timeline(w)
+                err = mt.decomposes(dev)
+                if err:
+                    return (f"vector {i}: workers={w} multi-device "
+                            f"timeline does not decompose: {err}")
+                if mt.critical_path_ms > mt.sum_of_work_ms + 1e-12:
+                    return (f"vector {i}: workers={w} critical path "
+                            f"{mt.critical_path_ms} exceeds sum of "
+                            f"work {mt.sum_of_work_ms}")
+    return None
+
+
 # ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
@@ -584,6 +675,8 @@ def checks_for(case: Case
                         check_active_set_payload))
         if entry.name == "sharded-spmspv":
             out.append(("shard-invariance", check_shard_invariance))
+            out.append(("parallel-invariance",
+                        check_parallel_invariance))
         if entry.name in ("tilespmspv", "sharded-spmspv"):
             out.append(("production-replay", check_production_replay))
         if "batch" in entry.capabilities:
@@ -606,7 +699,7 @@ CHECK_NAMES = sorted({
     "oracle", "siblings", "counters", "permute-rows",
     "scale-linearity", "plan-cache-replay", "active-set-payload",
     "batch-of-one", "batched-union-bytes", "shard-invariance",
-    "fastpath-equivalence", "production-replay",
+    "parallel-invariance", "fastpath-equivalence", "production-replay",
     *_PRIMITIVE_CHECKS,
 })
 

@@ -1,0 +1,148 @@
+"""Multi-device timelines: tag parsing, barriers, decomposition."""
+
+import pytest
+
+from repro.gpusim import (Device, KernelCounters, MultiDeviceTimeline,
+                          device_of_tag)
+
+
+def counters(n=1000):
+    return KernelCounters(launches=1, coalesced_read_bytes=64 * n,
+                          flops=2 * n)
+
+
+class TestDeviceOfTag:
+    @pytest.mark.parametrize("tag,want", [
+        (None, None),
+        ("", None),
+        ("shard=3", None),
+        ("device=2", 2),
+        ("shard=3;device=1;worker=0", 1),
+        ("bfs;shard=0;device=0;worker=0", 0),
+        ("device=nope", None),
+    ])
+    def test_parse(self, tag, want):
+        assert device_of_tag(tag) == want
+
+
+class TestClocks:
+    def test_rejects_zero_devices(self):
+        with pytest.raises(ValueError):
+            MultiDeviceTimeline(0)
+
+    def test_per_device_launch_advances_only_its_clock(self):
+        mt = MultiDeviceTimeline(2)
+        mt.submit("k", counters(), device=0, tag="device=0")
+        assert mt.clocks[0] > 0.0
+        assert mt.clocks[1] == 0.0
+        assert mt.critical_path_ms == mt.clocks[0]
+
+    def test_barrier_starts_at_max_and_advances_all(self):
+        mt = MultiDeviceTimeline(2)
+        mt.submit("a", counters(5000), device=0)
+        mt.submit("b", counters(100), device=1)
+        lagging = min(mt.clocks)
+        leading = max(mt.clocks)
+        start = mt.submit("combine", counters(50), device=None)
+        assert start == pytest.approx(leading)
+        assert start >= lagging
+        assert mt.clocks[0] == mt.clocks[1] > leading
+
+    def test_grows_to_named_device(self):
+        mt = MultiDeviceTimeline(1)
+        mt.submit("k", counters(), device=3)
+        assert mt.n_devices == 4
+
+    def test_sum_of_work_counts_everything(self):
+        mt = MultiDeviceTimeline(2)
+        t0 = mt.submit("a", counters(), device=0)
+        assert t0 == 0.0
+        mt.submit("b", counters(), device=1)
+        mt.submit("c", counters(), device=None)
+        total = sum(rec.ms for rec, _, _ in mt.schedule)
+        assert mt.sum_of_work_ms == pytest.approx(total)
+        assert mt.critical_path_ms <= mt.sum_of_work_ms
+
+    def test_modeled_speedup_bounds(self):
+        mt = MultiDeviceTimeline(4)
+        assert mt.modeled_speedup == 1.0     # empty timeline
+        for d in range(4):
+            mt.submit("k", counters(), device=d)
+        # perfectly balanced four-way split
+        assert mt.modeled_speedup == pytest.approx(4.0)
+        mt.submit("combine", counters(), device=None)
+        assert 1.0 < mt.modeled_speedup < 4.0
+
+
+class TestFromDevice:
+    def _serial(self):
+        dev = Device()
+        dev.submit("sched", counters(10))              # barrier
+        dev.submit("s0", counters(4000), tag="shard=0;device=0;worker=0")
+        dev.submit("s1", counters(3000), tag="shard=1;device=1;worker=1")
+        dev.submit("s2", counters(2000), tag="shard=2;device=0;worker=0")
+        dev.submit("combine", counters(20))            # barrier
+        return dev
+
+    def test_partitions_by_tag(self):
+        dev = self._serial()
+        mt = MultiDeviceTimeline.from_device(dev)
+        assert mt.n_devices == 2
+        assert [r.name for r in mt.device_records(1)] == ["s1"]
+        # barriers live on device 0, in source order
+        names0 = [r.name for r in mt.device_records(0)]
+        assert names0 == ["sched", "s0", "s2", "combine"]
+
+    def test_explicit_device_count_pads_idle_devices(self):
+        mt = MultiDeviceTimeline.from_device(self._serial(), n_devices=4)
+        assert mt.n_devices == 4
+        assert mt.per_device_ms()[3] == 0.0
+
+    def test_untagged_timeline_degenerates_to_serial(self):
+        dev = Device()
+        dev.submit("a", counters())
+        dev.submit("b", counters())
+        mt = MultiDeviceTimeline.from_device(dev)
+        assert mt.n_devices == 1
+        assert mt.critical_path_ms == pytest.approx(mt.sum_of_work_ms)
+        assert mt.modeled_speedup == pytest.approx(1.0)
+
+    def test_preserves_pricing(self):
+        dev = self._serial()
+        mt = MultiDeviceTimeline.from_device(dev)
+        assert mt.sum_of_work_ms == pytest.approx(dev.elapsed_ms)
+        assert mt.critical_path_ms < dev.elapsed_ms
+
+    def test_report_keys(self):
+        rep = MultiDeviceTimeline.from_device(self._serial()).report()
+        assert rep["n_devices"] == 2
+        assert rep["launches"] == 5
+        assert rep["critical_path_ms"] > 0
+        assert len(rep["per_device_ms"]) == 2
+
+
+class TestDecomposes:
+    def test_exact_partition_passes(self):
+        dev = Device()
+        dev.submit("a", counters(), tag="device=0")
+        dev.submit("b", counters(), tag="device=1")
+        dev.submit("c", counters())
+        mt = MultiDeviceTimeline.from_device(dev)
+        assert mt.decomposes(dev) is None
+
+    def test_detects_missing_record(self):
+        dev = Device()
+        dev.submit("a", counters(), tag="device=0")
+        mt = MultiDeviceTimeline.from_device(dev)
+        dev.submit("b", counters(), tag="device=0")
+        err = mt.decomposes(dev)
+        assert err is not None and "1 records" in err
+
+    def test_detects_mismatched_record(self):
+        dev = Device()
+        dev.submit("a", counters(), tag="device=0")
+        mt = MultiDeviceTimeline.from_device(dev)
+        other = Device()
+        other.submit("z", counters(), tag="device=0")
+        err = mt.decomposes(other)
+        assert err is not None and "differs" in err

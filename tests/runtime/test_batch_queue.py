@@ -117,7 +117,8 @@ class TestDispatchPolicy:
             q.submit(vec(s))
         stats = q.stats()
         assert stats == {"requests": 5, "batches": 2, "dispatched": 4,
-                         "pending": 1, "mean_batch_size": 2.0}
+                         "pending": 1, "mean_batch_size": 2.0,
+                         "affinity_seeded": 0}
 
     def test_validation(self, coo):
         with pytest.raises(ValueError):

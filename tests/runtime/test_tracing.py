@@ -141,6 +141,24 @@ class TestCli:
         assert all("shard=1" in r["tag"].split(";") for r in rows)
         assert "of" in capsys.readouterr().out
 
+    def test_trace_device_filter_with_workers(self, tmp_path, capsys,
+                                              monkeypatch):
+        from repro.bench.__main__ import main
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        out = tmp_path / "d.jsonl"
+        rc = main(["trace", "--matrix", "cant",
+                   "--operators", "sharded-spmspv",
+                   "--workers", "2", "--device", "1",
+                   "--format", "jsonl", "--out", str(out)])
+        assert rc == 0
+        rows = [json.loads(line) for line in
+                out.read_text().splitlines()]
+        assert rows
+        assert all("device=1" in r["tag"].split(";") for r in rows)
+        assert all("worker=" in r["tag"] for r in rows)
+        assert "device=1" in capsys.readouterr().out
+
 
 class TestShardFilter:
     def test_filtered_by_shard_splits_tags(self):
@@ -157,3 +175,23 @@ class TestShardFilter:
         # original seq and the full-timeline clock are retained
         assert [ev.seq for ev in kept.events] == [1, 2]
         assert kept.total_ms == tracer.total_ms
+
+    def test_filtered_by_device_splits_tags(self):
+        from repro.gpusim import KernelCounters
+
+        tracer = Tracer()
+        ctx = ExecutionContext(device=Device(RTX3090), tracer=tracer)
+        ctx.launch("a", KernelCounters(launches=1),
+                   tag="shard=0;device=0;worker=0")
+        ctx.launch("b", KernelCounters(launches=1),
+                   tag="shard=3;device=1;worker=1")
+        ctx.launch("c", KernelCounters(launches=1),
+                   tag="shard=5;device=1;worker=1")
+        ctx.launch("d", KernelCounters(launches=1))
+        kept = tracer.filtered_by_device(1)
+        assert [ev.name for ev in kept.events] == ["b", "c"]
+        # device=1 must not match device=11 and vice versa
+        ctx.launch("e", KernelCounters(launches=1),
+                   tag="shard=9;device=11;worker=2")
+        assert [ev.name for ev in
+                tracer.filtered_by_device(1).events] == ["b", "c"]

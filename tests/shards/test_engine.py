@@ -93,7 +93,9 @@ class TestModeledBytes:
         dev = Device(RTX3090)
         op = ShardedSpMSpV(coo, n_shards=4, device=dev)
         op.multiply(random_sparse_vector(70, 0.2, seed=12))
-        executed = [int(r.tag.split("=")[1]) for r in dev.timeline
+        # tags may carry ;device=D;worker=W suffixes under REPRO_WORKERS
+        executed = [int(r.tag.split(";")[0].split("=")[1])
+                    for r in dev.timeline
                     if r.name == "sharded_spmspv_shard"]
         combine = [r for r in dev.timeline
                    if r.name == "sharded_combine"]

@@ -1,5 +1,8 @@
 """Shard stores and the byte-budgeted resident-set manager."""
 
+import pickle
+import threading
+
 import numpy as np
 
 from repro.shards import (DirectoryShardStore, InMemoryShardStore,
@@ -39,6 +42,57 @@ class TestDirectoryStore:
         fresh = DirectoryShardStore(tmp_path)
         assert fresh.shard_ids == [0]
         assert np.allclose(fresh.get(0).to_dense(), tiled(1).to_dense())
+
+    def test_attach_returns_independent_store(self, tmp_path):
+        store = DirectoryShardStore(tmp_path)
+        store.put(0, tiled(1))
+        other = store.attach()
+        assert other is not store
+        assert other.root == store.root
+        assert np.allclose(other.get(0).to_dense(),
+                           store.get(0).to_dense())
+
+    def test_pickle_ships_root_only(self, tmp_path):
+        store = DirectoryShardStore(tmp_path)
+        store.put(2, tiled(4))
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.shard_ids == [2]
+        assert clone.nbytes(2) == store.nbytes(2)
+
+    def test_two_stores_serve_disjoint_shards_concurrently(
+            self, tmp_path):
+        """Two attached stores over one directory serve disjoint shard
+        sets from concurrent threads: every worker gets its own
+        read-only memmaps, no shared mutable state (the regression the
+        parallel executor's per-worker slices depend on)."""
+        writer = DirectoryShardStore(tmp_path)
+        tiles = {sid: tiled(sid + 1) for sid in range(8)}
+        for sid, t in tiles.items():
+            writer.put(sid, t)
+        stores = [writer.attach(), writer.attach()]
+        shard_sets = ([0, 2, 4, 6], [1, 3, 5, 7])
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def reader(store, sids):
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(3):
+                    for sid in sids:
+                        got = store.get(sid).to_dense()
+                        want = tiles[sid].to_dense()
+                        if not np.array_equal(got, want):
+                            errors.append(f"shard {sid} corrupted")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=reader, args=(st, sids))
+                   for st, sids in zip(stores, shard_sets)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
 
 
 class TestResidentSetManager:
