@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Open-loop load-generator benchmark of the async serving layer.
+
+Drives :class:`~repro.serving.GraphQueryService` with seeded Poisson
+arrivals over a mixed query stream (hot/cold multiplies, BFS,
+PageRank) and sweeps the offered rate across the service's calibrated
+capacity, writing per-rate latency percentiles, goodput, and reject
+rates to ``BENCH_serving.json`` — the saturation-knee record future
+PRs are guarded against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke  # CI
+
+The run is virtual-time deterministic (seeded arrivals, modeled
+service times, a settable clock): the same commit produces the same
+JSON on every machine, so CI holds it to tight floors; see
+:mod:`repro.bench.serving` for the methodology.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:
+    from repro.bench.serving import run_serving_bench
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.serving import run_serving_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload / three rates for CI")
+    parser.add_argument("--rates", type=float, nargs="+", default=None,
+                        help="offered-rate multipliers of capacity")
+    parser.add_argument("--requests", type=int, default=600,
+                        help="open-loop arrivals per rate point")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="coalescing size budget")
+    parser.add_argument("--max-delay-ms", type=float, default=2.0,
+                        help="coalescing latency budget")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_serving.json")
+    args = parser.parse_args(argv)
+
+    result = run_serving_bench(
+        rates=args.rates, n_requests=args.requests, seed=args.seed,
+        max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+        smoke=args.smoke,
+        progress=lambda m: print(f"  .. {m}", file=sys.stderr))
+    args.out.write_text(json.dumps(result, indent=2) + "\n",
+                        encoding="utf-8")
+
+    meta = result["meta"]
+    print(f"workload: hot {meta['hot']}, {len(meta['cold'])} cold; "
+          f"mix {meta['mix']}")
+    print(f"capacity {meta['capacity_rps']:.0f} rps "
+          f"(mean {meta['mean_service_ms']:.4f} ms/req); "
+          f"admission: depth<={meta['max_pending']}, "
+          f"backlog<={meta['max_backlog_ms']:.4f} ms")
+    print(f"{'rate':>6} {'offered':>10} {'goodput':>10} {'reject':>7} "
+          f"{'p50 ms':>8} {'p99 ms':>8} {'batch':>6}")
+    for r in result["rates"]:
+        print(f"{r['rate']:>5g}x {r['offered_rps']:>10.0f} "
+              f"{r['goodput_rps']:>10.0f} {r['reject_rate']:>6.1%} "
+              f"{r['p50_ms']:>8.3f} {r['p99_ms']:>8.3f} "
+              f"{r['mean_batch_size']:>6.2f}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

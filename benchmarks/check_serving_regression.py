@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Serving-benchmark regression guard over committed baselines.
+
+Compares a freshly generated serving report (typically the CI smoke
+run) against a committed baseline: every rate point of the baseline
+must still be present, keep goodput at >= ``--floor`` times its
+committed value, and keep p99 latency at <= ``1/floor`` times its
+committed value.  The serving benchmark is virtual-time deterministic,
+so the default floor is tight — a failure means the serving or
+batching code path changed its behaviour, not that the CI machine was
+slow.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_serving_regression.py \
+        --current BENCH_serving.ci.json \
+        --committed BENCH_serving.smoke.json
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:
+    from repro.bench.serving import check_serving_regression
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.serving import check_serving_regression
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="freshly generated report (JSON)")
+    parser.add_argument("--committed", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_serving.smoke.json",
+                        help="committed baseline report (JSON)")
+    parser.add_argument("--floor", type=float, default=0.9,
+                        help="minimum fraction of committed goodput "
+                             "(and 1/floor ceiling on p99)")
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text(encoding="utf-8"))
+    committed = json.loads(args.committed.read_text(encoding="utf-8"))
+    failures = check_serving_regression(current, committed,
+                                        floor=args.floor)
+    if failures:
+        print(f"serving regression: {len(failures)} failure(s) vs "
+              f"the committed baseline (floor {args.floor:g})")
+        for f in failures:
+            if f.get("missing"):
+                print(f"  {f['label']}: present in the committed "
+                      f"baseline but missing from the current report")
+            elif "floor" in f:
+                print(f"  {f['label']}: {f['current']:.1f} < "
+                      f"{f['floor']:.1f} (committed {f['committed']:.1f})")
+            else:
+                print(f"  {f['label']}: {f['current']:.3f} > "
+                      f"{f['ceiling']:.3f} "
+                      f"(committed {f['committed']:.3f})")
+        return 1
+    print(f"no serving regressions vs {args.committed.name} "
+          f"(floor {args.floor:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

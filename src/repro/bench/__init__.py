@@ -10,6 +10,7 @@ from .harness import (ALL_EXPERIMENTS, ExperimentResult,
                       run_fig7, run_fig8, run_fig9, run_fig10, run_fig11,
                       run_fig12, run_table2)
 from .report import Summary, format_series, format_table, geomean
+from .serving import check_serving_regression, run_serving_bench
 from .wallclock import run_wallclock
 
 __all__ = [
@@ -17,5 +18,6 @@ __all__ = [
     "run_table2", "run_fig6", "run_fig7", "run_fig8", "run_fig9",
     "run_fig10", "run_fig11", "run_fig12", "run_extraction",
     "run_wallclock",
+    "run_serving_bench", "check_serving_regression",
     "Summary", "format_series", "format_table", "geomean",
 ]

@@ -1,0 +1,299 @@
+"""Open-loop load generation against the serving layer.
+
+The serving benchmark answers the question the unit suite cannot: how
+does the coalescing service behave under *traffic* — sustained
+open-loop arrivals that do not wait for responses?  The load generator
+drives :class:`~repro.serving.GraphQueryService` with seeded Poisson
+arrivals over a mixed query stream (hot-matrix multiplies, cold-matrix
+multiplies, BFS, PageRank) and sweeps the offered rate across the
+service's capacity, reporting per-rate latency percentiles,
+throughput, reject rate, and coalescing effectiveness.
+
+Determinism is the design constraint.  The whole run executes in
+virtual time on a :class:`~repro.serving.VirtualClock`: arrivals come
+from a seeded RNG, service times from the simulated device's cost
+model, completions from the service's single-server queueing model.
+Nothing reads the wall clock, so the recorded p50/p99 and goodput are
+bit-identical on every machine — which is what lets CI hold the
+committed ``BENCH_serving.smoke.json`` baseline to tight floors
+(:func:`check_serving_regression`) instead of flaky wall-time
+tolerances.
+
+The signature result is the **saturation knee**: below capacity the
+reject rate is zero and p99 tracks the coalescing delay budget; past
+capacity admission control caps the backlog, goodput plateaus near
+capacity, and the reject rate absorbs the excess — open-loop overload
+becomes explicit rejections, not unbounded latency.
+
+``benchmarks/bench_serving.py`` is the CLI wrapper (full sweep to
+``BENCH_serving.json``, ``--smoke`` for the CI-sized run);
+``benchmarks/check_serving_regression.py`` applies the guard.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..gpusim import Device
+from ..matrices.generators import erdos_renyi
+from ..serving import (AdmissionController, BFSQuery, GraphQueryService,
+                       MultiplyQuery, PageRankQuery, ServiceSaturated,
+                       VirtualClock)
+from ..vectors import random_sparse_vector
+
+__all__ = ["run_serving_bench", "check_serving_regression",
+           "known_rates"]
+
+
+def _build_workload(seed: int, smoke: bool):
+    """The benchmark's matrices and query stream parameters.
+
+    One hot matrix takes most of the multiply traffic (its plan is
+    pinned — the hot working set); a few cold matrices share the
+    rest (cache-resident but unpinned); BFS and PageRank ride along
+    as the expensive direct queries.
+    """
+    if smoke:
+        hot = erdos_renyi(256, avg_degree=8.0, seed=seed)
+        cold = [erdos_renyi(128, avg_degree=6.0, seed=seed + 1 + i)
+                for i in range(2)]
+    else:
+        hot = erdos_renyi(1024, avg_degree=8.0, seed=seed)
+        cold = [erdos_renyi(256, avg_degree=6.0, seed=seed + 1 + i)
+                for i in range(3)]
+    return hot, cold
+
+
+def _make_service(hot, cold, clock: VirtualClock,
+                  max_batch: int, max_delay_ms: float,
+                  max_pending: int, max_backlog_ms: float
+                  ) -> GraphQueryService:
+    svc = GraphQueryService(
+        device=Device(), clock=clock, max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        admission=AdmissionController(max_pending=max_pending,
+                                      max_backlog_ms=max_backlog_ms))
+    svc.register_matrix("hot", hot, pin=True)
+    for i, A in enumerate(cold):
+        svc.register_matrix(f"cold{i}", A)
+    return svc
+
+
+def _query_stream(n_requests: int, hot_n: int, cold_ns, seed: int,
+                  mix=(0.70, 0.15, 0.10, 0.05)):
+    """Seeded mixed query stream: (kind fractions are multiply-hot,
+    multiply-cold, bfs, pagerank).  Vectors are pre-generated so the
+    stream itself costs the load loop nothing."""
+    rng = np.random.default_rng(seed)
+    kinds = rng.choice(4, size=n_requests, p=list(mix))
+    queries = []
+    for i, k in enumerate(kinds):
+        if k == 0:
+            x = random_sparse_vector(hot_n, 0.95,
+                                     seed=int(rng.integers(1 << 31)))
+            queries.append(MultiplyQuery("hot", x))
+        elif k == 1:
+            j = int(rng.integers(len(cold_ns)))
+            x = random_sparse_vector(cold_ns[j], 0.95,
+                                     seed=int(rng.integers(1 << 31)))
+            queries.append(MultiplyQuery(f"cold{j}", x))
+        elif k == 2:
+            queries.append(BFSQuery("hot",
+                                    int(rng.integers(hot_n))))
+        else:
+            queries.append(PageRankQuery("hot", max_iter=20))
+    return queries
+
+
+def _calibrate(hot, cold, queries, max_batch: int) -> tuple:
+    """Closed-loop calibration: serve the exact query stream
+    back-to-back (no arrival gaps, full coalescing, unbounded
+    admission) and price it on the server model.
+
+    Returns ``(capacity_rps, mean_service_ms)`` — the best-case
+    sustainable throughput of this workload mix and the mean modeled
+    service time per request.  ``rate=1.0`` in the sweep means
+    'offered load equals this capacity', which puts the saturation
+    knee at 1 by construction.
+    """
+    clk = VirtualClock()
+    svc = _make_service(hot, cold, clk, max_batch, max_delay_ms=None,
+                        max_pending=None, max_backlog_ms=None)
+    for q in queries:
+        svc.submit_nowait(q)
+    svc.drain()
+    busy_s = svc._busy_until
+    mean_ms = busy_s * 1e3 / len(queries)
+    return ((len(queries) / busy_s) if busy_s > 0 else float("inf"),
+            mean_ms)
+
+
+def run_serving_bench(rates: Optional[Sequence[float]] = None,
+                      n_requests: int = 600, seed: int = 7,
+                      max_batch: int = 8, max_delay_ms: float = 2.0,
+                      max_pending: int = 64,
+                      backlog_requests: float = 25.0,
+                      smoke: bool = False,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> Dict:
+    """Sweep offered load across the service's capacity.
+
+    Parameters
+    ----------
+    rates:
+        Offered-rate multipliers relative to the calibrated workload
+        capacity; the defaults bracket the knee (``1.0``) from both
+        sides.
+    n_requests:
+        Open-loop arrivals per rate point.
+    max_batch / max_delay_ms:
+        The service's coalescing budgets.
+    max_pending / backlog_requests:
+        Admission budgets — what converts overload into rejections.
+        ``backlog_requests`` is denominated in mean service times (a
+        backlog of that many requests' worth of modeled work trips
+        the bound), so the knee shape is invariant to how cheap the
+        modeled kernels are.
+    smoke:
+        CI-sized run: smaller matrices, fewer arrivals, three rates.
+
+    Returns
+    -------
+    dict with ``meta`` and per-rate ``rates`` rows — the JSON payload
+    of ``BENCH_serving.json`` (``BENCH_serving.smoke.json`` for the
+    smoke shape).  All numbers are virtual-time deterministic.
+    """
+    if rates is None:
+        rates = (0.5, 1.0, 3.0) if smoke else (0.25, 0.5, 1.0, 2.0, 4.0)
+    if smoke:
+        n_requests = min(n_requests, 150)
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    say("building workload matrices")
+    hot, cold = _build_workload(seed, smoke)
+    queries = _query_stream(n_requests, hot.shape[1],
+                            [A.shape[1] for A in cold], seed)
+    capacity_rps, mean_service_ms = _calibrate(hot, cold, queries,
+                                               max_batch)
+    max_backlog_ms = backlog_requests * mean_service_ms
+    say(f"workload capacity ~{capacity_rps:.1f} rps "
+        f"(mean {mean_service_ms:.4f} ms/req, "
+        f"backlog cap {max_backlog_ms:.4f} ms)")
+
+    rows = []
+    for mult in rates:
+        offered_rps = mult * capacity_rps
+        clk = VirtualClock()
+        svc = _make_service(hot, cold, clk, max_batch, max_delay_ms,
+                            max_pending, max_backlog_ms)
+        rng = np.random.default_rng(seed + 1000)
+        arrivals = np.cumsum(rng.exponential(1.0 / offered_rps,
+                                             size=n_requests))
+        say(f"rate {mult:g}x: {n_requests} arrivals over "
+            f"{arrivals[-1]:.3f}s virtual")
+        rejected = 0
+        for t_arr, query in zip(arrivals, queries):
+            clk.advance_to(float(t_arr))
+            svc.pump()               # fire overdue latency budgets
+            try:
+                svc.submit_nowait(query)
+            except ServiceSaturated:
+                rejected += 1
+        # close the run: let every armed latency budget expire, then
+        # drain stragglers
+        clk.advance(max_delay_ms * 1e-3)
+        svc.pump()
+        svc.drain()
+        duration_s = float(arrivals[-1])
+        stats = svc.stats()
+        lat = stats["latency"]["all"]
+        hot_q = stats["queues"]["hot"]
+        rows.append({
+            "rate": float(mult),
+            "offered_rps": float(offered_rps),
+            "requests": int(n_requests),
+            "completed": int(stats["completed"]),
+            "rejected": int(rejected),
+            "reject_rate": rejected / n_requests,
+            "goodput_rps": stats["completed"] / duration_s,
+            "p50_ms": lat["p50_ms"],
+            "p99_ms": lat["p99_ms"],
+            "mean_ms": lat["mean_ms"],
+            "mean_batch_size": hot_q["mean_batch_size"],
+            "duration_s": duration_s,
+            "latency_by_kind": {
+                k: {"count": v["count"], "p50_ms": v["p50_ms"],
+                    "p99_ms": v["p99_ms"]}
+                for k, v in stats["latency"].items() if k != "all"},
+            "pagerank_memo_hits": stats["pagerank_memo"]["hits"],
+        })
+
+    return {
+        "meta": {
+            "hot": f"erdos_renyi(n={hot.shape[0]}, nnz={hot.nnz})",
+            "cold": [f"erdos_renyi(n={A.shape[0]}, nnz={A.nnz})"
+                     for A in cold],
+            "n_requests": int(n_requests),
+            "seed": int(seed),
+            "mix": "70% multiply-hot / 15% multiply-cold / "
+                   "10% bfs / 5% pagerank",
+            "max_batch": int(max_batch),
+            "max_delay_ms": float(max_delay_ms),
+            "max_pending": int(max_pending),
+            "backlog_requests": float(backlog_requests),
+            "max_backlog_ms": float(max_backlog_ms),
+            "capacity_rps": float(capacity_rps),
+            "mean_service_ms": float(mean_service_ms),
+            "smoke": bool(smoke),
+            "time_base": "virtual (deterministic; modeled device ms)",
+        },
+        "rates": rows,
+    }
+
+
+def known_rates(committed: Dict) -> tuple:
+    """The rate multipliers a committed baseline covers."""
+    return tuple(row["rate"] for row in committed.get("rates", ()))
+
+
+def check_serving_regression(current: Dict, committed: Dict,
+                             floor: float = 0.9) -> list:
+    """Compare two serving reports; list every regression.
+
+    The run is virtual-time deterministic, so ``floor=0.9`` is slack
+    for implementation drift, not timer noise.  For every rate row of
+    the committed baseline, the current report must
+
+    * still carry that rate (a dropped rate point is a failure);
+    * keep goodput at >= ``floor`` times the committed value;
+    * keep p99 latency at <= ``1/floor`` times the committed value.
+    """
+    failures = []
+    cur_rows = {row["rate"]: row for row in current.get("rates", ())}
+    for ref in committed.get("rates", ()):
+        rate = ref["rate"]
+        cur = cur_rows.get(rate)
+        if cur is None:
+            failures.append({"label": f"rate:{rate:g}",
+                             "missing": True})
+            continue
+        if cur["goodput_rps"] < floor * ref["goodput_rps"]:
+            failures.append({
+                "label": f"rate:{rate:g}/goodput_rps",
+                "committed": ref["goodput_rps"],
+                "current": cur["goodput_rps"],
+                "floor": floor * ref["goodput_rps"],
+            })
+        if ref["p99_ms"] > 0 and cur["p99_ms"] > ref["p99_ms"] / floor:
+            failures.append({
+                "label": f"rate:{rate:g}/p99_ms",
+                "committed": ref["p99_ms"],
+                "current": cur["p99_ms"],
+                "ceiling": ref["p99_ms"] / floor,
+            })
+    return failures

@@ -22,7 +22,13 @@ are extracted per request, so callers never see their batchmates.
 
 The coalescing policy is deliberately deterministic (no background
 thread): time only enters through the injectable ``clock`` callable,
-which tests replace with a fake to pin down the latency budget.
+which tests replace with a fake to pin down the latency budget.  An
+external scheduler (the asyncio service layer in
+:mod:`repro.serving`) drives time-based dispatch through the same
+clock via :meth:`BatchQueue.next_deadline_ms` /
+:meth:`BatchQueue.dispatch_overdue` — no caller ever needs a bare
+``time.monotonic()`` next to the queue, so fake-clock determinism
+extends all the way up the stack.
 """
 
 from __future__ import annotations
@@ -121,6 +127,19 @@ class BatchQueue:
     parallel:
         Optional :class:`~repro.parallel.ParallelConfig` forwarded to
         the engine (``None`` reads ``REPRO_WORKERS`` per dispatch).
+    on_dispatch:
+        Optional callback invoked after every dispatch with
+        ``(tickets, batch_id, modeled_ms)`` — the just-served tickets
+        (already ``done``), the batch id stamped on their launches,
+        and the simulated device milliseconds the batch cost (0.0
+        with no device attached or in production mode).  The serving
+        layer uses this to resolve awaiting futures and to price
+        completions on its virtual-time server model.
+    tag_prefix:
+        Prepended verbatim to every ``batch=<id> size=<B>`` launch
+        tag.  A service hosting several queues on one tracer sets
+        this (e.g. ``"mat=hot;"``) so batch ids stay unambiguous
+        across queues.
     """
 
     def __init__(self, matrix, nt: int = 16, extract_threshold: int = 2,
@@ -128,7 +147,9 @@ class BatchQueue:
                  max_delay_ms: Optional[float] = None,
                  clock: Callable[[], float] = time.monotonic,
                  plan_cache=None, shard_affinity: bool = True,
-                 parallel=None):
+                 parallel=None,
+                 on_dispatch: Optional[Callable] = None,
+                 tag_prefix: str = ""):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay_ms is not None and max_delay_ms < 0:
@@ -144,6 +165,8 @@ class BatchQueue:
         self.max_batch = int(max_batch)
         self.max_delay_ms = max_delay_ms
         self._clock = clock
+        self._on_dispatch = on_dispatch
+        self._tag_prefix = str(tag_prefix)
         self.ctx = ExecutionContext.wrap(device, operator="batch_queue")
         self._engines: Dict[Semiring, object] = {}
         self._pending: Dict[Semiring, List[BatchTicket]] = {}
@@ -166,6 +189,13 @@ class BatchQueue:
                 parallel=self._parallel)
             self._engines[semiring] = engine
         return engine
+
+    def warm(self, semiring: Semiring = PLUS_TIMES) -> None:
+        """Build the engine (and therefore the cached preprocessing
+        plan) for ``semiring`` now, ahead of the first dispatch — the
+        hook the serving layer uses to pre-tile and pin hot matrices
+        before traffic arrives."""
+        self._engine(semiring)
 
     # ------------------------------------------------------------------
     def submit(self, x, semiring: Semiring = PLUS_TIMES,
@@ -217,16 +247,44 @@ class BatchQueue:
             "affinity_seeded": self._affinity_seeded,
         }
 
-    # ------------------------------------------------------------------
-    def _dispatch_overdue(self) -> None:
+    def next_deadline_ms(self) -> Optional[float]:
+        """Milliseconds (per the injectable clock) until the earliest
+        latency-budget deadline among pending groups — possibly
+        negative when a group is already overdue; ``None`` when no
+        deadline is armed (no ``max_delay_ms``, or nothing pending).
+
+        This is the only deadline arithmetic an external dispatch loop
+        needs, and it runs entirely on the injectable clock, so a
+        fake-clock test of the async service layer stays deterministic.
+        """
         if self.max_delay_ms is None:
-            return
+            return None
+        oldest = [self._oldest[s] for s in self._pending
+                  if self._pending[s]]
+        if not oldest:
+            return None
+        deadline = min(oldest) + self.max_delay_ms / 1e3
+        return (deadline - self._clock()) * 1e3
+
+    def dispatch_overdue(self) -> int:
+        """Dispatch every group whose oldest request has exhausted the
+        latency budget (per the injectable clock); returns how many
+        requests were served.  Called implicitly on every submit and
+        explicitly by external dispatch loops."""
+        if self.max_delay_ms is None:
+            return 0
+        served = 0
         now = self._clock()
         for s in list(self._pending):
             if (self._pending[s]
                     and (now - self._oldest[s]) * 1e3
                     >= self.max_delay_ms):
-                self._dispatch(s)
+                served += self._dispatch(s)
+        return served
+
+    # ------------------------------------------------------------------
+    def _dispatch_overdue(self) -> None:
+        self.dispatch_overdue()
 
     def _dispatch(self, semiring: Semiring) -> int:
         group = self._pending.get(semiring) or []
@@ -242,9 +300,12 @@ class BatchQueue:
             if sharded is not None:
                 self._affinity_seeded += \
                     sharded.seed_affinity_from_residency()
+        elapsed_before = self.ctx.elapsed_ms
         Y = engine.multiply_batch([t._x for t in group], output="dense",
-                                  tag=f"batch={batch_id} "
+                                  tag=f"{self._tag_prefix}"
+                                      f"batch={batch_id} "
                                       f"size={len(group)}")
+        modeled_ms = self.ctx.elapsed_ms - elapsed_before
         for b, ticket in enumerate(group):
             if ticket.output == "dense":
                 ticket._result = Y[b].copy()
@@ -256,6 +317,8 @@ class BatchQueue:
             ticket._x = None          # release the enqueued vector
         self._batches += 1
         self._dispatched += len(group)
+        if self._on_dispatch is not None:
+            self._on_dispatch(group, batch_id, modeled_ms)
         return len(group)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

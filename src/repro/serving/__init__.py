@@ -1,0 +1,33 @@
+"""Async graph-query serving layer over the batching runtime.
+
+The client-facing surface of the repo: register matrices with a
+:class:`GraphQueryService`, submit :class:`MultiplyQuery` /
+:class:`BFSQuery` / :class:`PageRankQuery` requests, and ``await`` the
+results while a dispatch loop coalesces compatible multiplies into
+batched TileSpMSpV launches.  Admission control
+(:class:`AdmissionController`) bounds the queue and rejects with
+retry-after under saturation; :class:`TenantPlanCache` hard-partitions
+the plan cache per tenant with pin quotas; :class:`RequestLog` ties
+each request to its kernel launches in the trace and rolls up
+p50/p99 latency.  Everything runs on one injectable clock —
+:class:`VirtualClock` makes whole traffic runs deterministic, which is
+how the serving benchmark stays CI-guardable.
+"""
+
+from .admission import AdmissionController
+from .clock import VirtualClock
+from .errors import (ServiceSaturated, ServingError, TenantQuotaError,
+                     UnknownMatrixError)
+from .observability import RequestLog, RequestRecord
+from .service import (BFSQuery, GraphQueryService, MultiplyQuery,
+                      PageRankQuery, ServingTicket)
+from .tenancy import DEFAULT_TENANT, TenantPlanCache
+
+__all__ = [
+    "GraphQueryService", "ServingTicket",
+    "MultiplyQuery", "BFSQuery", "PageRankQuery",
+    "AdmissionController", "TenantPlanCache", "DEFAULT_TENANT",
+    "RequestLog", "RequestRecord", "VirtualClock",
+    "ServingError", "ServiceSaturated", "TenantQuotaError",
+    "UnknownMatrixError",
+]

@@ -1,0 +1,104 @@
+"""Admission control: bounded queues, reject-with-retry-after.
+
+An open service with an unbounded queue converts overload into
+unbounded latency; bounding the queue converts it into explicit,
+retriable rejections — the correct failure mode for open-loop traffic
+(the load generator in ``benchmarks/bench_serving.py`` drives exactly
+this: past the saturation knee, goodput plateaus at capacity and the
+reject rate absorbs the rest, instead of p99 diverging).
+
+Two budgets, both optional:
+
+* ``max_pending`` — a hard cap on requests enqueued but not yet
+  dispatched (queue depth).
+* ``max_backlog_ms`` — a cap on the modeled server backlog (how far
+  ``busy_until`` runs ahead of now on the virtual-time server model).
+  This is the budget that matters in simulated runs, where dispatch is
+  instantaneous but modeled service time accumulates.
+
+Rejections raise :class:`~repro.serving.errors.ServiceSaturated` with
+a deterministic ``retry_after_ms`` (the time for the backlog to drain
+under the budget, floored at ``min_retry_ms``) — deterministic so the
+fake-clock tests can assert exact values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .errors import ServiceSaturated
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded-queue admission policy for the serving layer.
+
+    Parameters
+    ----------
+    max_pending:
+        Maximum requests awaiting dispatch; ``None`` removes the
+        depth bound.
+    max_backlog_ms:
+        Maximum modeled server backlog; ``None`` removes the backlog
+        bound.
+    min_retry_ms:
+        Floor for the retry-after hint (a zero hint invites an
+        immediate, equally doomed retry).
+    """
+
+    def __init__(self, max_pending: Optional[int] = 256,
+                 max_backlog_ms: Optional[float] = None,
+                 min_retry_ms: float = 1.0):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {max_pending}")
+        if max_backlog_ms is not None and max_backlog_ms < 0:
+            raise ValueError(
+                f"max_backlog_ms must be >= 0, got {max_backlog_ms}")
+        self.max_pending = max_pending
+        self.max_backlog_ms = max_backlog_ms
+        self.min_retry_ms = float(min_retry_ms)
+        self.admitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def admit(self, pending: int, backlog_ms: float) -> None:
+        """Admit one request or raise :class:`ServiceSaturated`.
+
+        ``pending`` is the current queue depth, ``backlog_ms`` the
+        modeled server backlog; both are measured by the service on its
+        injectable clock — no time is read here.
+        """
+        if self.max_pending is not None and pending >= self.max_pending:
+            self.rejected += 1
+            raise ServiceSaturated(
+                retry_after_ms=max(backlog_ms, self.min_retry_ms),
+                queue_depth=pending, backlog_ms=backlog_ms,
+                reason=f"queue depth {pending} >= {self.max_pending}")
+        if (self.max_backlog_ms is not None
+                and backlog_ms > self.max_backlog_ms):
+            self.rejected += 1
+            raise ServiceSaturated(
+                retry_after_ms=max(backlog_ms - self.max_backlog_ms,
+                                   self.min_retry_ms),
+                queue_depth=pending, backlog_ms=backlog_ms,
+                reason=f"backlog {backlog_ms:.3f}ms > "
+                       f"{self.max_backlog_ms:.3f}ms")
+        self.admitted += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        total = self.admitted + self.rejected
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "reject_rate": self.rejected / total if total else 0.0,
+            "max_pending": self.max_pending,
+            "max_backlog_ms": self.max_backlog_ms,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<AdmissionController pending<={self.max_pending} "
+                f"backlog<={self.max_backlog_ms}ms "
+                f"admitted={self.admitted} rejected={self.rejected}>")

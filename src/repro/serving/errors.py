@@ -1,0 +1,62 @@
+"""Service-layer errors.
+
+Separated from the engine error hierarchy (:mod:`repro.errors`): these
+describe *request* failures — a client asked for something the service
+cannot serve right now — not algorithmic or format violations.
+:class:`ServiceSaturated` is the retriable one; it carries everything a
+well-behaved client needs to back off (retry-after hint, observed queue
+depth and backlog) rather than hammer a saturated service.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServingError", "UnknownMatrixError", "ServiceSaturated",
+           "TenantQuotaError"]
+
+
+class ServingError(Exception):
+    """Base class for request-path failures of the serving layer."""
+
+
+class UnknownMatrixError(ServingError, KeyError):
+    """The query names a matrix the service has not registered."""
+
+    def __init__(self, name: str, known):
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown matrix {name!r}; registered: {list(self.known)}")
+
+
+class ServiceSaturated(ServingError):
+    """Admission control rejected the request — the service is over
+    its pending-depth or backlog budget.
+
+    Retriable by contract: ``retry_after_ms`` is the service's estimate
+    of when capacity frees up, ``queue_depth`` and ``backlog_ms`` are
+    the saturation evidence at rejection time (tests and clients can
+    assert on them).
+    """
+
+    def __init__(self, retry_after_ms: float, queue_depth: int,
+                 backlog_ms: float, reason: str = "saturated"):
+        self.retry_after_ms = float(retry_after_ms)
+        self.queue_depth = int(queue_depth)
+        self.backlog_ms = float(backlog_ms)
+        self.reason = reason
+        self.retriable = True
+        super().__init__(
+            f"service saturated ({reason}): queue_depth="
+            f"{self.queue_depth} backlog={self.backlog_ms:.3f}ms; "
+            f"retry after {self.retry_after_ms:.3f}ms")
+
+
+class TenantQuotaError(ServingError):
+    """A tenant tried to pin more plans than its quota allows."""
+
+    def __init__(self, tenant: str, quota: int):
+        self.tenant = tenant
+        self.quota = quota
+        super().__init__(
+            f"tenant {tenant!r} is at its pin quota ({quota} plans); "
+            f"unpin one before pinning another")

@@ -1,0 +1,132 @@
+"""Multi-tenant plan-cache partitioning with per-tenant pin quotas.
+
+The PR-1 :class:`~repro.runtime.PlanCache` is a single LRU shared by
+everything in the process — fine for one workload, wrong for a service
+where tenant A's burst of cold matrices must not evict tenant B's hot
+pinned plans.  :class:`TenantPlanCache` closes that gap with hard
+partitioning: each tenant gets its own :class:`PlanCache` of
+``partition_size`` entries, so eviction pressure never crosses tenant
+boundaries *by construction* (there is no shared LRU list for one
+tenant to churn).
+
+Pinning is the second budget.  A pinned plan is exempt from LRU
+eviction, which makes it a memory liability — so each tenant may hold
+at most ``pin_quota`` pins, enforced here (the underlying cache's
+``pin`` is unmetered).  One tenant exhausting its quota raises
+:class:`~repro.serving.errors.TenantQuotaError` for *that tenant only*;
+other tenants' pins and partitions are untouched — the isolation
+property ``tests/serving/test_tenancy.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from ..runtime import PlanCache
+from .errors import TenantQuotaError
+
+__all__ = ["TenantPlanCache"]
+
+DEFAULT_TENANT = "default"
+
+
+class TenantPlanCache:
+    """Per-tenant :class:`PlanCache` partitions with pin quotas.
+
+    Parameters
+    ----------
+    partition_size:
+        LRU capacity of each tenant's private partition (entries, not
+        bytes — plans pin their matrices, so this bounds live plan
+        count per tenant).
+    pin_quota:
+        Maximum plans a tenant may pin at once.  ``0`` disables
+        pinning for all tenants.
+    """
+
+    def __init__(self, partition_size: int = 32, pin_quota: int = 4):
+        if partition_size < 1:
+            raise ValueError(
+                f"partition_size must be >= 1, got {partition_size}")
+        if pin_quota < 0:
+            raise ValueError(f"pin_quota must be >= 0, got {pin_quota}")
+        self.partition_size = int(partition_size)
+        self.pin_quota = int(pin_quota)
+        self._partitions: Dict[str, PlanCache] = {}
+        self._pins: Dict[str, set] = {}
+
+    # ------------------------------------------------------------------
+    def partition(self, tenant: str = DEFAULT_TENANT) -> PlanCache:
+        """The tenant's private plan cache (created on first use).
+
+        Hand this to operators / queues serving the tenant's matrices;
+        their plans then live and die inside the partition.
+        """
+        cache = self._partitions.get(tenant)
+        if cache is None:
+            cache = PlanCache(maxsize=self.partition_size)
+            self._partitions[tenant] = cache
+            self._pins[tenant] = set()
+        return cache
+
+    @property
+    def tenants(self) -> tuple:
+        return tuple(self._partitions)
+
+    # ------------------------------------------------------------------
+    def pin(self, tenant: str, key: Hashable) -> bool:
+        """Pin ``key`` in the tenant's partition, charged against its
+        quota.
+
+        Returns ``False`` when the key is absent from the partition
+        (nothing to pin); raises :class:`TenantQuotaError` when the
+        tenant is already at quota.  Re-pinning an already-pinned key
+        is a free no-op.
+        """
+        cache = self.partition(tenant)
+        pins = self._pins[tenant]
+        if key in pins and cache.is_pinned(key):
+            return True
+        if len(pins) >= self.pin_quota:
+            raise TenantQuotaError(tenant, self.pin_quota)
+        if not cache.pin(key):
+            return False
+        pins.add(key)
+        return True
+
+    def unpin(self, tenant: str, key: Hashable) -> bool:
+        """Release one pin; returns ``False`` if it wasn't held."""
+        cache = self._partitions.get(tenant)
+        if cache is None:
+            return False
+        self._pins[tenant].discard(key)
+        return cache.unpin(key)
+
+    def pinned(self, tenant: str) -> int:
+        """Pins the tenant currently holds against its quota."""
+        return len(self._pins.get(tenant, ()))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict]:
+        """Per-tenant cache stats plus pin accounting."""
+        out: Dict[str, Dict] = {}
+        for tenant, cache in self._partitions.items():
+            s = cache.stats()
+            s["pin_quota"] = self.pin_quota
+            s["pins_held"] = len(self._pins[tenant])
+            out[tenant] = s
+        return out
+
+    def clear(self, tenant: Optional[str] = None) -> None:
+        """Drop one tenant's partition (or all of them)."""
+        if tenant is not None:
+            self._partitions.pop(tenant, None)
+            self._pins.pop(tenant, None)
+            return
+        self._partitions.clear()
+        self._pins.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<TenantPlanCache {len(self._partitions)} tenants, "
+                f"partition_size={self.partition_size}, "
+                f"pin_quota={self.pin_quota}>")

@@ -646,6 +646,64 @@ def check_parallel_invariance(case: Case) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# serving-layer checks
+# ----------------------------------------------------------------------
+def check_serving_equivalence(case: Case) -> Optional[str]:
+    """Replaying a recorded request schedule through the serving layer
+    must be bit-identical to direct engine calls.
+
+    The schedule is deterministic: the case's vectors arrive at fixed
+    virtual-time intervals against a coalescing service (batch budget
+    2, latency budget 1 ms), so some requests dispatch on the size
+    budget and some on the clock — both paths must hand back exactly
+    what :class:`~repro.core.spmspv.TileSpMSpV` computes for the same
+    vector, and every request must resolve to at least one tagged
+    launch in the trace.
+    """
+    from ..core.spmspv import TileSpMSpV
+    from ..runtime import Tracer
+    from ..serving import GraphQueryService, MultiplyQuery, VirtualClock
+
+    clock = VirtualClock()
+    svc = GraphQueryService(device=Device(), tracer=Tracer(),
+                            clock=clock, max_batch=2, max_delay_ms=1.0)
+    svc.register_matrix("m", case.matrix, nt=case.nt)
+    tickets = []
+    for i, x in enumerate(case.vectors):
+        clock.advance(0.4e-3)           # recorded arrival spacing
+        svc.pump()
+        tickets.append(svc.submit_nowait(
+            MultiplyQuery("m", x, semiring=case.sr, output="dense")))
+    clock.advance(1.1e-3)
+    svc.pump()
+    svc.drain()
+
+    direct = TileSpMSpV(case.matrix, nt=case.nt, semiring=case.sr)
+    for i, (x, t) in enumerate(zip(case.vectors, tickets)):
+        if not t.done:
+            return f"request {i} never dispatched"
+        want = direct.multiply(x, output="dense")
+        got = t.value
+        if case.sr.dtype.kind in "ui":
+            same = np.array_equal(got, want)
+        else:
+            same = np.array_equal(got.view(np.uint64),
+                                  want.view(np.uint64))
+        if not same:
+            bad = int(np.flatnonzero(np.asarray(got) != want)[0]) \
+                if case.sr.dtype.kind in "ui" else \
+                int(np.flatnonzero(got.view(np.uint64)
+                                   != want.view(np.uint64))[0])
+            return (f"served result {i} differs from direct engine "
+                    f"at slot {bad}: got {got[bad]!r}, "
+                    f"want {want[bad]!r}")
+        if not svc.events_for(t.request_id):
+            return (f"request {i} resolves to no tagged launches in "
+                    f"the trace")
+    return None
+
+
+# ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
 _PRIMITIVE_CHECKS: Dict[str, Callable[[Case], Optional[str]]] = {
@@ -681,6 +739,8 @@ def checks_for(case: Case
             out.append(("production-replay", check_production_replay))
         if "batch" in entry.capabilities:
             out.append(("batch-of-one", check_batch_of_one))
+            out.append(("serving-equivalence",
+                        check_serving_equivalence))
             if len(case.vectors) > 1:
                 out.append(("batched-union-bytes",
                             check_batched_union_bytes))
@@ -700,6 +760,7 @@ CHECK_NAMES = sorted({
     "scale-linearity", "plan-cache-replay", "active-set-payload",
     "batch-of-one", "batched-union-bytes", "shard-invariance",
     "parallel-invariance", "fastpath-equivalence", "production-replay",
+    "serving-equivalence",
     *_PRIMITIVE_CHECKS,
 })
 

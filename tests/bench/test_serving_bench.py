@@ -1,0 +1,115 @@
+"""The serving load-generator benchmark and its regression guard:
+virtual-time determinism, saturation-knee shape, and the guard's
+failure modes (the committed ``BENCH_serving.smoke.json`` stays
+honest)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.serving import (check_serving_regression, known_rates,
+                                 run_serving_bench)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_serving_bench(rates=(0.5, 3.0), n_requests=80,
+                             smoke=True)
+
+
+def row(rate, goodput=100.0, p99=2.0):
+    return {"rate": rate, "goodput_rps": goodput, "p99_ms": p99}
+
+
+class TestBenchRun:
+    def test_deterministic_across_runs(self, smoke_report):
+        again = run_serving_bench(rates=(0.5, 3.0), n_requests=80,
+                                  smoke=True)
+        assert smoke_report == again       # bit-identical JSON payload
+
+    def test_report_shape(self, smoke_report):
+        meta = smoke_report["meta"]
+        assert meta["capacity_rps"] > 0
+        assert meta["mean_service_ms"] > 0
+        assert meta["smoke"] is True
+        assert known_rates(smoke_report) == (0.5, 3.0)
+        for r in smoke_report["rates"]:
+            assert r["completed"] + r["rejected"] == r["requests"]
+            assert r["p99_ms"] >= r["p50_ms"] >= 0
+            assert set(r["latency_by_kind"]) <= {"multiply", "bfs",
+                                                 "pagerank"}
+
+    def test_saturation_knee(self, smoke_report):
+        """Past capacity the service rejects instead of diverging:
+        the overloaded point has a materially higher reject rate, and
+        its goodput stays near calibrated capacity instead of scaling
+        with offered load."""
+        below, above = smoke_report["rates"]
+        assert below["rate"] < 1.0 < above["rate"]
+        assert above["reject_rate"] > below["reject_rate"] + 0.2
+        capacity = smoke_report["meta"]["capacity_rps"]
+        assert above["goodput_rps"] < 2.0 * capacity
+        assert above["goodput_rps"] < 0.7 * above["offered_rps"]
+
+    def test_committed_baselines_reproduce(self):
+        """The committed smoke baseline must be exactly what this
+        commit's code produces — regenerate and compare."""
+        path = REPO_ROOT / "BENCH_serving.smoke.json"
+        committed = json.loads(path.read_text(encoding="utf-8"))
+        fresh = run_serving_bench(smoke=True)
+        assert check_serving_regression(fresh, committed) == []
+        assert known_rates(fresh) == known_rates(committed)
+
+    def test_full_baseline_covers_three_plus_rates(self):
+        """The acceptance criterion: the committed full report sweeps
+        at least three rates and shows the knee (a rate past capacity
+        with a nonzero reject rate and plateaued goodput)."""
+        path = REPO_ROOT / "BENCH_serving.json"
+        committed = json.loads(path.read_text(encoding="utf-8"))
+        rates = committed["rates"]
+        assert len(rates) >= 3
+        over = [r for r in rates if r["rate"] > 1.0]
+        under = [r for r in rates if r["rate"] < 1.0]
+        assert over and under
+        assert all(r["reject_rate"] == 0.0 for r in under)
+        assert max(r["reject_rate"] for r in over) > 0.3
+        capacity = committed["meta"]["capacity_rps"]
+        assert all(r["goodput_rps"] < 2.0 * capacity for r in over)
+
+
+class TestRegressionGuard:
+    def test_clean_pass(self):
+        base = {"rates": [row(0.5), row(3.0)]}
+        assert check_serving_regression(base, base) == []
+
+    def test_goodput_floor(self):
+        committed = {"rates": [row(0.5, goodput=100.0)]}
+        current = {"rates": [row(0.5, goodput=80.0)]}
+        failures = check_serving_regression(current, committed,
+                                            floor=0.9)
+        assert len(failures) == 1
+        assert failures[0]["label"] == "rate:0.5/goodput_rps"
+        assert failures[0]["floor"] == pytest.approx(90.0)
+
+    def test_p99_ceiling(self):
+        committed = {"rates": [row(1.0, p99=2.0)]}
+        current = {"rates": [row(1.0, p99=3.0)]}
+        failures = check_serving_regression(current, committed,
+                                            floor=0.9)
+        assert [f["label"] for f in failures] == ["rate:1/p99_ms"]
+        assert failures[0]["ceiling"] == pytest.approx(2.0 / 0.9)
+
+    def test_missing_rate_fails_hard(self):
+        committed = {"rates": [row(0.5), row(3.0)]}
+        current = {"rates": [row(0.5)]}
+        failures = check_serving_regression(current, committed)
+        assert {"label": "rate:3", "missing": True} in failures
+
+    def test_new_rates_in_current_are_allowed(self):
+        committed = {"rates": [row(0.5)]}
+        current = {"rates": [row(0.5), row(8.0, goodput=1.0,
+                                           p99=999.0)]}
+        assert check_serving_regression(current, committed) == []

@@ -146,6 +146,82 @@ class TestDispatchPolicy:
 
 
 # ----------------------------------------------------------------------
+# external dispatch surface (what the serving layer drives)
+# ----------------------------------------------------------------------
+class TestExternalDispatch:
+    def test_next_deadline_tracks_oldest(self, coo):
+        clock = FakeClock()
+        q = BatchQueue(coo, nt=8, max_batch=100, max_delay_ms=10.0,
+                       clock=clock)
+        assert q.next_deadline_ms() is None       # nothing pending
+        q.submit(vec(1))
+        assert q.next_deadline_ms() == pytest.approx(10.0)
+        clock.advance(0.004)
+        assert q.next_deadline_ms() == pytest.approx(6.0)
+        clock.advance(0.008)                      # 2 ms overdue
+        assert q.next_deadline_ms() == pytest.approx(-2.0)
+
+    def test_next_deadline_none_without_budget(self, coo):
+        q = BatchQueue(coo, nt=8, max_batch=100)
+        q.submit(vec(1))
+        assert q.next_deadline_ms() is None
+
+    def test_dispatch_overdue(self, coo):
+        clock = FakeClock()
+        q = BatchQueue(coo, nt=8, max_batch=100, max_delay_ms=10.0,
+                       clock=clock)
+        t = q.submit(vec(1))
+        assert q.dispatch_overdue() == 0 and not t.done
+        clock.advance(0.011)
+        assert q.dispatch_overdue() == 1 and t.done
+        assert q.dispatch_overdue() == 0
+
+    def test_on_dispatch_callback(self, coo):
+        calls = []
+        q = BatchQueue(coo, nt=8, max_batch=2, device=Device(),
+                       on_dispatch=lambda tk, bid, ms:
+                       calls.append((tk, bid, ms)))
+        t1, t2 = q.submit(vec(1)), q.submit(vec(2))
+        assert len(calls) == 1
+        tickets, batch_id, modeled_ms = calls[0]
+        assert tickets == [t1, t2] and batch_id == 0
+        assert all(t.done for t in tickets)       # done before callback
+        assert modeled_ms > 0                     # priced by the device
+        q.submit(vec(3))
+        assert q.flush() == 1 and len(calls) == 2
+        assert calls[1][1] == 1 and len(calls[1][0]) == 1
+
+    def test_on_dispatch_modeled_ms_without_device(self, coo):
+        calls = []
+        q = BatchQueue(coo, nt=8, max_batch=1,
+                       on_dispatch=lambda tk, bid, ms: calls.append(ms))
+        q.submit(vec(1))
+        assert calls == [0.0]
+
+    def test_warm_prebuilds_cached_plan(self, coo):
+        from repro.runtime import PlanCache
+        cache = PlanCache()
+        q = BatchQueue(coo, nt=8, plan_cache=cache)
+        assert cache.stats()["size"] == 0
+        q.warm()
+        assert cache.stats()["size"] == 1
+        misses = cache.stats()["misses"]
+        t = q.submit(vec(1))
+        t.result()
+        assert cache.stats()["misses"] == misses  # dispatch reused it
+
+    def test_tag_prefix_reaches_trace(self, coo):
+        tracer = Tracer()
+        ctx = ExecutionContext(device=Device(), tracer=tracer)
+        q = BatchQueue(coo, nt=8, max_batch=2, device=ctx,
+                       tag_prefix="mat=hot;")
+        q.submit(vec(1))
+        q.submit(vec(2))
+        assert "mat=hot;batch=0 size=2" in [ev.tag
+                                            for ev in tracer.events]
+
+
+# ----------------------------------------------------------------------
 # the degenerate-batch property: max_batch=1 == the single-vector path
 # ----------------------------------------------------------------------
 @given(st.lists(st.integers(min_value=0, max_value=2**16),

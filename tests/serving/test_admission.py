@@ -1,0 +1,104 @@
+"""Admission control: bounded queues turn overload into retriable
+rejections (the satellite acceptance test: a saturated queue rejects
+with a retriable error carrying the observed queue depth)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.serving import (AdmissionController, GraphQueryService,
+                           MultiplyQuery, ServiceSaturated,
+                           ServingError, VirtualClock)
+
+from ..conftest import random_dense
+
+N = 64
+
+
+@pytest.fixture(scope="module")
+def coo():
+    return COOMatrix.from_dense(random_dense(N, N, 0.08, seed=11))
+
+
+def vec(seed, k=6):
+    r = np.random.default_rng(seed)
+    idx = np.sort(r.choice(N, size=k, replace=False))
+    from repro.vectors import SparseVector
+    return SparseVector(N, idx, 1.0 + r.random(k))
+
+
+class TestController:
+    def test_depth_bound(self):
+        ac = AdmissionController(max_pending=2)
+        ac.admit(0, 0.0)
+        ac.admit(1, 0.0)
+        with pytest.raises(ServiceSaturated) as ei:
+            ac.admit(2, 0.0)
+        err = ei.value
+        assert err.retriable is True
+        assert err.queue_depth == 2
+        assert err.retry_after_ms >= ac.min_retry_ms
+        assert isinstance(err, ServingError)
+
+    def test_backlog_bound_retry_after_is_drain_time(self):
+        ac = AdmissionController(max_pending=None, max_backlog_ms=10.0)
+        ac.admit(5, 10.0)                      # at the bound: admitted
+        with pytest.raises(ServiceSaturated) as ei:
+            ac.admit(5, 17.5)
+        # the hint is the time for the backlog to drain under budget
+        assert ei.value.retry_after_ms == pytest.approx(7.5)
+        assert ei.value.backlog_ms == pytest.approx(17.5)
+
+    def test_stats_and_reject_rate(self):
+        ac = AdmissionController(max_pending=1)
+        ac.admit(0, 0.0)
+        for _ in range(3):
+            with pytest.raises(ServiceSaturated):
+                ac.admit(1, 0.0)
+        s = ac.stats()
+        assert s["admitted"] == 1 and s["rejected"] == 3
+        assert s["reject_rate"] == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_backlog_ms=-1.0)
+
+    def test_unbounded_admits_everything(self):
+        ac = AdmissionController(max_pending=None, max_backlog_ms=None)
+        for depth in (0, 10**6):
+            ac.admit(depth, 1e9)
+        assert ac.stats()["reject_rate"] == 0.0
+
+
+class TestServiceBackpressure:
+    def test_saturated_queue_rejects_with_depth(self, coo):
+        svc = GraphQueryService(
+            clock=VirtualClock(), max_batch=100, max_delay_ms=None,
+            admission=AdmissionController(max_pending=3))
+        svc.register_matrix("m", coo)
+        for s in range(3):
+            svc.submit_nowait(MultiplyQuery("m", vec(s)))
+        with pytest.raises(ServiceSaturated) as ei:
+            svc.submit_nowait(MultiplyQuery("m", vec(9)))
+        assert ei.value.queue_depth == 3
+        assert ei.value.retriable
+        # the rejected request is in the log, not silently dropped
+        assert svc.log.rejected == 1
+        assert svc.stats()["admission"]["rejected"] == 1
+        # draining frees capacity: the retry succeeds
+        svc.drain()
+        t = svc.submit_nowait(MultiplyQuery("m", vec(9)))
+        assert svc.log.rejected == 1 and t is not None
+
+    def test_rejected_requests_never_reach_a_queue(self, coo):
+        svc = GraphQueryService(
+            clock=VirtualClock(), max_batch=100, max_delay_ms=None,
+            admission=AdmissionController(max_pending=1))
+        svc.register_matrix("m", coo)
+        svc.submit_nowait(MultiplyQuery("m", vec(1)))
+        with pytest.raises(ServiceSaturated):
+            svc.submit_nowait(MultiplyQuery("m", vec(2)))
+        assert svc.pending == 1
+        assert svc.stats()["queues"]["m"]["requests"] == 1

@@ -1,0 +1,148 @@
+"""Determinism of the serving stack.
+
+Three properties:
+
+* a recorded request schedule replayed on a fresh service reproduces
+  the *entire* request log bit-for-bit (fake-clock hypothesis
+  property — what makes the serving benchmark CI-guardable);
+* ``max_batch=1`` through the **async** submit path reproduces the
+  single-vector engine exactly — results, device-timeline counters,
+  and trace events (the service-layer extension of the batch queue's
+  degenerate-batch oracle);
+* no code in ``repro.serving`` reads the wall clock directly — every
+  timestamp flows through the injectable clock (the satellite fix:
+  the async dispatch loop must not sneak a bare ``time.monotonic()``
+  past the fake-clock tests).
+"""
+
+import asyncio
+import dataclasses
+import pathlib
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TileSpMSpV
+from repro.formats import COOMatrix
+from repro.gpusim import Device
+from repro.runtime import ExecutionContext, Tracer
+from repro.semiring import MIN_PLUS, PLUS_TIMES
+from repro.serving import (BFSQuery, GraphQueryService, MultiplyQuery,
+                           PageRankQuery, ServiceSaturated,
+                           AdmissionController, VirtualClock)
+from repro.vectors import SparseVector
+
+from ..conftest import random_dense
+
+N = 96
+
+
+def vec(seed, k=8):
+    r = np.random.default_rng(seed)
+    idx = np.sort(r.choice(N, size=k, replace=False))
+    return SparseVector(N, idx, 1.0 + r.random(k))
+
+
+def _replay(coo, schedule):
+    """One deterministic traffic replay; returns the request log rows
+    and the service stats."""
+    clk = VirtualClock()
+    svc = GraphQueryService(
+        device=Device(), clock=clk, max_batch=3, max_delay_ms=1.0,
+        admission=AdmissionController(max_pending=4))
+    svc.register_matrix("m", coo)
+    for gap_us, kind_code, seed in schedule:
+        clk.advance(gap_us * 1e-6)
+        svc.pump()
+        if kind_code == 0:
+            query = MultiplyQuery("m", vec(seed))
+        elif kind_code == 1:
+            query = BFSQuery("m", seed % N)
+        else:
+            query = PageRankQuery("m", max_iter=5)
+        try:
+            svc.submit_nowait(query)
+        except ServiceSaturated:
+            pass
+    clk.advance(2e-3)
+    svc.pump()
+    svc.drain()
+    return svc.log.to_dicts(), svc.stats()
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2000),
+                          st.integers(min_value=0, max_value=2),
+                          st.integers(min_value=0, max_value=2**16)),
+                min_size=1, max_size=12))
+@settings(max_examples=15, deadline=None)
+def test_replayed_schedule_is_bit_identical(schedule):
+    coo = COOMatrix.from_dense(random_dense(N, N, 0.06, seed=31))
+    rows1, stats1 = _replay(coo, schedule)
+    rows2, stats2 = _replay(coo, schedule)
+    assert rows1 == rows2           # submit/done times, batches, all
+    assert stats1 == stats2
+
+
+def test_async_batch_of_one_reproduces_single_path():
+    """The satellite acceptance test: ``max_batch=1`` through the
+    async path is launch-for-launch identical to the single-vector
+    engine — counters and trace included."""
+    coo = COOMatrix.from_dense(random_dense(N, N, 0.06, seed=31))
+    seeds = [3, 11, 19, 27]
+
+    for semiring in (PLUS_TIMES, MIN_PLUS):
+        single_tracer = Tracer()
+        single_ctx = ExecutionContext(device=Device(),
+                                      tracer=single_tracer)
+        single = TileSpMSpV(coo, semiring=semiring, device=single_ctx)
+
+        served_tracer = Tracer()
+        svc = GraphQueryService(device=Device(), tracer=served_tracer,
+                                max_batch=1, max_delay_ms=None)
+        svc.register_matrix("m", coo)
+
+        async def main():
+            await svc.start()
+            try:
+                return [await svc.submit(
+                    MultiplyQuery("m", vec(s), semiring=semiring))
+                    for s in seeds]
+            finally:
+                await svc.stop()
+
+        served = asyncio.run(main())
+        for s, y in zip(seeds, served):
+            y_ref = single.multiply(vec(s))
+            assert np.array_equal(y.indices, y_ref.indices)
+            assert np.array_equal(y.values, y_ref.values)
+
+        # trace events: same count, pairwise identical counters and
+        # priced durations (kernel names / phase labels differ by
+        # design, as in the batch queue's degenerate-batch oracle)
+        assert len(served_tracer.events) == len(single_tracer.events)
+        for qe, se in zip(served_tracer.events, single_tracer.events):
+            assert qe.dur_ms == se.dur_ms
+            for f in dataclasses.fields(se.counters):
+                assert getattr(qe.counters, f.name) == \
+                    getattr(se.counters, f.name), f.name
+        assert svc.ctx.elapsed_ms == single_ctx.elapsed_ms
+        # every request has its own batch of one, resolvable to its
+        # exact launches
+        for rec in svc.log.records:
+            assert rec.batch_size == 1
+            assert len(svc.events_for(rec.request_id)) == 1
+
+
+def test_serving_package_never_reads_the_wall_clock():
+    """Everything under ``repro.serving`` must take time from the
+    injectable clock: a bare ``time.monotonic()`` (or friends) in the
+    dispatch path would desynchronize fake-clock runs."""
+    import repro.serving as serving
+    pkg = pathlib.Path(serving.__file__).parent
+    forbidden = ("time.monotonic()", "time.time()",
+                 "time.perf_counter()", "monotonic_ns", "perf_counter_ns")
+    for path in sorted(pkg.glob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        for call in forbidden:
+            assert call not in source, f"{path.name} calls {call}"

@@ -1,0 +1,242 @@
+"""The graph-query service: registration, routing, coalescing, the
+async submit path, and request-level observability."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import TileBFS, TileSpMSpV
+from repro.formats import COOMatrix
+from repro.gpusim import Device
+from repro.graphs import pagerank
+from repro.runtime import Tracer
+from repro.semiring import MIN_PLUS
+from repro.serving import (BFSQuery, GraphQueryService, MultiplyQuery,
+                           PageRankQuery, UnknownMatrixError,
+                           VirtualClock)
+
+from ..conftest import random_dense
+
+N = 96
+
+
+@pytest.fixture(scope="module")
+def coo():
+    return COOMatrix.from_dense(random_dense(N, N, 0.06, seed=31))
+
+
+def vec(seed, k=8):
+    r = np.random.default_rng(seed)
+    idx = np.sort(r.choice(N, size=k, replace=False))
+    from repro.vectors import SparseVector
+    return SparseVector(N, idx, 1.0 + r.random(k))
+
+
+def make_service(coo, **kw):
+    kw.setdefault("device", Device())
+    kw.setdefault("clock", VirtualClock())
+    svc = GraphQueryService(**kw)
+    svc.register_matrix("m", coo)
+    return svc
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self, coo):
+        svc = make_service(coo)
+        with pytest.raises(ValueError):
+            svc.register_matrix("m", coo)
+        assert svc.matrices == ("m",)
+
+    def test_unknown_matrix(self, coo):
+        svc = make_service(coo)
+        with pytest.raises(UnknownMatrixError) as ei:
+            svc.submit_nowait(MultiplyQuery("nope", vec(1)))
+        assert "m" in ei.value.known
+
+    def test_unknown_query_type(self, coo):
+        svc = make_service(coo)
+        with pytest.raises(TypeError):
+            svc.submit_nowait("just a string")
+
+    def test_pin_registers_against_quota(self, coo):
+        svc = make_service(coo)
+        svc.register_matrix("pinned", coo, pin=True)
+        assert svc.tenants.pinned("default") == 1
+        assert svc.unpin_plans("pinned") is True
+        assert svc.tenants.pinned("default") == 0
+
+
+class TestQueryPaths:
+    def test_multiply_matches_direct_engine(self, coo):
+        svc = make_service(coo, max_batch=100)
+        t = svc.submit_nowait(MultiplyQuery("m", vec(3)))
+        assert not t.done
+        y = t.result()                    # blocking get forces flush
+        y_ref = TileSpMSpV(coo).multiply(vec(3))
+        assert np.array_equal(y.indices, y_ref.indices)
+        assert np.array_equal(y.values, y_ref.values)
+
+    def test_multiply_semiring_and_dense_output(self, coo):
+        svc = make_service(coo, max_batch=1)
+        t = svc.submit_nowait(MultiplyQuery("m", vec(4),
+                                            semiring=MIN_PLUS,
+                                            output="dense"))
+        assert t.done
+        y_ref = TileSpMSpV(coo, semiring=MIN_PLUS).multiply(
+            vec(4), output="dense")
+        assert np.array_equal(t.value, y_ref)
+
+    def test_bfs_matches_direct_engine(self, coo):
+        svc = make_service(coo)
+        t = svc.submit_nowait(BFSQuery("m", 0))
+        assert t.done and t.record.kind == "bfs"
+        ref = TileBFS(coo).run(0)
+        assert np.array_equal(t.value.levels, ref.levels)
+
+    def test_pagerank_matches_direct_and_memoizes(self, coo):
+        svc = make_service(coo)
+        t1 = svc.submit_nowait(PageRankQuery("m"))
+        ranks_ref, iters_ref = pagerank(coo)
+        assert np.allclose(t1.value[0], ranks_ref)
+        assert t1.value[1] == iters_ref
+        t2 = svc.submit_nowait(PageRankQuery("m"))
+        assert svc.stats()["pagerank_memo"]["hits"] == 1
+        # memo hands out copies: mutating a result must not poison it
+        t2.value[0][:] = -1.0
+        t3 = svc.submit_nowait(PageRankQuery("m"))
+        assert np.allclose(t3.value[0], ranks_ref)
+        # different parameters are a different memo entry
+        svc.submit_nowait(PageRankQuery("m", damping=0.7))
+        assert svc.stats()["pagerank_memo"]["entries"] == 2
+
+    def test_per_matrix_queues_are_independent(self, coo):
+        svc = make_service(coo, max_batch=2)
+        svc.register_matrix("other", coo)
+        t1 = svc.submit_nowait(MultiplyQuery("m", vec(1)))
+        t2 = svc.submit_nowait(MultiplyQuery("other", vec(2)))
+        assert not t1.done and not t2.done and svc.pending == 2
+        t3 = svc.submit_nowait(MultiplyQuery("m", vec(3)))
+        # m's queue filled its size budget; other's still waits
+        assert t1.done and t3.done and not t2.done
+
+
+class TestAsyncPath:
+    def test_await_resolves_on_size_budget(self, coo):
+        svc = make_service(coo, max_batch=2, max_delay_ms=None)
+
+        async def main():
+            await svc.start()
+            try:
+                return await asyncio.gather(
+                    svc.submit(MultiplyQuery("m", vec(1))),
+                    svc.submit(MultiplyQuery("m", vec(2))))
+            finally:
+                await svc.stop()
+
+        y1, y2 = asyncio.run(main())
+        assert np.array_equal(
+            y1.to_dense(), TileSpMSpV(coo).multiply(vec(1)).to_dense())
+        assert np.array_equal(
+            y2.to_dense(), TileSpMSpV(coo).multiply(vec(2)).to_dense())
+
+    def test_await_resolves_on_latency_budget(self, coo):
+        # real clock: the background loop must fire the 5 ms budget
+        import time
+        svc = GraphQueryService(device=Device(), clock=time.monotonic,
+                                max_batch=100, max_delay_ms=5.0)
+        svc.register_matrix("m", coo)
+
+        async def main():
+            await svc.start()
+            try:
+                return await asyncio.wait_for(
+                    svc.submit(MultiplyQuery("m", vec(7))), timeout=10)
+            finally:
+                await svc.stop()
+
+        y = asyncio.run(main())
+        assert np.array_equal(
+            y.to_dense(), TileSpMSpV(coo).multiply(vec(7)).to_dense())
+
+    def test_stop_drains_pending(self, coo):
+        svc = make_service(coo, max_batch=100, max_delay_ms=None)
+
+        async def main():
+            await svc.start()
+            task = asyncio.ensure_future(
+                svc.submit(MultiplyQuery("m", vec(9))))
+            await asyncio.sleep(0)         # let it enqueue
+            assert svc.pending == 1
+            await svc.stop(drain=True)
+            return await task
+
+        y = asyncio.run(main())
+        assert svc.pending == 0
+        assert np.array_equal(
+            y.to_dense(), TileSpMSpV(coo).multiply(vec(9)).to_dense())
+
+
+class TestObservability:
+    def test_multiply_requests_resolve_to_batch_events(self, coo):
+        svc = make_service(coo, tracer=Tracer(), max_batch=2)
+        svc.register_matrix("m2", coo)
+        ta = svc.submit_nowait(MultiplyQuery("m", vec(1)))
+        tb = svc.submit_nowait(MultiplyQuery("m", vec(2)))
+        tc = svc.submit_nowait(MultiplyQuery("m2", vec(3)))
+        td = svc.submit_nowait(MultiplyQuery("m2", vec(4)))
+        ev_a = svc.events_for(ta.request_id)
+        ev_c = svc.events_for(tc.request_id)
+        assert ev_a and ev_c
+        # batchmates share their launches; other queues' batches (with
+        # the same batch id) never leak in
+        assert ev_a == svc.events_for(tb.request_id)
+        assert ev_c == svc.events_for(td.request_id)
+        assert not set(id(e) for e in ev_a) & set(id(e) for e in ev_c)
+        assert all(e.tag.startswith("mat=m;") for e in ev_a)
+        assert ta.record.launch_tag == "mat=m;batch=0"
+
+    def test_direct_requests_get_seq_window(self, coo):
+        svc = make_service(coo, tracer=Tracer())
+        t = svc.submit_nowait(BFSQuery("m", 0))
+        evs = svc.events_for(t.request_id)
+        assert evs
+        assert t.record.seq_end - t.record.seq_start == len(evs)
+        assert all("bfs" in e.name for e in evs)
+
+    def test_stats_shape(self, coo):
+        svc = make_service(coo, max_batch=2)
+        for s in range(4):
+            svc.submit_nowait(MultiplyQuery("m", vec(s)))
+        svc.submit_nowait(BFSQuery("m", 1))
+        stats = svc.stats()
+        assert stats["requests"] == 5 and stats["completed"] == 5
+        assert stats["rejected"] == 0 and stats["pending"] == 0
+        assert stats["latency"]["multiply"]["count"] == 4
+        assert stats["latency"]["bfs"]["count"] == 1
+        assert stats["latency"]["all"]["p99_ms"] >= 0
+        assert stats["queues"]["m"]["batches"] == 2
+        assert stats["admission"]["admitted"] == 5
+        assert "default" in stats["tenants"]
+
+    def test_request_log_jsonl_roundtrip(self, coo, tmp_path):
+        import json
+        svc = make_service(coo, max_batch=1)
+        svc.submit_nowait(MultiplyQuery("m", vec(1)))
+        path = tmp_path / "requests.jsonl"
+        svc.log.write_jsonl(path)
+        rows = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["latency_ms"] is not None
+
+    def test_virtual_completion_model_accumulates_backlog(self, coo):
+        clk = VirtualClock()
+        svc = make_service(coo, clock=clk, max_batch=1)
+        svc.submit_nowait(MultiplyQuery("m", vec(1)))
+        first = svc.backlog_ms
+        assert first > 0               # modeled work queued behind now
+        svc.submit_nowait(MultiplyQuery("m", vec(2)))
+        assert svc.backlog_ms > first  # server model is busy
+        clk.advance(1.0)
+        assert svc.backlog_ms == 0.0   # drained once time passes

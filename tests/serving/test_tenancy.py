@@ -1,0 +1,132 @@
+"""Multi-tenant plan-cache partitioning: hard isolation and pin
+quotas (the satellite acceptance test: one tenant's pinning or cache
+churn cannot evict another tenant's pinned plans)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.runtime import matrix_token
+from repro.semiring import PLUS_TIMES
+from repro.serving import (GraphQueryService, MultiplyQuery,
+                           TenantPlanCache, TenantQuotaError,
+                           VirtualClock)
+
+from ..conftest import random_dense
+
+N = 64
+
+
+def matrix(seed):
+    return COOMatrix.from_dense(random_dense(N, N, 0.08, seed=seed))
+
+
+def vec(seed, k=6):
+    r = np.random.default_rng(seed)
+    idx = np.sort(r.choice(N, size=k, replace=False))
+    from repro.vectors import SparseVector
+    return SparseVector(N, idx, 1.0 + r.random(k))
+
+
+def plan_key(m, nt=16, extract_threshold=2):
+    return ("tilespmspv", matrix_token(m), nt, extract_threshold,
+            PLUS_TIMES, "csr")
+
+
+class TestPartitioning:
+    def test_partitions_are_separate_caches(self):
+        tc = TenantPlanCache()
+        assert tc.partition("a") is not tc.partition("b")
+        assert tc.partition("a") is tc.partition("a")
+        assert set(tc.tenants) == {"a", "b"}
+
+    def test_pin_quota_enforced(self):
+        tc = TenantPlanCache(pin_quota=1)
+        cache = tc.partition("a")
+        cache.get_or_build("k1", lambda: object())
+        cache.get_or_build("k2", lambda: object())
+        assert tc.pin("a", "k1") is True
+        assert tc.pin("a", "k1") is True          # re-pin: free no-op
+        with pytest.raises(TenantQuotaError):
+            tc.pin("a", "k2")
+        assert tc.unpin("a", "k1") is True
+        assert tc.pin("a", "k2") is True          # quota freed
+
+    def test_pin_absent_key_is_refused_without_charge(self):
+        tc = TenantPlanCache(pin_quota=1)
+        assert tc.pin("a", "ghost") is False
+        assert tc.pinned("a") == 0
+
+    def test_one_tenant_at_quota_does_not_limit_another(self):
+        tc = TenantPlanCache(pin_quota=1)
+        for t in ("a", "b"):
+            tc.partition(t).get_or_build("k", lambda: object())
+        assert tc.pin("a", "k") is True
+        with pytest.raises(TenantQuotaError):
+            tc.pin("a", "k2")
+        assert tc.pin("b", "k") is True           # b is untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantPlanCache(partition_size=0)
+        with pytest.raises(ValueError):
+            TenantPlanCache(pin_quota=-1)
+
+    def test_stats(self):
+        tc = TenantPlanCache(partition_size=4, pin_quota=2)
+        tc.partition("a").get_or_build("k", lambda: object())
+        tc.pin("a", "k")
+        s = tc.stats()
+        assert s["a"]["size"] == 1
+        assert s["a"]["pins_held"] == 1 and s["a"]["pin_quota"] == 2
+
+
+class TestCrossTenantIsolation:
+    def test_churn_cannot_evict_another_tenants_pinned_plan(self):
+        """Tenant A thrashing its (tiny) partition never evicts tenant
+        B's pinned plan — eviction pressure does not cross tenants."""
+        tenants = TenantPlanCache(partition_size=1, pin_quota=1)
+        svc = GraphQueryService(clock=VirtualClock(), max_batch=1,
+                                tenants=tenants)
+        hot = matrix(1)
+        svc.register_matrix("hot", hot, tenant="B", pin=True)
+        key = plan_key(hot)
+        assert tenants.partition("B").is_pinned(key)
+
+        # tenant A churns: three matrices through a 1-entry partition
+        for i in range(3):
+            svc.register_matrix(f"cold{i}", matrix(10 + i), tenant="A")
+            svc.submit_nowait(MultiplyQuery(f"cold{i}", vec(i)),
+                              tenant="A")
+        assert tenants.partition("A").stats()["size"] == 1  # thrashed
+
+        # B's plan survived, still pinned, and a fresh operator over
+        # the same matrix hits it instead of rebuilding
+        assert tenants.partition("B").get(key) is not None
+        assert tenants.partition("B").is_pinned(key)
+        hits = tenants.partition("B").stats()["hits"]
+        from repro.core import TileSpMSpV
+        TileSpMSpV(hot, plan_cache=tenants.partition("B"))
+        assert tenants.partition("B").stats()["hits"] > hits
+
+    def test_quota_exhaustion_is_per_tenant_in_service(self):
+        tenants = TenantPlanCache(pin_quota=1)
+        svc = GraphQueryService(clock=VirtualClock(), tenants=tenants)
+        svc.register_matrix("a1", matrix(1), tenant="A", pin=True)
+        svc.register_matrix("a2", matrix(2), tenant="A")
+        with pytest.raises(TenantQuotaError):
+            svc.pin_plans("a2")
+        # A being at quota never blocks B
+        svc.register_matrix("b1", matrix(3), tenant="B", pin=True)
+        assert tenants.pinned("A") == 1 and tenants.pinned("B") == 1
+
+    def test_tenant_plans_live_in_their_partition_only(self):
+        tenants = TenantPlanCache()
+        svc = GraphQueryService(clock=VirtualClock(), max_batch=1,
+                                tenants=tenants)
+        A = matrix(5)
+        svc.register_matrix("mA", A, tenant="A")
+        svc.submit_nowait(MultiplyQuery("mA", vec(1)), tenant="A")
+        key = plan_key(A)
+        assert tenants.partition("A").get(key) is not None
+        assert tenants.partition("B").get(key) is None
