@@ -34,6 +34,8 @@ from ..core.reference_kernels import (reference_batched_tiled_kernel,
                                       reference_csc_tiled_kernel,
                                       reference_tiled_kernel)
 from ..core.selection import KernelSelector
+from ..core.spmm_kernels import (spmm_merge_path_kernel,
+                                 spmm_row_warp_kernel)
 from ..core.spmspv_kernels import (batched_tiled_kernel,
                                    batched_union_kernel,
                                    csc_tiled_kernel, tiled_kernel)
@@ -45,6 +47,7 @@ from ..shards.engine import ShardedSpMSpV
 from ..tiles.bitmask import BitVector
 from ..tiles.tiled_matrix import TiledMatrix
 from ..tiles.tiled_vector import TiledVector
+from ..vectors.dense_block import DenseBlock
 
 __all__ = ["run_wallclock", "check_regression", "known_sections"]
 
@@ -381,6 +384,46 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
                                 if looped_bytes > 0 else 1.0),
             })
 
+    say("SpMM: merge-path vs row-per-warp over a dense block")
+    spmm_batches = (8,) if smoke else (8, 32)
+    spmm_rows = []
+    for bsize in spmm_batches:
+        for density in densities:
+            k = max(1, int(round(n * density)))
+            X = np.zeros((n, bsize))
+            for j in range(bsize):
+                idx = rng.choice(n, size=k, replace=False)
+                X[idx, j] = 1.0 + rng.random(k)
+            Xb = DenseBlock.from_dense(X, nt)
+            say(f"spmm b={bsize} density={density:g}")
+            Yr, cr = spmm_row_warp_kernel(A, Xb)
+            Ym, cm = spmm_merge_path_kernel(A, Xb)
+            assert np.array_equal(Yr, Ym), "merge-path != row-per-warp"
+            row_bytes = cr.global_bytes + cr.l2_read_bytes
+            merge_bytes = cm.global_bytes + cm.l2_read_bytes
+            # the acceptance invariant of the merge-path cost model: a
+            # row segment has at least one nonzero, so the staged
+            # traffic can never exceed the naive per-nonzero fetches
+            assert merge_bytes <= row_bytes, \
+                "merge-path modeled bytes exceed row-per-warp"
+            ref_ms = _best_ms(lambda: spmm_row_warp_kernel(
+                A, Xb, with_counters=False), repeats)
+            new_ms = _best_ms(lambda: spmm_merge_path_kernel(
+                A, Xb, with_counters=False), repeats)
+            spmm_rows.append({
+                "batch": bsize,
+                "density": density,
+                "ref_ms": ref_ms,
+                "new_ms": new_ms,
+                "speedup": (ref_ms / new_ms if new_ms > 0
+                            else float("inf")),
+                "launches": int(cr.launches),
+                "rowwarp_bytes": row_bytes,
+                "mergepath_bytes": merge_bytes,
+                "bytes_ratio": (merge_bytes / row_bytes
+                                if row_bytes > 0 else 1.0),
+            })
+
     say("sharded engine: row-strip shards vs single tiling")
     shard_counts = (4,) if smoke else (4, 8)
     sharded_rows = []
@@ -533,6 +576,7 @@ def run_wallclock(scale: int = 17, edge_factor: int = 16, nt: int = 16,
                         if msbfs_new > 0 else float("inf")),
         },
         "batched": batched_rows,
+        "spmm": spmm_rows,
         "sharded": sharded_rows,
         "parallel": parallel_rows,
     }
@@ -579,6 +623,9 @@ def _speedup_entries(report: Dict) -> Dict[str, tuple]:
             (row["speedup"], min_ms(row))
     for row in report.get("batched", ()):
         entries[f"batched/b{row['batch']}@{row['density']:g}"] = \
+            (row["speedup"], min_ms(row))
+    for row in report.get("spmm", ()):
+        entries[f"spmm/b{row['batch']}@{row['density']:g}"] = \
             (row["speedup"], min_ms(row))
     for row in report.get("sharded", ()):
         entries[f"sharded/s{row['n_shards']}@{row['density']:g}"] = \

@@ -14,8 +14,8 @@ Public entry points:
 
 from .bfs_kernels import (expand_vertex_tiles, pull_csc_kernel,
                           push_csc_kernel, push_csr_kernel)
-from .selection import (PULL_CSC, PUSH_CSC, PUSH_CSR, KernelSelector,
-                        select_tile_size)
+from .selection import (PULL_CSC, PUSH_CSC, PUSH_CSR, SPMM_MERGE_PATH,
+                        SPMM_ROW_WARP, KernelSelector, select_tile_size)
 from .reference_bfs_kernels import (reference_msbfs_expand,
                                     reference_pull_csc_kernel,
                                     reference_push_csc_kernel,
@@ -29,6 +29,9 @@ from .spmspv import TileSpMSpV, as_tiled_vector, tile_spmspv
 from .spmspv_kernels import (batched_tiled_kernel, batched_union_kernel,
                              coo_side_kernel, csc_tiled_kernel,
                              tiled_kernel)
+from .spmm import TileSpMM, as_dense_block
+from .spmm_kernels import (row_tile_imbalance, spmm_coo_side_kernel,
+                           spmm_merge_path_kernel, spmm_row_warp_kernel)
 from .msbfs import MSBFSResult, MultiSourceBFS, msbfs_expand
 from .tilebfs import BFSResult, IterationRecord, TileBFS, tile_bfs
 
@@ -37,12 +40,16 @@ __all__ = [
     "tiled_kernel", "csc_tiled_kernel",
     "batched_tiled_kernel", "coo_side_kernel",
     "BatchedSpMSpV", "batched_union_kernel",
+    "TileSpMM", "as_dense_block",
+    "spmm_row_warp_kernel", "spmm_merge_path_kernel",
+    "spmm_coo_side_kernel", "row_tile_imbalance",
     "reference_tiled_kernel", "reference_csc_tiled_kernel",
     "reference_batched_tiled_kernel", "reference_coo_side_kernel",
     "TileBFS", "tile_bfs", "BFSResult", "IterationRecord",
     "MultiSourceBFS", "MSBFSResult",
     "KernelSelector", "select_tile_size",
     "PUSH_CSC", "PUSH_CSR", "PULL_CSC",
+    "SPMM_ROW_WARP", "SPMM_MERGE_PATH",
     "push_csc_kernel", "push_csr_kernel", "pull_csc_kernel",
     "expand_vertex_tiles", "msbfs_expand",
     "reference_push_csc_kernel", "reference_push_csr_kernel",

@@ -25,13 +25,19 @@ from typing import FrozenSet, Optional
 from ..errors import TileError
 
 __all__ = ["KernelSelector", "select_tile_size",
-           "PUSH_CSC", "PUSH_CSR", "PULL_CSC"]
+           "PUSH_CSC", "PUSH_CSR", "PULL_CSC",
+           "SPMM_ROW_WARP", "SPMM_MERGE_PATH"]
 
 PUSH_CSC = "push_csc"
 PUSH_CSR = "push_csr"
 PULL_CSC = "pull_csc"
 
 _ALL = frozenset({PUSH_CSC, PUSH_CSR, PULL_CSC})
+
+SPMM_ROW_WARP = "spmm_row_warp"
+SPMM_MERGE_PATH = "spmm_merge_path"
+
+_SPMM = frozenset({SPMM_ROW_WARP, SPMM_MERGE_PATH})
 
 
 def select_tile_size(order: int) -> int:
@@ -69,9 +75,15 @@ class KernelSelector:
     enabled: FrozenSet[str] = field(default_factory=lambda: _ALL)
     sparsity_threshold: float = 0.01
     pull_threshold: float = 0.05
+    #: SpMM load-balance switch: the merge-path kernel engages when the
+    #: occupied-row-tile nonzero imbalance (``max / mean``) reaches
+    #: this factor — balanced matrices keep the cheaper row-per-warp
+    #: mapping, skewed ones split work evenly across warps.
+    spmm_imbalance_threshold: float = 4.0
     #: When set, every iteration runs this kernel regardless of the
     #: rule — the forcing hook behind per-kernel benchmarks and the
-    #: kernel-equivalence / correctness grids.
+    #: kernel-equivalence / correctness grids.  BFS kernels steer
+    #: :meth:`choose`, SpMM kernels steer :meth:`choose_spmm`.
     forced: Optional[str] = None
     tier: str = "auto"
 
@@ -85,7 +97,9 @@ class KernelSelector:
             raise TileError("sparsity_threshold must be in (0, 1)")
         if not (0.0 <= self.pull_threshold <= 1.0):
             raise TileError("pull_threshold must be in [0, 1]")
-        if self.forced is not None and self.forced not in _ALL:
+        if self.spmm_imbalance_threshold < 1.0:
+            raise TileError("spmm_imbalance_threshold must be >= 1")
+        if self.forced is not None and self.forced not in (_ALL | _SPMM):
             raise TileError(f"unknown forced kernel {self.forced!r}")
         if self.tier not in ("auto", "fastpath", "kernels"):
             raise TileError(f"unknown execution tier {self.tier!r}; "
@@ -126,7 +140,7 @@ class KernelSelector:
         unvisited_fraction:
             ``(n - |visited|) / n``.
         """
-        if self.forced is not None:
+        if self.forced is not None and self.forced in _ALL:
             return self.forced
         unvisited_small = unvisited_fraction < self.pull_threshold
         frontier_dense = frontier_sparsity >= self.sparsity_threshold
@@ -140,3 +154,19 @@ class KernelSelector:
         if frontier_dense and PUSH_CSR in self.enabled:
             return PUSH_CSR
         return PUSH_CSC
+
+    def choose_spmm(self, row_imbalance: float) -> str:
+        """Pick the SpMM kernel for a matrix with the given
+        occupied-row-tile nonzero imbalance (``max / mean``; see
+        :func:`~repro.core.spmm_kernels.row_tile_imbalance`).
+
+        Balanced matrices keep the naive row-per-warp mapping (no
+        partition search, no staging overhead); once one row tile
+        holds :attr:`spmm_imbalance_threshold` times the mean work,
+        the merge-path kernel's even nonzero split wins.
+        """
+        if self.forced is not None and self.forced in _SPMM:
+            return self.forced
+        if row_imbalance >= self.spmm_imbalance_threshold:
+            return SPMM_MERGE_PATH
+        return SPMM_ROW_WARP

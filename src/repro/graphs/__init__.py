@@ -12,10 +12,12 @@ from .bc import betweenness_centrality
 from .bfs_reference import bfs_levels
 from .components import connected_components
 from .pagerank import pagerank
+from .propagation import label_propagation, multi_pagerank
 from .rcm import bandwidth, rcm_ordering
 from .sssp import sssp
 from .triangles import triangle_count, triangles_per_vertex
 
 __all__ = ["bfs_levels", "betweenness_centrality", "rcm_ordering",
-           "bandwidth", "connected_components", "pagerank", "sssp",
+           "bandwidth", "connected_components", "pagerank",
+           "multi_pagerank", "label_propagation", "sssp",
            "triangle_count", "triangles_per_vertex"]

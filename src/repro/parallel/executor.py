@@ -47,6 +47,10 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.selection import SPMM_MERGE_PATH
+from ..core.spmm_kernels import (row_tile_imbalance,
+                                 spmm_merge_path_kernel,
+                                 spmm_row_warp_kernel)
 from ..core.spmspv_kernels import batched_union_kernel, tiled_kernel
 from ..gpusim import KernelCounters
 from ..runtime import OperatorPlan, PlanCache
@@ -182,9 +186,16 @@ class WorkerSlice:
         self.prefetches += 1
 
     def run_shard(self, sid: int, xts, batched: bool,
-                  with_counters: bool, worker_label: str
-                  ) -> ShardResult:
-        """Execute one shard exactly as the sequential engine would."""
+                  with_counters: bool, worker_label: str,
+                  spmm_selector=None) -> ShardResult:
+        """Execute one shard exactly as the sequential engine would.
+
+        ``spmm_selector`` switches the shard into SpMM mode: ``xts``
+        then holds one :class:`~repro.vectors.dense_block.DenseBlock`
+        and the selector picks row-per-warp vs merge-path on the
+        shard's own row-tile imbalance (cached on the shard plan, as
+        in the sequential engine).
+        """
         sid = int(sid)
         sr = self.semiring
         with self._lock:
@@ -201,7 +212,17 @@ class WorkerSlice:
                 self.cache.pin(key)
             try:
                 A = self._execution_tiling(plan)
-                if batched:
+                if spmm_selector is not None:
+                    imb = plan.lazy_get(
+                        "spmm_imbalance",
+                        lambda: row_tile_imbalance(A))
+                    fn = spmm_merge_path_kernel \
+                        if spmm_selector.choose_spmm(imb) \
+                        == SPMM_MERGE_PATH else spmm_row_warp_kernel
+                    Yb, counters = fn(A, xts[0], semiring=sr,
+                                      with_counters=with_counters)
+                    Ys = [Yb]
+                elif batched:
                     Ys, counters = batched_union_kernel(
                         A, xts, semiring=sr)
                 else:
@@ -217,7 +238,12 @@ class WorkerSlice:
                 self.resident.unpin(sid)
         outs = []
         for y_strip in Ys:
-            idx = np.flatnonzero(~sr.is_identity(y_strip))
+            if y_strip.ndim == 2:
+                # SpMM strip: ship whole non-identity rows
+                idx = np.flatnonzero(
+                    np.any(~sr.is_identity(y_strip), axis=1))
+            else:
+                idx = np.flatnonzero(~sr.is_identity(y_strip))
             outs.append((idx, y_strip[idx]))
         return ShardResult(
             sid=sid, device=self.wid, worker=worker_label, outs=outs,
@@ -235,7 +261,8 @@ class WorkerSlice:
 # ----------------------------------------------------------------------
 def _run_chunk(slc: WorkerSlice, sids, xts, batched: bool,
                with_counters: bool, depth: int, overlap: bool,
-               worker_label: str) -> List[ShardResult]:
+               worker_label: str,
+               spmm_selector=None) -> List[ShardResult]:
     """Run one chunk's shards in order, with lookahead prefetch.
 
     ``overlap=True`` (pool backends) walks the prefetcher on a short-
@@ -262,7 +289,8 @@ def _run_chunk(slc: WorkerSlice, sids, xts, batched: bool,
             for nxt in sids[i + 1:i + 1 + depth]:
                 slc.prefetch(nxt)
         results.append(slc.run_shard(sid, xts, batched, with_counters,
-                                     worker_label))
+                                     worker_label,
+                                     spmm_selector=spmm_selector))
         progress["done"] = i + 1
     if walker is not None:
         walker.join(timeout=10.0)
@@ -321,14 +349,15 @@ def _process_slice(wid: int) -> WorkerSlice:
 
 def _process_chunk(task) -> Tuple[List[ShardResult], Tuple[int, int],
                                   Dict[str, int]]:
-    wid, sids, xts, batched, with_counters, depth = task
+    wid, sids, xts, batched, with_counters, depth, spmm_selector = task
     slc = _process_slice(wid)
     # the worker label is the stable scheduler worker id, not the OS
     # pid: launch tags must be deterministic run to run so production
     # replay and the parallel-invariance check can compare them; the
     # real pid travels back in the snapshot key below.
     results = _run_chunk(slc, sids, xts, batched, with_counters, depth,
-                         overlap=True, worker_label=str(wid))
+                         overlap=True, worker_label=str(wid),
+                         spmm_selector=spmm_selector)
     return results, (os.getpid(), wid), slc.stats()
 
 
@@ -396,7 +425,8 @@ class ParallelExecutor:
                            for _ in range(self.workers)]
 
     def run(self, plan: WorkPlan, xts, batched: bool,
-            with_counters: bool) -> Iterator[ShardResult]:
+            with_counters: bool,
+            spmm_selector=None) -> Iterator[ShardResult]:
         """Execute the plan; yield results as they complete."""
         depth = self.config.prefetch_depth
         chunks: List[WorkChunk] = plan.chunks
@@ -406,7 +436,8 @@ class ParallelExecutor:
                 for res in _run_chunk(self.slices[c.worker], c.sids,
                                       xts, batched, with_counters,
                                       depth, overlap=False,
-                                      worker_label=str(c.worker)):
+                                      worker_label=str(c.worker),
+                                      spmm_selector=spmm_selector):
                     self._stats.results += 1
                     yield res
         elif self.backend == "thread":
@@ -414,7 +445,7 @@ class ParallelExecutor:
             spawn = _shared_thread_pool().submit
             futs = [spawn(_run_chunk, self.slices[c.worker], c.sids, xts,
                           batched, with_counters, depth, True,
-                          str(c.worker))
+                          str(c.worker), spmm_selector)
                     for c in chunks]
             for fut in as_completed(futs):
                 for res in fut.result():
@@ -425,7 +456,7 @@ class ParallelExecutor:
             pending = [self._pools[c.worker].apply_async(
                            _process_chunk,
                            ((c.worker, c.sids, xts, batched,
-                             with_counters, depth),))
+                             with_counters, depth, spmm_selector),))
                        for c in chunks]
             while pending:
                 still = []

@@ -276,9 +276,13 @@ class BatchQueue:
         served = 0
         now = self._clock()
         for s in list(self._pending):
+            # Same expression as next_deadline_ms() — a group whose
+            # reported deadline is <= 0 ms is guaranteed to dispatch
+            # here, so an external loop never spins on a deadline this
+            # method disagrees with by one float rounding step.
             if (self._pending[s]
-                    and (now - self._oldest[s]) * 1e3
-                    >= self.max_delay_ms):
+                    and now >= self._oldest[s]
+                    + self.max_delay_ms / 1e3):
                 served += self._dispatch(s)
         return served
 

@@ -21,8 +21,10 @@ imported from anywhere (including the packages that define the
 operators) without cycles.
 
 ``kind`` groups operators by how they are driven: ``"spmspv"`` /
-``"spmv"`` expose ``multiply(x)``, ``"bfs"`` exposes ``run(source)``,
-``"msbfs"`` exposes ``run(sources)``.
+``"spmv"`` expose ``multiply(x)``, ``"spmm"`` exposes
+``multiply_block(X)`` (and ``multiply(x)`` as the B = 1 case),
+``"bfs"`` exposes ``run(source)``, ``"msbfs"`` exposes
+``run(sources)``.
 
 ``capabilities`` describes the constructor/algebra surface the
 differential verification harness (:mod:`repro.verify`) needs to drive
@@ -48,7 +50,7 @@ __all__ = ["register_operator", "create_operator", "resolve_operator",
            "OperatorEntry"]
 
 #: Operator groupings the drivers understand.
-KINDS = ("spmspv", "spmv", "bfs", "msbfs")
+KINDS = ("spmspv", "spmv", "spmm", "bfs", "msbfs")
 
 
 @dataclass(frozen=True)
@@ -244,6 +246,17 @@ def _make_gunrock(matrix, device=None, **kwargs):
 def _make_gswitch(matrix, device=None, **kwargs):
     from ..baselines.gswitch import GSwitchBFS
     return GSwitchBFS(matrix, device=device, **kwargs)
+
+
+@register_operator("tilespmm", kind="spmm",
+                   summary="tiled SpMM — sparse matrix × tall dense "
+                           "block, row-per-warp / merge-path kernels",
+                   aliases=("spmm",),
+                   capabilities=("semiring", "nt", "rectangular",
+                                 "dense-x"))
+def _make_tilespmm(matrix, device=None, **kwargs):
+    from ..core.spmm import TileSpMM
+    return TileSpMM(matrix, device=device, **kwargs)
 
 
 @register_operator("enterprise", kind="bfs",

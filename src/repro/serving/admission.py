@@ -56,6 +56,11 @@ class AdmissionController:
         if max_backlog_ms is not None and max_backlog_ms < 0:
             raise ValueError(
                 f"max_backlog_ms must be >= 0, got {max_backlog_ms}")
+        if not min_retry_ms > 0:
+            # A depth-cap rejection with zero modeled backlog would
+            # otherwise hand back retry_after_ms == 0.
+            raise ValueError(
+                f"min_retry_ms must be > 0, got {min_retry_ms}")
         self.max_pending = max_pending
         self.max_backlog_ms = max_backlog_ms
         self.min_retry_ms = float(min_retry_ms)
@@ -96,6 +101,7 @@ class AdmissionController:
             "reject_rate": self.rejected / total if total else 0.0,
             "max_pending": self.max_pending,
             "max_backlog_ms": self.max_backlog_ms,
+            "min_retry_ms": self.min_retry_ms,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -114,7 +114,14 @@ class RequestLog:
                           dtype=np.float64)
 
     def rollup(self, kind: Optional[str] = None) -> Dict[str, float]:
-        """count / mean / p50 / p99 / max latency summary."""
+        """count / mean / p50 / p99 / max latency summary.
+
+        The tail percentile uses ``method="higher"`` — an observed
+        latency, never a value interpolated *below* the slowest
+        request.  With the default linear interpolation a 10-sample
+        log would report a p99 under its own max, which reads as a
+        latency no request actually paid.
+        """
         lat = self.latencies_ms(kind)
         if lat.size == 0:
             return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
@@ -123,7 +130,7 @@ class RequestLog:
             "count": int(lat.size),
             "mean_ms": float(lat.mean()),
             "p50_ms": float(np.percentile(lat, 50)),
-            "p99_ms": float(np.percentile(lat, 99)),
+            "p99_ms": float(np.percentile(lat, 99, method="higher")),
             "max_ms": float(lat.max()),
         }
 

@@ -534,7 +534,13 @@ class GraphQueryService:
         while True:
             delay_ms = self.next_deadline_ms()
             if delay_ms is not None and delay_ms <= 0:
-                self.pump()
+                # A group is already overdue: dispatch now, never
+                # sleep a negative timeout.  If nothing fires (the
+                # queue's own overdue check can trail the reported
+                # deadline by one clock read), yield to the event loop
+                # instead of spinning on it.
+                if self.pump() == 0:
+                    await asyncio.sleep(0)
                 continue
             try:
                 if delay_ms is None:

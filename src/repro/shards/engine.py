@@ -284,7 +284,8 @@ class ShardedSpMSpV:
 
     def _execute_parallel(self, executed, active_tile_cols, xts,
                           targets, batched: bool, accounting: bool,
-                          caller_tag: Optional[str]) -> None:
+                          caller_tag: Optional[str],
+                          spmm_selector=None) -> None:
         """Run the per-shard stage on the worker pool.
 
         Results merge into ``targets`` (one accumulator per input
@@ -293,23 +294,35 @@ class ShardedSpMSpV:
         ascending shard order, so the timeline is deterministic and
         identical to the sequential engine's modulo the ``device=`` /
         ``worker=`` tag parts.
+
+        With ``spmm_selector`` set, ``xts`` holds one dense block and
+        each shard result ships a 2-D row slab — assigned (not
+        scatter-merged) into the block accumulator, since every output
+        row belongs to exactly one strip.
         """
         sr = self.semiring
         plan = self._work.plan(executed, active_tile_cols)
         self._last_plan = plan
         results = {}
         for res in self._executor.run(plan, xts, batched,
-                                      with_counters=accounting):
+                                      with_counters=accounting,
+                                      spmm_selector=spmm_selector):
             lo, _hi = self.matrix.strips[res.sid]
             for b, (idx, vals) in enumerate(res.outs):
                 if idx.size:
-                    sr.scatter_merge(targets[b], idx + lo, vals)
+                    if vals.ndim == 2:
+                        targets[b][idx + lo] = vals
+                    else:
+                        sr.scatter_merge(targets[b], idx + lo, vals)
             results[res.sid] = res
         if not accounting:
             return
-        name = "sharded_spmspv_batch" if batched else \
-            "sharded_spmspv_shard"
-        phase = "batch" if batched else "multiply"
+        if spmm_selector is not None:
+            name, phase = "sharded_spmm_shard", "spmm"
+        elif batched:
+            name, phase = "sharded_spmspv_batch", "batch"
+        else:
+            name, phase = "sharded_spmspv_shard", "multiply"
         meta_bytes = float(self.matrix.metadata_nbytes_per_shard())
         for sid in sorted(results):
             res = results[sid]
@@ -510,6 +523,114 @@ class ShardedSpMSpV:
         for b in range(k):
             idx = np.flatnonzero(~sr.is_identity(Y[b]))
             out.append(SparseVector(m, idx, Y[b][idx]))
+        return out
+
+    def multiply_block(self, X, output: str = "dense",
+                       tag: Optional[str] = None, selector=None):
+        """SpMM strip by strip: one scheduling pass over the union of
+        the block's active tile columns, one selector-chosen SpMM
+        kernel launch per executed shard (``sharded_spmm_shard``), one
+        combiner for the whole ``(m, B)`` result.
+
+        Row strips are disjoint, so each shard's 2-D row slab is
+        *assigned* into the identity-filled accumulator — which is why
+        1-shard, N-shard, and multi-worker execution are all
+        bit-identical to each other, and column ``j`` of the result is
+        bit-identical to :meth:`multiply` on column ``j`` of the block.
+        """
+        from ..core.selection import SPMM_MERGE_PATH, KernelSelector
+        from ..core.spmm import as_dense_block
+        from ..core.spmm_kernels import (row_tile_imbalance,
+                                         spmm_merge_path_kernel,
+                                         spmm_row_warp_kernel)
+        if output not in ("dense", "sparse"):
+            raise ShapeError(f"unknown output mode {output!r}")
+        if selector is None:
+            selector = KernelSelector()
+        sr = self.semiring
+        m, n = self.matrix.shape
+        Xb = as_dense_block(X, self.matrix.nt,
+                            float(sr.add_identity), dtype=sr.dtype)
+        if Xb.n != n:
+            raise ShapeError(
+                f"SpMM shape mismatch: A is {self.matrix.shape}, "
+                f"X has {Xb.n} rows"
+            )
+        accounting = self.ctx.accounting
+        # a tile column is active when any column of the block has a
+        # non-sentinel value in it — the same activity test the SpMM
+        # fold applies per column, unioned across the block
+        tiles = Xb.data.reshape(-1, Xb.nt, Xb.B)
+        if np.isnan(Xb.fill):  # pragma: no cover - defensive
+            active = np.any(~np.isnan(tiles), axis=(1, 2))
+        else:
+            active = np.any(tiles != Xb.fill, axis=(1, 2))
+        active_cols = np.flatnonzero(active)
+        executed = self.scheduler.schedule(active_cols)
+        if accounting:
+            self.ctx.launch("sharded_schedule",
+                            self.scheduler.schedule_counters(), tag=tag,
+                            phase="schedule")
+
+        Y = np.full((m, Xb.B), sr.add_identity, dtype=sr.dtype)
+        merged_rows = int(sum(hi - lo for lo, hi in
+                              (self.matrix.strips[int(s)]
+                               for s in executed)))
+        cfg = self.parallel
+        if cfg.workers > 1 and executed.size:
+            self._ensure_parallel(cfg)
+            self._execute_parallel(executed, active_cols, [Xb], [Y],
+                                   batched=False,
+                                   accounting=accounting,
+                                   caller_tag=tag,
+                                   spmm_selector=selector)
+        else:
+            for sid in executed:
+                sid = int(sid)
+                shard_tag = _shard_tag(sid, tag) if accounting else None
+                tiled = self._fault_shard(sid, shard_tag)
+                key = self._plan_key(sid)
+                plan = self._shard_plan(sid, tiled)
+                self.cache.pin(key)
+                self.matrix.resident.pin(sid)
+                try:
+                    A = self._execution_tiling(plan)
+                    imb = plan.lazy_get(
+                        "spmm_imbalance",
+                        lambda A=A: row_tile_imbalance(A))
+                    fn = spmm_merge_path_kernel \
+                        if selector.choose_spmm(imb) \
+                        == SPMM_MERGE_PATH else spmm_row_warp_kernel
+                    Y_strip, counters = fn(A, Xb, semiring=sr,
+                                           with_counters=accounting)
+                    if accounting:
+                        counters.coalesced_read_bytes += float(
+                            self.matrix.metadata_nbytes_per_shard())
+                        self.ctx.launch("sharded_spmm_shard",
+                                        counters, tag=shard_tag,
+                                        phase="spmm")
+                finally:
+                    self.matrix.resident.unpin(sid)
+                    self.cache.unpin(key)
+                lo, _hi = self.matrix.strips[sid]
+                idx = np.flatnonzero(
+                    np.any(~sr.is_identity(Y_strip), axis=1))
+                if idx.size:
+                    Y[idx + lo] = Y_strip[idx]
+        if accounting:
+            self.ctx.launch(
+                "sharded_combine",
+                _combine_counters(merged_rows * Xb.B,
+                                  Y.dtype.itemsize),
+                tag=tag, phase="combine")
+
+        if output == "dense":
+            return Y
+        out: List[SparseVector] = []
+        for j in range(Xb.B):
+            col = Y[:, j]
+            idx = np.flatnonzero(~sr.is_identity(col))
+            out.append(SparseVector(m, idx, col[idx].copy()))
         return out
 
     # ------------------------------------------------------------------

@@ -4,11 +4,12 @@ The tiled counterpart lives in :mod:`repro.tiles.tiled_vector`; the two
 convert via :meth:`SparseVector.to_tiled` / :meth:`SparseVector.from_tiled`.
 """
 
+from .dense_block import DenseBlock
 from .generate import (PAPER_SEED, PAPER_SPARSITIES, frontier_vector,
                        random_sparse_vector)
 from .sparse_vector import SparseVector
 
 __all__ = [
-    "SparseVector", "random_sparse_vector", "frontier_vector",
-    "PAPER_SPARSITIES", "PAPER_SEED",
+    "SparseVector", "DenseBlock", "random_sparse_vector",
+    "frontier_vector", "PAPER_SPARSITIES", "PAPER_SEED",
 ]

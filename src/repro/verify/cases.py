@@ -275,6 +275,59 @@ def _multiply_cases(entry, rng: np.random.Generator, families,
     return cases
 
 
+def _spmm_cases(entry, rng: np.random.Generator, families,
+                samples: int) -> List[Case]:
+    """SpMM workloads: a matrix plus ``B`` sparse column vectors (the
+    checks densify them into the block).  Same semiring/value
+    special-casing as the multiply grid; B sweeps small powers of
+    two."""
+    cases: List[Case] = []
+    semirings = ["plus_times"]
+    if "semiring" in entry.capabilities:
+        semirings += ["min_plus", "max_times", "or_and"]
+    samples = max(samples, len(semirings))
+    block_sizes = (2, 4, 8)
+    for i in range(samples):
+        fam_name, fam = families[int(rng.integers(len(families)))]
+        seed = int(rng.integers(1 << 30))
+        coo = fam(seed)
+        n = coo.shape[1]
+        nt = int(rng.choice(_NT_CHOICES)) \
+            if "nt" in entry.capabilities else 16
+        semiring = semirings[i % len(semirings)]
+        density = float(rng.choice(_DENSITIES))
+        B = int(block_sizes[i % len(block_sizes)])
+        if semiring == "or_and":
+            coo = _as_uint64_matrix(coo, rng)
+            vectors = tuple(_uint64_vector(n, density, rng)
+                            for _ in range(B))
+        elif semiring == "min_plus":
+            coo = COOMatrix(coo.shape, coo.row, coo.col,
+                            np.abs(coo.val) + 0.05)
+            vectors = tuple(
+                SparseVector(n, v.indices, np.abs(v.values))
+                for v in (random_sparse_vector(
+                    n, density, seed=int(rng.integers(1 << 30)))
+                    for _ in range(B)))
+        else:
+            vectors = tuple(random_sparse_vector(
+                n, density, seed=int(rng.integers(1 << 30)))
+                for _ in range(B))
+        cases.append(Case(entry.name, entry.kind, matrix=coo,
+                          vectors=vectors, semiring=semiring, nt=nt,
+                          label=fam_name))
+    if "rectangular" in entry.capabilities:
+        seed = int(rng.integers(1 << 30))
+        coo = gen.random_rectangular(40, 64, 0.08, seed=seed)
+        vectors = tuple(random_sparse_vector(
+            64, 0.1, seed=int(rng.integers(1 << 30)))
+            for _ in range(3))
+        nt = 8 if "nt" in entry.capabilities else 16
+        cases.append(Case(entry.name, entry.kind, matrix=coo,
+                          vectors=vectors, nt=nt, label="rectangular"))
+    return cases
+
+
 def _graph_cases(entry, rng: np.random.Generator, families,
                  samples: int) -> List[Case]:
     cases: List[Case] = []
@@ -314,6 +367,8 @@ def generate_cases(seed: int = 0, smoke: bool = True,
             raise ValueError(f"unknown operator {name!r}")
         if entry.kind in ("spmspv", "spmv"):
             cases.extend(_multiply_cases(entry, rng, families, samples))
+        elif entry.kind == "spmm":
+            cases.extend(_spmm_cases(entry, rng, families, samples))
         else:
             cases.extend(_graph_cases(entry, rng, families, samples))
     if operators is None:

@@ -34,7 +34,8 @@ from ..semiring import PLUS_TIMES, Semiring
 from ..vectors.sparse_vector import SparseVector
 from .cases import Case
 from .oracles import (bfs_levels_oracle, dense_semiring_multiply,
-                      dijkstra_oracle, pagerank_oracle, scipy_matvec)
+                      dijkstra_oracle, pagerank_oracle, scipy_matvec,
+                      scipy_spmm)
 
 __all__ = ["checks_for", "run_check", "CHECK_NAMES"]
 
@@ -151,6 +152,9 @@ def check_counters(case: Case) -> Optional[str]:
     device = Device()
     if case.kind in _MULTIPLY_KINDS:
         _multiply_results(case, device=device)
+    elif case.kind == "spmm":
+        op = _build(case, device=device)
+        op.multiply_block(list(case.vectors))
     else:
         op = _build(case, device=device)
         if case.kind == "msbfs":
@@ -276,6 +280,93 @@ def check_batch_of_one(case: Case) -> Optional[str]:
     yb = _densify(op.multiply_batch([x])[0], n_out, case.sr)
     ys = _densify(single.multiply(x), n_out, case.sr)
     return _compare(yb, ys, case.sr, "batch of one vs single multiply")
+
+
+# ----------------------------------------------------------------------
+# spmm-kind checks
+# ----------------------------------------------------------------------
+def _bit_equal(got: np.ndarray, want: np.ndarray,
+               semiring: Semiring) -> bool:
+    if semiring.dtype.kind in "ui":
+        return np.array_equal(got, want)
+    # same-itemsize views work on strided columns; this catches
+    # sign-of-zero and NaN-payload drift an allclose would pass
+    return np.array_equal(got.view(np.uint64), want.view(np.uint64))
+
+
+def check_oracle_spmm(case: Case) -> Optional[str]:
+    """SpMM against the dense semiring fold column by column, and —
+    for plus_times — against SciPy's compiled CSR ``A @ X``."""
+    op = _build(case)
+    Y = op.multiply_block(list(case.vectors), output="dense")
+    for j, x in enumerate(case.vectors):
+        want = dense_semiring_multiply(case.matrix,
+                                       _dense_x(x, case.sr), case.sr)
+        err = _compare(np.ascontiguousarray(Y[:, j]), want, case.sr,
+                       f"vs dense {case.semiring} oracle (column {j})")
+        if err:
+            return err
+    if case.semiring == "plus_times":
+        X = np.column_stack([_dense_x(x, case.sr)
+                             for x in case.vectors])
+        want2 = scipy_spmm(case.matrix, X)
+        err = _compare(Y.ravel(), want2.ravel(), case.sr,
+                       "vs scipy CSR A @ X", rtol=1e-9, atol=1e-11)
+        if err:
+            return err
+    return None
+
+
+def check_spmm_column_slice(case: Case) -> Optional[str]:
+    """Column ``j`` of the SpMM result must be **bit-identical** to a
+    single-vector TileSpMSpV multiply against column ``j`` of the
+    block — the algebra-level contract tying the two operators
+    together (zero signs included)."""
+    op = _build(case)
+    Xb = op.as_block(list(case.vectors))
+    Y = op.multiply_block(Xb, output="dense")
+    single = _build(case, name="tilespmspv")
+    for j in range(Xb.B):
+        want = single.multiply(Xb.column_sparse(j), output="dense")
+        got = Y[:, j]
+        if not _bit_equal(got, want, case.sr):
+            if case.sr.dtype.kind in "ui":
+                bad = int(np.flatnonzero(got != want)[0])
+            else:
+                bad = int(np.flatnonzero(
+                    got.view(np.uint64) != want.view(np.uint64))[0])
+            return (f"SpMM column {j} not bit-identical to the "
+                    f"single-vector multiply at slot {bad}: "
+                    f"got {got[bad]!r}, want {want[bad]!r}")
+    return None
+
+
+def check_spmm_kernel_parity(case: Case) -> Optional[str]:
+    """The two SpMM kernels must agree bit-exactly, and the merge-path
+    kernel's modeled traffic (global + L2) must never exceed the
+    row-per-warp kernel's — staging each row segment once can only
+    remove loads."""
+    from ..core.selection import (SPMM_MERGE_PATH, SPMM_ROW_WARP,
+                                  KernelSelector)
+    from ..core.spmm import TileSpMM
+    runs = {}
+    for forced in (SPMM_ROW_WARP, SPMM_MERGE_PATH):
+        dev = Device()
+        op = TileSpMM(case.matrix, nt=case.nt, semiring=case.sr,
+                      device=dev,
+                      selector=KernelSelector(forced=forced))
+        Y = op.multiply_block(list(case.vectors), output="dense")
+        traffic = sum(r.counters.global_bytes + r.counters.l2_read_bytes
+                      for r in dev.timeline)
+        runs[forced] = (Y, traffic)
+    y_row, bytes_row = runs[SPMM_ROW_WARP]
+    y_merge, bytes_merge = runs[SPMM_MERGE_PATH]
+    if not _bit_equal(y_row.ravel(), y_merge.ravel(), case.sr):
+        return "row-per-warp and merge-path results are not bit-equal"
+    if bytes_merge > bytes_row:
+        return (f"merge-path modeled traffic {bytes_merge:.0f} B "
+                f"exceeds row-per-warp {bytes_row:.0f} B")
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -720,6 +811,11 @@ def checks_for(case: Case
     if case.kind == "primitive":
         return [(case.operator, _PRIMITIVE_CHECKS[case.operator])]
     entry = resolve_operator(case.operator)
+    if case.kind == "spmm":
+        return [("spmm-oracle", check_oracle_spmm),
+                ("spmm-column-slice", check_spmm_column_slice),
+                ("spmm-kernel-parity", check_spmm_kernel_parity),
+                ("counters", check_counters)]
     if case.kind in _MULTIPLY_KINDS:
         out = [("oracle", check_oracle_multiply),
                ("siblings", check_siblings_multiply),
@@ -760,7 +856,8 @@ CHECK_NAMES = sorted({
     "scale-linearity", "plan-cache-replay", "active-set-payload",
     "batch-of-one", "batched-union-bytes", "shard-invariance",
     "parallel-invariance", "fastpath-equivalence", "production-replay",
-    "serving-equivalence",
+    "serving-equivalence", "spmm-oracle", "spmm-column-slice",
+    "spmm-kernel-parity",
     *_PRIMITIVE_CHECKS,
 })
 

@@ -16,8 +16,8 @@ from ..formats import COOMatrix
 from ..semiring import Semiring
 
 __all__ = [
-    "dense_semiring_multiply", "scipy_matvec", "bfs_levels_oracle",
-    "dijkstra_oracle", "pagerank_oracle",
+    "dense_semiring_multiply", "scipy_matvec", "scipy_spmm",
+    "bfs_levels_oracle", "dijkstra_oracle", "pagerank_oracle",
 ]
 
 
@@ -52,6 +52,17 @@ def scipy_matvec(coo: COOMatrix, x_dense: np.ndarray) -> np.ndarray:
     A = csr_array((c.val.astype(np.float64), (c.row, c.col)),
                   shape=c.shape)
     return A @ np.asarray(x_dense, dtype=np.float64)
+
+
+def scipy_spmm(coo: COOMatrix, X_dense: np.ndarray) -> np.ndarray:
+    """Ordinary-algebra ``A @ X`` for a dense ``(n, B)`` block through
+    SciPy's compiled CSR sparse-times-dense path."""
+    from scipy.sparse import csr_array
+
+    c = coo.canonicalize()
+    A = csr_array((c.val.astype(np.float64), (c.row, c.col)),
+                  shape=c.shape)
+    return A @ np.asarray(X_dense, dtype=np.float64)
 
 
 def _csgraph_adjacency(coo: COOMatrix, unweighted: bool):

@@ -1,0 +1,224 @@
+"""TileSpMM: bit-identity with the batched engine, counter
+decomposition, kernel parity, and the column-slice equivalence.
+
+The satellite acceptance property: a :class:`TileSpMM` run on a block
+assembled from ``B`` sparse vectors is **bit-identical** — values and
+counter decomposition — to :class:`BatchedSpMSpV` on those vectors
+densified, across semirings including the uint64 ``OR_AND`` algebra.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (SPMM_MERGE_PATH, SPMM_ROW_WARP, BatchedSpMSpV,
+                        KernelSelector, TileSpMM, TileSpMSpV,
+                        row_tile_imbalance, spmm_merge_path_kernel,
+                        spmm_row_warp_kernel)
+from repro.errors import ShapeError
+from repro.gpusim import Device
+from repro.semiring import MAX_TIMES, MIN_PLUS, OR_AND, PLUS_TIMES
+from repro.tiles import TiledMatrix
+from repro.vectors import DenseBlock, SparseVector, random_sparse_vector
+
+from ..conftest import random_coo, random_dense
+
+SEMIRINGS = [PLUS_TIMES, MIN_PLUS, MAX_TIMES, OR_AND]
+
+M, N, NT = 90, 72, 8
+
+
+def _bit_equal(a, b):
+    a, b = np.ascontiguousarray(a), np.ascontiguousarray(b)
+    if a.dtype.kind in "iu":
+        return np.array_equal(a, b)
+    return np.array_equal(a.view(np.uint64), b.view(np.uint64))
+
+
+def inputs(sr, B, seed=0, m=M, n=N):
+    """A matrix and B sparse vectors in the semiring's dtype."""
+    coo = random_coo(m, n, 0.07, seed=seed)
+    vecs = [random_sparse_vector(n, 0.05 + 0.1 * b, seed=seed + 10 + b)
+            for b in range(B)]
+    if sr.dtype.kind == "u":
+        coo = type(coo)(coo.shape, coo.row, coo.col,
+                        coo.val.copy().view(np.uint64))
+        vecs = [SparseVector(v.n, v.indices, v.values.view(np.uint64))
+                for v in vecs]
+    return coo, vecs
+
+
+# ----------------------------------------------------------------------
+# the property test: SpMM over a densified batch == BatchedSpMSpV
+# ----------------------------------------------------------------------
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("sr", SEMIRINGS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("B", [1, 3, 6])
+    def test_block_matches_batched_bitwise(self, sr, B):
+        coo, vecs = inputs(sr, B, seed=3)
+        Y = TileSpMM(coo, nt=NT, semiring=sr).multiply_block(
+            vecs, output="dense")
+        Yb = BatchedSpMSpV(coo, nt=NT, semiring=sr).multiply_batch(
+            vecs, output="dense")
+        assert Y.shape == (M, B) and Yb.shape == (B, M)
+        for b in range(B):
+            assert _bit_equal(Y[:, b], Yb[b]), (sr.name, b)
+
+    @pytest.mark.parametrize("sr", SEMIRINGS, ids=lambda s: s.name)
+    def test_counter_decomposition_matches_batched_structure(self, sr):
+        # both engines share one hybrid tiling (same plan-cache key),
+        # so the tiled-part nnz driving the flops term is identical;
+        # SpMM charges exactly 2 * nnz * B multiply-adds on it
+        coo, vecs = inputs(sr, 4, seed=5)
+        dev = Device()
+        op = TileSpMM(coo, nt=NT, semiring=sr, device=dev)
+        op.multiply_block(vecs)
+        tiled_nnz = op.hybrid.tiled.nnz
+        side_nnz = op.hybrid.side.nnz
+        main = [r for r in dev.timeline
+                if r.name.startswith("tile_spmm") and "side" not in r.name]
+        assert len(main) == 1
+        assert main[0].counters.flops == 2.0 * tiled_nnz * 4
+        side = [r for r in dev.timeline if "coo_side" in r.name]
+        assert bool(side) == bool(side_nnz)
+
+    def test_sparse_output_matches_batched_sparse(self):
+        coo, vecs = inputs(PLUS_TIMES, 3, seed=7)
+        ys = TileSpMM(coo, nt=NT).multiply_block(vecs, output="sparse")
+        yb = BatchedSpMSpV(coo, nt=NT).multiply_batch(
+            vecs, output="sparse")
+        for got, want in zip(ys, yb):
+            assert np.array_equal(got.indices, want.indices)
+            assert _bit_equal(got.values, want.values)
+
+
+# ----------------------------------------------------------------------
+# kernel parity and the merge-path byte bound
+# ----------------------------------------------------------------------
+class TestKernels:
+    def test_kernels_bit_identical_and_merge_bytes_bounded(self):
+        A = TiledMatrix.from_dense(random_dense(M, N, 0.08, seed=2), NT)
+        Xb = DenseBlock.from_dense(random_dense(N, 5, 0.6, seed=3), NT)
+        Yr, cr = spmm_row_warp_kernel(A, Xb)
+        Ym, cm = spmm_merge_path_kernel(A, Xb)
+        assert _bit_equal(Yr, Ym)
+        B = Xb.B
+        # shared accounting: A streams once per block for both kernels
+        common = (A.n_nonempty_tiles * 16.0
+                  + A.nnz * (8.0 + A.index_bytes_per_entry()))
+        assert cr.coalesced_read_bytes == common
+        assert cm.coalesced_read_bytes == common
+        assert cr.coalesced_write_bytes == cm.coalesced_write_bytes \
+            == A.n_occupied_tile_rows() * A.nt * B * 8.0
+        assert cr.flops == cm.flops == 2.0 * A.nnz * B
+        # row-per-warp loads the B-wide X row once per *nonzero*,
+        # merge-path once per distinct (tile, local column) segment
+        assert cr.l2_read_bytes == A.nnz * B * 8.0
+        segments = int(np.unique(
+            A.tile_of_entry() * np.int64(A.nt) + A.local_col64()).size)
+        assert cm.l2_read_bytes == segments * B * 8.0
+        assert cm.shared_bytes == segments * B * 8.0
+        assert segments <= A.nnz
+        assert (cm.global_bytes + cm.l2_read_bytes
+                <= cr.global_bytes + cr.l2_read_bytes)
+
+    def test_dense_tile_gets_strict_segment_reuse(self):
+        # a dense matrix repeats local columns within its tiles, so
+        # merge-path stages strictly fewer X rows than row-per-warp
+        A = TiledMatrix.from_dense(random_dense(32, 32, 0.9, seed=4), 8)
+        Xb = DenseBlock.from_dense(random_dense(32, 4, 1.0, seed=5), 8)
+        _, cr = spmm_row_warp_kernel(A, Xb)
+        _, cm = spmm_merge_path_kernel(A, Xb)
+        assert cm.l2_read_bytes < cr.l2_read_bytes
+
+    def test_with_counters_off(self):
+        A = TiledMatrix.from_dense(random_dense(M, N, 0.08, seed=2), NT)
+        Xb = DenseBlock.from_dense(random_dense(N, 2, 0.5, seed=6), NT)
+        Y_on, c = spmm_row_warp_kernel(A, Xb)
+        Y_off, none = spmm_row_warp_kernel(A, Xb, with_counters=False)
+        assert none is None and c is not None
+        assert _bit_equal(Y_on, Y_off)
+
+    def test_shape_and_tile_mismatch(self):
+        A = TiledMatrix.from_dense(random_dense(M, N, 0.08, seed=2), NT)
+        bad_rows = DenseBlock.from_dense(np.ones((N + 8, 2)), NT)
+        with pytest.raises(ShapeError):
+            spmm_row_warp_kernel(A, bad_rows)
+        bad_nt = DenseBlock.from_dense(np.ones((N, 2)), 16)
+        with pytest.raises(ShapeError):
+            spmm_merge_path_kernel(A, bad_nt)
+
+
+# ----------------------------------------------------------------------
+# selection
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_forced_kernels(self):
+        coo, vecs = inputs(PLUS_TIMES, 2, seed=9)
+        for forced in (SPMM_ROW_WARP, SPMM_MERGE_PATH):
+            op = TileSpMM(coo, nt=NT,
+                          selector=KernelSelector.fixed(forced))
+            assert op.chosen_kernel() == forced
+        ya = TileSpMM(coo, nt=NT, selector=KernelSelector.fixed(
+            SPMM_ROW_WARP)).multiply_block(vecs, output="dense")
+        yb = TileSpMM(coo, nt=NT, selector=KernelSelector.fixed(
+            SPMM_MERGE_PATH)).multiply_block(vecs, output="dense")
+        assert _bit_equal(ya, yb)
+
+    def test_imbalance_rule(self):
+        sel = KernelSelector(spmm_imbalance_threshold=4.0)
+        assert sel.choose_spmm(1.0) == SPMM_ROW_WARP
+        assert sel.choose_spmm(3.999) == SPMM_ROW_WARP
+        assert sel.choose_spmm(4.0) == SPMM_MERGE_PATH
+
+    def test_row_tile_imbalance_statistic(self):
+        # perfectly balanced: equal nonzeros in every row tile
+        X = np.zeros((16, 16))
+        X[np.arange(16), np.arange(16)] = 1.0
+        assert row_tile_imbalance(
+            TiledMatrix.from_dense(X, 8)) == pytest.approx(1.0)
+        # skewed: all mass in one row tile
+        X2 = np.zeros((32, 32))
+        X2[0, :16] = 1.0
+        X2[31, 0] = 1.0
+        imb = row_tile_imbalance(TiledMatrix.from_dense(X2, 8))
+        assert imb > 1.5
+
+
+# ----------------------------------------------------------------------
+# column-slice equivalence (the B = 1 limit included)
+# ----------------------------------------------------------------------
+class TestColumnSlice:
+    @pytest.mark.parametrize("sr", SEMIRINGS, ids=lambda s: s.name)
+    def test_columns_match_single_vector_multiplies(self, sr):
+        coo, vecs = inputs(sr, 3, seed=11)
+        op = TileSpMM(coo, nt=NT, semiring=sr)
+        Xb = op.as_block(vecs)
+        Y = op.multiply_block(Xb, output="dense")
+        single = TileSpMSpV(coo, nt=NT, semiring=sr)
+        for j in range(Xb.B):
+            y_ref = single.multiply(Xb.column_sparse(j), output="dense")
+            assert _bit_equal(Y[:, j], y_ref), (sr.name, j)
+
+    def test_single_vector_convenience(self):
+        coo, vecs = inputs(PLUS_TIMES, 1, seed=13)
+        op = TileSpMM(coo, nt=NT)
+        y_dense = op.multiply(vecs[0], output="dense")
+        y_sparse = op.multiply(vecs[0])
+        ref = TileSpMSpV(coo, nt=NT).multiply(vecs[0], output="dense")
+        assert _bit_equal(y_dense, ref)
+        assert _bit_equal(y_sparse.to_dense(), ref)
+
+    def test_dense_array_and_block_inputs_agree(self):
+        coo, vecs = inputs(PLUS_TIMES, 3, seed=15)
+        op = TileSpMM(coo, nt=NT)
+        Xd = np.column_stack([v.to_dense() for v in vecs])
+        assert _bit_equal(op.multiply_block(Xd, output="dense"),
+                          op.multiply_block(vecs, output="dense"))
+
+    def test_shape_mismatch_raises(self):
+        coo, _ = inputs(PLUS_TIMES, 1, seed=17)
+        op = TileSpMM(coo, nt=NT)
+        with pytest.raises(ShapeError):
+            op.multiply_block(np.ones((N + 8, 2)))
+        with pytest.raises(ShapeError):
+            op.multiply_block(np.ones((N, 2)), output="banana")

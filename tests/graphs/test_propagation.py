@@ -1,0 +1,106 @@
+"""Block propagation on TileSpMM: multi-personalization PageRank and
+label propagation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.formats import COOMatrix
+from repro.graphs import label_propagation, multi_pagerank, pagerank
+
+from ..conftest import random_graph_coo
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph_coo(60, avg_degree=4.0, seed=17)
+
+
+class TestMultiPageRank:
+    def test_uniform_column_reduces_to_classic_pagerank(self, graph):
+        n = graph.shape[0]
+        r_ref, it_ref = pagerank(graph)
+        V = np.full((n, 1), 1.0 / n)
+        R, it = multi_pagerank(graph, V)
+        assert it == it_ref
+        assert np.array_equal(R[:, 0].copy().view(np.uint64),
+                              r_ref.view(np.uint64))
+
+    def test_seed_vertices_one_column_each(self, graph):
+        R, it = multi_pagerank(graph, np.array([0, 5, 9]))
+        n = graph.shape[0]
+        assert R.shape == (n, 3) and it >= 1
+        assert np.allclose(R.sum(axis=0), 1.0)
+        # personalization localises mass: the seed scores highest in
+        # its own column far more often than not
+        assert R[0, 0] > R[0, 1] or R[5, 1] > R[5, 0]
+
+    def test_columns_match_independent_runs(self, graph):
+        # running B personalizations together is exactly running them
+        # one at a time (each column converges on its own tolerance,
+        # but the block iterates until the *last* column converges —
+        # extra iterations leave a converged column within tol)
+        seeds = np.array([2, 11])
+        R, _ = multi_pagerank(graph, seeds, tol=1e-12)
+        for j, s in enumerate(seeds):
+            Rj, _ = multi_pagerank(graph, np.array([s]), tol=1e-12)
+            assert np.allclose(R[:, j], Rj[:, 0], atol=1e-9)
+
+    def test_validation(self, graph):
+        n = graph.shape[0]
+        with pytest.raises(ShapeError):
+            multi_pagerank(graph, np.array([n + 3]))
+        with pytest.raises(ShapeError):
+            multi_pagerank(graph, np.zeros((n, 2)))   # zero-mass column
+        with pytest.raises(ShapeError):
+            multi_pagerank(graph, np.ones((n + 1, 2)))
+        with pytest.raises(ShapeError):
+            multi_pagerank(graph, np.array([0]), damping=1.5)
+        with pytest.raises(ShapeError):
+            multi_pagerank(np.ones((3, 4)), np.array([0]))
+
+    def test_empty_matrix(self):
+        R, it = multi_pagerank(COOMatrix.empty((0, 0)), np.zeros((0, 1)))
+        assert R.shape == (0, 1) and it == 0
+
+
+class TestLabelPropagation:
+    def two_cliques(self):
+        # two 5-cliques joined by one weak bridge edge
+        n = 10
+        rows, cols = [], []
+        for block in (range(0, 5), range(5, 10)):
+            for i in block:
+                for j in block:
+                    if i != j:
+                        rows.append(i)
+                        cols.append(j)
+        rows += [5, 4]
+        cols += [4, 5]
+        vals = np.ones(len(rows))
+        return COOMatrix((n, n), np.array(rows), np.array(cols), vals)
+
+    def test_two_cliques_split_on_seeds(self):
+        A = self.two_cliques()
+        seeds = np.full(10, -1, dtype=np.int64)
+        seeds[0] = 7        # arbitrary label ids, densely re-indexed
+        seeds[9] = 3
+        labels, it = label_propagation(A, seeds)
+        assert it >= 1
+        assert np.all(labels[:5] == 7)
+        assert np.all(labels[5:] == 3)
+
+    def test_unreached_vertices_stay_unlabelled(self):
+        # vertex 3 is isolated: no label mass can ever reach it
+        A = COOMatrix((4, 4), np.array([1, 2]), np.array([0, 1]),
+                      np.ones(2))
+        seeds = np.array([0, -1, -1, -1], dtype=np.int64)
+        labels, _ = label_propagation(A, seeds)
+        assert labels[0] == 0 and labels[3] == -1
+
+    def test_validation(self, graph):
+        n = graph.shape[0]
+        with pytest.raises(ShapeError):
+            label_propagation(graph, np.full(n + 1, -1, dtype=np.int64))
+        with pytest.raises(ShapeError):
+            label_propagation(graph, np.full(n, -1, dtype=np.int64))

@@ -12,9 +12,9 @@ from repro.vectors import random_sparse_vector
 
 from ..conftest import random_coo, random_graph_coo
 
-ALL_NAMES = ("tilespmspv", "tilebfs", "msbfs", "tilespmv", "cusparse-bsr",
-             "combblas", "spmspv-via-spgemm", "gunrock", "gswitch",
-             "enterprise")
+ALL_NAMES = ("tilespmspv", "tilebfs", "msbfs", "tilespmv", "tilespmm",
+             "cusparse-bsr", "combblas", "spmspv-via-spgemm", "gunrock",
+             "gswitch", "enterprise")
 
 
 class TestLookup:
@@ -26,8 +26,9 @@ class TestLookup:
     def test_kind_filter(self):
         assert "tilebfs" in available_operators(kind="bfs")
         assert "tilespmspv" not in available_operators(kind="bfs")
+        assert "tilespmm" in available_operators(kind="spmm")
         assert set(available_operators()) == {
-            n for k in ("spmspv", "spmv", "bfs", "msbfs")
+            n for k in ("spmspv", "spmv", "spmm", "bfs", "msbfs")
             for n in available_operators(kind=k)}
 
     def test_operator_kind(self):
@@ -35,6 +36,7 @@ class TestLookup:
         assert operator_kind("cusparse-bsr") == "spmv"
         assert operator_kind("enterprise") == "bfs"
         assert operator_kind("msbfs") == "msbfs"
+        assert operator_kind("tilespmm") == "spmm"
 
     def test_unknown_name_raises_with_available(self):
         with pytest.raises(ReproError, match="tilespmspv"):

@@ -64,6 +64,35 @@ class TestController:
             AdmissionController(max_pending=0)
         with pytest.raises(ValueError):
             AdmissionController(max_backlog_ms=-1.0)
+        with pytest.raises(ValueError):
+            AdmissionController(min_retry_ms=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(min_retry_ms=-5.0)
+
+    def test_depth_rejection_with_zero_backlog_has_positive_retry(self):
+        # The depth cap can trip while the modeled backlog is still 0
+        # (requests queued, none executed); the hint must not be 0 —
+        # that invites an immediate, equally doomed retry.
+        ac = AdmissionController(max_pending=1, min_retry_ms=4.0)
+        ac.admit(0, 0.0)
+        with pytest.raises(ServiceSaturated) as ei:
+            ac.admit(1, 0.0)
+        assert ei.value.retry_after_ms == pytest.approx(4.0)
+        assert ei.value.retry_after_ms > 0
+        assert ac.stats()["min_retry_ms"] == pytest.approx(4.0)
+
+    def test_backlog_rejection_respects_retry_floor(self):
+        # Backlog barely over the bound: drain time would be ~1e-6 ms,
+        # the configured floor wins on this rejection path too.
+        ac = AdmissionController(max_pending=None, max_backlog_ms=10.0,
+                                 min_retry_ms=2.5)
+        with pytest.raises(ServiceSaturated) as ei:
+            ac.admit(0, 10.0 + 1e-6)
+        assert ei.value.retry_after_ms == pytest.approx(2.5)
+        # and a genuinely deep backlog still reports real drain time
+        with pytest.raises(ServiceSaturated) as ei:
+            ac.admit(0, 30.0)
+        assert ei.value.retry_after_ms == pytest.approx(20.0)
 
     def test_unbounded_admits_everything(self):
         ac = AdmissionController(max_pending=None, max_backlog_ms=None)

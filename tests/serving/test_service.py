@@ -177,6 +177,67 @@ class TestAsyncPath:
             y.to_dense(), TileSpMSpV(coo).multiply(vec(9)).to_dense())
 
 
+class TestDeadlineDispatch:
+    def test_request_landing_exactly_on_deadline_dispatches(self, coo):
+        clk = VirtualClock(start=1 / 3)       # awkward float origin
+        svc = make_service(coo, clock=clk, max_batch=100,
+                           max_delay_ms=5.0)
+        t = svc.submit_nowait(MultiplyQuery("m", vec(1)))
+        assert svc.pump() == 0                # budget not exhausted yet
+        clk.advance(5.0 / 1e3)                # exactly on the deadline
+        d = svc.next_deadline_ms()
+        assert d is not None and d <= 0.0
+        assert svc.pump() == 1                # must fire, not spin
+        assert t.done
+
+    def test_overdue_request_dispatches(self, coo):
+        clk = VirtualClock()
+        svc = make_service(coo, clock=clk, max_batch=100,
+                           max_delay_ms=5.0)
+        t = svc.submit_nowait(MultiplyQuery("m", vec(2)))
+        clk.advance(0.007)                    # well past the budget
+        assert svc.next_deadline_ms() < 0
+        assert svc.pump() == 1 and t.done
+
+    def test_deadline_and_overdue_check_agree(self, coo):
+        # Regression: next_deadline_ms() and dispatch_overdue() must
+        # never disagree by a float rounding step, or the async loop
+        # busy-spins on a deadline the queue refuses to fire.
+        for start in (0.0, 1 / 3, 0.1, 12345.6789, 2.0 ** 31):
+            clk = VirtualClock(start=start)
+            svc = make_service(coo, clock=clk, max_batch=100,
+                               max_delay_ms=5.0)
+            svc.submit_nowait(MultiplyQuery("m", vec(3)))
+            clk.advance(5.0 / 1e3)
+            d = svc.next_deadline_ms()
+            assert d is not None and d <= 0.0, f"start={start}"
+            assert svc.pump() == 1, f"would spin at start={start}"
+
+    def test_async_loop_fires_overdue_virtual_deadline(self, coo):
+        # The dispatch loop must serve a request whose deadline has
+        # already passed on the virtual clock without sleeping a
+        # negative timeout or spinning.
+        clk = VirtualClock(start=0.125)
+        svc = make_service(coo, clock=clk, max_batch=100,
+                           max_delay_ms=5.0)
+
+        async def main():
+            await svc.start()
+            try:
+                fut = asyncio.ensure_future(
+                    svc.submit(MultiplyQuery("m", vec(4))))
+                await asyncio.sleep(0)        # enqueue the request
+                clk.advance(5.0 / 1e3)        # lands exactly on deadline
+                svc._kick()                   # wake the loop
+                return await asyncio.wait_for(fut, timeout=5)
+            finally:
+                await svc.stop()
+
+        y = asyncio.run(main())
+        assert np.array_equal(
+            y.to_dense(), TileSpMSpV(coo).multiply(vec(4)).to_dense())
+
+
 class TestObservability:
     def test_multiply_requests_resolve_to_batch_events(self, coo):
         svc = make_service(coo, tracer=Tracer(), max_batch=2)
@@ -218,6 +279,24 @@ class TestObservability:
         assert stats["queues"]["m"]["batches"] == 2
         assert stats["admission"]["admitted"] == 5
         assert "default" in stats["tenants"]
+
+    def test_p99_is_an_observed_latency_on_small_samples(self):
+        from repro.serving import RequestLog
+        log = RequestLog()
+        # 10 samples: 1..9 ms plus one 100 ms straggler.  Linear
+        # interpolation would report p99 ≈ 91.8 ms — below the max, a
+        # latency no request actually paid.
+        for i, ms in enumerate([1, 2, 3, 4, 5, 6, 7, 8, 9, 100]):
+            rec = log.open("default", "multiply", "m", None, float(i))
+            log.complete(rec, float(i) + ms / 1e3)
+        r = log.rollup()
+        assert r["p99_ms"] == pytest.approx(100.0)
+        assert r["p99_ms"] == pytest.approx(r["max_ms"])
+        # the interpolated value the old rollup reported sat below max
+        lat = log.latencies_ms()
+        assert float(np.percentile(lat, 99)) < r["max_ms"]
+        # the median keeps the default interpolation
+        assert r["p50_ms"] == pytest.approx(5.5)
 
     def test_request_log_jsonl_roundtrip(self, coo, tmp_path):
         import json

@@ -1,0 +1,85 @@
+"""DenseBlock: layout invariants, constructors, column extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, TileError
+from repro.vectors import DenseBlock, SparseVector, random_sparse_vector
+
+
+class TestLayout:
+    def test_rows_padded_to_tile_multiple(self):
+        X = np.arange(20.0).reshape(10, 2)
+        b = DenseBlock.from_dense(X, 8)
+        assert b.n == 10 and b.B == 2 and b.n_tiles == 2
+        assert b.data.shape == (16, 2)
+        assert b.data.flags["C_CONTIGUOUS"]
+        assert np.all(b.data[10:] == 0.0)
+        assert np.array_equal(b.to_dense(), X)
+
+    def test_one_dim_input_becomes_single_column(self):
+        b = DenseBlock.from_dense(np.arange(5.0), 8)
+        assert b.B == 1 and b.n == 5
+
+    def test_validation(self):
+        with pytest.raises(TileError):
+            DenseBlock(4, 7, np.zeros((7, 1)))       # bad tile size
+        with pytest.raises(TileError):
+            DenseBlock(4, 8, np.zeros((4, 1)))       # rows not padded
+        with pytest.raises(ShapeError):
+            DenseBlock(-1, 8, np.zeros((8, 1)))
+        with pytest.raises(ShapeError):
+            DenseBlock.from_dense(np.zeros((4, 2, 2)), 8)
+        with pytest.raises(ShapeError):
+            DenseBlock.from_sparse_vectors([], 8)
+
+    def test_negative_zero_normalised_to_fill_bits(self):
+        X = np.array([[1.0], [-0.0], [0.0]])
+        b = DenseBlock.from_dense(X, 4)
+        # -0.0 holds the sentinel *value*: its bits are the sentinel's
+        assert np.all(b.data[1:].view(np.uint64) == 0)
+
+    def test_min_plus_fill(self):
+        b = DenseBlock.from_dense(np.array([[1.0], [2.0]]), 4,
+                                  fill=np.inf)
+        assert np.all(np.isinf(b.data[2:, 0]))
+        sv = b.column_sparse(0)
+        assert np.array_equal(sv.indices, [0, 1])
+
+
+class TestColumns:
+    def test_column_and_column_sparse_roundtrip(self):
+        vecs = [random_sparse_vector(30, 0.3, seed=s) for s in (1, 2)]
+        b = DenseBlock.from_sparse_vectors(vecs, 8)
+        for j, v in enumerate(vecs):
+            assert np.array_equal(b.column(j), v.to_dense())
+            sv = b.column_sparse(j)
+            assert np.array_equal(sv.indices, v.indices)
+            assert np.array_equal(sv.values, v.values)
+        with pytest.raises(ShapeError):
+            b.column(2)
+
+    def test_from_sparse_vectors_resets_sentinel_before_scatter(self):
+        # a stored entry must overwrite the sentinel, not add to it
+        v = SparseVector(6, np.array([1, 4]), np.array([2.0, 1.0]))
+        b = DenseBlock.from_sparse_vectors([v], 4, fill=np.inf)
+        assert b.column(0)[1] == 2.0 and b.column(0)[4] == 1.0
+        assert np.isinf(b.column(0)[0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            DenseBlock.from_sparse_vectors(
+                [random_sparse_vector(8, 0.5, seed=1),
+                 random_sparse_vector(9, 0.5, seed=2)], 8)
+
+    def test_uint64_dtype_preserved(self):
+        v = SparseVector(6, np.array([0, 3]),
+                         np.array([7, 9], dtype=np.uint64))
+        b = DenseBlock.from_sparse_vectors([v], 4, dtype=np.uint64)
+        assert b.dtype == np.uint64
+        assert b.column(0)[3] == 9
+
+    def test_nbytes_and_len(self):
+        b = DenseBlock.from_dense(np.zeros((10, 3)), 8)
+        assert len(b) == 10
+        assert b.nbytes() == 16 * 3 * 8
